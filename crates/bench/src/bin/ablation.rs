@@ -1,0 +1,100 @@
+//! Quality-side ablations of the scheduler's design choices (DESIGN.md):
+//!
+//! * the α weight of the NQ-vs-NC trade-off,
+//! * the top-k path-relaxing budget,
+//! * the suppression requirement `R` (strict / paper / loose).
+//!
+//! For each setting: mean NQ/NC over layers, relative execution time, and
+//! end-to-end fidelity on a representative benchmark.
+
+use zz_bench::{banner, fixed, row};
+use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_circuit::native::compile_to_native;
+use zz_circuit::route;
+use zz_core::evaluate::EvalConfig;
+use zz_core::{calib, PulseMethod};
+use zz_sched::zzx::{Requirement, ZzxConfig};
+use zz_sched::{zzx_schedule, GateDurations, SchedulePlan};
+use zz_sim::executor::{fidelity_under_zz, ZzErrorModel};
+use zz_topology::Topology;
+
+fn evaluate(plan: &SchedulePlan, topo: &Topology, cfg: &EvalConfig, residual: f64) -> f64 {
+    let durations = GateDurations::standard();
+    let mut total = 0.0;
+    for &seed in &cfg.crosstalk_seeds {
+        let model = ZzErrorModel::sampled(topo, cfg.lambda_mean, cfg.lambda_std, seed)
+            .with_residual(residual);
+        total += fidelity_under_zz(plan, topo, &model, &durations);
+    }
+    total / cfg.crosstalk_seeds.len() as f64
+}
+
+fn main() {
+    banner("Ablations", "scheduler design choices (QAOA-9 on the 3x4 grid)");
+    let cfg = EvalConfig::paper_default();
+    let topo = Topology::grid(3, 4);
+    let residual = calib::residual_factor(PulseMethod::Pert);
+    let native = compile_to_native(&route(&generate(BenchmarkKind::Qaoa, 9, 7), &topo));
+    let durations = GateDurations::standard();
+
+    println!("\n-- alpha sweep (k = 3, paper requirement) --");
+    row(
+        "alpha",
+        &["mean NQ".into(), "mean NC".into(), "time (ns)".into(), "fidelity".into()],
+    );
+    for alpha in [0.0, 0.25, 0.5, 1.0, 2.0] {
+        let config = ZzxConfig { alpha, ..ZzxConfig::paper_default(&topo) };
+        let plan = zzx_schedule(&topo, &native, &config);
+        row(
+            &format!("{alpha:4.2}"),
+            &[
+                format!("{:10.2}", plan.mean_nq()),
+                format!("{:10.2}", plan.mean_nc()),
+                format!("{:10.0}", plan.duration(&durations)),
+                fixed(evaluate(&plan, &topo, &cfg, residual)),
+            ],
+        );
+    }
+
+    println!("\n-- k sweep (alpha = 0.5, paper requirement) --");
+    row(
+        "k",
+        &["mean NQ".into(), "mean NC".into(), "time (ns)".into(), "fidelity".into()],
+    );
+    for k in [1usize, 2, 3, 5, 8] {
+        let config = ZzxConfig { k, ..ZzxConfig::paper_default(&topo) };
+        let plan = zzx_schedule(&topo, &native, &config);
+        row(
+            &format!("{k}"),
+            &[
+                format!("{:10.2}", plan.mean_nq()),
+                format!("{:10.2}", plan.mean_nc()),
+                format!("{:10.0}", plan.duration(&durations)),
+                fixed(evaluate(&plan, &topo, &cfg, residual)),
+            ],
+        );
+    }
+
+    println!("\n-- requirement sweep (alpha = 0.5, k = 3) --");
+    row(
+        "requirement",
+        &["mean NQ".into(), "mean NC".into(), "time (ns)".into(), "fidelity".into()],
+    );
+    for (name, req) in [
+        ("strict (NQ<3,NC<=4)", Requirement { nq_limit: 3, nc_limit: 4 }),
+        ("paper (NQ<4,NC<=8)", Requirement::paper_default(&topo)),
+        ("loose (unbounded)", Requirement { nq_limit: 99, nc_limit: 99 }),
+    ] {
+        let config = ZzxConfig { requirement: req, ..ZzxConfig::paper_default(&topo) };
+        let plan = zzx_schedule(&topo, &native, &config);
+        row(
+            name,
+            &[
+                format!("{:10.2}", plan.mean_nq()),
+                format!("{:10.2}", plan.mean_nc()),
+                format!("{:10.0}", plan.duration(&durations)),
+                fixed(evaluate(&plan, &topo, &cfg, residual)),
+            ],
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 16: ZZ-crosstalk suppression performance of `X90` and `I` pulses.
+//!
+//! Infidelity between the actual (qubit ⊗ spectator) evolution and
+//! `target ⊗ I`, versus crosstalk strength λ/2π ∈ [0, 2] MHz, for Gaussian,
+//! OptCtrl, DCG and Pert pulses. Lower is better; the paper truncates at
+//! 1e−8.
+
+use zz_bench::{banner, lambda_sweep_mhz, row, sci};
+use zz_linalg::Matrix;
+use zz_pulse::library::{id_drive, x90_drive, PulseMethod};
+use zz_pulse::systems::infidelity_1q;
+use zz_pulse::mhz;
+use zz_quantum::gates;
+
+fn main() {
+    banner("Figure 16", "suppression performance of X90 and I pulses");
+    let sweep = lambda_sweep_mhz();
+
+    for (gate_name, target) in [("Rx(pi/2)", gates::x90()), ("I", Matrix::identity(2))] {
+        println!("\n-- {gate_name} --");
+        row(
+            "lambda/2pi (MHz)",
+            &sweep.iter().map(|l| format!("{l:10.1}")).collect::<Vec<_>>(),
+        );
+        for method in PulseMethod::ALL {
+            let drive = match gate_name {
+                "I" => id_drive(method),
+                _ => x90_drive(method),
+            };
+            let series: Vec<String> = sweep
+                .iter()
+                .map(|&l| {
+                    let inf = infidelity_1q(&drive.as_drive(), &target, mhz(l));
+                    sci(inf.max(1e-8)) // paper truncates the axis at 1e-8
+                })
+                .collect();
+            let label = match method {
+                PulseMethod::Dcg => format!("{method} ({}ns)", drive.duration()),
+                _ => method.to_string(),
+            };
+            row(&label, &series);
+        }
+    }
+}

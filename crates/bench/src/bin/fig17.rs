@@ -1,0 +1,60 @@
+//! Figure 17: robustness of the Pert `X90` pulse to drive noise.
+//!
+//! (a) carrier-frequency detuning Δf ∈ {0, 0.1, 0.5, 1} MHz;
+//! (b) amplitude fluctuation ∈ {0, 0.01%, 0.05%, 0.1%};
+//! each versus crosstalk strength λ/2π ∈ [0, 2] MHz.
+
+use zz_bench::{banner, lambda_sweep_mhz, row, sci};
+use zz_pulse::library::{x90_drive, PulseMethod};
+use zz_pulse::noise::{infidelity_1q_noisy, DriveNoise};
+use zz_pulse::mhz;
+use zz_quantum::gates;
+
+fn main() {
+    banner("Figure 17", "robustness of the Pert X90 pulse to drive noise");
+    let sweep = lambda_sweep_mhz();
+    let drive = x90_drive(PulseMethod::Pert);
+    let target = gates::x90();
+
+    println!("\n-- (a) frequency detuning --");
+    row(
+        "lambda/2pi (MHz)",
+        &sweep.iter().map(|l| format!("{l:10.1}")).collect::<Vec<_>>(),
+    );
+    for df in [0.0, 0.1, 0.5, 1.0] {
+        let series: Vec<String> = sweep
+            .iter()
+            .map(|&l| {
+                let inf = infidelity_1q_noisy(
+                    &drive.as_drive(),
+                    &target,
+                    mhz(l),
+                    DriveNoise::detuning_mhz(df),
+                );
+                sci(inf.max(1e-8))
+            })
+            .collect();
+        row(&format!("df = {df} MHz"), &series);
+    }
+
+    println!("\n-- (b) amplitude noise --");
+    row(
+        "lambda/2pi (MHz)",
+        &sweep.iter().map(|l| format!("{l:10.1}")).collect::<Vec<_>>(),
+    );
+    for pct in [0.0, 0.01, 0.05, 0.1] {
+        let series: Vec<String> = sweep
+            .iter()
+            .map(|&l| {
+                let inf = infidelity_1q_noisy(
+                    &drive.as_drive(),
+                    &target,
+                    mhz(l),
+                    DriveNoise::amplitude(pct / 100.0),
+                );
+                sci(inf.max(1e-8))
+            })
+            .collect();
+        row(&format!("amp = {pct}%"), &series);
+    }
+}

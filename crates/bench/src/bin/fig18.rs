@@ -1,0 +1,49 @@
+//! Figure 18: `X90` under ZZ crosstalk *and* leakage on a five-level
+//! transmon, with and without DRAG.
+//!
+//! Series: Pert w/o DRAG, Gaussian w/ DRAG, Pert w/ DRAG, OptCtrl w/ DRAG,
+//! DCG w/ DRAG; anharmonicity ∈ {−200, −300, −400} MHz; versus crosstalk
+//! strength λ/2π ∈ [0, 2] MHz.
+
+use zz_bench::{banner, lambda_sweep_mhz, row, sci};
+use zz_pulse::drag::DragCorrected;
+use zz_pulse::library::{x90_drive, PulseMethod};
+use zz_pulse::mhz;
+use zz_pulse::systems::{infidelity_transmon, QubitDrive};
+use zz_quantum::gates;
+
+fn main() {
+    banner("Figure 18", "X90 under ZZ crosstalk and leakage (5-level transmon)");
+    let sweep = lambda_sweep_mhz();
+    let target = gates::x90();
+
+    for alpha_mhz in [-200.0, -300.0, -400.0] {
+        let alpha = mhz(alpha_mhz);
+        println!("\n-- anharmonicity {alpha_mhz} MHz --");
+        row(
+            "lambda/2pi (MHz)",
+            &sweep.iter().map(|l| format!("{l:10.1}")).collect::<Vec<_>>(),
+        );
+
+        // Pert without DRAG: leaks.
+        let pert = x90_drive(PulseMethod::Pert);
+        let series: Vec<String> = sweep
+            .iter()
+            .map(|&l| sci(infidelity_transmon(&pert.as_drive(), &target, alpha, mhz(l)).max(1e-8)))
+            .collect();
+        row("Pert w/o DRAG", &series);
+
+        // Every method with DRAG.
+        for method in PulseMethod::ALL {
+            let base = x90_drive(method);
+            let d = DragCorrected::new(base.x.as_ref(), base.y.as_ref(), alpha);
+            let (dx, dy) = (d.x(), d.y());
+            let drive = QubitDrive { x: &dx, y: &dy };
+            let series: Vec<String> = sweep
+                .iter()
+                .map(|&l| sci(infidelity_transmon(&drive, &target, alpha, mhz(l)).max(1e-8)))
+                .collect();
+            row(&format!("{method} w/ DRAG"), &series);
+        }
+    }
+}

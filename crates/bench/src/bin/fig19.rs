@@ -1,0 +1,46 @@
+//! Figure 19: ZZ-crosstalk suppression performance of `ZX90` pulses on the
+//! four-qubit chain ➀–a–b–➃.
+//!
+//! (a) the same crosstalk strength on both cross-region couplings, for
+//!     Gaussian/OptCtrl/Pert;
+//! (b) different strengths λ_1a × λ_b4 (heatmap) for the Pert pulse.
+
+use zz_bench::{banner, lambda_sweep_mhz, row, sci};
+use zz_pulse::library::{zx90_drive, PulseMethod};
+use zz_pulse::mhz;
+use zz_pulse::systems::infidelity_2q;
+
+fn main() {
+    banner("Figure 19", "suppression performance of ZX90 pulses");
+    let sweep = lambda_sweep_mhz();
+    let intra = mhz(0.2); // the gate's own coupling keeps a typical strength
+
+    println!("\n-- (a) equal strengths on 1-2 and 3-4 --");
+    row(
+        "lambda/2pi (MHz)",
+        &sweep.iter().map(|l| format!("{l:10.1}")).collect::<Vec<_>>(),
+    );
+    for method in [PulseMethod::Gaussian, PulseMethod::OptCtrl, PulseMethod::Pert] {
+        let drive = zx90_drive(method).expect("method has a two-qubit pulse");
+        let series: Vec<String> = sweep
+            .iter()
+            .map(|&l| sci(infidelity_2q(&drive.as_drive(), mhz(l), mhz(l), intra).max(1e-8)))
+            .collect();
+        row(&method.to_string(), &series);
+    }
+
+    println!("\n-- (b) different strengths (Pert pulse): rows lambda_12, cols lambda_34 --");
+    let grid: Vec<f64> = (0..=4).map(|k| k as f64 * 0.5).collect();
+    let drive = zx90_drive(PulseMethod::Pert).expect("pert has a two-qubit pulse");
+    row(
+        "l12\\l34 (MHz)",
+        &grid.iter().map(|l| format!("{l:10.1}")).collect::<Vec<_>>(),
+    );
+    for &l12 in &grid {
+        let series: Vec<String> = grid
+            .iter()
+            .map(|&l34| sci(infidelity_2q(&drive.as_drive(), mhz(l12), mhz(l34), intra).max(1e-8)))
+            .collect();
+        row(&format!("{l12:4.1}"), &series);
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 24: execution time of each benchmark under ZZXSched relative to
+//! ParSched (the parallelism cost of suppression; the paper reports
+//! typically < 2×, independent of the pulse method).
+
+use zz_bench::{banner, row};
+use zz_circuit::bench::BenchmarkKind;
+use zz_core::evaluate::{compile_benchmark, EvalConfig};
+use zz_core::{PulseMethod, SchedulerKind};
+
+fn main() {
+    banner("Figure 24", "execution time of ZZXSched relative to ParSched");
+    let cfg = EvalConfig::paper_default();
+
+    row(
+        "benchmark",
+        &["Par (ns)".into(), "ZZX (ns)".into(), "relative".into()],
+    );
+    let mut ratios = Vec::new();
+    for kind in BenchmarkKind::CORE {
+        for &n in kind.paper_sizes() {
+            let par = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ParSched, &cfg);
+            let zzx = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg);
+            let (tp, tz) = (par.execution_time(), zzx.execution_time());
+            ratios.push(tz / tp);
+            row(
+                &format!("{kind}-{n}"),
+                &[
+                    format!("{tp:10.0}"),
+                    format!("{tz:10.0}"),
+                    format!("{:8.2}x", tz / tp),
+                ],
+            );
+        }
+    }
+    let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("\nrelative execution time: mean {mean:.2}x, max {max:.2}x (paper: typically < 2x)");
+}

@@ -1,0 +1,49 @@
+//! Figure 25: number of couplings to turn off per layer on devices with
+//! tunable couplers (averaged over layers).
+//!
+//! With the baseline every coupling carries unsuppressed crosstalk and must
+//! be turned off; with the co-optimization only intra-region couplings
+//! (`NC`) remain. The paper reports a 10–20× reduction. Includes the QV
+//! benchmark in addition to the core six.
+
+use zz_bench::{banner, row};
+use zz_circuit::bench::BenchmarkKind;
+use zz_core::evaluate::{compile_benchmark, EvalConfig};
+use zz_core::{PulseMethod, SchedulerKind};
+
+fn main() {
+    banner("Figure 25", "#couplings to turn off (tunable-coupler devices)");
+    let cfg = EvalConfig::paper_default();
+
+    let kinds: Vec<BenchmarkKind> = BenchmarkKind::CORE
+        .iter()
+        .copied()
+        .chain([BenchmarkKind::Qv])
+        .collect();
+
+    row(
+        "benchmark",
+        &["baseline".into(), "ZZXSched".into(), "improve".into()],
+    );
+    let mut improvements = Vec::new();
+    for kind in kinds {
+        for &n in kind.paper_sizes() {
+            let zzx = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg);
+            // Baseline: every coupling of the benchmark's device, every layer.
+            let all_couplings = zzx.topology.coupling_count() as f64;
+            let ours = zzx.plan.mean_nc();
+            let improvement = if ours > 1e-9 { all_couplings / ours } else { f64::INFINITY };
+            improvements.push(improvement.min(all_couplings / 0.5));
+            row(
+                &format!("{kind}-{n}"),
+                &[
+                    format!("{all_couplings:10.1}"),
+                    format!("{ours:10.2}"),
+                    format!("{improvement:8.1}x"),
+                ],
+            );
+        }
+    }
+    let mean = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    println!("\nmean reduction {mean:.1}x (paper: 10–20x)");
+}

@@ -1,0 +1,57 @@
+//! Figure 27: Ramsey experiments on the (simulated) three-transmon device
+//! `Q1–Q2–Q3`.
+//!
+//! Three groups — (a) only the Q2–Q1 coupling, (b) only Q2–Q3, (c) both —
+//! each measured with the original circuit A and the compiled circuits B
+//! (identity pulses on Q2) and C (identity pulses on Q1 and Q3). The paper
+//! reports effective ZZ falling from ≈200 kHz to <11 kHz.
+
+use zz_bench::{banner, row};
+use zz_pulse::ramsey::{
+    effective_zz_khz, fit_frequency, ramsey_fringe, NeighborGroup, RamseyCircuit, RamseyConfig,
+};
+
+fn main() {
+    banner("Figure 27", "Ramsey experiments on a 3-transmon line");
+    let cfg = RamseyConfig::paper_default();
+
+    let groups = [
+        (NeighborGroup::Q1Only, "(a) Q2-Q1"),
+        (NeighborGroup::Q3Only, "(b) Q2-Q3"),
+        (NeighborGroup::Both, "(c) Q2-Q1 + Q2-Q3"),
+    ];
+    for (group, label) in groups {
+        println!("\n-- {label} --");
+        row(
+            "circuit",
+            &["f(|0>) MHz".into(), "f(|1>) MHz".into(), "ZZ (kHz)".into()],
+        );
+        let circuits: &[RamseyCircuit] = match group {
+            NeighborGroup::Both => &[
+                RamseyCircuit::Original,
+                RamseyCircuit::IdOnQ2,
+                RamseyCircuit::IdOnNeighbors,
+            ],
+            _ => &[RamseyCircuit::Original, RamseyCircuit::IdOnQ2],
+        };
+        for &circuit in circuits {
+            let f_max = 2.5 * cfg.detuning / (2.0 * std::f64::consts::PI);
+            let f0 = fit_frequency(&ramsey_fringe(circuit, group, false, &cfg), f_max);
+            let f1 = fit_frequency(&ramsey_fringe(circuit, group, true, &cfg), f_max);
+            let zz = effective_zz_khz(circuit, group, &cfg);
+            row(
+                &format!("{} ({})", circuit.label(), match circuit {
+                    RamseyCircuit::Original => "bare idle",
+                    RamseyCircuit::IdOnQ2 => "I on Q2",
+                    RamseyCircuit::IdOnNeighbors => "I on Q1,Q3",
+                }),
+                &[
+                    format!("{:10.4}", f0 * 1e3),
+                    format!("{:10.4}", f1 * 1e3),
+                    format!("{zz:10.1}"),
+                ],
+            );
+        }
+    }
+    println!("\n(paper: circuit A ≈ 200 kHz per coupling; circuits B/C < 11 kHz)");
+}

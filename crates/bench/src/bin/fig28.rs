@@ -1,0 +1,29 @@
+//! Figure 28 (appendix): the optimized `X90` waveforms.
+//!
+//! Prints `t (ns), Ωx/2π (MHz), Ωy/2π (MHz)` samples for the OptCtrl, Pert
+//! and DCG pulses — the series plotted in the paper's appendix figure.
+
+use zz_bench::banner;
+use zz_pulse::library::{x90_drive, PulseMethod};
+
+fn main() {
+    banner("Figure 28", "optimized X90 waveforms (CSV: t, Ox_MHz, Oy_MHz)");
+    for method in [PulseMethod::OptCtrl, PulseMethod::Pert, PulseMethod::Dcg] {
+        let drive = x90_drive(method);
+        let d = drive.duration();
+        println!("\n# {method} ({d} ns)");
+        println!("t_ns,omega_x_mhz,omega_y_mhz");
+        let samples = 120;
+        for k in 0..=samples {
+            let t = d * k as f64 / samples as f64;
+            // rad/ns → MHz: Ω/2π × 10³.
+            let to_mhz = 1e3 / (2.0 * std::f64::consts::PI);
+            let dr = drive.as_drive();
+            println!(
+                "{t:.2},{:.4},{:.4}",
+                dr.x.value(t) * to_mhz,
+                dr.y.value(t) * to_mhz
+            );
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Shared helpers for the experiment harness binaries.
+//!
+//! Each binary in this crate regenerates one figure of the paper's
+//! evaluation (`fig16` … `fig28`); run e.g.
+//!
+//! ```text
+//! cargo run -p zz-bench --release --bin fig20
+//! ```
+//!
+//! Output is plain text: one labelled series per line, matching the rows/
+//! series of the corresponding paper figure. `EXPERIMENTS.md` at the
+//! workspace root records paper-vs-measured values for each figure.
+
+/// Prints a figure banner.
+pub fn banner(figure: &str, description: &str) {
+    println!("==================================================================");
+    println!("{figure}: {description}");
+    println!("==================================================================");
+}
+
+/// Formats a number in compact scientific notation for table cells.
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    format!("{x:9.2e}")
+}
+
+/// Formats a fidelity-like number with fixed precision.
+pub fn fixed(x: f64) -> String {
+    format!("{x:6.3}")
+}
+
+/// Prints one row of a table: a label followed by cells.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:<24}");
+    for c in cells {
+        print!(" {c:>10}");
+    }
+    println!();
+}
+
+/// The λ/2π sweep (MHz) used by the pulse-level figures (16–19).
+pub fn lambda_sweep_mhz() -> Vec<f64> {
+    (0..=10).map(|k| k as f64 * 0.2).collect()
+}
+
+/// Runs closures in parallel on up to `threads` OS threads, preserving
+/// input order in the output.
+pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(count: usize, threads: usize, f: F) -> Vec<T> {
+    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let value = f(i);
+                **slots[i].lock().expect("no poisoned slots") = Some(value);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_covers_zero_to_two_mhz() {
+        let s = lambda_sweep_mhz();
+        assert_eq!(s.first(), Some(&0.0));
+        assert!((s.last().unwrap() - 2.0).abs() < 1e-12);
+    }
+}

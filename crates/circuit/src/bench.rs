@@ -1,0 +1,425 @@
+//! The benchmark circuit families of the paper's evaluation (Sec 7.3).
+//!
+//! Six near-term algorithm families — Hidden Shift, QFT, QPE, QAOA, Ising
+//! Trotter simulation and Google Random Circuits — plus Quantum Volume
+//! (used by the tunable-coupler experiment, Fig 25). All generators are
+//! deterministic in `(kind, n, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Circuit, Gate};
+
+const PI: f64 = std::f64::consts::PI;
+
+/// A benchmark family from the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BenchmarkKind {
+    /// Hidden Shift for a Maiorana–McFarland bent function.
+    HiddenShift,
+    /// Quantum Fourier Transform.
+    Qft,
+    /// Quantum Phase Estimation of a phase gate.
+    Qpe,
+    /// 1-round MaxCut QAOA on a seeded random graph.
+    Qaoa,
+    /// Trotterized transverse-field Ising evolution.
+    Ising,
+    /// Google Random Circuits.
+    Grc,
+    /// Quantum-Volume-style random SU(4) brickwork.
+    Qv,
+}
+
+impl BenchmarkKind {
+    /// The six families of Figures 20–24 (excludes QV, which only appears in
+    /// Figure 25).
+    pub const CORE: [BenchmarkKind; 6] = [
+        BenchmarkKind::HiddenShift,
+        BenchmarkKind::Qft,
+        BenchmarkKind::Qpe,
+        BenchmarkKind::Qaoa,
+        BenchmarkKind::Ising,
+        BenchmarkKind::Grc,
+    ];
+
+    /// Short label matching the paper's figures ("HS", "QFT", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            BenchmarkKind::HiddenShift => "HS",
+            BenchmarkKind::Qft => "QFT",
+            BenchmarkKind::Qpe => "QPE",
+            BenchmarkKind::Qaoa => "QAOA",
+            BenchmarkKind::Ising => "Ising",
+            BenchmarkKind::Grc => "GRC",
+            BenchmarkKind::Qv => "QV",
+        }
+    }
+
+    /// The qubit counts the paper evaluates for this family.
+    pub fn paper_sizes(self) -> &'static [usize] {
+        match self {
+            BenchmarkKind::HiddenShift => &[4, 6, 12],
+            BenchmarkKind::Qft | BenchmarkKind::Qpe => &[4, 6, 9],
+            _ => &[4, 6, 9, 12],
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Generates a benchmark circuit on `n` logical qubits.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// use zz_circuit::bench::{generate, BenchmarkKind};
+///
+/// let qft = generate(BenchmarkKind::Qft, 4, 7);
+/// assert_eq!(qft.qubit_count(), 4);
+/// assert!(qft.two_qubit_gate_count() > 0);
+/// ```
+pub fn generate(kind: BenchmarkKind, n: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "benchmarks need at least 2 qubits");
+    match kind {
+        BenchmarkKind::HiddenShift => hidden_shift(n, seed),
+        BenchmarkKind::Qft => qft(n),
+        BenchmarkKind::Qpe => qpe(n, seed),
+        BenchmarkKind::Qaoa => qaoa(n, seed),
+        BenchmarkKind::Ising => ising(n, seed),
+        BenchmarkKind::Grc => grc(n, seed),
+        BenchmarkKind::Qv => quantum_volume(n, seed),
+    }
+}
+
+/// The hidden shift of the circuit produced by
+/// [`generate`]`(HiddenShift, n, seed)` — the ideal output bitstring.
+///
+/// For odd `n` the last qubit does not participate in the bent function and
+/// its shift bit is fixed to 0.
+pub fn hidden_shift_answer(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bits: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2) as u8).collect();
+    if n % 2 == 1 {
+        bits[n - 1] = 0;
+    }
+    bits
+}
+
+/// Hidden Shift with the inner-product bent function
+/// `f(x) = Σ x_{2i}·x_{2i+1}` (self-dual), implemented with CZ pairs.
+/// The ideal output is exactly `|s⟩` for the hidden shift `s`.
+///
+/// For odd `n` the last qubit sits outside the bent function: it receives
+/// only the outer H pair (H·H = I), so the deterministic output is
+/// preserved.
+fn hidden_shift(n: usize, seed: u64) -> Circuit {
+    let shift = hidden_shift_answer(n, seed);
+    let m = (n / 2) * 2; // qubits covered by the bent function
+    let mut c = Circuit::new(n);
+    let oracle = |c: &mut Circuit| {
+        for i in (0..m).step_by(2) {
+            c.push(Gate::Cz, &[i, i + 1]);
+        }
+    };
+    for q in 0..n {
+        c.push(Gate::H, &[q]);
+    }
+    for q in 0..m {
+        if shift[q] == 1 {
+            c.push(Gate::X, &[q]);
+        }
+    }
+    oracle(&mut c);
+    for q in 0..m {
+        if shift[q] == 1 {
+            c.push(Gate::X, &[q]);
+        }
+    }
+    for q in 0..m {
+        c.push(Gate::H, &[q]);
+    }
+    oracle(&mut c);
+    for q in 0..n {
+        c.push(Gate::H, &[q]);
+    }
+    c
+}
+
+/// Textbook QFT (no terminal swaps).
+fn qft(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for i in 0..n {
+        c.push(Gate::H, &[i]);
+        for j in (i + 1)..n {
+            let theta = PI / (1u64 << (j - i)) as f64;
+            c.push(Gate::CPhase(theta), &[j, i]);
+        }
+    }
+    c
+}
+
+/// Inverse QFT on the first `m` qubits of `c`.
+fn inverse_qft(c: &mut Circuit, m: usize) {
+    for i in (0..m).rev() {
+        for j in ((i + 1)..m).rev() {
+            let theta = -PI / (1u64 << (j - i)) as f64;
+            c.push(Gate::CPhase(theta), &[j, i]);
+        }
+        c.push(Gate::H, &[i]);
+    }
+}
+
+/// QPE of `P(2π·φ)` with an (n−1)-bit register; φ is a random (n−1)-bit
+/// fraction so the ideal output is a single basis state.
+fn qpe(n: usize, seed: u64) -> Circuit {
+    let m = n - 1;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let numerator: u64 = rng.gen_range(1..(1u64 << m));
+    let phi = numerator as f64 / (1u64 << m) as f64;
+    let mut c = Circuit::new(n);
+    c.push(Gate::X, &[n - 1]); // eigenstate |1⟩ of the phase gate
+    for q in 0..m {
+        c.push(Gate::H, &[q]);
+    }
+    for k in 0..m {
+        // Counting qubit k controls U^{2^k}: the little-endian kickback that
+        // matches the swap-less inverse QFT below, so the register ends in
+        // the basis state |numerator⟩ exactly.
+        let reps = 1u64 << k;
+        let theta = 2.0 * PI * phi * reps as f64;
+        c.push(Gate::CPhase(theta), &[k, n - 1]);
+    }
+    inverse_qft(&mut c, m);
+    c
+}
+
+/// 1-round MaxCut QAOA on a seeded connected random graph.
+fn qaoa(n: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    for u in 0..n {
+        for v in (u + 2)..n {
+            if rng.gen_bool(0.3) {
+                edges.push((u, v));
+            }
+        }
+    }
+    let gamma: f64 = rng.gen_range(0.1..PI);
+    let beta: f64 = rng.gen_range(0.1..PI);
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::H, &[q]);
+    }
+    for &(u, v) in &edges {
+        c.push(Gate::Rzz(gamma), &[u, v]);
+    }
+    for q in 0..n {
+        c.push(Gate::Rx(2.0 * beta), &[q]);
+    }
+    c
+}
+
+/// First-order Trotterized transverse-field Ising chain
+/// (`J = h = 1`, `dt = 0.2`, 3 steps).
+fn ising(n: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dt = 0.2;
+    let steps = 3;
+    // Slight disorder in the couplings makes the circuit less structured.
+    let js: Vec<f64> = (0..n - 1).map(|_| 1.0 + 0.1 * rng.gen_range(-1.0..1.0)).collect();
+    let mut c = Circuit::new(n);
+    for _ in 0..steps {
+        for (i, &j) in js.iter().enumerate() {
+            c.push(Gate::Rzz(2.0 * j * dt), &[i, i + 1]);
+        }
+        for q in 0..n {
+            c.push(Gate::Rx(2.0 * dt), &[q]);
+        }
+    }
+    c
+}
+
+/// Google Random Circuits: 8 cycles of random {√X, √Y, √W} single-qubit
+/// gates (never repeating on a qubit) and brickwork CZ layers.
+fn grc(n: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let depth = 8;
+    let choices = [Gate::SqrtX, Gate::SqrtY, Gate::SqrtW];
+    let mut last = vec![usize::MAX; n];
+    let mut c = Circuit::new(n);
+    for cycle in 0..depth {
+        for q in 0..n {
+            let mut pick = rng.gen_range(0..3);
+            if pick == last[q] {
+                pick = (pick + 1 + rng.gen_range(0..2)) % 3;
+            }
+            last[q] = pick;
+            c.push(choices[pick], &[q]);
+        }
+        let start = cycle % 2;
+        let mut q = start;
+        while q + 1 < n {
+            c.push(Gate::Cz, &[q, q + 1]);
+            q += 2;
+        }
+    }
+    c
+}
+
+/// Quantum-Volume-style brickwork: `n` layers of random two-qubit blocks
+/// (two CNOTs with random U3 dressings) on randomly paired qubits.
+fn quantum_volume(n: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    fn random_u3(rng: &mut StdRng, c: &mut Circuit, q: usize) {
+        let t = rng_range(rng);
+        let p = rng_range(rng);
+        let l = rng_range(rng);
+        c.push(Gate::U3(t, p, l), &[q]);
+    }
+    for _layer in 0..n {
+        // Random pairing via a Fisher–Yates shuffle.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for pair in order.chunks(2) {
+            if let &[a, b] = pair {
+                random_u3(&mut rng, &mut c, a);
+                random_u3(&mut rng, &mut c, b);
+                c.push(Gate::Cnot, &[a, b]);
+                random_u3(&mut rng, &mut c, a);
+                random_u3(&mut rng, &mut c, b);
+                c.push(Gate::Cnot, &[b, a]);
+                random_u3(&mut rng, &mut c, a);
+                random_u3(&mut rng, &mut c, b);
+            }
+        }
+    }
+    c
+}
+
+fn rng_range(rng: &mut StdRng) -> f64 {
+    rng.gen_range(0.0..2.0 * PI)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zz_quantum::states::{basis_state, zero_state};
+
+    #[test]
+    fn hidden_shift_outputs_the_shift() {
+        for n in [2usize, 4, 5, 6] {
+            for seed in [1u64, 7, 42] {
+                let c = generate(BenchmarkKind::HiddenShift, n, seed);
+                let out = c.unitary().mul_vec(&zero_state(n));
+                let expected = basis_state(&hidden_shift_answer(n, seed));
+                assert!(
+                    out.fidelity(&expected) > 1.0 - 1e-9,
+                    "HS-{n} seed {seed} did not output its shift"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qpe_recovers_the_phase() {
+        // φ is an exact (n−1)-bit fraction, so QPE is deterministic.
+        for seed in [3u64, 9] {
+            let n = 5;
+            let c = generate(BenchmarkKind::Qpe, n, seed);
+            let out = c.unitary().mul_vec(&zero_state(n));
+            // The most likely outcome should carry (almost) all probability.
+            let max_prob = out
+                .as_slice()
+                .iter()
+                .map(|a| a.abs_sq())
+                .fold(0.0f64, f64::max);
+            assert!(max_prob > 0.99, "QPE output not sharp: {max_prob}");
+        }
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix() {
+        let n = 3;
+        let c = generate(BenchmarkKind::Qft, n, 0);
+        let u = c.unitary();
+        let dim = 1usize << n;
+        let omega = 2.0 * PI / dim as f64;
+        // QFT without terminal swaps: output bits are reversed.
+        let bitrev = |mut x: usize| -> usize {
+            let mut y = 0;
+            for _ in 0..n {
+                y = (y << 1) | (x & 1);
+                x >>= 1;
+            }
+            y
+        };
+        for r in 0..dim {
+            for cidx in 0..dim {
+                let expected = zz_linalg::c64::cis(omega * (bitrev(r) * cidx) as f64)
+                    / (dim as f64).sqrt();
+                assert!(
+                    (u[(r, cidx)] - expected).abs() < 1e-9,
+                    "QFT entry ({r},{cidx}) mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for kind in [
+            BenchmarkKind::HiddenShift,
+            BenchmarkKind::Qaoa,
+            BenchmarkKind::Ising,
+            BenchmarkKind::Grc,
+            BenchmarkKind::Qv,
+        ] {
+            let a = generate(kind, 5, 11);
+            let b = generate(kind, 5, 11);
+            assert_eq!(a, b, "{kind} not deterministic");
+            let c = generate(kind, 5, 12);
+            assert_ne!(a, c, "{kind} ignores its seed");
+        }
+    }
+
+    #[test]
+    fn all_kinds_generate_valid_circuits() {
+        for kind in [
+            BenchmarkKind::HiddenShift,
+            BenchmarkKind::Qft,
+            BenchmarkKind::Qpe,
+            BenchmarkKind::Qaoa,
+            BenchmarkKind::Ising,
+            BenchmarkKind::Grc,
+            BenchmarkKind::Qv,
+        ] {
+            for n in [2usize, 4, 6] {
+                let c = generate(kind, n, 5);
+                assert_eq!(c.qubit_count(), n);
+                assert!(c.gate_count() > 0);
+                assert!(c.unitary().is_unitary(1e-9), "{kind}-{n} broken");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_sizes_are_sane() {
+        for kind in BenchmarkKind::CORE {
+            assert!(!kind.paper_sizes().is_empty());
+            assert!(kind.paper_sizes().iter().all(|&n| n >= 4 && n <= 12));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Quantum circuit IR, native-gate compilation, routing, and benchmarks.
+//!
+//! The pipeline mirrors a NISQ compiler front-end:
+//!
+//! 1. [`Circuit`] — logical circuits over standard gates ([`Gate`]),
+//! 2. [`route`] — SWAP insertion so every two-qubit gate acts on a coupled
+//!    pair of a [`zz_topology::Topology`],
+//! 3. [`native`] — compilation to the IBMQ-style native set
+//!    `{Rz(θ) (virtual), X90, ZX90, I}` used by the paper,
+//! 4. [`mod@bench`] — the six benchmark families of the paper's evaluation
+//!    (Hidden Shift, QFT, QPE, QAOA, Ising, GRC) plus Quantum Volume.
+//!
+//! # Example
+//!
+//! ```
+//! use zz_circuit::{Circuit, Gate};
+//! use zz_circuit::native::compile_to_native;
+//!
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::H, &[0]);
+//! c.push(Gate::Cnot, &[0, 1]);
+//! let native = compile_to_native(&c);
+//! // The compiled circuit implements the same unitary (up to global phase).
+//! assert!(zz_quantum::gates::equal_up_to_phase(
+//!     &c.unitary(), &native.unitary(), 1e-9,
+//! ));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bench;
+mod circuit;
+mod gate;
+pub mod native;
+pub mod qasm;
+mod route;
+
+pub use circuit::{Circuit, Op};
+pub use gate::Gate;
+pub use route::route;

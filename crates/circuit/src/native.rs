@@ -1,0 +1,402 @@
+//! Compilation to the IBMQ-style native gate set.
+//!
+//! Native set (paper Sec 7.1.2): `Rz(θ)` implemented virtually in software,
+//! `X90 = Rx(π/2)` and `ZX90 = Rzx(π/2)` implemented by pulses, plus the
+//! identity pulse `I = Rx(2π)` that the scheduler inserts for suppression.
+//!
+//! Single-qubit gates compile to the ZXZXZ Euler form
+//! `U3(θ,φ,λ) ≅ Rz(φ+π)·X90·Rz(θ+π)·X90·Rz(λ)`; CNOT compiles to one `ZX90`
+//! plus virtual Rz and one X90 (echoed-cross-resonance form). Every identity
+//! used here is verified numerically in the test module.
+
+use std::fmt;
+
+use zz_linalg::Matrix;
+use zz_quantum::{embed, gates};
+
+use crate::{Circuit, Gate};
+
+const PI: f64 = std::f64::consts::PI;
+const FRAC_PI_2: f64 = std::f64::consts::FRAC_PI_2;
+
+/// An operation in the native gate set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NativeOp {
+    /// Virtual Z rotation — zero duration, implemented as a frame update.
+    Rz {
+        /// Target qubit.
+        qubit: usize,
+        /// Rotation angle (radians).
+        theta: f64,
+    },
+    /// The `Rx(π/2)` pulse gate.
+    X90 {
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// The `Rzx(π/2)` cross-resonance pulse gate.
+    Zx90 {
+        /// Control qubit (Z factor).
+        control: usize,
+        /// Target qubit (X factor).
+        target: usize,
+    },
+    /// The identity pulse `I = Rx(2π)`, inserted by the ZZ-aware scheduler.
+    Id {
+        /// Target qubit.
+        qubit: usize,
+    },
+}
+
+impl NativeOp {
+    /// Qubits this op acts on (1 or 2 entries).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            NativeOp::Rz { qubit, .. } | NativeOp::X90 { qubit } | NativeOp::Id { qubit } => {
+                vec![qubit]
+            }
+            NativeOp::Zx90 { control, target } => vec![control, target],
+        }
+    }
+
+    /// Returns `true` if this op requires a physical pulse (everything but
+    /// the virtual `Rz`).
+    pub fn is_physical(&self) -> bool {
+        !matches!(self, NativeOp::Rz { .. })
+    }
+
+    /// The op's unitary on its own qubits.
+    pub fn matrix(&self) -> Matrix {
+        match *self {
+            NativeOp::Rz { theta, .. } => gates::rz(theta),
+            NativeOp::X90 { .. } => gates::x90(),
+            NativeOp::Zx90 { .. } => gates::zx90(),
+            NativeOp::Id { .. } => Matrix::identity(2),
+        }
+    }
+}
+
+impl fmt::Display for NativeOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NativeOp::Rz { qubit, theta } => write!(f, "Rz({theta:.4}) q{qubit}"),
+            NativeOp::X90 { qubit } => write!(f, "X90 q{qubit}"),
+            NativeOp::Zx90 { control, target } => write!(f, "ZX90 q{control},q{target}"),
+            NativeOp::Id { qubit } => write!(f, "I q{qubit}"),
+        }
+    }
+}
+
+/// A circuit over [`NativeOp`]s.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NativeCircuit {
+    qubit_count: usize,
+    ops: Vec<NativeOp>,
+}
+
+impl NativeCircuit {
+    /// Creates an empty native circuit.
+    pub fn new(qubit_count: usize) -> Self {
+        NativeCircuit {
+            qubit_count,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.qubit_count
+    }
+
+    /// Ops in program order.
+    pub fn ops(&self) -> &[NativeOp] {
+        &self.ops
+    }
+
+    /// Appends an op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range or a `Zx90` repeats a qubit.
+    pub fn push(&mut self, op: NativeOp) -> &mut Self {
+        for q in op.qubits() {
+            assert!(q < self.qubit_count, "qubit {q} out of range");
+        }
+        if let NativeOp::Zx90 { control, target } = op {
+            assert_ne!(control, target, "ZX90 requires distinct qubits");
+        }
+        self.ops.push(op);
+        self
+    }
+
+    /// Number of physical (pulsed) ops.
+    pub fn physical_op_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_physical()).count()
+    }
+
+    /// The circuit's full unitary (dense; for tests and ideal references).
+    pub fn unitary(&self) -> Matrix {
+        let dim = 1usize << self.qubit_count;
+        let mut u = Matrix::identity(dim);
+        for op in &self.ops {
+            let g = embed(&op.matrix(), &op.qubits(), self.qubit_count);
+            u = g.matmul(&u);
+        }
+        u
+    }
+}
+
+/// Compiles a logical circuit to the native gate set.
+///
+/// The output implements the same unitary up to global phase (tested), with
+/// adjacent virtual `Rz` rotations merged and zero rotations dropped.
+///
+/// # Example
+///
+/// ```
+/// use zz_circuit::{Circuit, Gate};
+/// use zz_circuit::native::compile_to_native;
+///
+/// let mut c = Circuit::new(1);
+/// c.push(Gate::H, &[0]);
+/// let n = compile_to_native(&c);
+/// // H costs two X90 pulses in the canonical ZXZXZ form.
+/// assert_eq!(n.physical_op_count(), 2);
+/// ```
+pub fn compile_to_native(circuit: &Circuit) -> NativeCircuit {
+    let mut out = NativeCircuit::new(circuit.qubit_count());
+    for op in circuit.ops() {
+        match (op.gate, op.qubits.as_slice()) {
+            (g, &[q]) if g.arity() == 1 => emit_single_qubit(&mut out, &g.matrix(), q),
+            (Gate::Cnot, &[c, t]) => emit_cnot(&mut out, c, t),
+            (Gate::Cz, &[a, b]) => {
+                emit_single_qubit(&mut out, &gates::h(), b);
+                emit_cnot(&mut out, a, b);
+                emit_single_qubit(&mut out, &gates::h(), b);
+            }
+            (Gate::CPhase(theta), &[a, b]) => {
+                out.push(NativeOp::Rz { qubit: a, theta: theta / 2.0 });
+                out.push(NativeOp::Rz { qubit: b, theta: theta / 2.0 });
+                emit_rzz(&mut out, -theta / 2.0, a, b);
+            }
+            (Gate::Rzz(theta), &[a, b]) => emit_rzz(&mut out, theta, a, b),
+            (Gate::Swap, &[a, b]) => {
+                emit_cnot(&mut out, a, b);
+                emit_cnot(&mut out, b, a);
+                emit_cnot(&mut out, a, b);
+            }
+            (g, qs) => unreachable!("unhandled gate {g} on {qs:?}"),
+        }
+    }
+    merge_rz(&mut out);
+    out
+}
+
+/// `Rzz(θ) = CNOT · (I⊗Rz(θ)) · CNOT` (circuit order left→right).
+fn emit_rzz(out: &mut NativeCircuit, theta: f64, a: usize, b: usize) {
+    emit_cnot(out, a, b);
+    out.push(NativeOp::Rz { qubit: b, theta });
+    emit_cnot(out, a, b);
+}
+
+/// `CNOT ≅ [Rz(π)@t; ZX90(c,t); Rz(π)@t; X90@t; Rz(π/2)@c]`.
+fn emit_cnot(out: &mut NativeCircuit, c: usize, t: usize) {
+    out.push(NativeOp::Rz { qubit: t, theta: PI });
+    out.push(NativeOp::Zx90 { control: c, target: t });
+    out.push(NativeOp::Rz { qubit: t, theta: PI });
+    out.push(NativeOp::X90 { qubit: t });
+    out.push(NativeOp::Rz { qubit: c, theta: FRAC_PI_2 });
+}
+
+/// Emits an arbitrary single-qubit unitary in ZXZXZ form.
+fn emit_single_qubit(out: &mut NativeCircuit, u: &Matrix, q: usize) {
+    let (theta, phi, lambda) = euler_angles(u);
+    if theta.abs() < 1e-12 {
+        // Diagonal gate: a single virtual Rz.
+        out.push(NativeOp::Rz { qubit: q, theta: phi + lambda });
+        return;
+    }
+    out.push(NativeOp::Rz { qubit: q, theta: lambda });
+    out.push(NativeOp::X90 { qubit: q });
+    out.push(NativeOp::Rz { qubit: q, theta: theta + PI });
+    out.push(NativeOp::X90 { qubit: q });
+    out.push(NativeOp::Rz { qubit: q, theta: phi + PI });
+}
+
+/// Extracts `(θ, φ, λ)` with `U ≅ U3(θ, φ, λ)` up to global phase.
+fn euler_angles(u: &Matrix) -> (f64, f64, f64) {
+    assert_eq!(u.rows(), 2, "euler_angles expects a single-qubit unitary");
+    let u00 = u[(0, 0)];
+    let u01 = u[(0, 1)];
+    let u10 = u[(1, 0)];
+    let u11 = u[(1, 1)];
+    let theta = 2.0 * u10.abs().atan2(u00.abs());
+    if u10.abs() < 1e-12 {
+        // Diagonal.
+        (0.0, u11.arg() - u00.arg(), 0.0)
+    } else if u00.abs() < 1e-12 {
+        // Anti-diagonal: θ = π; fix λ = 0.
+        (PI, u10.arg() - (-u01).arg(), 0.0)
+    } else {
+        let phi = u10.arg() - u00.arg();
+        let lambda = (-u01).arg() - u00.arg();
+        (theta, phi, lambda)
+    }
+}
+
+/// Merges adjacent `Rz` on the same qubit and drops zero rotations.
+fn merge_rz(c: &mut NativeCircuit) {
+    let mut merged: Vec<NativeOp> = Vec::with_capacity(c.ops.len());
+    for &op in &c.ops {
+        if let NativeOp::Rz { qubit, theta } = op {
+            if let Some(NativeOp::Rz { qubit: pq, theta: pt }) = merged.last().copied() {
+                if pq == qubit {
+                    merged.pop();
+                    let sum = pt + theta;
+                    if normalized_angle(sum).abs() > 1e-12 {
+                        merged.push(NativeOp::Rz { qubit, theta: sum });
+                    }
+                    continue;
+                }
+            }
+            if normalized_angle(theta).abs() > 1e-12 {
+                merged.push(op);
+            }
+            continue;
+        }
+        merged.push(op);
+    }
+    c.ops = merged;
+}
+
+/// Maps an angle to `(−π, π]`.
+fn normalized_angle(theta: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut t = theta % two_pi;
+    if t > PI {
+        t -= two_pi;
+    } else if t <= -PI {
+        t += two_pi;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zz_quantum::gates::equal_up_to_phase;
+
+    fn assert_compiles_exactly(c: &Circuit) {
+        let n = compile_to_native(c);
+        assert!(
+            equal_up_to_phase(&c.unitary(), &n.unitary(), 1e-9),
+            "compiled circuit does not match:\nlogical {:?}\nnative {:?}",
+            c.unitary(),
+            n.unitary()
+        );
+    }
+
+    #[test]
+    fn single_qubit_gates_compile() {
+        for g in [
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.9),
+            Gate::Rz(2.4),
+            Gate::Phase(0.3),
+            Gate::U3(1.1, -0.4, 2.7),
+            Gate::SqrtX,
+            Gate::SqrtY,
+            Gate::SqrtW,
+        ] {
+            let mut c = Circuit::new(1);
+            c.push(g, &[0]);
+            assert_compiles_exactly(&c);
+        }
+    }
+
+    #[test]
+    fn cnot_identity_holds() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot, &[0, 1]);
+        assert_compiles_exactly(&c);
+        // And with control/target flipped.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot, &[1, 0]);
+        assert_compiles_exactly(&c);
+    }
+
+    #[test]
+    fn two_qubit_gates_compile() {
+        for g in [Gate::Cz, Gate::CPhase(0.9), Gate::Rzz(-1.3), Gate::Swap] {
+            let mut c = Circuit::new(2);
+            c.push(g, &[0, 1]);
+            assert_compiles_exactly(&c);
+        }
+    }
+
+    #[test]
+    fn multi_gate_circuit_compiles() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0])
+            .push(Gate::Cnot, &[0, 1])
+            .push(Gate::T, &[1])
+            .push(Gate::Cnot, &[1, 2])
+            .push(Gate::Rz(0.7), &[2])
+            .push(Gate::Swap, &[0, 2]);
+        assert_compiles_exactly(&c);
+    }
+
+    #[test]
+    fn cnot_uses_single_zx90() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot, &[0, 1]);
+        let n = compile_to_native(&c);
+        let zx_count = n
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, NativeOp::Zx90 { .. }))
+            .count();
+        assert_eq!(zx_count, 1);
+        assert_eq!(n.physical_op_count(), 2); // ZX90 + X90
+    }
+
+    #[test]
+    fn rz_merging_collapses_diagonals() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::S, &[0]).push(Gate::S, &[0]).push(Gate::Z, &[0]);
+        let n = compile_to_native(&c);
+        // S·S·Z = Z² ≅ I: everything merges to at most one Rz; no pulses.
+        assert_eq!(n.physical_op_count(), 0);
+        assert!(n.ops().len() <= 1);
+        assert!(equal_up_to_phase(&c.unitary(), &n.unitary(), 1e-9));
+    }
+
+    #[test]
+    fn euler_angles_roundtrip() {
+        for (t, p, l) in [
+            (0.3, 0.7, -1.1),
+            (std::f64::consts::PI, 0.4, 0.0),
+            (0.0, 1.2, 0.0),
+            (2.8, -2.0, 3.0),
+        ] {
+            let u = gates::u3(t, p, l);
+            let (t2, p2, l2) = euler_angles(&u);
+            let u2 = gates::u3(t2, p2, l2);
+            assert!(equal_up_to_phase(&u, &u2, 1e-9), "roundtrip failed for ({t},{p},{l})");
+        }
+    }
+
+    #[test]
+    fn normalized_angle_wraps() {
+        assert!((normalized_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!(normalized_angle(-2.0 * PI).abs() < 1e-12);
+        assert!((normalized_angle(0.5) - 0.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,145 @@
+//! OpenQASM 2.0 export.
+//!
+//! Lets compiled circuits be inspected with standard tooling (Qiskit,
+//! quirk-style visualizers). Native circuits export with `rzx` declared as
+//! an opaque gate, since OpenQASM 2.0 has no built-in cross-resonance
+//! primitive.
+
+use std::fmt::Write as _;
+
+use crate::native::{NativeCircuit, NativeOp};
+use crate::{Circuit, Gate};
+
+/// Serializes a logical circuit as OpenQASM 2.0.
+///
+/// # Example
+///
+/// ```
+/// use zz_circuit::{Circuit, Gate, qasm::to_qasm};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.push(Gate::H, &[0]).push(Gate::Cnot, &[0, 1]);
+/// let text = to_qasm(&bell);
+/// assert!(text.contains("h q[0];"));
+/// assert!(text.contains("cx q[0],q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.qubit_count());
+    for op in circuit.ops() {
+        let qs = &op.qubits;
+        let line = match op.gate {
+            Gate::H => format!("h q[{}];", qs[0]),
+            Gate::X => format!("x q[{}];", qs[0]),
+            Gate::Y => format!("y q[{}];", qs[0]),
+            Gate::Z => format!("z q[{}];", qs[0]),
+            Gate::S => format!("s q[{}];", qs[0]),
+            Gate::Sdg => format!("sdg q[{}];", qs[0]),
+            Gate::T => format!("t q[{}];", qs[0]),
+            Gate::Tdg => format!("tdg q[{}];", qs[0]),
+            Gate::Rx(a) => format!("rx({a}) q[{}];", qs[0]),
+            Gate::Ry(a) => format!("ry({a}) q[{}];", qs[0]),
+            Gate::Rz(a) => format!("rz({a}) q[{}];", qs[0]),
+            Gate::Phase(a) => format!("u1({a}) q[{}];", qs[0]),
+            Gate::U3(t, p, l) => format!("u3({t},{p},{l}) q[{}];", qs[0]),
+            Gate::SqrtX => format!("sx q[{}];", qs[0]),
+            Gate::SqrtY => format!("ry(pi/2) q[{}]; // sqrt(Y) up to phase", qs[0]),
+            Gate::SqrtW => format!(
+                "u3(pi/2,-pi/4,pi/4) q[{}]; // sqrt(W) up to phase",
+                qs[0]
+            ),
+            Gate::Cnot => format!("cx q[{}],q[{}];", qs[0], qs[1]),
+            Gate::Cz => format!("cz q[{}],q[{}];", qs[0], qs[1]),
+            Gate::CPhase(a) => format!("cu1({a}) q[{}],q[{}];", qs[0], qs[1]),
+            Gate::Rzz(a) => format!("rzz({a}) q[{}],q[{}];", qs[0], qs[1]),
+            Gate::Swap => format!("swap q[{}],q[{}];", qs[0], qs[1]),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a native circuit as OpenQASM 2.0 (with `rzx` as an opaque
+/// gate and identity pulses as `id`).
+pub fn native_to_qasm(circuit: &NativeCircuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    out.push_str("opaque rzx(theta) a,b;\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.qubit_count());
+    for op in circuit.ops() {
+        let line = match *op {
+            NativeOp::Rz { qubit, theta } => format!("rz({theta}) q[{qubit}];"),
+            NativeOp::X90 { qubit } => format!("sx q[{qubit}]; // X90 up to phase"),
+            NativeOp::Zx90 { control, target } => {
+                format!("rzx(pi/2) q[{control}],q[{target}];")
+            }
+            NativeOp::Id { qubit } => format!("id q[{qubit}];"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::compile_to_native;
+
+    #[test]
+    fn header_and_register_are_present() {
+        let c = Circuit::new(3);
+        let q = to_qasm(&c);
+        assert!(q.starts_with("OPENQASM 2.0;"));
+        assert!(q.contains("qreg q[3];"));
+    }
+
+    #[test]
+    fn every_gate_variant_serializes() {
+        let mut c = Circuit::new(2);
+        for g in [
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rx(0.1),
+            Gate::Ry(0.2),
+            Gate::Rz(0.3),
+            Gate::Phase(0.4),
+            Gate::U3(0.1, 0.2, 0.3),
+            Gate::SqrtX,
+            Gate::SqrtY,
+            Gate::SqrtW,
+        ] {
+            c.push(g, &[0]);
+        }
+        for g in [Gate::Cnot, Gate::Cz, Gate::CPhase(0.5), Gate::Rzz(0.6), Gate::Swap] {
+            c.push(g, &[0, 1]);
+        }
+        let q = to_qasm(&c);
+        assert_eq!(q.lines().count(), 3 + c.gate_count());
+        assert!(q.contains("cu1(0.5)"));
+    }
+
+    #[test]
+    fn native_circuits_declare_rzx() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot, &[0, 1]);
+        let q = native_to_qasm(&compile_to_native(&c));
+        assert!(q.contains("opaque rzx"));
+        assert!(q.contains("rzx(pi/2) q[0],q[1];"));
+    }
+
+    #[test]
+    fn benchmark_circuits_export() {
+        let c = crate::bench::generate(crate::bench::BenchmarkKind::Qft, 4, 1);
+        let q = to_qasm(&c);
+        assert!(q.lines().count() > 10);
+    }
+}

@@ -1,0 +1,217 @@
+//! End-to-end evaluation: compile a benchmark, run it under the error
+//! model, report fidelity. This is the pipeline behind Figures 20–25.
+//!
+//! Following the paper's evaluation, an n-qubit benchmark runs on the
+//! smallest sub-grid of the 3×4 device that holds it ([`device_for`]):
+//! 4 → 2×2, 6 → 2×3, 9 → 3×3, 12 → 3×4 — visible in Figure 25, whose
+//! baseline (#couplings of the device) grows with benchmark size.
+
+use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_sim::density::Decoherence;
+use zz_sim::executor::{
+    fidelity_under_zz, fidelity_with_decoherence, run_density, run_ideal, ZzErrorModel,
+};
+use zz_topology::Topology;
+
+use crate::{CoOptimizer, Compiled, PulseMethod, SchedulerKind};
+
+/// The smallest evaluation sub-grid holding `n` qubits.
+///
+/// # Panics
+///
+/// Panics if `n > 12` (the paper's largest device).
+///
+/// # Example
+///
+/// ```
+/// use zz_core::evaluate::device_for;
+/// assert_eq!(device_for(6).qubit_count(), 6);   // 2×3
+/// assert_eq!(device_for(7).qubit_count(), 9);   // 3×3
+/// ```
+pub fn device_for(n: usize) -> Topology {
+    assert!(n <= 12, "the evaluation devices top out at 3x4 = 12 qubits");
+    for (rows, cols) in [(2, 2), (2, 3), (3, 3), (3, 4)] {
+        if rows * cols >= n {
+            return Topology::grid(rows, cols);
+        }
+    }
+    unreachable!("n <= 12 always fits one of the grids")
+}
+
+/// Configuration of a fidelity evaluation run.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Mean crosstalk strength (rad/ns).
+    pub lambda_mean: f64,
+    /// Crosstalk standard deviation (rad/ns).
+    pub lambda_std: f64,
+    /// Seeds for the per-coupling strength samples; fidelities are averaged
+    /// over them.
+    pub crosstalk_seeds: Vec<u64>,
+    /// Seed for benchmark-circuit generation.
+    pub circuit_seed: u64,
+    /// Optional decoherence: `(model, trajectories, rng seed)`. Registers of
+    /// ≤ 8 qubits are evaluated exactly on density matrices; larger ones use
+    /// Monte-Carlo trajectories.
+    pub decoherence: Option<(Decoherence, usize, u64)>,
+}
+
+impl EvalConfig {
+    /// The paper's setup: `λ ~ N(2π·200 kHz, (2π·50 kHz)²)`, averaged over
+    /// 3 disorder samples, no decoherence.
+    pub fn paper_default() -> Self {
+        EvalConfig {
+            lambda_mean: zz_sim::khz(200.0),
+            lambda_std: zz_sim::khz(50.0),
+            crosstalk_seeds: vec![11, 23, 37],
+            circuit_seed: 7,
+            decoherence: None,
+        }
+    }
+
+    /// Adds decoherence (`T1 = T2 = t` µs) with the given trajectory count
+    /// (used only above the exact-density-matrix register size).
+    pub fn with_decoherence_us(mut self, t: f64, trajectories: usize) -> Self {
+        self.decoherence = Some((Decoherence::equal_us(t), trajectories, 97));
+        self
+    }
+}
+
+/// Compiles benchmark `kind`-`n` under `(method, scheduler)` on the
+/// benchmark's evaluation device.
+pub fn compile_benchmark(
+    kind: BenchmarkKind,
+    n: usize,
+    method: PulseMethod,
+    scheduler: SchedulerKind,
+    cfg: &EvalConfig,
+) -> Compiled {
+    let circuit = generate(kind, n, cfg.circuit_seed);
+    CoOptimizer::builder()
+        .topology(device_for(n))
+        .pulse_method(method)
+        .scheduler(scheduler)
+        .build()
+        .compile(&circuit)
+        .expect("benchmarks are sized to the device")
+}
+
+/// Mean output-state fidelity of a compiled plan over the config's
+/// crosstalk samples (and decoherence, when enabled).
+pub fn fidelity_of(compiled: &Compiled, cfg: &EvalConfig) -> f64 {
+    let topo = &compiled.topology;
+    let mut total = 0.0;
+    for &seed in &cfg.crosstalk_seeds {
+        let model = ZzErrorModel::sampled(topo, cfg.lambda_mean, cfg.lambda_std, seed)
+            .with_residuals(compiled.residuals);
+        total += match &cfg.decoherence {
+            None => fidelity_under_zz(&compiled.plan, topo, &model, &compiled.durations),
+            Some((deco, trajectories, mc_seed)) => {
+                if compiled.plan.qubit_count() <= 8 {
+                    // Exact: density-matrix evolution.
+                    let dm = run_density(&compiled.plan, topo, &model, deco, &compiled.durations);
+                    dm.fidelity_to_pure(&run_ideal(&compiled.plan).to_vector())
+                } else {
+                    fidelity_with_decoherence(
+                        &compiled.plan,
+                        topo,
+                        &model,
+                        deco,
+                        &compiled.durations,
+                        *trajectories,
+                        *mc_seed ^ seed,
+                    )
+                }
+            }
+        };
+    }
+    total / cfg.crosstalk_seeds.len() as f64
+}
+
+/// Convenience: compile and evaluate in one call — the quantity plotted in
+/// Figures 20, 21 and 23.
+pub fn benchmark_fidelity(
+    kind: BenchmarkKind,
+    n: usize,
+    method: PulseMethod,
+    scheduler: SchedulerKind,
+    cfg: &EvalConfig,
+) -> f64 {
+    let compiled = compile_benchmark(kind, n, method, scheduler, cfg);
+    fidelity_of(&compiled, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> EvalConfig {
+        EvalConfig {
+            crosstalk_seeds: vec![11],
+            ..EvalConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn device_selection_matches_the_paper() {
+        assert_eq!(device_for(4).coupling_count(), 4); // 2×2
+        assert_eq!(device_for(6).coupling_count(), 7); // 2×3
+        assert_eq!(device_for(9).coupling_count(), 12); // 3×3
+        assert_eq!(device_for(12).coupling_count(), 17); // 3×4
+    }
+
+    #[test]
+    fn co_optimization_beats_the_baseline() {
+        let cfg = small_cfg();
+        let base = benchmark_fidelity(
+            BenchmarkKind::Qft,
+            4,
+            PulseMethod::Gaussian,
+            SchedulerKind::ParSched,
+            &cfg,
+        );
+        let ours = benchmark_fidelity(
+            BenchmarkKind::Qft,
+            4,
+            PulseMethod::Pert,
+            SchedulerKind::ZzxSched,
+            &cfg,
+        );
+        assert!(
+            ours > base,
+            "co-optimization ({ours}) must beat the baseline ({base})"
+        );
+    }
+
+    #[test]
+    fn fidelities_are_probabilities() {
+        let cfg = small_cfg();
+        for method in [PulseMethod::Gaussian, PulseMethod::Pert] {
+            for sched in [SchedulerKind::ParSched, SchedulerKind::ZzxSched] {
+                let f = benchmark_fidelity(BenchmarkKind::HiddenShift, 4, method, sched, &cfg);
+                assert!((0.0..=1.0 + 1e-9).contains(&f), "{method}+{sched}: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoherence_lowers_fidelity() {
+        let cfg = small_cfg();
+        let clean = benchmark_fidelity(
+            BenchmarkKind::Ising,
+            4,
+            PulseMethod::Pert,
+            SchedulerKind::ZzxSched,
+            &cfg,
+        );
+        let noisy_cfg = small_cfg().with_decoherence_us(50.0, 80);
+        let noisy = benchmark_fidelity(
+            BenchmarkKind::Ising,
+            4,
+            PulseMethod::Pert,
+            SchedulerKind::ZzxSched,
+            &noisy_cfg,
+        );
+        assert!(noisy < clean + 1e-9, "decoherence {noisy} vs clean {clean}");
+    }
+}

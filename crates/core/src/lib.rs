@@ -1,0 +1,52 @@
+//! The pulse and scheduling co-optimization framework (the paper's
+//! contribution, assembled from the workspace substrates).
+//!
+//! A [`CoOptimizer`] pairs a pulse-optimization method (`Gaussian`,
+//! `OptCtrl`, `Pert`, `DCG`) with a scheduling policy (`ParSched`,
+//! `ZZXSched`) and compiles logical circuits end to end:
+//!
+//! 1. route onto the device topology ([`zz_circuit::route`]),
+//! 2. translate to the native gate set ([`zz_circuit::native`]),
+//! 3. schedule into layers with identity supplementation
+//!    ([`zz_sched`]),
+//! 4. attach the method's calibrated pulses and their *measured*
+//!    cross-region residual factor ([`calib`]),
+//!
+//! after which [`evaluate`] scores the compiled circuit under the ZZ (and
+//! optionally decoherence) error model of [`zz_sim`].
+//!
+//! # Example
+//!
+//! ```
+//! use zz_core::{CoOptimizer, PulseMethod, SchedulerKind};
+//! use zz_circuit::bench::{generate, BenchmarkKind};
+//! use zz_topology::Topology;
+//!
+//! let topo = Topology::grid(3, 4);
+//! let circuit = generate(BenchmarkKind::Qaoa, 6, 1);
+//!
+//! let baseline = CoOptimizer::builder()
+//!     .topology(topo.clone())
+//!     .pulse_method(PulseMethod::Gaussian)
+//!     .scheduler(SchedulerKind::ParSched)
+//!     .build();
+//! let ours = CoOptimizer::builder()
+//!     .topology(topo)
+//!     .pulse_method(PulseMethod::Pert)
+//!     .scheduler(SchedulerKind::ZzxSched)
+//!     .build();
+//!
+//! let a = baseline.compile(&circuit)?;
+//! let b = ours.compile(&circuit)?;
+//! assert!(b.plan.mean_nc() <= a.plan.mean_nc());
+//! # Ok::<(), zz_core::CoOptError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod evaluate;
+mod optimizer;
+
+pub use optimizer::{CoOptError, CoOptimizer, CoOptimizerBuilder, Compiled, SchedulerKind};
+pub use zz_pulse::library::PulseMethod;

@@ -1,0 +1,318 @@
+//! The `CoOptimizer` facade.
+
+use std::fmt;
+
+use zz_circuit::native::{compile_to_native, NativeCircuit};
+use zz_circuit::{route, Circuit};
+use zz_pulse::library::PulseMethod;
+use zz_sched::zzx::{Requirement, ZzxConfig};
+use zz_sched::{par_schedule, zzx_schedule, GateDurations, SchedulePlan};
+use zz_topology::Topology;
+
+/// The scheduling policy half of the co-optimization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Maximal-parallelism ASAP (the baseline of current compilers).
+    ParSched,
+    /// The ZZ-aware scheduler of Algorithm 2.
+    ZzxSched,
+}
+
+impl SchedulerKind {
+    /// Label used in figures ("ParSched"/"ZZXSched").
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::ParSched => "ParSched",
+            SchedulerKind::ZzxSched => "ZZXSched",
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Errors returned by [`CoOptimizer::compile`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoOptError {
+    /// The circuit needs more qubits than the device provides.
+    CircuitTooLarge {
+        /// Qubits required by the circuit.
+        needed: usize,
+        /// Qubits available on the device.
+        available: usize,
+    },
+}
+
+impl fmt::Display for CoOptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoOptError::CircuitTooLarge { needed, available } => write!(
+                f,
+                "circuit needs {needed} qubits but the device has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoOptError {}
+
+/// A compiled circuit: the schedule plus everything needed to execute or
+/// simulate it.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The scheduled layers.
+    pub plan: SchedulePlan,
+    /// The device the plan was scheduled for.
+    pub topology: Topology,
+    /// Pulse durations implied by the pulse method.
+    pub durations: GateDurations,
+    /// The pulse method the gates are calibrated for.
+    pub method: PulseMethod,
+    /// The measured cross-region residual factors of that method's pulses.
+    pub residuals: zz_sim::executor::ResidualTable,
+}
+
+impl Compiled {
+    /// Scalar summary of the method's suppression strength (mean of the
+    /// `X90` and identity residual factors).
+    pub fn residual_factor(&self) -> f64 {
+        (self.residuals.x90 + self.residuals.id) / 2.0
+    }
+}
+
+impl Compiled {
+    /// Total execution time (ns).
+    pub fn execution_time(&self) -> f64 {
+        self.plan.duration(&self.durations)
+    }
+}
+
+/// The co-optimization framework: pulse method × scheduler on a device.
+///
+/// Construct with [`CoOptimizer::builder`]; see the [crate docs](crate) for
+/// a complete example.
+#[derive(Clone, Debug)]
+pub struct CoOptimizer {
+    topology: Topology,
+    method: PulseMethod,
+    scheduler: SchedulerKind,
+    alpha: f64,
+    k: usize,
+    requirement: Option<Requirement>,
+}
+
+impl CoOptimizer {
+    /// Starts building a co-optimizer (defaults: 3×4 grid, `Pert`,
+    /// `ZZXSched`, `α = 0.5`, `k = 3`, paper requirement).
+    pub fn builder() -> CoOptimizerBuilder {
+        CoOptimizerBuilder::default()
+    }
+
+    /// The device topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The pulse method.
+    pub fn method(&self) -> PulseMethod {
+        self.method
+    }
+
+    /// The scheduler.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    /// Compiles a logical circuit: route → native gates → schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoOptError::CircuitTooLarge`] if the circuit does not fit
+    /// on the device.
+    pub fn compile(&self, circuit: &Circuit) -> Result<Compiled, CoOptError> {
+        if circuit.qubit_count() > self.topology.qubit_count() {
+            return Err(CoOptError::CircuitTooLarge {
+                needed: circuit.qubit_count(),
+                available: self.topology.qubit_count(),
+            });
+        }
+        let routed = route(circuit, &self.topology);
+        let native = compile_to_native(&routed);
+        Ok(self.compile_native(&native))
+    }
+
+    /// Schedules an already-native circuit (must fit the device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the native circuit has more qubits than the device.
+    pub fn compile_native(&self, native: &NativeCircuit) -> Compiled {
+        let plan = match self.scheduler {
+            SchedulerKind::ParSched => par_schedule(&self.topology, native),
+            SchedulerKind::ZzxSched => {
+                let config = ZzxConfig {
+                    alpha: self.alpha,
+                    k: self.k,
+                    requirement: self
+                        .requirement
+                        .unwrap_or_else(|| Requirement::paper_default(&self.topology)),
+                };
+                zzx_schedule(&self.topology, native, &config)
+            }
+        };
+        let durations = match self.method {
+            PulseMethod::Dcg => GateDurations::dcg(),
+            _ => GateDurations::standard(),
+        };
+        Compiled {
+            plan,
+            topology: self.topology.clone(),
+            durations,
+            method: self.method,
+            residuals: crate::calib::residuals(self.method),
+        }
+    }
+}
+
+/// Builder for [`CoOptimizer`].
+#[derive(Clone, Debug)]
+pub struct CoOptimizerBuilder {
+    topology: Topology,
+    method: PulseMethod,
+    scheduler: SchedulerKind,
+    alpha: f64,
+    k: usize,
+    requirement: Option<Requirement>,
+}
+
+impl Default for CoOptimizerBuilder {
+    fn default() -> Self {
+        CoOptimizerBuilder {
+            topology: Topology::grid(3, 4),
+            method: PulseMethod::Pert,
+            scheduler: SchedulerKind::ZzxSched,
+            alpha: 0.5,
+            k: 3,
+            requirement: None,
+        }
+    }
+}
+
+impl CoOptimizerBuilder {
+    /// Sets the device topology (default: the paper's 3×4 grid).
+    pub fn topology(mut self, topo: Topology) -> Self {
+        self.topology = topo;
+        self
+    }
+
+    /// Sets the pulse method (default: `Pert`).
+    pub fn pulse_method(mut self, method: PulseMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the scheduler (default: `ZzxSched`).
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the NQ-vs-NC weight α of Algorithm 1 (default 0.5).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the top-k path-relaxing budget of Algorithm 1 (default 3).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Overrides the suppression requirement `R` (default: the paper's
+    /// `NQ < max_degree`, `NC ≤ |E|/2`).
+    pub fn requirement(mut self, requirement: Requirement) -> Self {
+        self.requirement = Some(requirement);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> CoOptimizer {
+        CoOptimizer {
+            topology: self.topology,
+            method: self.method,
+            scheduler: self.scheduler,
+            alpha: self.alpha,
+            k: self.k,
+            requirement: self.requirement,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zz_circuit::Gate;
+
+    #[test]
+    fn compile_rejects_oversized_circuits() {
+        let opt = CoOptimizer::builder().topology(Topology::grid(2, 2)).build();
+        let c = Circuit::new(9);
+        assert_eq!(
+            opt.compile(&c).err(),
+            Some(CoOptError::CircuitTooLarge {
+                needed: 9,
+                available: 4
+            })
+        );
+    }
+
+    #[test]
+    fn dcg_method_uses_dcg_durations() {
+        let opt = CoOptimizer::builder()
+            .topology(Topology::line(2))
+            .pulse_method(PulseMethod::Dcg)
+            .build();
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]);
+        let compiled = opt.compile(&c).expect("fits");
+        assert_eq!(compiled.durations, GateDurations::dcg());
+        assert!(compiled.execution_time() > 0.0);
+    }
+
+    #[test]
+    fn zzx_compiles_with_identities_parsched_without() {
+        let topo = Topology::grid(2, 3);
+        let mut c = Circuit::new(6);
+        c.push(Gate::H, &[0]).push(Gate::Cnot, &[0, 1]);
+        let zzx = CoOptimizer::builder()
+            .topology(topo.clone())
+            .scheduler(SchedulerKind::ZzxSched)
+            .build()
+            .compile(&c)
+            .expect("fits");
+        let par = CoOptimizer::builder()
+            .topology(topo)
+            .scheduler(SchedulerKind::ParSched)
+            .build()
+            .compile(&c)
+            .expect("fits");
+        assert!(zzx.plan.identity_count() > 0);
+        assert_eq!(par.plan.identity_count(), 0);
+    }
+
+    #[test]
+    fn residual_factor_is_attached() {
+        let opt = CoOptimizer::builder()
+            .topology(Topology::line(2))
+            .pulse_method(PulseMethod::Gaussian)
+            .build();
+        let mut c = Circuit::new(2);
+        c.push(Gate::X, &[0]);
+        let compiled = opt.compile(&c).expect("fits");
+        assert!(compiled.residuals.x90 > 0.5, "Gaussian X90 must not suppress");
+    }
+}

@@ -1,0 +1,165 @@
+//! Constrained 2-coloring: cut induction from a contracted edge set.
+//!
+//! After Algorithm 1 selects an odd-vertex pairing, the primal edges of the
+//! pairing are *contracted* (endpoints must take the same color) and every
+//! remaining edge must *cross* the cut (endpoints must take different
+//! colors). That is exactly a 2-coloring problem with same/different
+//! constraints, solved here by BFS. Inconsistent systems — which arise when
+//! Path Relaxing proposes overlapping paths that do not form a valid
+//! pairing — are reported as `None` rather than panicking, and the caller
+//! simply discards the candidate.
+
+use std::collections::VecDeque;
+
+/// A single coloring constraint between two vertices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColorConstraint {
+    /// First vertex.
+    pub u: usize,
+    /// Second vertex.
+    pub v: usize,
+    /// `true` → same color (contracted edge); `false` → different colors
+    /// (cut edge).
+    pub same: bool,
+}
+
+impl ColorConstraint {
+    /// Constraint forcing `u` and `v` to share a color.
+    pub fn same(u: usize, v: usize) -> Self {
+        ColorConstraint { u, v, same: true }
+    }
+
+    /// Constraint forcing `u` and `v` to differ in color.
+    pub fn differ(u: usize, v: usize) -> Self {
+        ColorConstraint { u, v, same: false }
+    }
+}
+
+/// Solves a same/different 2-coloring problem on `n` vertices.
+///
+/// Returns a boolean color per vertex, or `None` if the constraints are
+/// inconsistent (an odd cycle of `differ` constraints). Unconstrained
+/// components are colored `false`.
+///
+/// # Example
+///
+/// ```
+/// use zz_graph::{two_color, ColorConstraint};
+///
+/// let colors = two_color(3, &[
+///     ColorConstraint::differ(0, 1),
+///     ColorConstraint::same(1, 2),
+/// ]).expect("consistent");
+/// assert_ne!(colors[0], colors[1]);
+/// assert_eq!(colors[1], colors[2]);
+/// ```
+pub fn two_color(n: usize, constraints: &[ColorConstraint]) -> Option<Vec<bool>> {
+    let mut adj: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n];
+    for c in constraints {
+        // A self-loop `differ` constraint is unsatisfiable; `same` is trivial.
+        if c.u == c.v {
+            if !c.same {
+                return None;
+            }
+            continue;
+        }
+        adj[c.u].push((c.v, c.same));
+        adj[c.v].push((c.u, c.same));
+    }
+
+    let mut color: Vec<Option<bool>> = vec![None; n];
+    for start in 0..n {
+        if color[start].is_some() {
+            continue;
+        }
+        color[start] = Some(false);
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            let cu = color[u].expect("queued vertices are colored");
+            for &(v, same) in &adj[u] {
+                let want = if same { cu } else { !cu };
+                match color[v] {
+                    None => {
+                        color[v] = Some(want);
+                        queue.push_back(v);
+                    }
+                    Some(cv) if cv != want => return None,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    Some(color.into_iter().map(|c| c.expect("all vertices colored")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bipartite_cycle_is_colorable() {
+        let cs: Vec<_> = (0..4).map(|i| ColorConstraint::differ(i, (i + 1) % 4)).collect();
+        let colors = two_color(4, &cs).expect("even cycle is 2-colorable");
+        for c in &cs {
+            assert_ne!(colors[c.u], colors[c.v]);
+        }
+    }
+
+    #[test]
+    fn odd_cycle_of_differs_is_inconsistent() {
+        let cs: Vec<_> = (0..3).map(|i| ColorConstraint::differ(i, (i + 1) % 3)).collect();
+        assert!(two_color(3, &cs).is_none());
+    }
+
+    #[test]
+    fn same_constraints_merge_groups() {
+        let colors = two_color(
+            4,
+            &[
+                ColorConstraint::same(0, 1),
+                ColorConstraint::same(2, 3),
+                ColorConstraint::differ(1, 2),
+            ],
+        )
+        .expect("consistent");
+        assert_eq!(colors[0], colors[1]);
+        assert_eq!(colors[2], colors[3]);
+        assert_ne!(colors[0], colors[2]);
+    }
+
+    #[test]
+    fn self_loop_differ_is_inconsistent() {
+        assert!(two_color(1, &[ColorConstraint::differ(0, 0)]).is_none());
+        assert!(two_color(1, &[ColorConstraint::same(0, 0)]).is_some());
+    }
+
+    #[test]
+    fn unconstrained_vertices_default_false() {
+        let colors = two_color(3, &[]).expect("no constraints");
+        assert_eq!(colors, vec![false, false, false]);
+    }
+
+    #[test]
+    fn mixed_cycle_parity_rules() {
+        // same + differ + differ around a triangle: consistent (even # of differs).
+        let colors = two_color(
+            3,
+            &[
+                ColorConstraint::same(0, 1),
+                ColorConstraint::differ(1, 2),
+                ColorConstraint::differ(2, 0),
+            ],
+        );
+        assert!(colors.is_some());
+        // same + same + differ: inconsistent (odd # of differs).
+        let bad = two_color(
+            3,
+            &[
+                ColorConstraint::same(0, 1),
+                ColorConstraint::same(1, 2),
+                ColorConstraint::differ(2, 0),
+            ],
+        );
+        assert!(bad.is_none());
+    }
+}

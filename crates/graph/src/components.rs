@@ -1,0 +1,84 @@
+//! Connected components over explicit edge lists.
+
+use crate::UnionFind;
+
+/// Computes connected components of `n` vertices under the given edges.
+///
+/// Returns a component id per vertex, with ids numbered `0..` in order of
+/// first appearance.
+///
+/// # Example
+///
+/// ```
+/// use zz_graph::components;
+///
+/// let comp = components(5, &[(0, 1), (3, 4)]);
+/// assert_eq!(comp[0], comp[1]);
+/// assert_ne!(comp[0], comp[2]);
+/// assert_eq!(comp[3], comp[4]);
+/// ```
+pub fn components(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in edges {
+        uf.union(u, v);
+    }
+    let mut ids = vec![usize::MAX; n];
+    let mut next = 0;
+    let mut out = vec![0; n];
+    for v in 0..n {
+        let root = uf.find(v);
+        if ids[root] == usize::MAX {
+            ids[root] = next;
+            next += 1;
+        }
+        out[v] = ids[root];
+    }
+    out
+}
+
+/// Size of the largest connected component — the paper's `NQ` metric when
+/// applied to the remaining-set of a cut.
+///
+/// Isolated vertices count as components of size 1, matching the paper's
+/// definition (`NQ` of a fully suppressed layer is 1, not 0).
+pub fn largest_component_size(n: usize, edges: &[(usize, usize)]) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let comp = components(n, edges);
+    let count = comp.iter().max().map(|&m| m + 1).unwrap_or(0);
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_edges_gives_singletons() {
+        assert_eq!(largest_component_size(4, &[]), 1);
+        let comp = components(3, &[]);
+        assert_eq!(comp, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chain_is_one_component() {
+        let edges = [(0, 1), (1, 2), (2, 3)];
+        assert_eq!(largest_component_size(4, &edges), 4);
+    }
+
+    #[test]
+    fn two_components_report_larger() {
+        let edges = [(0, 1), (2, 3), (3, 4)];
+        assert_eq!(largest_component_size(5, &edges), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(largest_component_size(0, &[]), 0);
+    }
+}

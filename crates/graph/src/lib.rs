@@ -1,0 +1,31 @@
+//! Graph algorithms backing the α-optimal suppression scheduler.
+//!
+//! The paper's Algorithm 1 needs, on the (multi-)dual graph of the device
+//! topology:
+//!
+//! * shortest paths and **Yen's top-k shortest simple paths** ([`yen`]) to
+//!   generate candidate odd-vertex pairings,
+//! * **minimum-cost perfect matching** ([`matching`]) to pair odd-degree
+//!   vertices (the paper uses maximum-weight matching with weights
+//!   `L − d(u,v)`, which is the same problem),
+//! * **union-find contraction** ([`UnionFind`]) and **constrained
+//!   2-coloring** ([`two_color`]) to induce a cut from a pairing,
+//! * **connected components** ([`components`]) for the `NQ` metric.
+//!
+//! Graphs are represented as [`MultiGraph`]s: parallel edges and self-loops
+//! are first-class, because planar dual graphs routinely contain both.
+
+#![warn(missing_docs)]
+
+mod coloring;
+mod components;
+pub mod matching;
+mod multigraph;
+mod paths;
+mod union_find;
+
+pub use coloring::{two_color, ColorConstraint};
+pub use components::{components, largest_component_size};
+pub use multigraph::{EdgeId, MultiGraph};
+pub use paths::{bfs_distances, shortest_path, yen, Path};
+pub use union_find::UnionFind;

@@ -1,0 +1,181 @@
+//! An undirected multigraph with stable edge identities.
+
+/// Identifier of an edge in a [`MultiGraph`] (its insertion index).
+///
+/// Edge ids are stable: removing edges is done by *masking* (see
+/// [`MultiGraph::without_edges`]) rather than by re-indexing, so an id can
+/// be carried across derived graphs — which is exactly what the suppression
+/// algorithm needs when it maps dual edges back to primal couplings.
+pub type EdgeId = usize;
+
+/// An undirected multigraph: parallel edges and self-loops are allowed.
+///
+/// # Example
+///
+/// ```
+/// use zz_graph::MultiGraph;
+///
+/// let mut g = MultiGraph::new(3);
+/// let e0 = g.add_edge(0, 1);
+/// let e1 = g.add_edge(0, 1); // parallel edge, distinct id
+/// assert_ne!(e0, e1);
+/// assert_eq!(g.degree(0), 2);
+/// let loop_id = g.add_edge(2, 2);
+/// assert_eq!(g.degree(2), 2); // a self-loop contributes 2 to the degree
+/// # let _ = loop_id;
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MultiGraph {
+    vertex_count: usize,
+    endpoints: Vec<(usize, usize)>,
+    /// adjacency: per vertex, list of (neighbor, edge id).
+    adj: Vec<Vec<(usize, EdgeId)>>,
+}
+
+impl MultiGraph {
+    /// Creates a graph with `vertex_count` vertices and no edges.
+    pub fn new(vertex_count: usize) -> Self {
+        MultiGraph {
+            vertex_count,
+            endpoints: Vec::new(),
+            adj: vec![Vec::new(); vertex_count],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Number of edges (including masked-out ones; ids are never reused).
+    pub fn edge_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Adds an undirected edge and returns its id. `u == v` creates a
+    /// self-loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> EdgeId {
+        assert!(u < self.vertex_count && v < self.vertex_count, "endpoint out of range");
+        let id = self.endpoints.len();
+        self.endpoints.push((u, v));
+        self.adj[u].push((v, id));
+        if u != v {
+            self.adj[v].push((u, id));
+        } else {
+            // A self-loop appears twice in its endpoint's adjacency so the
+            // degree convention deg += 2 holds.
+            self.adj[u].push((v, id));
+        }
+        id
+    }
+
+    /// The two endpoints of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a valid edge id.
+    pub fn endpoints(&self, e: EdgeId) -> (usize, usize) {
+        self.endpoints[e]
+    }
+
+    /// Degree of vertex `v` (self-loops count twice).
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Neighbors of `v` as `(neighbor, edge id)` pairs; parallel edges and
+    /// self-loops appear once per incidence.
+    pub fn neighbors(&self, v: usize) -> &[(usize, EdgeId)] {
+        &self.adj[v]
+    }
+
+    /// Vertices with odd degree.
+    pub fn odd_vertices(&self) -> Vec<usize> {
+        (0..self.vertex_count).filter(|&v| self.degree(v) % 2 == 1).collect()
+    }
+
+    /// All edge ids currently in the graph.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        0..self.endpoints.len()
+    }
+
+    /// A copy of this graph with the given edges removed (ids preserved for
+    /// the remaining edges).
+    pub fn without_edges(&self, removed: &[EdgeId]) -> MultiGraph {
+        let mut g = MultiGraph {
+            vertex_count: self.vertex_count,
+            endpoints: self.endpoints.clone(),
+            adj: vec![Vec::new(); self.vertex_count],
+        };
+        let mut mask = vec![false; self.endpoints.len()];
+        for &e in removed {
+            mask[e] = true;
+        }
+        // Rebuild adjacency, skipping masked edges. Endpoint records are kept
+        // so edge ids remain valid.
+        for (id, &(u, v)) in self.endpoints.iter().enumerate() {
+            if mask[id] {
+                continue;
+            }
+            g.adj[u].push((v, id));
+            if u != v {
+                g.adj[v].push((u, id));
+            } else {
+                g.adj[u].push((v, id));
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_count_incidences() {
+        let mut g = MultiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.odd_vertices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn self_loop_keeps_degree_even() {
+        let mut g = MultiGraph::new(2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.odd_vertices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn without_edges_preserves_ids() {
+        let mut g = MultiGraph::new(3);
+        let e0 = g.add_edge(0, 1);
+        let e1 = g.add_edge(1, 2);
+        let g2 = g.without_edges(&[e0]);
+        assert_eq!(g2.degree(0), 0);
+        assert_eq!(g2.degree(2), 1);
+        assert_eq!(g2.endpoints(e1), (1, 2));
+        // Original untouched.
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn odd_vertex_count_is_even() {
+        let mut g = MultiGraph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)] {
+            g.add_edge(u, v);
+        }
+        assert_eq!(g.odd_vertices().len() % 2, 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Shortest paths and Yen's top-k shortest simple paths on multigraphs.
+//!
+//! All edges have unit length (a dual-graph path of length ℓ leaves exactly
+//! ℓ couplings unsuppressed), so breadth-first search is the shortest-path
+//! subroutine. Paths are recorded as **edge-id sequences**: on a multigraph,
+//! two parallel edges form genuinely different paths — and genuinely
+//! different odd-vertex pairings.
+
+use std::collections::VecDeque;
+
+use crate::{EdgeId, MultiGraph};
+
+/// A simple path through a [`MultiGraph`], stored as the traversed edge ids
+/// plus the visited vertices (`vertices.len() == edges.len() + 1`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    /// Edge ids in traversal order.
+    pub edges: Vec<EdgeId>,
+    /// Vertices in traversal order, starting at the source.
+    pub vertices: Vec<usize>,
+}
+
+impl Path {
+    /// Number of edges (the path's length under unit weights).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` for a zero-length path (source == target).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// BFS distances from `source` to every vertex (`usize::MAX` if unreachable).
+///
+/// Self-loops never shorten a path and are skipped.
+pub fn bfs_distances(g: &MultiGraph, source: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.vertex_count()];
+    dist[source] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in g.neighbors(u) {
+            if v != u && dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest path from `source` to `target` by BFS, avoiding `banned_edges`
+/// and `banned_vertices`. Returns `None` if no path exists.
+fn bfs_path(
+    g: &MultiGraph,
+    source: usize,
+    target: usize,
+    banned_edges: &[bool],
+    banned_vertices: &[bool],
+) -> Option<Path> {
+    if banned_vertices[source] || banned_vertices[target] {
+        return None;
+    }
+    if source == target {
+        return Some(Path {
+            edges: vec![],
+            vertices: vec![source],
+        });
+    }
+    let n = g.vertex_count();
+    let mut prev: Vec<Option<(usize, EdgeId)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[source] = true;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for &(v, e) in g.neighbors(u) {
+            if v == u || seen[v] || banned_vertices[v] || banned_edges.get(e).copied().unwrap_or(false) {
+                continue;
+            }
+            seen[v] = true;
+            prev[v] = Some((u, e));
+            if v == target {
+                // Reconstruct.
+                let mut edges = Vec::new();
+                let mut vertices = vec![target];
+                let mut cur = target;
+                while let Some((p, pe)) = prev[cur] {
+                    edges.push(pe);
+                    vertices.push(p);
+                    cur = p;
+                }
+                edges.reverse();
+                vertices.reverse();
+                return Some(Path { edges, vertices });
+            }
+            queue.push_back(v);
+        }
+    }
+    None
+}
+
+/// Shortest simple path from `source` to `target` (unit weights), or `None`
+/// if disconnected.
+pub fn shortest_path(g: &MultiGraph, source: usize, target: usize) -> Option<Path> {
+    bfs_path(
+        g,
+        source,
+        target,
+        &vec![false; g.edge_count()],
+        &vec![false; g.vertex_count()],
+    )
+}
+
+/// Yen's algorithm: the top-`k` shortest **simple** paths from `source` to
+/// `target`, in non-decreasing length order.
+///
+/// Parallel edges yield distinct paths (they correspond to different primal
+/// couplings), which is why candidate deduplication is on edge sequences.
+///
+/// Returns fewer than `k` paths when the graph does not contain `k` distinct
+/// simple paths.
+///
+/// # Example
+///
+/// ```
+/// use zz_graph::{MultiGraph, yen};
+///
+/// // A square: two distinct 2-edge paths between opposite corners.
+/// let mut g = MultiGraph::new(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 3);
+/// g.add_edge(3, 0);
+/// let paths = yen(&g, 0, 2, 3);
+/// assert_eq!(paths.len(), 2);
+/// assert_eq!(paths[0].len(), 2);
+/// assert_eq!(paths[1].len(), 2);
+/// ```
+pub fn yen(g: &MultiGraph, source: usize, target: usize, k: usize) -> Vec<Path> {
+    let mut found: Vec<Path> = Vec::new();
+    let Some(first) = shortest_path(g, source, target) else {
+        return found;
+    };
+    found.push(first);
+
+    // Candidate pool (kept sorted by length on extraction).
+    let mut candidates: Vec<Path> = Vec::new();
+
+    while found.len() < k {
+        let last = found.last().expect("found is non-empty").clone();
+        // Spur from every prefix of the most recent path.
+        for i in 0..last.vertices.len() - 1 {
+            let spur_node = last.vertices[i];
+            let root_edges = &last.edges[..i];
+
+            let mut banned_edges = vec![false; g.edge_count()];
+            // Ban the next edge of every found/candidate path sharing this root.
+            for p in found.iter().chain(candidates.iter()) {
+                if p.edges.len() > i && p.edges[..i] == *root_edges {
+                    banned_edges[p.edges[i]] = true;
+                }
+            }
+            // Ban root vertices (all but the spur node) to keep paths simple.
+            let mut banned_vertices = vec![false; g.vertex_count()];
+            for &v in &last.vertices[..i] {
+                banned_vertices[v] = true;
+            }
+
+            if let Some(spur) = bfs_path(g, spur_node, target, &banned_edges, &banned_vertices) {
+                let mut edges = root_edges.to_vec();
+                edges.extend_from_slice(&spur.edges);
+                let mut vertices = last.vertices[..i].to_vec();
+                vertices.extend_from_slice(&spur.vertices);
+                let total = Path { edges, vertices };
+                if !candidates.contains(&total) && !found.contains(&total) {
+                    candidates.push(total);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Extract the shortest candidate.
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| p.len())
+            .map(|(i, _)| i)
+            .expect("candidates is non-empty");
+        found.push(candidates.swap_remove(best));
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_diagonal() -> MultiGraph {
+        let mut g = MultiGraph::new(4);
+        g.add_edge(0, 1); // 0
+        g.add_edge(1, 2); // 1
+        g.add_edge(2, 3); // 2
+        g.add_edge(3, 0); // 3
+        g.add_edge(0, 2); // 4 (diagonal)
+        g
+    }
+
+    #[test]
+    fn bfs_distances_on_path_graph() {
+        let mut g = MultiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shortest_path_prefers_diagonal() {
+        let g = square_with_diagonal();
+        let p = shortest_path(&g, 0, 2).expect("connected");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.edges, vec![4]);
+    }
+
+    #[test]
+    fn yen_orders_by_length() {
+        let g = square_with_diagonal();
+        let paths = yen(&g, 0, 2, 5);
+        assert_eq!(paths.len(), 3); // diagonal, and the two 2-edge sides
+        assert_eq!(paths[0].len(), 1);
+        assert_eq!(paths[1].len(), 2);
+        assert_eq!(paths[2].len(), 2);
+        // All distinct and simple.
+        for p in &paths {
+            let mut vs = p.vertices.clone();
+            vs.sort_unstable();
+            vs.dedup();
+            assert_eq!(vs.len(), p.vertices.len(), "path must be simple");
+        }
+    }
+
+    #[test]
+    fn yen_distinguishes_parallel_edges() {
+        let mut g = MultiGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        let paths = yen(&g, 0, 1, 5);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].len(), 1);
+        assert_eq!(paths[1].len(), 1);
+        assert_ne!(paths[0].edges, paths[1].edges);
+    }
+
+    #[test]
+    fn yen_ignores_self_loops() {
+        let mut g = MultiGraph::new(2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        let paths = yen(&g, 0, 1, 4);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn disconnected_returns_empty() {
+        let g = MultiGraph::new(3);
+        assert!(yen(&g, 0, 2, 2).is_empty());
+        assert!(shortest_path(&g, 0, 2).is_none());
+    }
+
+    #[test]
+    fn yen_on_grid_finds_k_paths() {
+        // 2x3 grid of vertices.
+        let mut g = MultiGraph::new(6);
+        // rows: 0 1 2 / 3 4 5
+        for (u, v) in [(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)] {
+            g.add_edge(u, v);
+        }
+        let paths = yen(&g, 0, 5, 4);
+        assert!(paths.len() >= 3);
+        assert_eq!(paths[0].len(), 3);
+        for w in paths.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+    }
+}

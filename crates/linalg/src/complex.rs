@@ -1,0 +1,296 @@
+//! A minimal `Copy` complex number type.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+///
+/// The name follows the BLAS/LAPACK convention (`c64` = complex of two
+/// `f64`s) rather than Rust's type casing, because it is used pervasively as
+/// if it were a primitive scalar.
+///
+/// # Example
+///
+/// ```
+/// use zz_linalg::c64;
+///
+/// let z = c64::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!(z * z.conj(), c64::new(25.0, 0.0));
+/// ```
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct c64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl c64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: c64 = c64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: c64 = c64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: c64 = c64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        c64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r · e^{iθ}`.
+    ///
+    /// ```
+    /// use zz_linalg::c64;
+    /// let z = c64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z - c64::new(0.0, 2.0)).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        c64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        c64::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        c64::new(self.re, -self.im)
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²`; cheaper than [`c64::abs`] when comparing magnitudes.
+    #[inline]
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        c64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `z == 0`, mirroring `1.0 / 0.0`.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.abs_sq();
+        c64::new(self.re / d, -self.im / d)
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        c64::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+}
+
+impl From<f64> for c64 {
+    fn from(re: f64) -> Self {
+        c64::real(re)
+    }
+}
+
+impl fmt::Display for c64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for c64 {
+    type Output = c64;
+    #[inline]
+    fn add(self, rhs: c64) -> c64 {
+        c64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for c64 {
+    type Output = c64;
+    #[inline]
+    fn sub(self, rhs: c64) -> c64 {
+        c64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for c64 {
+    type Output = c64;
+    #[inline]
+    fn mul(self, rhs: c64) -> c64 {
+        c64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for c64 {
+    type Output = c64;
+    #[inline]
+    fn div(self, rhs: c64) -> c64 {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for c64 {
+    type Output = c64;
+    #[inline]
+    fn neg(self) -> c64 {
+        c64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for c64 {
+    type Output = c64;
+    #[inline]
+    fn mul(self, rhs: f64) -> c64 {
+        c64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Mul<c64> for f64 {
+    type Output = c64;
+    #[inline]
+    fn mul(self, rhs: c64) -> c64 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for c64 {
+    type Output = c64;
+    #[inline]
+    fn div(self, rhs: f64) -> c64 {
+        c64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl AddAssign for c64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: c64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for c64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: c64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for c64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: c64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for c64 {
+    fn sum<I: Iterator<Item = c64>>(iter: I) -> c64 {
+        iter.fold(c64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = c64::new(1.5, -2.5);
+        assert_eq!(z + c64::ZERO, z);
+        assert_eq!(z * c64::ONE, z);
+        assert_eq!(z - z, c64::ZERO);
+        assert!((z * z.recip() - c64::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conjugate_and_modulus() {
+        let z = c64::new(3.0, 4.0);
+        assert_eq!(z.conj(), c64::new(3.0, -4.0));
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.abs_sq(), 25.0);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = c64::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < 1e-15);
+        assert!((z.arg() - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_phase() {
+        let z = c64::new(0.0, std::f64::consts::PI).exp();
+        assert!((z - c64::new(-1.0, 0.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(c64::I * c64::I, c64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = c64::new(-3.0, 4.0);
+        let s = z.sqrt();
+        assert!((s * s - z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division() {
+        let a = c64::new(1.0, 2.0);
+        let b = c64::new(3.0, -1.0);
+        let q = a / b;
+        assert!((q * b - a).abs() < 1e-14);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(c64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(c64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: c64 = (0..4).map(|k| c64::new(k as f64, 1.0)).sum();
+        assert_eq!(total, c64::new(6.0, 4.0));
+    }
+}

@@ -1,0 +1,243 @@
+//! Hermitian eigendecomposition via the cyclic complex Jacobi method.
+//!
+//! The Jacobi method is chosen over Householder + QR because it is short,
+//! numerically very robust, and more than fast enough for the matrix sizes
+//! this workspace deals with (dimension ≤ 64). Each sweep annihilates every
+//! off-diagonal entry once with a unitary 2×2 rotation; convergence is
+//! quadratic once the off-diagonal mass is small.
+
+use crate::{c64, Matrix};
+
+/// Result of a Hermitian eigendecomposition `A = V · diag(λ) · V†`.
+#[derive(Clone, Debug)]
+pub struct Eigh {
+    /// Eigenvalues in ascending order (real, since `A` is Hermitian).
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes the eigendecomposition of a Hermitian matrix.
+///
+/// # Panics
+///
+/// Panics if `a` is not square, or not Hermitian within `1e-8` (per entry),
+/// or if the iteration fails to converge (which does not happen for genuine
+/// Hermitian input).
+///
+/// # Example
+///
+/// ```
+/// use zz_linalg::{c64, Matrix};
+/// use zz_linalg::eig::eigh;
+///
+/// let x = Matrix::from_rows(&[
+///     &[c64::ZERO, c64::ONE],
+///     &[c64::ONE, c64::ZERO],
+/// ]);
+/// let e = eigh(&x);
+/// assert!((e.values[0] + 1.0).abs() < 1e-12);
+/// assert!((e.values[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn eigh(a: &Matrix) -> Eigh {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    assert!(
+        a.is_hermitian(1e-8),
+        "eigh requires a Hermitian matrix (tolerance 1e-8)"
+    );
+    let n = a.rows();
+    let mut m = a.clone();
+    // Symmetrize exactly to keep the diagonal real under rounding.
+    for i in 0..n {
+        m[(i, i)] = c64::real(m[(i, i)].re);
+        for j in (i + 1)..n {
+            let avg = (m[(i, j)] + m[(j, i)].conj()) * 0.5;
+            m[(i, j)] = avg;
+            m[(j, i)] = avg.conj();
+        }
+    }
+    let mut v = Matrix::identity(n);
+
+    let scale = m.frobenius_norm().max(1.0);
+    let tol = 1e-14 * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let off = off_diagonal_norm(&m);
+        if off <= tol {
+            return sort_eigh(m, v);
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                jacobi_rotate(&mut m, &mut v, p, q);
+            }
+        }
+    }
+    // Accept the result if we are within a looser tolerance; otherwise the
+    // input was not Hermitian enough to start with.
+    let off = off_diagonal_norm(&m);
+    assert!(
+        off <= 1e-9 * scale,
+        "Jacobi iteration failed to converge (residual {off:e})"
+    );
+    sort_eigh(m, v)
+}
+
+/// Frobenius norm of the strictly off-diagonal part.
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += m[(i, j)].abs_sq();
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// Annihilates `m[(p, q)]` with a unitary rotation, updating `m` and the
+/// accumulated eigenvector matrix `v`.
+fn jacobi_rotate(m: &mut Matrix, v: &mut Matrix, p: usize, q: usize) {
+    let apq = m[(p, q)];
+    let r = apq.abs();
+    if r == 0.0 {
+        return;
+    }
+    let app = m[(p, p)].re;
+    let aqq = m[(q, q)].re;
+    let phase = apq / r; // e^{iφ}
+
+    // Solve r·(c² − s²) = c·s·(aqq − app) for t = s/c.
+    let tau = (aqq - app) / (2.0 * r);
+    let t = if tau >= 0.0 {
+        1.0 / (tau + (1.0 + tau * tau).sqrt())
+    } else {
+        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+
+    // U = [[c, s·e^{iφ}], [−s·e^{−iφ}, c]] acting on columns (p, q).
+    let u_pp = c64::real(c);
+    let u_pq = phase * s;
+    let u_qp = -phase.conj() * s;
+    let u_qq = c64::real(c);
+
+    let n = m.rows();
+    // m ← U† m U: first columns (m · U), then rows (U† · m).
+    for i in 0..n {
+        let mip = m[(i, p)];
+        let miq = m[(i, q)];
+        m[(i, p)] = mip * u_pp + miq * u_qp;
+        m[(i, q)] = mip * u_pq + miq * u_qq;
+    }
+    for j in 0..n {
+        let mpj = m[(p, j)];
+        let mqj = m[(q, j)];
+        m[(p, j)] = u_pp.conj() * mpj + u_qp.conj() * mqj;
+        m[(q, j)] = u_pq.conj() * mpj + u_qq.conj() * mqj;
+    }
+    // Clean up rounding noise at the annihilated positions.
+    m[(p, q)] = c64::ZERO;
+    m[(q, p)] = c64::ZERO;
+    m[(p, p)] = c64::real(m[(p, p)].re);
+    m[(q, q)] = c64::real(m[(q, q)].re);
+
+    // v ← v U.
+    for i in 0..n {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = vip * u_pp + viq * u_qp;
+        v[(i, q)] = vip * u_pq + viq * u_qq;
+    }
+}
+
+/// Sorts eigenpairs ascending by eigenvalue.
+fn sort_eigh(m: Matrix, v: Matrix) -> Eigh {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| m[(a, a)].re.partial_cmp(&m[(b, b)].re).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)].re).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, new_col)] = v[(i, old_col)];
+        }
+    }
+    Eigh { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &Eigh) -> Matrix {
+        let lambda = Matrix::diag(&e.values.iter().map(|&x| c64::real(x)).collect::<Vec<_>>());
+        e.vectors.matmul(&lambda).matmul(&e.vectors.dagger())
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let d = Matrix::diag(&[c64::real(-2.0), c64::real(0.5), c64::real(3.0)]);
+        let e = eigh(&d);
+        assert_eq!(e.values, vec![-2.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn pauli_y_eigenvalues() {
+        let y = Matrix::from_rows(&[&[c64::ZERO, -c64::I], &[c64::I, c64::ZERO]]);
+        let e = eigh(&y);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!(e.vectors.is_unitary(1e-12));
+        assert!(reconstruct(&e).approx_eq(&y, 1e-12));
+    }
+
+    #[test]
+    fn random_hermitian_reconstructs() {
+        // Deterministic pseudo-random Hermitian matrix.
+        let n = 8;
+        let mut h = Matrix::zeros(n, n);
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for i in 0..n {
+            h[(i, i)] = c64::real(next());
+            for j in (i + 1)..n {
+                let z = c64::new(next(), next());
+                h[(i, j)] = z;
+                h[(j, i)] = z.conj();
+            }
+        }
+        let e = eigh(&h);
+        assert!(e.vectors.is_unitary(1e-10));
+        assert!(reconstruct(&e).approx_eq(&h, 1e-10));
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "eigenvalues must be sorted");
+        }
+    }
+
+    #[test]
+    fn trace_equals_sum_of_eigenvalues() {
+        let h = Matrix::from_rows(&[
+            &[c64::real(2.0), c64::new(0.0, 1.0)],
+            &[c64::new(0.0, -1.0), c64::real(-1.0)],
+        ]);
+        let e = eigh(&h);
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - h.trace().re).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn rejects_non_hermitian() {
+        let m = Matrix::from_rows(&[&[c64::ZERO, c64::ONE], &[c64::ZERO, c64::ZERO]]);
+        let _ = eigh(&m);
+    }
+}

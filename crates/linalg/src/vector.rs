@@ -1,0 +1,212 @@
+//! Complex column vectors (quantum state amplitudes).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::c64;
+
+/// A dense complex column vector.
+///
+/// Used throughout the workspace for quantum state amplitudes; the
+/// normalization convention is `‖v‖₂ = 1` for physical states, but the type
+/// itself does not enforce it.
+///
+/// # Example
+///
+/// ```
+/// use zz_linalg::{c64, Vector};
+///
+/// let plus = Vector::from_vec(vec![c64::real(1.0), c64::real(1.0)]).normalized();
+/// assert!((plus.norm() - 1.0).abs() < 1e-15);
+/// assert!((plus.dot(&plus).re - 1.0).abs() < 1e-15);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Vector {
+    data: Vec<c64>,
+}
+
+impl Vector {
+    /// Creates a vector of `n` zeros.
+    pub fn zeros(n: usize) -> Self {
+        Vector {
+            data: vec![c64::ZERO; n],
+        }
+    }
+
+    /// Creates the computational basis vector `|index⟩` of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim`.
+    pub fn basis(dim: usize, index: usize) -> Self {
+        assert!(index < dim, "basis index {index} out of range for dim {dim}");
+        let mut v = Vector::zeros(dim);
+        v[index] = c64::ONE;
+        v
+    }
+
+    /// Wraps an existing amplitude vector.
+    pub fn from_vec(data: Vec<c64>) -> Self {
+        Vector { data }
+    }
+
+    /// Vector length (Hilbert-space dimension).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the amplitudes.
+    #[inline]
+    pub fn as_slice(&self) -> &[c64] {
+        &self.data
+    }
+
+    /// Mutably borrows the amplitudes.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [c64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying amplitudes.
+    pub fn into_vec(self) -> Vec<c64> {
+        self.data
+    }
+
+    /// Inner product `⟨self|rhs⟩` (conjugate-linear in `self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn dot(&self, rhs: &Vector) -> c64 {
+        assert_eq!(self.len(), rhs.len(), "dot length mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a.conj() * b)
+            .sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt()
+    }
+
+    /// Returns a unit-norm copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is (numerically) zero.
+    pub fn normalized(&self) -> Vector {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        Vector {
+            data: self.data.iter().map(|&z| z / n).collect(),
+        }
+    }
+
+    /// Kronecker product `self ⊗ rhs` (tensor product of states).
+    pub fn kron(&self, rhs: &Vector) -> Vector {
+        let mut out = Vec::with_capacity(self.len() * rhs.len());
+        for &a in &self.data {
+            for &b in &rhs.data {
+                out.push(a * b);
+            }
+        }
+        Vector::from_vec(out)
+    }
+
+    /// State fidelity `|⟨self|rhs⟩|²` between two *normalized* states.
+    pub fn fidelity(&self, rhs: &Vector) -> f64 {
+        self.dot(rhs).abs_sq()
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = c64;
+    #[inline]
+    fn index(&self, i: usize) -> &c64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut c64 {
+        &mut self.data[i]
+    }
+}
+
+impl FromIterator<c64> for Vector {
+    fn from_iter<I: IntoIterator<Item = c64>>(iter: I) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Vector {
+    /// Compact representation: at most the first 8 amplitudes are shown.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector[{}](", self.len())?;
+        for (i, z) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if i >= 8 {
+                write!(f, "…")?;
+                break;
+            }
+            write!(f, "{:+.3}{:+.3}i", z.re, z.im)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_vectors_are_orthonormal() {
+        let e0 = Vector::basis(4, 0);
+        let e3 = Vector::basis(4, 3);
+        assert_eq!(e0.dot(&e0), c64::ONE);
+        assert_eq!(e0.dot(&e3), c64::ZERO);
+    }
+
+    #[test]
+    fn kron_of_basis_states() {
+        let e1 = Vector::basis(2, 1);
+        let e0 = Vector::basis(2, 0);
+        let e10 = e1.kron(&e0);
+        assert_eq!(e10[2], c64::ONE); // |10⟩ = index 2
+        assert_eq!(e10.norm(), 1.0);
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let v = Vector::from_vec(vec![c64::new(3.0, 0.0), c64::new(0.0, 4.0)]);
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let e0 = Vector::basis(2, 0);
+        let e1 = Vector::basis(2, 1);
+        assert_eq!(e0.fidelity(&e1), 0.0);
+        assert_eq!(e0.fidelity(&e0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot normalize the zero vector")]
+    fn normalizing_zero_panics() {
+        let _ = Vector::zeros(3).normalized();
+    }
+}

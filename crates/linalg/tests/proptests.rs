@@ -1,0 +1,111 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use zz_linalg::eig::eigh;
+use zz_linalg::expm::{expm_neg_i_h_t, expm_step};
+use zz_linalg::{c64, Matrix, Vector};
+
+/// Strategy: a random complex number with bounded modulus.
+fn arb_c64() -> impl Strategy<Value = c64> {
+    (-1.0..1.0f64, -1.0..1.0f64).prop_map(|(re, im)| c64::new(re, im))
+}
+
+/// Strategy: a random `n×n` complex matrix.
+fn arb_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(arb_c64(), n * n).prop_map(move |v| {
+        Matrix::from_fn(n, n, |i, j| v[i * n + j])
+    })
+}
+
+/// Strategy: a random `n×n` Hermitian matrix.
+fn arb_hermitian(n: usize) -> impl Strategy<Value = Matrix> {
+    arb_matrix(n).prop_map(|m| {
+        let mut h = Matrix::zeros(m.rows(), m.cols());
+        for i in 0..m.rows() {
+            h[(i, i)] = c64::real(m[(i, i)].re);
+            for j in (i + 1)..m.cols() {
+                let avg = (m[(i, j)] + m[(j, i)].conj()) * 0.5;
+                h[(i, j)] = avg;
+                h[(j, i)] = avg.conj();
+            }
+        }
+        h
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative(a in arb_matrix(3), b in arb_matrix(3), c in arb_matrix(3)) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn dagger_is_involutive(a in arb_matrix(4)) {
+        prop_assert!(a.dagger().dagger().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn dagger_reverses_products(a in arb_matrix(3), b in arb_matrix(3)) {
+        let lhs = a.matmul(&b).dagger();
+        let rhs = b.dagger().matmul(&a.dagger());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn kron_mixed_product(a in arb_matrix(2), b in arb_matrix(2), c in arb_matrix(2), d in arb_matrix(2)) {
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-11));
+    }
+
+    #[test]
+    fn trace_is_cyclic(a in arb_matrix(4), b in arb_matrix(4)) {
+        let t1 = a.matmul(&b).trace();
+        let t2 = b.matmul(&a).trace();
+        prop_assert!((t1 - t2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigh_reconstructs_and_is_unitary(h in arb_hermitian(5)) {
+        let e = eigh(&h);
+        prop_assert!(e.vectors.is_unitary(1e-9));
+        let lambda: Vec<c64> = e.values.iter().map(|&x| c64::real(x)).collect();
+        let rec = e.vectors.matmul(&Matrix::diag(&lambda)).matmul(&e.vectors.dagger());
+        prop_assert!(rec.approx_eq(&h, 1e-9));
+        // Eigenvalues sorted ascending.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn expm_of_hermitian_is_unitary(h in arb_hermitian(4), t in 0.0..3.0f64) {
+        let u = expm_neg_i_h_t(&h, t);
+        prop_assert!(u.is_unitary(1e-9));
+        let u_fast = expm_step(&h, t);
+        prop_assert!(u.approx_eq(&u_fast, 1e-8));
+    }
+
+    #[test]
+    fn expm_preserves_state_norm(h in arb_hermitian(4), t in 0.0..2.0f64, amps in proptest::collection::vec(arb_c64(), 4)) {
+        let v = Vector::from_vec(amps);
+        prop_assume!(v.norm() > 1e-3);
+        let v = v.normalized();
+        let u = expm_step(&h, t);
+        let w = u.mul_vec(&v);
+        prop_assert!((w.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vector_dot_conjugate_symmetry(a in proptest::collection::vec(arb_c64(), 5), b in proptest::collection::vec(arb_c64(), 5)) {
+        let va = Vector::from_vec(a);
+        let vb = Vector::from_vec(b);
+        let lhs = va.dot(&vb);
+        let rhs = vb.dot(&va).conj();
+        prop_assert!((lhs - rhs).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Regenerates the factory pulse library (`zz_pulse::library`).
+//!
+//! Runs the OptCtrl and Pert optimizations for `X90`, `I` and `ZX90` and
+//! prints the resulting coefficient arrays as Rust constants, ready to be
+//! pasted into `crates/pulse/src/library.rs`.
+//!
+//! Usage: `cargo run -p zz-pulse --bin calibrate --release [-- quick]`
+
+use zz_linalg::Matrix;
+use zz_pulse::mhz;
+use zz_pulse::optimize::{
+    amplitude_penalty, initial_1q, initial_2q, minimize, optctrl_1q_loss, optctrl_2q_loss,
+    pert_1q_loss, pert_2q_loss, pulse_quality_1q, pulse_quality_2q, AdamConfig, BASIS,
+};
+
+/// Weight of the amplitude/bandwidth regularizer for single-qubit pulses
+/// (tuned so the resulting waveforms stay within ≈ ±50 MHz and remain
+/// DRAG-correctable on a five-level transmon).
+const AMP_REG: f64 = 0.02;
+
+fn print_const(name: &str, v: &[f64]) {
+    print!("pub const {name}: [f64; {}] = [", v.len());
+    for (i, x) in v.iter().enumerate() {
+        if i % 5 == 0 {
+            print!("\n    ");
+        }
+        print!("{x:.12e}, ");
+    }
+    println!("\n];");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let iters_1q = if quick { 150 } else { 1500 };
+    let iters_2q = if quick { 100 } else { 800 };
+    let lambdas: Vec<f64> = [0.5, 1.0, 1.5, 2.0].iter().map(|&f| mhz(f)).collect();
+
+    let x90 = zz_quantum::gates::x90();
+    let id = Matrix::identity(2);
+
+    // ---- Pert X90 ----
+    let cfg = AdamConfig { lr: 0.004, iters: iters_1q, ..Default::default() };
+    let (pert_x90, loss) = stage_1q("PERT_X90", &x90, std::f64::consts::FRAC_PI_2, |p| {
+        pert_1q_loss(p, &x90, 20.0, 50.0) + AMP_REG * amplitude_penalty(p)
+    }, &cfg);
+    report_1q("PERT_X90", &pert_x90, &x90, loss);
+
+    // ---- Pert I ----
+    let (pert_id, loss) = stage_1q("PERT_ID", &id, 2.0 * std::f64::consts::PI, |p| {
+        pert_1q_loss(p, &id, 20.0, 50.0) + AMP_REG * amplitude_penalty(p)
+    }, &cfg);
+    report_1q("PERT_ID", &pert_id, &id, loss);
+
+    // ---- OptCtrl X90 ----
+    let (optctrl_x90, loss) = stage_1q("OPTCTRL_X90", &x90, std::f64::consts::FRAC_PI_2, |p| {
+        optctrl_1q_loss(p, &x90, 20.0, 2.0, &lambdas) + AMP_REG * amplitude_penalty(p)
+    }, &cfg);
+    report_1q("OPTCTRL_X90", &optctrl_x90, &x90, loss);
+
+    // ---- OptCtrl I ----
+    let (optctrl_id, loss) = stage_1q("OPTCTRL_ID", &id, 2.0 * std::f64::consts::PI, |p| {
+        optctrl_1q_loss(p, &id, 20.0, 2.0, &lambdas) + AMP_REG * amplitude_penalty(p)
+    }, &cfg);
+    report_1q("OPTCTRL_ID", &optctrl_id, &id, loss);
+
+    // ---- Pert ZX90 ----
+    let cfg2 = AdamConfig { lr: 0.004, iters: iters_2q, ..Default::default() };
+    eprintln!("optimizing PERT_ZX90 ({} iters)…", cfg2.iters);
+    let p0 = initial_2q(20.0);
+    let (pert_zx90, loss) = minimize(|p| pert_2q_loss(p, 20.0, 50.0), &p0, &cfg2);
+    let (ge, fo) = pulse_quality_2q(&pert_zx90, 20.0);
+    eprintln!("PERT_ZX90: loss={loss:.3e} gate_err={ge:.3e} first_order={fo:.3e}");
+    print_const("PERT_ZX90", &pert_zx90);
+
+    // ---- OptCtrl ZX90 ----
+    let lambdas_2q: Vec<f64> = [0.5, 1.5].iter().map(|&f| mhz(f)).collect();
+    eprintln!("optimizing OPTCTRL_ZX90 ({} iters)…", cfg2.iters);
+    let (optctrl_zx90, loss) = minimize(
+        |p| optctrl_2q_loss(p, 20.0, 2.0, &lambdas_2q, mhz(0.2)),
+        &pert_zx90, // warm-start from the Pert solution
+        &AdamConfig { lr: 0.002, iters: iters_2q / 2, ..cfg2 },
+    );
+    let (ge, fo) = pulse_quality_2q(&optctrl_zx90, 20.0);
+    eprintln!("OPTCTRL_ZX90: loss={loss:.3e} gate_err={ge:.3e} first_order={fo:.3e}");
+    print_const("OPTCTRL_ZX90", &optctrl_zx90);
+}
+
+fn stage_1q(
+    name: &str,
+    _target: &Matrix,
+    theta: f64,
+    loss: impl Fn(&[f64]) -> f64,
+    cfg: &AdamConfig,
+) -> (Vec<f64>, f64) {
+    eprintln!("optimizing {name} ({} iters)…", cfg.iters);
+    let p0 = initial_1q(theta, 20.0);
+    // Two restarts with perturbed seeds; keep the best.
+    let (mut best_p, mut best_l) = minimize(&loss, &p0, cfg);
+    for swing in [1.5, -1.0] {
+        let mut seed = p0.clone();
+        seed[1] += swing * std::f64::consts::PI / 20.0;
+        seed[BASIS] += 0.02 * swing;
+        let (p, l) = minimize(&loss, &seed, cfg);
+        if l < best_l {
+            best_l = l;
+            best_p = p;
+        }
+    }
+    (best_p, best_l)
+}
+
+fn report_1q(name: &str, params: &[f64], target: &Matrix, loss: f64) {
+    let (gate_err, first_order) = pulse_quality_1q(params, target, 20.0);
+    eprintln!("{name}: loss={loss:.3e} gate_err={gate_err:.3e} first_order={first_order:.3e}");
+    print_const(name, params);
+}

@@ -1,0 +1,62 @@
+//! Microwave pulse shapes and ZZ-suppressing pulse optimization.
+//!
+//! This crate implements the pulse half of the paper's co-optimization
+//! (Sections 4 and 7.1.1): pulses that realize a native gate *and* cancel
+//! the always-on `λ σz⊗σz` crosstalk on the couplings surrounding it.
+//!
+//! * [`envelope`] — Gaussian and Fourier-cosine envelopes (the appendix's
+//!   waveform ansatz), with analytic derivatives for DRAG;
+//! * [`propagate`] — piecewise-constant Schrödinger propagation;
+//! * [`systems`] — the basic-region Hamiltonians: a driven qubit with
+//!   spectators, the two-qubit cross-resonance region, and the five-level
+//!   transmon for leakage studies;
+//! * [`optimize`] — Adam with finite-difference gradients, plus the two
+//!   optimization objectives: `OptCtrl` (average-gate-fidelity loss) and
+//!   `Pert` (first-order perturbative ZZ term);
+//! * [`dcg`] — dynamically corrected gates assembled from Gaussian pulses;
+//! * [`drag`] — first-order DRAG correction;
+//! * [`noise`] — carrier detuning and amplitude-fluctuation drive noise;
+//! * [`library`] — pre-optimized factory pulses for `X90`, `I` and `ZX90`
+//!   under each method (regenerate with `cargo run -p zz-pulse --bin
+//!   calibrate --release`);
+//! * [`ramsey`] — the paper's Ramsey experiments (Fig 26/27) simulated on a
+//!   three-transmon line.
+//!
+//! # Units
+//!
+//! Time is in **ns**, angular frequencies in **rad/ns** (so a crosstalk
+//! strength quoted as `λ/2π = 200 kHz` enters as `2π·2e−4 rad/ns`), and
+//! `ħ = 1` throughout.
+
+#![warn(missing_docs)]
+
+pub mod dcg;
+pub mod drag;
+pub mod envelope;
+pub mod library;
+pub mod noise;
+pub mod optimize;
+pub mod propagate;
+pub mod ramsey;
+pub mod systems;
+
+/// Converts a frequency in MHz to an angular frequency in rad/ns.
+pub fn mhz(f: f64) -> f64 {
+    2.0 * std::f64::consts::PI * f * 1e-3
+}
+
+/// Converts a frequency in kHz to an angular frequency in rad/ns.
+pub fn khz(f: f64) -> f64 {
+    mhz(f * 1e-3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert!((mhz(1000.0) - 2.0 * std::f64::consts::PI).abs() < 1e-12);
+        assert!((khz(200.0) - mhz(0.2)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,109 @@
+//! Drive-noise models: carrier-frequency detuning and amplitude
+//! fluctuation (paper Fig 17).
+
+use zz_linalg::Matrix;
+use zz_quantum::fidelity::average_gate_infidelity;
+use zz_quantum::pauli::{Pauli, PauliString};
+use zz_quantum::embed;
+
+use crate::propagate::TimeDependentHamiltonian;
+use crate::systems::{QubitDrive, STEPS_PER_NS};
+
+/// A drive subject to noise: carrier detuning `Δf` (rad/ns, added as a
+/// `Δf/2·σz` term in the drive's rotating frame) and a relative amplitude
+/// error (e.g. `0.001` for 0.1% fluctuation, applied as a worst-case
+/// constant scale).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DriveNoise {
+    /// Carrier detuning in rad/ns.
+    pub detuning: f64,
+    /// Relative amplitude error (dimensionless).
+    pub amplitude_error: f64,
+}
+
+impl DriveNoise {
+    /// No noise.
+    pub fn none() -> Self {
+        DriveNoise::default()
+    }
+
+    /// Detuning-only noise, in MHz.
+    pub fn detuning_mhz(f: f64) -> Self {
+        DriveNoise {
+            detuning: crate::mhz(f),
+            amplitude_error: 0.0,
+        }
+    }
+
+    /// Amplitude-only noise, as a fraction (0.001 = 0.1%).
+    pub fn amplitude(fraction: f64) -> Self {
+        DriveNoise {
+            detuning: 0.0,
+            amplitude_error: fraction,
+        }
+    }
+}
+
+/// Figure 17 measure: infidelity of a noisy single-qubit pulse (with
+/// spectator crosstalk `λ`) against `target ⊗ I`.
+pub fn infidelity_1q_noisy(
+    drive: &QubitDrive<'_>,
+    target: &Matrix,
+    lambda: f64,
+    noise: DriveNoise,
+) -> f64 {
+    let duration = drive.duration();
+    let scale = 1.0 + noise.amplitude_error;
+    let mut h_static = PauliString::zz(2, 0, 1)
+        .matrix()
+        .scale(zz_linalg::c64::real(lambda));
+    h_static.add_scaled(
+        &embed(&Pauli::Z.matrix(), &[0], 2),
+        zz_linalg::c64::real(noise.detuning / 2.0),
+    );
+    let mut h = TimeDependentHamiltonian::new(h_static);
+    h.add_control(embed(&Pauli::X.matrix(), &[0], 2), move |t| scale * drive.x.value(t));
+    h.add_control(embed(&Pauli::Y.matrix(), &[0], 2), move |t| scale * drive.y.value(t));
+    let u = h.propagate(duration, (duration * STEPS_PER_NS) as usize);
+    average_gate_infidelity(&u, &target.kron(&Matrix::identity(2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{GaussianPulse, ZeroPulse};
+    use crate::mhz;
+    use zz_quantum::gates;
+
+    #[test]
+    fn zero_noise_matches_clean_infidelity() {
+        let x = GaussianPulse::with_rotation(std::f64::consts::FRAC_PI_2, 20.0);
+        let y = ZeroPulse::new(20.0);
+        let drive = QubitDrive { x: &x, y: &y };
+        let clean = crate::systems::infidelity_1q(&drive, &gates::x90(), mhz(0.3));
+        let noisy = infidelity_1q_noisy(&drive, &gates::x90(), mhz(0.3), DriveNoise::none());
+        assert!((clean - noisy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detuning_hurts_fidelity() {
+        let x = GaussianPulse::with_rotation(std::f64::consts::FRAC_PI_2, 20.0);
+        let y = ZeroPulse::new(20.0);
+        let drive = QubitDrive { x: &x, y: &y };
+        let base = infidelity_1q_noisy(&drive, &gates::x90(), 0.0, DriveNoise::none());
+        let detuned = infidelity_1q_noisy(&drive, &gates::x90(), 0.0, DriveNoise::detuning_mhz(1.0));
+        assert!(detuned > base + 1e-6, "{detuned} !> {base}");
+    }
+
+    #[test]
+    fn amplitude_error_hurts_less_than_detuning() {
+        // 0.1% amplitude error is a much smaller perturbation than 1 MHz
+        // detuning on a 20 ns pulse (paper Fig 17 shows the same ordering).
+        let x = GaussianPulse::with_rotation(std::f64::consts::FRAC_PI_2, 20.0);
+        let y = ZeroPulse::new(20.0);
+        let drive = QubitDrive { x: &x, y: &y };
+        let amp = infidelity_1q_noisy(&drive, &gates::x90(), 0.0, DriveNoise::amplitude(0.001));
+        let det = infidelity_1q_noisy(&drive, &gates::x90(), 0.0, DriveNoise::detuning_mhz(1.0));
+        assert!(amp < det);
+    }
+}

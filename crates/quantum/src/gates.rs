@@ -1,0 +1,320 @@
+//! Standard and IBMQ-native quantum gate matrices.
+//!
+//! The native set used throughout the paper (and this reproduction) is
+//! `{Rz(θ) (virtual), X90 = Rx(π/2), ZX90 = Rzx(π/2), I = Rx(2π)}`, matching
+//! IBMQ backends. Two-qubit gate matrices follow the workspace convention
+//! that qubit 0 (the first argument / control) is the most significant bit.
+
+use zz_linalg::{c64, Matrix};
+
+use crate::pauli::Pauli;
+
+/// The single-qubit identity.
+pub fn id() -> Matrix {
+    Matrix::identity(2)
+}
+
+/// Pauli X.
+pub fn x() -> Matrix {
+    Pauli::X.matrix()
+}
+
+/// Pauli Y.
+pub fn y() -> Matrix {
+    Pauli::Y.matrix()
+}
+
+/// Pauli Z.
+pub fn z() -> Matrix {
+    Pauli::Z.matrix()
+}
+
+/// Hadamard.
+pub fn h() -> Matrix {
+    let s = c64::real(std::f64::consts::FRAC_1_SQRT_2);
+    Matrix::from_rows(&[&[s, s], &[s, -s]])
+}
+
+/// Phase gate `S = diag(1, i)`.
+pub fn s() -> Matrix {
+    Matrix::diag(&[c64::ONE, c64::I])
+}
+
+/// Inverse phase gate `S† = diag(1, −i)`.
+pub fn sdg() -> Matrix {
+    Matrix::diag(&[c64::ONE, -c64::I])
+}
+
+/// T gate `diag(1, e^{iπ/4})`.
+pub fn t() -> Matrix {
+    Matrix::diag(&[c64::ONE, c64::cis(std::f64::consts::FRAC_PI_4)])
+}
+
+/// Inverse T gate.
+pub fn tdg() -> Matrix {
+    Matrix::diag(&[c64::ONE, c64::cis(-std::f64::consts::FRAC_PI_4)])
+}
+
+/// Rotation about X: `Rx(θ) = exp(−i θ/2 X)`.
+pub fn rx(theta: f64) -> Matrix {
+    let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    Matrix::from_rows(&[
+        &[c64::real(c), c64::new(0.0, -s)],
+        &[c64::new(0.0, -s), c64::real(c)],
+    ])
+}
+
+/// Rotation about Y: `Ry(θ) = exp(−i θ/2 Y)`.
+pub fn ry(theta: f64) -> Matrix {
+    let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    Matrix::from_rows(&[
+        &[c64::real(c), c64::real(-s)],
+        &[c64::real(s), c64::real(c)],
+    ])
+}
+
+/// Rotation about Z: `Rz(θ) = exp(−i θ/2 Z)`.
+pub fn rz(theta: f64) -> Matrix {
+    Matrix::diag(&[c64::cis(-theta / 2.0), c64::cis(theta / 2.0)])
+}
+
+/// The native `X90 = Rx(π/2)` pulse gate.
+pub fn x90() -> Matrix {
+    rx(std::f64::consts::FRAC_PI_2)
+}
+
+/// Phase gate `P(θ) = diag(1, e^{iθ})` (equals `Rz(θ)` up to global phase).
+pub fn phase(theta: f64) -> Matrix {
+    Matrix::diag(&[c64::ONE, c64::cis(theta)])
+}
+
+/// General single-qubit gate `U3(θ, φ, λ)` (OpenQASM convention).
+pub fn u3(theta: f64, phi: f64, lambda: f64) -> Matrix {
+    let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    Matrix::from_rows(&[
+        &[c64::real(c), -c64::cis(lambda) * s],
+        &[c64::cis(phi) * s, c64::cis(phi + lambda) * c],
+    ])
+}
+
+/// Cross-resonance rotation `Rzx(θ) = exp(−i θ/2 Z⊗X)`; qubit 0 is the
+/// control (Z factor), qubit 1 the target (X factor).
+pub fn rzx(theta: f64) -> Matrix {
+    let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    let cos = c64::real(c);
+    let isin = c64::new(0.0, -s);
+    Matrix::from_rows(&[
+        &[cos, isin, c64::ZERO, c64::ZERO],
+        &[isin, cos, c64::ZERO, c64::ZERO],
+        &[c64::ZERO, c64::ZERO, cos, -isin],
+        &[c64::ZERO, c64::ZERO, -isin, cos],
+    ])
+}
+
+/// The native `ZX90 = Rzx(π/2)` gate.
+pub fn zx90() -> Matrix {
+    rzx(std::f64::consts::FRAC_PI_2)
+}
+
+/// Two-qubit ZZ rotation `Rzz(θ) = exp(−i θ/2 Z⊗Z)`.
+pub fn rzz(theta: f64) -> Matrix {
+    let p = c64::cis(-theta / 2.0);
+    let q = c64::cis(theta / 2.0);
+    Matrix::diag(&[p, q, q, p])
+}
+
+/// CNOT with qubit 0 as control, qubit 1 as target.
+pub fn cnot() -> Matrix {
+    Matrix::from_rows(&[
+        &[c64::ONE, c64::ZERO, c64::ZERO, c64::ZERO],
+        &[c64::ZERO, c64::ONE, c64::ZERO, c64::ZERO],
+        &[c64::ZERO, c64::ZERO, c64::ZERO, c64::ONE],
+        &[c64::ZERO, c64::ZERO, c64::ONE, c64::ZERO],
+    ])
+}
+
+/// Controlled-Z (symmetric).
+pub fn cz() -> Matrix {
+    Matrix::diag(&[c64::ONE, c64::ONE, c64::ONE, -c64::ONE])
+}
+
+/// Controlled phase `CP(θ) = diag(1, 1, 1, e^{iθ})` (symmetric).
+pub fn cphase(theta: f64) -> Matrix {
+    Matrix::diag(&[c64::ONE, c64::ONE, c64::ONE, c64::cis(theta)])
+}
+
+/// SWAP.
+pub fn swap() -> Matrix {
+    Matrix::from_rows(&[
+        &[c64::ONE, c64::ZERO, c64::ZERO, c64::ZERO],
+        &[c64::ZERO, c64::ZERO, c64::ONE, c64::ZERO],
+        &[c64::ZERO, c64::ONE, c64::ZERO, c64::ZERO],
+        &[c64::ZERO, c64::ZERO, c64::ZERO, c64::ONE],
+    ])
+}
+
+/// `√X` (used by Google random circuits).
+pub fn sqrt_x() -> Matrix {
+    let a = c64::new(0.5, 0.5);
+    let b = c64::new(0.5, -0.5);
+    Matrix::from_rows(&[&[a, b], &[b, a]])
+}
+
+/// `√Y` (used by Google random circuits).
+pub fn sqrt_y() -> Matrix {
+    let a = c64::new(0.5, 0.5);
+    Matrix::from_rows(&[&[a, -a], &[a, a]])
+}
+
+/// `√W` where `W = (X+Y)/√2` (used by Google random circuits).
+pub fn sqrt_w() -> Matrix {
+    let w = {
+        let mut m = Pauli::X.matrix();
+        m.add_scaled(&Pauli::Y.matrix(), c64::ONE);
+        m.scale(c64::real(std::f64::consts::FRAC_1_SQRT_2))
+    };
+    let u = zz_linalg::expm::expm_neg_i_h_t(&w, std::f64::consts::FRAC_PI_4);
+    // Normalize the global phase so the (0,0) entry is 0.5+0.5i like √X/√Y.
+    u.scale(c64::new(0.5, 0.5) / u[(0, 0)])
+}
+
+/// Returns `true` if `a` and `b` are equal up to a global phase, entry-wise
+/// within `tol`.
+///
+/// ```
+/// use zz_quantum::gates::{self, equal_up_to_phase};
+/// let minus_x = gates::x().scale(zz_linalg::c64::new(-1.0, 0.0));
+/// assert!(equal_up_to_phase(&gates::x(), &minus_x, 1e-12));
+/// ```
+pub fn equal_up_to_phase(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return false;
+    }
+    // Find the largest entry of a to estimate the relative phase.
+    let mut best = (0, 0);
+    let mut best_mag = 0.0;
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            let m = a[(i, j)].abs();
+            if m > best_mag {
+                best_mag = m;
+                best = (i, j);
+            }
+        }
+    }
+    if best_mag < tol {
+        return b.max_norm() < tol;
+    }
+    let rel = b[best];
+    if rel.abs() < tol {
+        return false;
+    }
+    let phase = rel / a[best];
+    a.scale(phase).approx_eq(b, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::average_gate_fidelity;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for (name, g) in [
+            ("x", x()),
+            ("y", y()),
+            ("z", z()),
+            ("h", h()),
+            ("s", s()),
+            ("t", t()),
+            ("x90", x90()),
+            ("rx", rx(0.7)),
+            ("ry", ry(1.3)),
+            ("rz", rz(-2.1)),
+            ("u3", u3(0.5, 1.0, -0.3)),
+            ("rzx", rzx(0.9)),
+            ("rzz", rzz(1.1)),
+            ("cnot", cnot()),
+            ("cz", cz()),
+            ("swap", swap()),
+            ("sqrt_x", sqrt_x()),
+            ("sqrt_y", sqrt_y()),
+            ("sqrt_w", sqrt_w()),
+        ] {
+            assert!(g.is_unitary(1e-12), "{name} is not unitary");
+        }
+    }
+
+    #[test]
+    fn h_diagonalizes_x() {
+        // H X H = Z
+        let hxh = h().matmul(&x()).matmul(&h());
+        assert!(hxh.approx_eq(&z(), 1e-15));
+    }
+
+    #[test]
+    fn two_x90_make_an_x() {
+        assert!(equal_up_to_phase(&x90().matmul(&x90()), &x(), 1e-12));
+    }
+
+    #[test]
+    fn sqrt_gates_square_correctly() {
+        assert!(equal_up_to_phase(&sqrt_x().matmul(&sqrt_x()), &x(), 1e-12));
+        assert!(equal_up_to_phase(&sqrt_y().matmul(&sqrt_y()), &y(), 1e-12));
+        let w = {
+            let mut m = x();
+            m.add_scaled(&y(), c64::ONE);
+            m.scale(c64::real(std::f64::consts::FRAC_1_SQRT_2))
+        };
+        assert!(equal_up_to_phase(&sqrt_w().matmul(&sqrt_w()), &w, 1e-12));
+    }
+
+    #[test]
+    fn zxzxz_euler_form_reaches_h() {
+        // H = Rz(π/2)·X90·Rz(π/2) up to global phase (standard identity).
+        let u = rz(FRAC_PI_2).matmul(&x90()).matmul(&rz(FRAC_PI_2));
+        assert!(equal_up_to_phase(&u, &h(), 1e-12), "got {u:?}");
+    }
+
+    #[test]
+    fn cnot_from_zx90() {
+        // CNOT = e^{iπ/4} · (Rz(π/2)⊗Rx(π/2)) · Rzx(−π/2); verify up to phase.
+        let pre = rz(FRAC_PI_2).kron(&rx(FRAC_PI_2));
+        let u = pre.matmul(&rzx(-FRAC_PI_2));
+        assert!(equal_up_to_phase(&u, &cnot(), 1e-12), "got {u:?}");
+    }
+
+    #[test]
+    fn cphase_pi_is_cz() {
+        assert!(cphase(PI).approx_eq(&cz(), 1e-12));
+    }
+
+    #[test]
+    fn rzz_matches_pauli_exponential() {
+        let zz = crate::pauli::PauliString::zz(2, 0, 1).matrix();
+        let direct = zz_linalg::expm::expm_neg_i_h_t(&zz, 0.45);
+        assert!(rzz(0.9).approx_eq(&direct, 1e-12));
+    }
+
+    #[test]
+    fn identity_pulse_is_rx_2pi() {
+        // Rx(2π) = −I: identical to I for fidelity purposes.
+        let f = average_gate_fidelity(&rx(2.0 * PI), &id());
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_conjugates_operators() {
+        // SWAP (A⊗B) SWAP = B⊗A
+        let a = rx(0.4);
+        let b = rz(1.2);
+        let lhs = swap().matmul(&a.kron(&b)).matmul(&swap());
+        assert!(lhs.approx_eq(&b.kron(&a), 1e-12));
+    }
+
+    #[test]
+    fn equal_up_to_phase_rejects_different_gates() {
+        assert!(!equal_up_to_phase(&x(), &z(), 1e-12));
+    }
+}

@@ -1,0 +1,229 @@
+//! Pauli operators and Pauli strings.
+
+use std::fmt;
+
+use zz_linalg::{c64, Matrix};
+
+/// A single-qubit Pauli operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pauli {
+    /// The identity.
+    I,
+    /// The bit-flip operator σx.
+    X,
+    /// The operator σy.
+    Y,
+    /// The phase-flip operator σz.
+    Z,
+}
+
+impl Pauli {
+    /// The 2×2 matrix of this operator.
+    ///
+    /// ```
+    /// use zz_quantum::pauli::Pauli;
+    /// assert_eq!(Pauli::Z.matrix()[(1, 1)].re, -1.0);
+    /// ```
+    pub fn matrix(self) -> Matrix {
+        match self {
+            Pauli::I => Matrix::identity(2),
+            Pauli::X => Matrix::from_rows(&[&[c64::ZERO, c64::ONE], &[c64::ONE, c64::ZERO]]),
+            Pauli::Y => Matrix::from_rows(&[&[c64::ZERO, -c64::I], &[c64::I, c64::ZERO]]),
+            Pauli::Z => Matrix::diag(&[c64::ONE, -c64::ONE]),
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A tensor product of single-qubit Pauli operators, e.g. `Z⊗I⊗Z`.
+///
+/// # Example
+///
+/// ```
+/// use zz_quantum::pauli::{Pauli, PauliString};
+///
+/// let zz = PauliString::new(vec![Pauli::Z, Pauli::Z]);
+/// let m = zz.matrix();
+/// assert_eq!(m[(0, 0)].re, 1.0);  // ⟨00|ZZ|00⟩ = +1
+/// assert_eq!(m[(1, 1)].re, -1.0); // ⟨01|ZZ|01⟩ = −1
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    factors: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// Creates a Pauli string from its per-qubit factors (qubit 0 first).
+    pub fn new(factors: Vec<Pauli>) -> Self {
+        PauliString { factors }
+    }
+
+    /// The all-identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            factors: vec![Pauli::I; n],
+        }
+    }
+
+    /// A string that is `p` on qubit `q` and identity elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    pub fn single(n: usize, q: usize, p: Pauli) -> Self {
+        assert!(q < n, "qubit index {q} out of range for {n} qubits");
+        let mut s = PauliString::identity(n);
+        s.factors[q] = p;
+        s
+    }
+
+    /// The string `Z_u Z_v` on `n` qubits (the ZZ-crosstalk generator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or either index is out of range.
+    pub fn zz(n: usize, u: usize, v: usize) -> Self {
+        assert!(u != v, "zz requires two distinct qubits");
+        assert!(u < n && v < n, "qubit index out of range for {n} qubits");
+        let mut s = PauliString::identity(n);
+        s.factors[u] = Pauli::Z;
+        s.factors[v] = Pauli::Z;
+        s
+    }
+
+    /// Number of qubits.
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Returns `true` if the string acts on zero qubits.
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Per-qubit factors (qubit 0 first).
+    pub fn factors(&self) -> &[Pauli] {
+        &self.factors
+    }
+
+    /// Number of non-identity factors (the *weight* of the string).
+    pub fn weight(&self) -> usize {
+        self.factors.iter().filter(|&&p| p != Pauli::I).count()
+    }
+
+    /// The full `2^n × 2^n` matrix of this string.
+    ///
+    /// Intended for small `n`; the result has `4^n` entries.
+    pub fn matrix(&self) -> Matrix {
+        let mut m = Matrix::identity(1);
+        for &p in &self.factors {
+            m = m.kron(&p.matrix());
+        }
+        m
+    }
+
+    /// The diagonal of the matrix, for strings containing only `I` and `Z`.
+    ///
+    /// Returns `None` if the string contains `X` or `Y` (not diagonal).
+    /// This is the fast path for ZZ-phase evolution: entry `i` is the ±1
+    /// eigenvalue of basis state `|i⟩`.
+    pub fn diagonal(&self) -> Option<Vec<f64>> {
+        if self.factors.iter().any(|&p| p == Pauli::X || p == Pauli::Y) {
+            return None;
+        }
+        let n = self.factors.len();
+        let dim = 1usize << n;
+        let mut d = vec![1.0; dim];
+        for (q, &p) in self.factors.iter().enumerate() {
+            if p == Pauli::Z {
+                let bit = n - 1 - q;
+                for (i, e) in d.iter_mut().enumerate() {
+                    if (i >> bit) & 1 == 1 {
+                        *e = -*e;
+                    }
+                }
+            }
+        }
+        Some(d)
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.factors {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_matrices_are_involutions() {
+        for p in [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z] {
+            let m = p.matrix();
+            assert!(m.matmul(&m).approx_eq(&Matrix::identity(2), 1e-15), "{p}² ≠ I");
+        }
+    }
+
+    #[test]
+    fn xy_anticommute() {
+        let x = Pauli::X.matrix();
+        let y = Pauli::Y.matrix();
+        let anti = &x.matmul(&y) + &y.matmul(&x);
+        assert!(anti.approx_eq(&Matrix::zeros(2, 2), 1e-15));
+    }
+
+    #[test]
+    fn zz_diagonal_matches_matrix() {
+        let s = PauliString::zz(3, 0, 2);
+        let d = s.diagonal().expect("ZZ string is diagonal");
+        let m = s.matrix();
+        for (i, &di) in d.iter().enumerate() {
+            assert_eq!(m[(i, i)].re, di);
+        }
+    }
+
+    #[test]
+    fn diagonal_rejects_x() {
+        let s = PauliString::single(2, 0, Pauli::X);
+        assert!(s.diagonal().is_none());
+    }
+
+    #[test]
+    fn weight_counts_non_identity() {
+        let s = PauliString::zz(4, 1, 3);
+        assert_eq!(s.weight(), 2);
+        assert_eq!(PauliString::identity(4).weight(), 0);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let s = PauliString::new(vec![Pauli::Z, Pauli::I, Pauli::X]);
+        assert_eq!(s.to_string(), "ZIX");
+    }
+
+    #[test]
+    fn single_places_operator_at_qubit() {
+        // Qubit 0 is the most significant bit.
+        let s = PauliString::single(2, 0, Pauli::Z);
+        let d = s.diagonal().unwrap();
+        assert_eq!(d, vec![1.0, 1.0, -1.0, -1.0]);
+        let s1 = PauliString::single(2, 1, Pauli::Z);
+        assert_eq!(s1.diagonal().unwrap(), vec![1.0, -1.0, 1.0, -1.0]);
+    }
+}

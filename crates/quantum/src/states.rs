@@ -1,0 +1,93 @@
+//! Common quantum states.
+
+use zz_linalg::{c64, Vector};
+
+/// The single-qubit ground state `|0⟩`.
+pub fn ket0() -> Vector {
+    Vector::basis(2, 0)
+}
+
+/// The single-qubit excited state `|1⟩`.
+pub fn ket1() -> Vector {
+    Vector::basis(2, 1)
+}
+
+/// The superposition `|+⟩ = (|0⟩ + |1⟩)/√2`.
+pub fn plus() -> Vector {
+    Vector::from_vec(vec![
+        c64::real(std::f64::consts::FRAC_1_SQRT_2),
+        c64::real(std::f64::consts::FRAC_1_SQRT_2),
+    ])
+}
+
+/// The superposition `|−⟩ = (|0⟩ − |1⟩)/√2`.
+pub fn minus() -> Vector {
+    Vector::from_vec(vec![
+        c64::real(std::f64::consts::FRAC_1_SQRT_2),
+        c64::real(-std::f64::consts::FRAC_1_SQRT_2),
+    ])
+}
+
+/// The n-qubit all-zeros state `|0…0⟩`.
+pub fn zero_state(n: usize) -> Vector {
+    Vector::basis(1 << n, 0)
+}
+
+/// A computational basis state from its bits (qubit 0 first / most
+/// significant).
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+///
+/// # Example
+///
+/// ```
+/// use zz_quantum::states::basis_state;
+/// let s = basis_state(&[1, 0]); // |10⟩
+/// assert_eq!(s.as_slice()[2].re, 1.0);
+/// ```
+pub fn basis_state(bits: &[u8]) -> Vector {
+    assert!(!bits.is_empty(), "basis_state requires at least one bit");
+    let n = bits.len();
+    let mut index = 0usize;
+    for (q, &b) in bits.iter().enumerate() {
+        if b != 0 {
+            index |= 1 << (n - 1 - q);
+        }
+    }
+    Vector::basis(1 << n, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_minus_are_orthogonal() {
+        assert!(plus().dot(&minus()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_state_is_first_basis_vector() {
+        let s = zero_state(3);
+        assert_eq!(s.as_slice()[0], c64::ONE);
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn basis_state_bit_order() {
+        // |q0 q1⟩ with q0 most significant.
+        let s01 = basis_state(&[0, 1]);
+        assert_eq!(s01.as_slice()[1], c64::ONE);
+        let s10 = basis_state(&[1, 0]);
+        assert_eq!(s10.as_slice()[2], c64::ONE);
+    }
+
+    #[test]
+    fn kron_matches_basis_state() {
+        let manual = ket1().kron(&ket0()).kron(&ket1());
+        let direct = basis_state(&[1, 0, 1]);
+        assert_eq!(manual.as_slice(), direct.as_slice());
+    }
+}

@@ -1,0 +1,140 @@
+//! The `NQ`/`NC` suppression metrics of a qubit-status assignment.
+//!
+//! Given a layer, each qubit either has a pulse applied (set `S`) or not
+//! (set `T`); this status assignment is a cut of the topology. Crosstalk on
+//! couplings *across* the cut is suppressed by the ZZ-optimized pulses;
+//! couplings *within* either side keep their full crosstalk. The paper
+//! quantifies the residue with two metrics (Sec 2.1):
+//!
+//! * `NC` — number of couplings with unsuppressed crosstalk (edges whose
+//!   endpoints share a status),
+//! * `NQ` — number of qubits in the largest *region* (connected component
+//!   of same-status qubits), which bounds the weight of correlated errors.
+
+use zz_topology::Topology;
+
+/// Metrics of a status cut, plus the classification used by the error model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CutMetrics {
+    /// Number of couplings with unsuppressed crosstalk (`NC`).
+    pub nc: usize,
+    /// Qubit count of the largest same-status region (`NQ`).
+    pub nq: usize,
+    /// For each coupling (by edge id): `true` if its crosstalk is suppressed
+    /// (endpoints have different status).
+    pub suppressed: Vec<bool>,
+}
+
+/// Computes [`CutMetrics`] for a per-qubit pulse status vector.
+///
+/// # Panics
+///
+/// Panics if `pulsed.len() != topo.qubit_count()`.
+///
+/// # Example
+///
+/// ```
+/// use zz_sched::cut_metrics;
+/// use zz_topology::Topology;
+///
+/// let topo = Topology::grid(2, 2);
+/// // Pulsing a bipartition class of a grid suppresses every coupling.
+/// let m = cut_metrics(&topo, &[true, false, false, true]);
+/// assert_eq!(m.nc, 0);
+/// assert_eq!(m.nq, 1);
+/// ```
+pub fn cut_metrics(topo: &Topology, pulsed: &[bool]) -> CutMetrics {
+    assert_eq!(
+        pulsed.len(),
+        topo.qubit_count(),
+        "status vector must cover every qubit"
+    );
+    let mut suppressed = Vec::with_capacity(topo.coupling_count());
+    let mut remaining = Vec::new();
+    for &(u, v) in topo.couplings() {
+        let cross = pulsed[u] != pulsed[v];
+        suppressed.push(cross);
+        if !cross {
+            remaining.push((u, v));
+        }
+    }
+    let nc = remaining.len();
+    let nq = zz_graph::largest_component_size(topo.qubit_count(), &remaining);
+    CutMetrics { nc, nq, suppressed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_idle_is_one_big_region() {
+        let topo = Topology::grid(3, 4);
+        let m = cut_metrics(&topo, &vec![false; 12]);
+        assert_eq!(m.nc, 17);
+        assert_eq!(m.nq, 12);
+        assert!(m.suppressed.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn bipartition_of_grid_suppresses_everything() {
+        let topo = Topology::grid(3, 4);
+        let pulsed: Vec<bool> = (0..12).map(|q| (q / 4 + q % 4) % 2 == 0).collect();
+        let m = cut_metrics(&topo, &pulsed);
+        assert_eq!(m.nc, 0);
+        assert_eq!(m.nq, 1);
+    }
+
+    #[test]
+    fn single_pulsed_qubit() {
+        let topo = Topology::line(4);
+        // Pulse only qubit 1: couplings 0-1, 1-2 suppressed; 2-3 not.
+        let m = cut_metrics(&topo, &[false, true, false, false]);
+        assert_eq!(m.nc, 1);
+        assert_eq!(m.nq, 2); // region {2, 3}
+        assert_eq!(m.suppressed, vec![true, true, false]);
+    }
+
+    #[test]
+    fn motivating_example_figure3b() {
+        // Paper Fig 3(b): 5×3 grid, CNOT on (7,8)→indices(6,7), H on 9,10→(8,9)
+        // executed as one layer, no identities: NQ = 11, NC = 13.
+        let topo = Topology::grid(3, 5);
+        // Paper numbers qubits 1..15 row-major on a 5-wide grid.
+        let mut pulsed = vec![false; 15];
+        for q in [6, 7, 8, 9] {
+            pulsed[q] = true;
+        }
+        let m = cut_metrics(&topo, &pulsed);
+        assert_eq!(m.nq, 11);
+        assert_eq!(m.nc, 13);
+    }
+
+    #[test]
+    fn motivating_example_figure3c_plan_a() {
+        // Plan A adds identity gates on qubits 1 and 11 → indices 0 and 10:
+        // NQ = 4, NC = 9.
+        let topo = Topology::grid(3, 5);
+        let mut pulsed = vec![false; 15];
+        for q in [6, 7, 8, 9, 0, 10] {
+            pulsed[q] = true;
+        }
+        let m = cut_metrics(&topo, &pulsed);
+        assert_eq!(m.nq, 4);
+        assert_eq!(m.nc, 9);
+    }
+
+    #[test]
+    fn motivating_example_figure3c_plan_b() {
+        // Plan B: identities on 1, 11, 3, 13 → indices 0, 10, 2, 12:
+        // NQ = 6, NC = 7.
+        let topo = Topology::grid(3, 5);
+        let mut pulsed = vec![false; 15];
+        for q in [6, 7, 8, 9, 0, 10, 2, 12] {
+            pulsed[q] = true;
+        }
+        let m = cut_metrics(&topo, &pulsed);
+        assert_eq!(m.nq, 6);
+        assert_eq!(m.nc, 7);
+    }
+}

@@ -1,0 +1,133 @@
+//! ParSched: the maximal-parallelism ASAP baseline.
+//!
+//! This is the scheduling policy of current compilers (Qiskit, Quilc): every
+//! gate runs as soon as its predecessors finish, maximizing parallelism and
+//! ignoring crosstalk entirely. The paper uses `Gau+ParSched` as the
+//! state-of-the-art baseline.
+
+use zz_circuit::native::NativeCircuit;
+use zz_topology::Topology;
+
+use crate::metrics::cut_metrics;
+use crate::plan::{DependencyTracker, Layer, SchedulePlan};
+
+/// Schedules `circuit` with maximal parallelism (ASAP layers).
+///
+/// Each layer contains *every* currently schedulable physical op — they are
+/// automatically qubit-disjoint — with no identity supplementation.
+///
+/// # Panics
+///
+/// Panics if the circuit uses more qubits than the device has.
+///
+/// # Example
+///
+/// ```
+/// use zz_circuit::native::{NativeCircuit, NativeOp};
+/// use zz_sched::par_schedule;
+/// use zz_topology::Topology;
+///
+/// let mut c = NativeCircuit::new(4);
+/// c.push(NativeOp::X90 { qubit: 0 });
+/// c.push(NativeOp::X90 { qubit: 3 });
+/// c.push(NativeOp::X90 { qubit: 0 });
+/// let plan = par_schedule(&Topology::grid(2, 2), &c);
+/// assert_eq!(plan.layer_count(), 2); // q0+q3 together, then q0 again
+/// ```
+pub fn par_schedule(topo: &Topology, circuit: &NativeCircuit) -> SchedulePlan {
+    assert!(
+        circuit.qubit_count() <= topo.qubit_count(),
+        "circuit does not fit on the device"
+    );
+    let n = topo.qubit_count();
+    let mut plan = SchedulePlan::new(n);
+    let mut tracker = DependencyTracker::new(circuit);
+
+    loop {
+        let rz = tracker.flush_rz();
+        let ready = tracker.ready_physical();
+        if ready.is_empty() {
+            plan.final_rz = rz;
+            break;
+        }
+        let mut ops = Vec::with_capacity(ready.len());
+        let mut pulsed = vec![false; n];
+        for i in ready {
+            let op = tracker.circuit().ops()[i];
+            for q in op.qubits() {
+                pulsed[q] = true;
+            }
+            ops.push(op);
+            tracker.take_physical(i);
+        }
+        let metrics = cut_metrics(topo, &pulsed);
+        plan.layers.push(Layer {
+            rz_before: rz,
+            ops,
+            pulsed,
+            metrics,
+        });
+    }
+    debug_assert_eq!(tracker.remaining(), 0, "all ops scheduled");
+    debug_assert!(plan.validate().is_ok());
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zz_circuit::native::{compile_to_native, NativeOp};
+    use zz_circuit::{route, Circuit, Gate};
+    use zz_quantum::gates::equal_up_to_phase;
+
+    #[test]
+    fn parallel_ops_share_a_layer() {
+        let topo = Topology::grid(2, 3);
+        let mut c = NativeCircuit::new(6);
+        for q in 0..6 {
+            c.push(NativeOp::X90 { qubit: q });
+        }
+        let plan = par_schedule(&topo, &c);
+        assert_eq!(plan.layer_count(), 1);
+        assert_eq!(plan.layers[0].ops.len(), 6);
+        assert_eq!(plan.layers[0].metrics.nq, 6); // one big pulsed region
+    }
+
+    #[test]
+    fn plan_implements_the_circuit_unitary() {
+        let topo = Topology::grid(2, 2);
+        let mut logical = Circuit::new(4);
+        logical
+            .push(Gate::H, &[0])
+            .push(Gate::Cnot, &[0, 1])
+            .push(Gate::T, &[1])
+            .push(Gate::Cnot, &[1, 3])
+            .push(Gate::H, &[2]);
+        let native = compile_to_native(&route(&logical, &topo));
+        let plan = par_schedule(&topo, &native);
+        assert!(plan.validate().is_ok());
+        assert!(
+            equal_up_to_phase(&plan.unitary(), &native.unitary(), 1e-9),
+            "schedule must preserve the computation"
+        );
+    }
+
+    #[test]
+    fn no_identity_pulses_in_parsched() {
+        let topo = Topology::grid(3, 4);
+        let mut c = NativeCircuit::new(12);
+        c.push(NativeOp::X90 { qubit: 5 });
+        let plan = par_schedule(&topo, &c);
+        assert_eq!(plan.identity_count(), 0);
+    }
+
+    #[test]
+    fn trailing_rz_lands_in_final_rz() {
+        let topo = Topology::line(2);
+        let mut c = NativeCircuit::new(2);
+        c.push(NativeOp::X90 { qubit: 0 });
+        c.push(NativeOp::Rz { qubit: 0, theta: 0.5 });
+        let plan = par_schedule(&topo, &c);
+        assert_eq!(plan.final_rz, vec![(0, 0.5)]);
+    }
+}

@@ -1,0 +1,372 @@
+//! Scheduled layers and whole-circuit plans.
+
+use zz_circuit::native::{NativeCircuit, NativeOp};
+use zz_linalg::Matrix;
+use zz_quantum::{embed, gates};
+
+use crate::metrics::CutMetrics;
+
+/// Pulse durations (ns) of the physical native gates.
+///
+/// Layer duration is the maximum duration among the layer's pulses; virtual
+/// `Rz` is free.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GateDurations {
+    /// `X90` pulse duration.
+    pub x90: f64,
+    /// `ZX90` pulse duration.
+    pub zx90: f64,
+    /// Identity pulse duration.
+    pub id: f64,
+}
+
+impl GateDurations {
+    /// The 20 ns pulses of the paper's Gaussian/OptCtrl/Pert methods
+    /// (the paper sets `T = 20 ns` for single- and two-qubit pulses alike).
+    pub fn standard() -> Self {
+        GateDurations {
+            x90: 20.0,
+            zx90: 20.0,
+            id: 20.0,
+        }
+    }
+
+    /// DCG sequences: 120 ns `X90`, 40 ns identity (paper Sec 7.1.1); the
+    /// two-qubit sequence the paper leaves unimplemented is charged 120 ns.
+    pub fn dcg() -> Self {
+        GateDurations {
+            x90: 120.0,
+            zx90: 120.0,
+            id: 40.0,
+        }
+    }
+
+    /// Duration of one op under this table.
+    pub fn of(&self, op: &NativeOp) -> f64 {
+        match op {
+            NativeOp::Rz { .. } => 0.0,
+            NativeOp::X90 { .. } => self.x90,
+            NativeOp::Zx90 { .. } => self.zx90,
+            NativeOp::Id { .. } => self.id,
+        }
+    }
+}
+
+impl Default for GateDurations {
+    fn default() -> Self {
+        GateDurations::standard()
+    }
+}
+
+/// One scheduled layer: simultaneous pulses plus the virtual rotations that
+/// precede them.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    /// Virtual `Rz` rotations applied (for free) before this layer's pulses,
+    /// as `(qubit, angle)` in program order.
+    pub rz_before: Vec<(usize, f64)>,
+    /// The physical pulses of this layer (`X90`/`ZX90`/`Id`), on disjoint
+    /// qubits.
+    pub ops: Vec<NativeOp>,
+    /// Per-qubit pulse status — `pulsed[q]` is `true` iff some op of this
+    /// layer (including identity pulses) acts on `q`.
+    pub pulsed: Vec<bool>,
+    /// Suppression metrics of this layer's status cut.
+    pub metrics: CutMetrics,
+}
+
+impl Layer {
+    /// Layer duration: the longest pulse in the layer.
+    pub fn duration(&self, durations: &GateDurations) -> f64 {
+        self.ops
+            .iter()
+            .map(|op| durations.of(op))
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of identity pulses inserted for suppression.
+    pub fn identity_count(&self) -> usize {
+        self.ops.iter().filter(|op| matches!(op, NativeOp::Id { .. })).count()
+    }
+}
+
+/// A complete schedule: an ordered list of layers plus trailing virtual
+/// rotations.
+#[derive(Clone, Debug)]
+pub struct SchedulePlan {
+    qubit_count: usize,
+    /// The scheduled layers in execution order.
+    pub layers: Vec<Layer>,
+    /// Virtual `Rz` rotations left over after the last layer.
+    pub final_rz: Vec<(usize, f64)>,
+}
+
+impl SchedulePlan {
+    /// Creates an empty plan (used by the schedulers).
+    pub(crate) fn new(qubit_count: usize) -> Self {
+        SchedulePlan {
+            qubit_count,
+            layers: Vec::new(),
+            final_rz: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.qubit_count
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total execution time under a duration table.
+    pub fn duration(&self, durations: &GateDurations) -> f64 {
+        self.layers.iter().map(|l| l.duration(durations)).sum()
+    }
+
+    /// Mean `NC` over layers — the per-layer average count of couplings with
+    /// unsuppressed crosstalk (the quantity of the paper's Figure 25).
+    pub fn mean_nc(&self) -> f64 {
+        if self.layers.is_empty() {
+            return 0.0;
+        }
+        self.layers.iter().map(|l| l.metrics.nc as f64).sum::<f64>() / self.layers.len() as f64
+    }
+
+    /// Mean `NQ` over layers.
+    pub fn mean_nq(&self) -> f64 {
+        if self.layers.is_empty() {
+            return 0.0;
+        }
+        self.layers.iter().map(|l| l.metrics.nq as f64).sum::<f64>() / self.layers.len() as f64
+    }
+
+    /// Total identity pulses inserted across all layers.
+    pub fn identity_count(&self) -> usize {
+        self.layers.iter().map(Layer::identity_count).sum()
+    }
+
+    /// The exact unitary this plan implements (identity pulses are true
+    /// identities at this level). Dense; for testing schedule correctness.
+    pub fn unitary(&self) -> Matrix {
+        let dim = 1usize << self.qubit_count;
+        let mut u = Matrix::identity(dim);
+        let apply = |m: &Matrix, qs: &[usize], u: &mut Matrix| {
+            let g = embed(m, qs, self.qubit_count);
+            *u = g.matmul(u);
+        };
+        for layer in &self.layers {
+            for &(q, theta) in &layer.rz_before {
+                apply(&gates::rz(theta), &[q], &mut u);
+            }
+            for op in &layer.ops {
+                match op {
+                    NativeOp::Id { .. } => {}
+                    other => apply(&other.matrix(), &other.qubits(), &mut u),
+                }
+            }
+        }
+        for &(q, theta) in &self.final_rz {
+            apply(&gates::rz(theta), &[q], &mut u);
+        }
+        u
+    }
+
+    /// Checks structural invariants: ops within a layer act on disjoint
+    /// qubits, `pulsed` matches the ops, and every layer has at least one
+    /// pulse. Used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, layer) in self.layers.iter().enumerate() {
+            if layer.ops.is_empty() {
+                return Err(format!("layer {i} has no pulses"));
+            }
+            let mut seen = vec![false; self.qubit_count];
+            for op in &layer.ops {
+                for q in op.qubits() {
+                    if seen[q] {
+                        return Err(format!("layer {i}: qubit {q} pulsed twice"));
+                    }
+                    seen[q] = true;
+                }
+            }
+            if seen != layer.pulsed {
+                return Err(format!("layer {i}: pulsed vector inconsistent with ops"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shared machinery for schedulers: per-qubit dependency chains over a
+/// [`NativeCircuit`] with eager flushing of virtual rotations.
+pub(crate) struct DependencyTracker<'c> {
+    circuit: &'c NativeCircuit,
+    /// Remaining predecessor count per op.
+    preds: Vec<usize>,
+    /// Ops unlocked by each op.
+    succs: Vec<Vec<usize>>,
+    /// Ready physical ops (indices into the circuit).
+    ready_physical: Vec<usize>,
+    /// Ready-but-unflushed virtual rotations.
+    ready_rz: Vec<usize>,
+    remaining: usize,
+}
+
+impl<'c> DependencyTracker<'c> {
+    pub fn new(circuit: &'c NativeCircuit) -> Self {
+        let ops = circuit.ops();
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.qubit_count()];
+        let mut preds = vec![0usize; ops.len()];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
+        for (i, op) in ops.iter().enumerate() {
+            let mut direct: Vec<usize> = op
+                .qubits()
+                .into_iter()
+                .filter_map(|q| last_on_qubit[q])
+                .collect();
+            direct.sort_unstable();
+            direct.dedup();
+            preds[i] = direct.len();
+            for p in direct {
+                succs[p].push(i);
+            }
+            for q in op.qubits() {
+                last_on_qubit[q] = Some(i);
+            }
+        }
+        let mut tracker = DependencyTracker {
+            circuit,
+            preds,
+            succs,
+            ready_physical: Vec::new(),
+            ready_rz: Vec::new(),
+            remaining: ops.len(),
+        };
+        for i in 0..ops.len() {
+            if tracker.preds[i] == 0 {
+                tracker.enqueue(i);
+            }
+        }
+        tracker
+    }
+
+    fn enqueue(&mut self, i: usize) {
+        if self.circuit.ops()[i].is_physical() {
+            self.ready_physical.push(i);
+        } else {
+            self.ready_rz.push(i);
+        }
+    }
+
+    /// Flushes all currently ready virtual rotations (in program order) and
+    /// returns them as `(qubit, theta)`.
+    pub fn flush_rz(&mut self) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        while !self.ready_rz.is_empty() {
+            let mut batch = std::mem::take(&mut self.ready_rz);
+            batch.sort_unstable();
+            for i in batch {
+                if let NativeOp::Rz { qubit, theta } = self.circuit.ops()[i] {
+                    out.push((qubit, theta));
+                }
+                self.complete(i);
+            }
+        }
+        out
+    }
+
+    /// Marks op `i` complete, unlocking successors.
+    pub fn complete(&mut self, i: usize) {
+        self.remaining -= 1;
+        for s in self.succs[i].clone() {
+            self.preds[s] -= 1;
+            if self.preds[s] == 0 {
+                self.enqueue(s);
+            }
+        }
+    }
+
+    /// Currently ready physical ops (sorted in program order).
+    pub fn ready_physical(&self) -> Vec<usize> {
+        let mut v = self.ready_physical.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// Removes a scheduled op from the ready set.
+    pub fn take_physical(&mut self, i: usize) {
+        let pos = self
+            .ready_physical
+            .iter()
+            .position(|&x| x == i)
+            .expect("op must be ready before scheduling");
+        self.ready_physical.swap_remove(pos);
+        self.complete(i);
+    }
+
+    /// Number of ops not yet completed.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &NativeCircuit {
+        self.circuit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_pick_the_longest_pulse() {
+        let layer = Layer {
+            rz_before: vec![],
+            ops: vec![NativeOp::X90 { qubit: 0 }, NativeOp::Zx90 { control: 1, target: 2 }],
+            pulsed: vec![true, true, true],
+            metrics: CutMetrics {
+                nc: 0,
+                nq: 1,
+                suppressed: vec![],
+            },
+        };
+        assert_eq!(layer.duration(&GateDurations::standard()), 20.0);
+        assert_eq!(layer.duration(&GateDurations::dcg()), 120.0);
+    }
+
+    #[test]
+    fn tracker_respects_per_qubit_order() {
+        let mut c = NativeCircuit::new(2);
+        c.push(NativeOp::Rz { qubit: 0, theta: 1.0 });
+        c.push(NativeOp::X90 { qubit: 0 });
+        c.push(NativeOp::Rz { qubit: 0, theta: 2.0 });
+        c.push(NativeOp::X90 { qubit: 1 });
+        let mut t = DependencyTracker::new(&c);
+        let rz = t.flush_rz();
+        assert_eq!(rz, vec![(0, 1.0)]); // the second Rz waits for the X90
+        let ready = t.ready_physical();
+        assert_eq!(ready, vec![1, 3]);
+        t.take_physical(1);
+        let rz2 = t.flush_rz();
+        assert_eq!(rz2, vec![(0, 2.0)]);
+        t.take_physical(3);
+        assert_eq!(t.remaining(), 0);
+    }
+
+    #[test]
+    fn zx90_orders_against_both_qubits() {
+        let mut c = NativeCircuit::new(3);
+        c.push(NativeOp::X90 { qubit: 0 });
+        c.push(NativeOp::Zx90 { control: 0, target: 1 });
+        c.push(NativeOp::X90 { qubit: 1 });
+        let mut t = DependencyTracker::new(&c);
+        assert_eq!(t.ready_physical(), vec![0]);
+        t.take_physical(0);
+        assert_eq!(t.ready_physical(), vec![1]);
+        t.take_physical(1);
+        assert_eq!(t.ready_physical(), vec![2]);
+    }
+}

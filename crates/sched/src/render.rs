@@ -1,0 +1,118 @@
+//! ASCII rendering of schedule plans.
+//!
+//! A quick way to *see* what the scheduler did: one row per qubit, one
+//! column per layer, with the pulse kind in each cell. Used by the examples
+//! and handy in tests and debugging sessions.
+
+use zz_circuit::native::NativeOp;
+
+use crate::plan::SchedulePlan;
+
+/// Renders a plan as an ASCII timeline.
+///
+/// Cell legend: `X` = X90, `C`/`T` = ZX90 control/target, `I` = identity
+/// pulse, `.` = idle. Virtual rotations are not shown (they take no time).
+///
+/// # Example
+///
+/// ```
+/// use zz_circuit::native::{NativeCircuit, NativeOp};
+/// use zz_sched::{par_schedule, render_plan};
+/// use zz_topology::Topology;
+///
+/// let mut c = NativeCircuit::new(2);
+/// c.push(NativeOp::X90 { qubit: 0 });
+/// c.push(NativeOp::Zx90 { control: 0, target: 1 });
+/// let plan = par_schedule(&Topology::line(2), &c);
+/// let art = render_plan(&plan);
+/// assert!(art.contains("q0 | X C"));
+/// assert!(art.contains("q1 | . T"));
+/// ```
+pub fn render_plan(plan: &SchedulePlan) -> String {
+    let n = plan.qubit_count();
+    let mut rows: Vec<Vec<char>> = vec![Vec::with_capacity(plan.layer_count()); n];
+    for layer in &plan.layers {
+        let mut cells = vec!['.'; n];
+        for op in &layer.ops {
+            match *op {
+                NativeOp::X90 { qubit } => cells[qubit] = 'X',
+                NativeOp::Id { qubit } => cells[qubit] = 'I',
+                NativeOp::Zx90 { control, target } => {
+                    cells[control] = 'C';
+                    cells[target] = 'T';
+                }
+                NativeOp::Rz { .. } => {}
+            }
+        }
+        for (q, &c) in cells.iter().enumerate() {
+            rows[q].push(c);
+        }
+    }
+    let mut out = String::new();
+    let width = (n as f64).log10().floor() as usize + 1;
+    for (q, row) in rows.iter().enumerate() {
+        out.push_str(&format!("q{q:<width$} |"));
+        for &c in row {
+            out.push(' ');
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line summary of a plan: layer count, identity count, mean metrics.
+pub fn summarize_plan(plan: &SchedulePlan) -> String {
+    format!(
+        "{} layers, {} identity pulses, mean NC {:.2}, mean NQ {:.2}",
+        plan.layer_count(),
+        plan.identity_count(),
+        plan.mean_nc(),
+        plan.mean_nq()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parsched::par_schedule;
+    use crate::zzx::{zzx_schedule, ZzxConfig};
+    use zz_circuit::native::NativeCircuit;
+    use zz_topology::Topology;
+
+    #[test]
+    fn renders_identities_and_gates() {
+        let topo = Topology::grid(2, 2);
+        let mut c = NativeCircuit::new(4);
+        c.push(NativeOp::X90 { qubit: 0 });
+        let plan = zzx_schedule(&topo, &c, &ZzxConfig::paper_default(&topo));
+        let art = render_plan(&plan);
+        assert!(art.contains('X'));
+        assert!(art.contains('I'), "identity supplementation must show: \n{art}");
+        assert_eq!(art.lines().count(), 4);
+    }
+
+    #[test]
+    fn summary_contains_the_numbers() {
+        let topo = Topology::line(2);
+        let mut c = NativeCircuit::new(2);
+        c.push(NativeOp::X90 { qubit: 1 });
+        let plan = par_schedule(&topo, &c);
+        let s = summarize_plan(&plan);
+        assert!(s.contains("1 layers"));
+        assert!(s.contains("0 identity"));
+    }
+
+    #[test]
+    fn idle_cells_are_dots() {
+        let topo = Topology::line(3);
+        let mut c = NativeCircuit::new(3);
+        c.push(NativeOp::X90 { qubit: 1 });
+        let plan = par_schedule(&topo, &c);
+        let art = render_plan(&plan);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].ends_with('.'));
+        assert!(lines[1].ends_with('X'));
+        assert!(lines[2].ends_with('.'));
+    }
+}

@@ -1,0 +1,226 @@
+//! A density-matrix simulator with exact Kraus noise channels.
+//!
+//! Usable up to ~6 qubits (the matrix has `4^n` entries); serves as the
+//! exact reference against which the trajectory unraveling in [`crate::executor`]
+//! is validated, and runs the decoherence experiments on small registers.
+
+use zz_linalg::{c64, Matrix, Vector};
+use zz_quantum::embed;
+
+use crate::StateVector;
+
+/// An n-qubit density matrix.
+#[derive(Clone, Debug)]
+pub struct DensityMatrix {
+    n: usize,
+    rho: Matrix,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    pub fn zero(n: usize) -> Self {
+        let dim = 1usize << n;
+        let mut rho = Matrix::zeros(dim, dim);
+        rho[(0, 0)] = c64::ONE;
+        DensityMatrix { n, rho }
+    }
+
+    /// The pure state `|ψ⟩⟨ψ|` of a statevector.
+    pub fn from_state(sv: &StateVector) -> Self {
+        let amps = sv.amplitudes();
+        let dim = amps.len();
+        let rho = Matrix::from_fn(dim, dim, |i, j| amps[i] * amps[j].conj());
+        DensityMatrix {
+            n: sv.qubit_count(),
+            rho,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.n
+    }
+
+    /// The raw matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.rho
+    }
+
+    /// Trace (should stay 1 under trace-preserving channels).
+    pub fn trace(&self) -> f64 {
+        self.rho.trace().re
+    }
+
+    /// Purity `Tr(ρ²)`.
+    pub fn purity(&self) -> f64 {
+        self.rho.matmul(&self.rho).trace().re
+    }
+
+    /// Applies a unitary on the given qubits: `ρ ← UρU†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension/indices mismatch (see [`embed`]).
+    pub fn apply_unitary(&mut self, u: &Matrix, qubits: &[usize]) {
+        let full = embed(u, qubits, self.n);
+        self.rho = full.matmul(&self.rho).matmul(&full.dagger());
+    }
+
+    /// Applies a single-qubit Kraus channel `ρ ← Σ KᵢρKᵢ†` on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any Kraus operator is not 2×2 or `q` is out of range.
+    pub fn apply_kraus(&mut self, kraus: &[Matrix], q: usize) {
+        assert!(q < self.n, "qubit {q} out of range");
+        let dim = self.rho.rows();
+        let mut out = Matrix::zeros(dim, dim);
+        for k in kraus {
+            assert_eq!(k.rows(), 2, "single-qubit Kraus operators expected");
+            let full = embed(k, &[q], self.n);
+            let term = full.matmul(&self.rho).matmul(&full.dagger());
+            out.add_scaled(&term, c64::ONE);
+        }
+        self.rho = out;
+    }
+
+    /// Fidelity `⟨ψ|ρ|ψ⟩` against a pure target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn fidelity_to_pure(&self, psi: &Vector) -> f64 {
+        zz_quantum::fidelity::state_fidelity_dm(&self.rho, psi)
+    }
+}
+
+/// Kraus operators of the amplitude-damping channel with decay probability
+/// `gamma = 1 − e^{−t/T1}`.
+pub fn amplitude_damping(gamma: f64) -> Vec<Matrix> {
+    assert!((0.0..=1.0).contains(&gamma), "gamma must be a probability");
+    let k0 = Matrix::from_rows(&[
+        &[c64::ONE, c64::ZERO],
+        &[c64::ZERO, c64::real((1.0 - gamma).sqrt())],
+    ]);
+    let k1 = Matrix::from_rows(&[
+        &[c64::ZERO, c64::real(gamma.sqrt())],
+        &[c64::ZERO, c64::ZERO],
+    ]);
+    vec![k0, k1]
+}
+
+/// Kraus operators of the phase-damping (pure dephasing) channel that
+/// shrinks coherences by `e^{−t/Tφ}`; `p` is the equivalent phase-flip
+/// probability `p = (1 − e^{−t/Tφ})/2`.
+pub fn dephasing(p: f64) -> Vec<Matrix> {
+    assert!((0.0..=0.5).contains(&p), "dephasing probability must be in [0, 1/2]");
+    let k0 = Matrix::identity(2).scale(c64::real((1.0 - p).sqrt()));
+    let k1 = zz_quantum::pauli::Pauli::Z.matrix().scale(c64::real(p.sqrt()));
+    vec![k0, k1]
+}
+
+/// Decoherence times (ns).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Decoherence {
+    /// Relaxation time `T1` (ns).
+    pub t1: f64,
+    /// Total dephasing time `T2` (ns); must satisfy `T2 ≤ 2·T1`.
+    pub t2: f64,
+}
+
+impl Decoherence {
+    /// Creates a decoherence model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < T2 ≤ 2·T1`.
+    pub fn new(t1: f64, t2: f64) -> Self {
+        assert!(t1 > 0.0 && t2 > 0.0, "decoherence times must be positive");
+        assert!(t2 <= 2.0 * t1 + 1e-9, "T2 cannot exceed 2·T1");
+        Decoherence { t1, t2 }
+    }
+
+    /// Equal times (the paper's Figure 23 sweeps `T1 = T2`), given in µs.
+    pub fn equal_us(t: f64) -> Self {
+        Decoherence::new(t * 1000.0, t * 1000.0)
+    }
+
+    /// Amplitude-damping probability over `dt` ns.
+    pub fn gamma(&self, dt: f64) -> f64 {
+        1.0 - (-dt / self.t1).exp()
+    }
+
+    /// Pure-dephasing phase-flip probability over `dt` ns
+    /// (from `1/Tφ = 1/T2 − 1/(2T1)`).
+    pub fn phase_flip(&self, dt: f64) -> f64 {
+        let rate = 1.0 / self.t2 - 1.0 / (2.0 * self.t1);
+        (1.0 - (-dt * rate).exp()) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zz_quantum::gates;
+
+    #[test]
+    fn channels_are_trace_preserving() {
+        for kraus in [amplitude_damping(0.3), dephasing(0.2)] {
+            let mut sum = Matrix::zeros(2, 2);
+            for k in &kraus {
+                sum.add_scaled(&k.dagger().matmul(k), c64::ONE);
+            }
+            assert!(sum.approx_eq(&Matrix::identity(2), 1e-12));
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut dm = DensityMatrix::zero(1);
+        dm.apply_unitary(&gates::x(), &[0]);
+        dm.apply_kraus(&amplitude_damping(0.25), 0);
+        assert!((dm.matrix()[(1, 1)].re - 0.75).abs() < 1e-12);
+        assert!((dm.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dephasing_kills_coherence_not_population() {
+        let mut dm = DensityMatrix::zero(1);
+        dm.apply_unitary(&gates::h(), &[0]);
+        let before = dm.matrix()[(0, 1)].re;
+        dm.apply_kraus(&dephasing(0.5), 0);
+        assert!(dm.matrix()[(0, 1)].abs() < 1e-12, "full dephasing kills coherence");
+        assert!((dm.matrix()[(0, 0)].re - 0.5).abs() < 1e-12);
+        assert!(before > 0.4);
+    }
+
+    #[test]
+    fn unitary_preserves_purity() {
+        let mut dm = DensityMatrix::zero(2);
+        dm.apply_unitary(&gates::h(), &[0]);
+        dm.apply_unitary(&gates::cnot(), &[0, 1]);
+        assert!((dm.purity() - 1.0).abs() < 1e-12);
+        let bell = {
+            let mut sv = StateVector::zero(2);
+            sv.apply_single(&gates::h(), 0);
+            sv.apply_two(&gates::cnot(), 0, 1);
+            sv
+        };
+        assert!((dm.fidelity_to_pure(&bell.to_vector()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decoherence_probabilities() {
+        let d = Decoherence::equal_us(100.0);
+        assert!((d.gamma(100_000.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        // T1 = T2 ⇒ Tφ = 2·T1.
+        let p = d.phase_flip(100_000.0);
+        assert!((p - (1.0 - (-0.5f64).exp()) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "T2 cannot exceed")]
+    fn rejects_unphysical_t2() {
+        let _ = Decoherence::new(100.0, 300.0);
+    }
+}

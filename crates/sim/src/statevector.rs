@@ -1,0 +1,307 @@
+//! A dense n-qubit statevector simulator (n ≤ ~20).
+
+use zz_linalg::{c64, Matrix, Vector};
+
+/// An n-qubit pure state with in-place gate application.
+///
+/// Follows the workspace bit convention: qubit 0 is the most significant
+/// bit of the amplitude index.
+///
+/// # Example
+///
+/// ```
+/// use zz_sim::StateVector;
+/// use zz_quantum::gates;
+///
+/// let mut sv = StateVector::zero(2);
+/// sv.apply_single(&gates::h(), 0);
+/// sv.apply_two(&gates::cnot(), 0, 1);
+/// // Bell state: |00⟩ and |11⟩ with amplitude 1/√2.
+/// assert!((sv.probability(0) - 0.5).abs() < 1e-12);
+/// assert!((sv.probability(3) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<c64>,
+}
+
+impl StateVector {
+    /// The all-zeros state `|0…0⟩` on `n` qubits.
+    pub fn zero(n: usize) -> Self {
+        let mut amps = vec![c64::ZERO; 1 << n];
+        amps[0] = c64::ONE;
+        StateVector { n, amps }
+    }
+
+    /// Wraps an existing normalized amplitude vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_vector(v: Vector) -> Self {
+        let len = v.len();
+        assert!(len.is_power_of_two(), "amplitude count must be a power of two");
+        StateVector {
+            n: len.trailing_zeros() as usize,
+            amps: v.into_vec(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.n
+    }
+
+    /// Borrow the amplitudes.
+    pub fn amplitudes(&self) -> &[c64] {
+        &self.amps
+    }
+
+    /// The state as a [`Vector`].
+    pub fn to_vector(&self) -> Vector {
+        Vector::from_vec(self.amps.clone())
+    }
+
+    /// Probability of basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].abs_sq()
+    }
+
+    /// `|⟨self|other⟩|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubit counts differ.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.n, other.n, "fidelity qubit-count mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(&a, &b)| a.conj() * b)
+            .sum::<c64>()
+            .abs_sq()
+    }
+
+    /// Euclidean norm of the state.
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.abs_sq()).sum::<f64>().sqrt()
+    }
+
+    /// Rescales to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is numerically zero.
+    pub fn normalize(&mut self) {
+        let norm = self.norm();
+        assert!(norm > 1e-300, "cannot normalize a zero state");
+        for a in &mut self.amps {
+            *a = *a / norm;
+        }
+    }
+
+    #[inline]
+    fn bit(&self, q: usize) -> usize {
+        self.n - 1 - q
+    }
+
+    /// Applies a single-qubit gate to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not 2×2 or `q` is out of range.
+    pub fn apply_single(&mut self, m: &Matrix, q: usize) {
+        assert_eq!(m.rows(), 2, "apply_single expects a 2x2 matrix");
+        assert!(q < self.n, "qubit {q} out of range");
+        let mask = 1usize << self.bit(q);
+        let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                let j = i | mask;
+                let (a0, a1) = (self.amps[i], self.amps[j]);
+                self.amps[i] = m00 * a0 + m01 * a1;
+                self.amps[j] = m10 * a0 + m11 * a1;
+            }
+        }
+    }
+
+    /// Applies a two-qubit gate; `qa` is the gate's most significant factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not 4×4, a qubit is out of range, or
+    /// `qa == qb`.
+    pub fn apply_two(&mut self, m: &Matrix, qa: usize, qb: usize) {
+        assert_eq!(m.rows(), 4, "apply_two expects a 4x4 matrix");
+        assert!(qa < self.n && qb < self.n, "qubit out of range");
+        assert_ne!(qa, qb, "two-qubit gate requires distinct qubits");
+        let (ba, bb) = (1usize << self.bit(qa), 1usize << self.bit(qb));
+        for i in 0..self.amps.len() {
+            if i & ba == 0 && i & bb == 0 {
+                let idx = [i, i | bb, i | ba, i | ba | bb];
+                let old = [self.amps[idx[0]], self.amps[idx[1]], self.amps[idx[2]], self.amps[idx[3]]];
+                for (r, &target) in idx.iter().enumerate() {
+                    let mut acc = c64::ZERO;
+                    for (c, &o) in old.iter().enumerate() {
+                        acc += m[(r, c)] * o;
+                    }
+                    self.amps[target] = acc;
+                }
+            }
+        }
+    }
+
+    /// Applies the diagonal ZZ phase `exp(−i φ Z_u Z_v)`: basis states where
+    /// the two qubits agree get `e^{−iφ}`, others `e^{+iφ}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit is out of range or `u == v`.
+    pub fn apply_zz_phase(&mut self, phi: f64, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "qubit out of range");
+        assert_ne!(u, v, "ZZ phase requires distinct qubits");
+        if phi == 0.0 {
+            return;
+        }
+        let (bu, bv) = (1usize << self.bit(u), 1usize << self.bit(v));
+        let minus = c64::cis(-phi);
+        let plus = c64::cis(phi);
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            let same = ((i & bu == 0) == (i & bv == 0)) as usize;
+            *a = *a * if same == 1 { minus } else { plus };
+        }
+    }
+
+    /// Applies `diag(e^{−iθ/2}, e^{iθ/2})` (Rz) on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_rz(&mut self, theta: f64, q: usize) {
+        assert!(q < self.n, "qubit {q} out of range");
+        let mask = 1usize << self.bit(q);
+        let (lo, hi) = (c64::cis(-theta / 2.0), c64::cis(theta / 2.0));
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            *a = *a * if i & mask == 0 { lo } else { hi };
+        }
+    }
+
+    /// Samples `shots` measurement outcomes in the computational basis.
+    ///
+    /// Returns `(basis index, count)` pairs sorted by descending count —
+    /// what an actual device run would report.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rand::SeedableRng;
+    /// use zz_sim::StateVector;
+    /// use zz_quantum::gates;
+    ///
+    /// let mut sv = StateVector::zero(1);
+    /// sv.apply_single(&gates::h(), 0);
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let counts = sv.sample_counts(1000, &mut rng);
+    /// // Both outcomes appear with roughly half the shots.
+    /// assert_eq!(counts.len(), 2);
+    /// assert!(counts[0].1 < 600);
+    /// ```
+    pub fn sample_counts(&self, shots: usize, rng: &mut impl rand::Rng) -> Vec<(usize, usize)> {
+        // Cumulative distribution over basis states.
+        let mut cdf = Vec::with_capacity(self.amps.len());
+        let mut acc = 0.0;
+        for a in &self.amps {
+            acc += a.abs_sq();
+            cdf.push(acc);
+        }
+        let total = acc.max(1e-300);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..shots {
+            let r: f64 = rng.gen_range(0.0..total);
+            let idx = cdf.partition_point(|&c| c < r).min(self.amps.len() - 1);
+            *counts.entry(idx).or_insert(0usize) += 1;
+        }
+        let mut out: Vec<(usize, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Probability that qubit `q` is `|1⟩`.
+    pub fn excited_population(&self, q: usize) -> f64 {
+        let mask = 1usize << self.bit(q);
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.abs_sq())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zz_quantum::{embed, gates};
+
+    #[test]
+    fn single_gate_matches_embedding() {
+        let mut sv = StateVector::zero(3);
+        sv.apply_single(&gates::h(), 1);
+        sv.apply_single(&gates::t(), 1);
+        let direct = embed(&gates::t().matmul(&gates::h()), &[1], 3)
+            .mul_vec(&zz_quantum::states::zero_state(3));
+        assert!(sv.to_vector().fidelity(&direct.normalized()) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn two_qubit_gate_matches_embedding() {
+        let mut sv = StateVector::zero(3);
+        sv.apply_single(&gates::h(), 2);
+        sv.apply_two(&gates::cnot(), 2, 0);
+        let u = embed(&gates::cnot(), &[2, 0], 3).matmul(&embed(&gates::h(), &[2], 3));
+        let direct = u.mul_vec(&zz_quantum::states::zero_state(3));
+        let f = sv.to_vector().fidelity(&direct.normalized());
+        assert!(f > 1.0 - 1e-12, "fidelity {f}");
+    }
+
+    #[test]
+    fn zz_phase_matches_rzz_gate() {
+        let phi = 0.37;
+        let mut a = StateVector::zero(2);
+        a.apply_single(&gates::h(), 0);
+        a.apply_single(&gates::h(), 1);
+        let mut b = a.clone();
+        a.apply_zz_phase(phi, 0, 1);
+        b.apply_two(&gates::rzz(2.0 * phi), 0, 1);
+        assert!(a.fidelity(&b) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn rz_matches_gate_matrix() {
+        let mut a = StateVector::zero(1);
+        a.apply_single(&gates::h(), 0);
+        let mut b = a.clone();
+        a.apply_rz(1.1, 0);
+        b.apply_single(&gates::rz(1.1), 0);
+        assert!(a.fidelity(&b) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn excited_population_counts_the_right_bit() {
+        let mut sv = StateVector::zero(2);
+        sv.apply_single(&gates::x(), 1);
+        assert!((sv.excited_population(1) - 1.0).abs() < 1e-12);
+        assert!(sv.excited_population(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitaries_preserve_norm() {
+        let mut sv = StateVector::zero(4);
+        sv.apply_single(&gates::h(), 0);
+        sv.apply_two(&gates::zx90(), 0, 3);
+        sv.apply_zz_phase(0.3, 1, 2);
+        sv.apply_rz(0.9, 2);
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! The dual multigraph of a planar embedding.
+
+use zz_graph::MultiGraph;
+
+use crate::Topology;
+
+/// The dual of a device topology: one vertex per face, one edge per primal
+/// coupling (connecting the two faces the coupling borders).
+///
+/// Dual edge ids **equal** primal edge ids, so an odd-vertex pairing found
+/// in the dual maps back to couplings without bookkeeping. Bridges become
+/// self-loops; two faces sharing several couplings yield parallel edges —
+/// both are handled by [`MultiGraph`].
+///
+/// # Example
+///
+/// ```
+/// use zz_topology::Topology;
+///
+/// let grid = Topology::grid(3, 4);
+/// let dual = grid.dual();
+/// assert_eq!(dual.graph().vertex_count(), 7);  // 6 squares + outer face
+/// assert_eq!(dual.graph().edge_count(), 17);   // one per coupling
+/// // A bipartite grid has no odd faces: complete suppression is possible.
+/// assert!(dual.graph().odd_vertices().is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dual {
+    graph: MultiGraph,
+    /// For each primal edge id, the two incident faces.
+    incident_faces: Vec<(usize, usize)>,
+    outer_face: usize,
+}
+
+impl Dual {
+    /// Constructs the dual of `topo`.
+    pub(crate) fn of(topo: &Topology) -> Self {
+        let face_count = topo.faces().len();
+        // Collect the (up to two) incident faces of each primal edge.
+        let mut incidence: Vec<Vec<usize>> = vec![Vec::new(); topo.coupling_count()];
+        for (fid, face) in topo.faces().iter().enumerate() {
+            for &e in &face.edges {
+                incidence[e].push(fid);
+            }
+        }
+        let mut graph = MultiGraph::new(face_count);
+        let mut incident_faces = Vec::with_capacity(topo.coupling_count());
+        for (e, faces) in incidence.iter().enumerate() {
+            let (f1, f2) = match faces.as_slice() {
+                [a, b] => (*a, *b),
+                other => unreachable!("edge {e} incident to {} face slots", other.len()),
+            };
+            let id = graph.add_edge(f1, f2);
+            debug_assert_eq!(id, e, "dual edge ids must mirror primal edge ids");
+            incident_faces.push((f1, f2));
+        }
+        Dual {
+            graph,
+            incident_faces,
+            outer_face: topo.outer_face(),
+        }
+    }
+
+    /// The dual as a multigraph (vertices = faces, edge ids = coupling ids).
+    pub fn graph(&self) -> &MultiGraph {
+        &self.graph
+    }
+
+    /// The two faces incident to primal edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn incident_faces(&self, e: usize) -> (usize, usize) {
+        self.incident_faces[e]
+    }
+
+    /// The dual vertex corresponding to the outer face.
+    pub fn outer_face(&self) -> usize {
+        self.outer_face
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_dual_is_all_self_loops() {
+        let dual = Topology::line(4).dual();
+        assert_eq!(dual.graph().vertex_count(), 1);
+        assert_eq!(dual.graph().edge_count(), 3);
+        for e in 0..3 {
+            let (f1, f2) = dual.incident_faces(e);
+            assert_eq!(f1, f2);
+        }
+        assert!(dual.graph().odd_vertices().is_empty());
+    }
+
+    #[test]
+    fn square_dual_has_parallel_edges() {
+        let dual = Topology::grid(2, 2).dual();
+        // 1 interior face + outer face; all 4 couplings connect them.
+        assert_eq!(dual.graph().vertex_count(), 2);
+        assert_eq!(dual.graph().edge_count(), 4);
+        assert_eq!(dual.graph().degree(0), 4);
+        assert_eq!(dual.graph().degree(1), 4);
+    }
+
+    #[test]
+    fn diagonal_grid_dual_has_odd_vertices() {
+        let dual = Topology::grid_with_diagonal().dual();
+        // Two triangles (degree 3) are odd; the paper's Figure 11 pairs them.
+        let odd = dual.graph().odd_vertices();
+        assert_eq!(odd.len(), 2);
+        for &f in &odd {
+            assert_eq!(dual.graph().degree(f), 3);
+        }
+    }
+
+    #[test]
+    fn dual_degrees_equal_face_boundary_lengths() {
+        let topo = Topology::grid(3, 4);
+        let dual = topo.dual();
+        for (fid, face) in topo.faces().iter().enumerate() {
+            assert_eq!(dual.graph().degree(fid), face.edges.len());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Face tracing from a rotation system.
+//!
+//! A planar embedding is fully determined combinatorially by its *rotation
+//! system* — the cyclic counter-clockwise order of neighbors around each
+//! vertex. The faces are the orbits of the dart permutation
+//! `next(u→v) = (v→w)` where `w` precedes `u` in the CCW order around `v`
+//! (equivalently, `w` follows `u` in clockwise order), which walks each face
+//! boundary with the face interior on one fixed side.
+
+/// A face of a planar embedding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Face {
+    /// The boundary vertices in traversal order. For a bridge (tree edge)
+    /// the same vertex may appear multiple times.
+    pub vertices: Vec<usize>,
+    /// The boundary edge ids in traversal order; a bridge appears twice.
+    pub edges: Vec<usize>,
+}
+
+/// Traces all faces of the embedding given the CCW rotation system and the
+/// edge list.
+///
+/// Every dart (directed edge) belongs to exactly one face, so every
+/// undirected edge is incident to exactly two face slots (possibly the same
+/// face twice, for bridges).
+pub(crate) fn trace_faces(
+    rotation: &[Vec<(usize, usize)>],
+    edges: &[(usize, usize)],
+) -> Vec<Face> {
+    let edge_count = edges.len();
+    // Dart id: 2*edge + 0 for (min→max), +1 for (max→min).
+    let dart_of = |from: usize, edge_id: usize| -> usize {
+        let (u, _v) = edges[edge_id];
+        if from == u {
+            2 * edge_id
+        } else {
+            2 * edge_id + 1
+        }
+    };
+    let dart_target = |dart: usize| -> usize {
+        let (u, v) = edges[dart / 2];
+        if dart % 2 == 0 {
+            v
+        } else {
+            u
+        }
+    };
+    let dart_source = |dart: usize| -> usize {
+        let (u, v) = edges[dart / 2];
+        if dart % 2 == 0 {
+            u
+        } else {
+            v
+        }
+    };
+
+    let mut visited = vec![false; 2 * edge_count];
+    let mut faces = Vec::new();
+
+    for start in 0..2 * edge_count {
+        if visited[start] {
+            continue;
+        }
+        let mut face_vertices = Vec::new();
+        let mut face_edges = Vec::new();
+        let mut dart = start;
+        loop {
+            visited[dart] = true;
+            face_vertices.push(dart_source(dart));
+            face_edges.push(dart / 2);
+            // next(u→v): find u in v's CCW neighbor list; take the *previous*
+            // entry (clockwise successor), traversing the face boundary.
+            let v = dart_target(dart);
+            let u = dart_source(dart);
+            let nbrs = &rotation[v];
+            let pos = nbrs
+                .iter()
+                .position(|&(w, e)| w == u && e == dart / 2)
+                .expect("rotation system is consistent with the edge list");
+            let prev = (pos + nbrs.len() - 1) % nbrs.len();
+            let (w, next_edge) = nbrs[prev];
+            let _ = w;
+            dart = dart_of(v, next_edge);
+            if dart == start {
+                break;
+            }
+        }
+        faces.push(Face {
+            vertices: face_vertices,
+            edges: face_edges,
+        });
+    }
+
+    // Isolated single vertex (no edges): one outer face with that vertex.
+    if edge_count == 0 && !rotation.is_empty() {
+        faces.push(Face {
+            vertices: vec![0],
+            edges: vec![],
+        });
+    }
+    faces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a rotation system sorted CCW by coordinates (mirrors
+    /// `Topology::new` without validation).
+    fn rotation_from(coords: &[(f64, f64)], edges: &[(usize, usize)]) -> Vec<Vec<(usize, usize)>> {
+        let mut rotation: Vec<Vec<(usize, usize)>> = vec![Vec::new(); coords.len()];
+        for (id, &(u, v)) in edges.iter().enumerate() {
+            rotation[u].push((v, id));
+            rotation[v].push((u, id));
+        }
+        for (u, nbrs) in rotation.iter_mut().enumerate() {
+            let (ux, uy) = coords[u];
+            nbrs.sort_by(|&(a, _), &(b, _)| {
+                let ang = |q: usize| {
+                    let (x, y) = coords[q];
+                    (y - uy).atan2(x - ux)
+                };
+                ang(a).partial_cmp(&ang(b)).expect("finite")
+            });
+        }
+        rotation
+    }
+
+    #[test]
+    fn triangle_has_two_faces() {
+        let coords = [(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)];
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        let faces = trace_faces(&rotation_from(&coords, &edges), &edges);
+        assert_eq!(faces.len(), 2);
+        assert!(faces.iter().all(|f| f.edges.len() == 3));
+    }
+
+    #[test]
+    fn single_edge_one_face_with_edge_twice() {
+        let coords = [(0.0, 0.0), (1.0, 0.0)];
+        let edges = [(0, 1)];
+        let faces = trace_faces(&rotation_from(&coords, &edges), &edges);
+        assert_eq!(faces.len(), 1);
+        assert_eq!(faces[0].edges, vec![0, 0]);
+    }
+
+    #[test]
+    fn star_tree_single_face_walks_all_darts() {
+        // Center 0 with three leaves.
+        let coords = [(0.0, 0.0), (1.0, 0.0), (-0.5, 1.0), (-0.5, -1.0)];
+        let edges = [(0, 1), (0, 2), (0, 3)];
+        let faces = trace_faces(&rotation_from(&coords, &edges), &edges);
+        assert_eq!(faces.len(), 1);
+        assert_eq!(faces[0].edges.len(), 6); // each edge twice
+    }
+}

@@ -1,0 +1,38 @@
+//! Planar quantum-device topologies and their dual graphs.
+//!
+//! A device topology is a connected planar graph with a straight-line
+//! embedding: vertices are qubits (with 2-D coordinates) and edges are the
+//! fixed couplings that mediate ZZ crosstalk. From the embedding this crate
+//! derives:
+//!
+//! * the **rotation system** (neighbors in counter-clockwise order),
+//! * the **faces** of the embedding by dart tracing ([`Topology::faces`]),
+//! * the **dual multigraph** ([`Topology::dual`]), in which each face is a
+//!   vertex and each coupling becomes a dual edge — self-loops for bridges
+//!   and parallel edges included, with dual edge ids equal to primal edge
+//!   ids so pairings map straight back to couplings.
+//!
+//! The α-optimal suppression algorithm (`zz-sched`) runs on these duals.
+//!
+//! # Example
+//!
+//! ```
+//! use zz_topology::Topology;
+//!
+//! let grid = Topology::grid(3, 4);
+//! assert_eq!(grid.qubit_count(), 12);
+//! assert_eq!(grid.coupling_count(), 17);
+//! // Euler's formula: V − E + F = 2 for connected planar graphs.
+//! assert_eq!(12 + grid.faces().len(), 2 + 17);
+//! assert!(grid.is_bipartite());
+//! ```
+
+#![warn(missing_docs)]
+
+mod dual;
+mod faces;
+mod topology;
+
+pub use dual::Dual;
+pub use faces::Face;
+pub use topology::{Topology, TopologyError};

@@ -1,0 +1,532 @@
+//! The device topology type.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use zz_graph::MultiGraph;
+
+use crate::dual::Dual;
+use crate::faces::{trace_faces, Face};
+
+/// Errors produced when constructing a [`Topology`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge referenced a qubit index ≥ the qubit count.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+    },
+    /// An edge connected a qubit to itself.
+    SelfCoupling {
+        /// The qubit with the self-coupling.
+        qubit: usize,
+    },
+    /// The same coupling was listed twice.
+    DuplicateCoupling {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// The coupling graph is not connected.
+    Disconnected,
+    /// Two qubits share the same coordinates (no valid embedding).
+    CoincidentCoordinates {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::QubitOutOfRange { qubit } => {
+                write!(f, "coupling references qubit {qubit} outside the device")
+            }
+            TopologyError::SelfCoupling { qubit } => {
+                write!(f, "qubit {qubit} cannot couple to itself")
+            }
+            TopologyError::DuplicateCoupling { u, v } => {
+                write!(f, "coupling {u}-{v} listed more than once")
+            }
+            TopologyError::Disconnected => write!(f, "coupling graph is not connected"),
+            TopologyError::CoincidentCoordinates { a, b } => {
+                write!(f, "qubits {a} and {b} share coordinates")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A connected planar device topology with a straight-line embedding.
+///
+/// See the [crate-level docs](crate) for the role this plays in the
+/// suppression algorithm; constructors for the devices used in the paper's
+/// evaluation are provided ([`Topology::grid`], [`Topology::line`],
+/// [`Topology::ibmq_vigo`]).
+#[derive(Clone, Debug)]
+pub struct Topology {
+    name: String,
+    coords: Vec<(f64, f64)>,
+    edges: Vec<(usize, usize)>,
+    /// Neighbors of each vertex in counter-clockwise order: `(neighbor, edge id)`.
+    rotation: Vec<Vec<(usize, usize)>>,
+    faces: Vec<Face>,
+    outer_face: usize,
+}
+
+impl Topology {
+    /// Builds a topology from qubit coordinates and couplings.
+    ///
+    /// The embedding is taken at face value: couplings must not cross when
+    /// drawn as straight lines (all built-in constructors satisfy this; it
+    /// is not re-verified here).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] if a coupling is out of range, a
+    /// self-loop, duplicated, if the graph is disconnected, or if two qubits
+    /// coincide geometrically.
+    pub fn new(
+        name: impl Into<String>,
+        coords: Vec<(f64, f64)>,
+        edges: Vec<(usize, usize)>,
+    ) -> Result<Self, TopologyError> {
+        let n = coords.len();
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in &edges {
+            if u >= n {
+                return Err(TopologyError::QubitOutOfRange { qubit: u });
+            }
+            if v >= n {
+                return Err(TopologyError::QubitOutOfRange { qubit: v });
+            }
+            if u == v {
+                return Err(TopologyError::SelfCoupling { qubit: u });
+            }
+            if !seen.insert((u.min(v), u.max(v))) {
+                return Err(TopologyError::DuplicateCoupling { u, v });
+            }
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if coords[a] == coords[b] {
+                    return Err(TopologyError::CoincidentCoordinates { a, b });
+                }
+            }
+        }
+
+        // Normalize edges to (min, max) and build the rotation system.
+        let edges: Vec<(usize, usize)> = edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
+        let mut rotation: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (id, &(u, v)) in edges.iter().enumerate() {
+            rotation[u].push((v, id));
+            rotation[v].push((u, id));
+        }
+        for (u, nbrs) in rotation.iter_mut().enumerate() {
+            let (ux, uy) = coords[u];
+            nbrs.sort_by(|&(a, _), &(b, _)| {
+                let ang = |q: usize| {
+                    let (x, y) = coords[q];
+                    (y - uy).atan2(x - ux)
+                };
+                ang(a).partial_cmp(&ang(b)).expect("finite coordinates")
+            });
+        }
+
+        // Connectivity check (BFS).
+        if n > 0 {
+            let mut visited = vec![false; n];
+            visited[0] = true;
+            let mut queue = VecDeque::from([0usize]);
+            let mut count = 1;
+            while let Some(u) = queue.pop_front() {
+                for &(v, _) in &rotation[u] {
+                    if !visited[v] {
+                        visited[v] = true;
+                        count += 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if count != n {
+                return Err(TopologyError::Disconnected);
+            }
+        }
+
+        let faces = trace_faces(&rotation, &edges);
+        let outer_face = find_outer_face(&faces, &coords);
+        Ok(Topology {
+            name: name.into(),
+            coords,
+            edges,
+            rotation,
+            faces,
+            outer_face,
+        })
+    }
+
+    /// A `rows × cols` grid device — the paper's evaluation topology
+    /// (3×4 for 12 qubits). Qubit `r·cols + c` sits at `(c, r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        let mut coords = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                coords.push((c as f64, r as f64));
+            }
+        }
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let q = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((q, q + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((q, q + cols));
+                }
+            }
+        }
+        Topology::new(format!("grid-{rows}x{cols}"), coords, edges)
+            .expect("grid construction is always valid")
+    }
+
+    /// A 1-D chain of `n` qubits (the Ramsey experiment device is `line(3)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn line(n: usize) -> Self {
+        assert!(n > 0, "line needs at least one qubit");
+        let coords = (0..n).map(|i| (i as f64, 0.0)).collect();
+        let edges = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        Topology::new(format!("line-{n}"), coords, edges).expect("line construction is always valid")
+    }
+
+    /// The 5-qubit IBMQ Vigo device of the paper's Figure 1.
+    pub fn ibmq_vigo() -> Self {
+        let coords = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (1.0, 1.0), (1.0, 2.0)];
+        let edges = vec![(0, 1), (1, 2), (1, 3), (3, 4)];
+        Topology::new("ibmq-vigo", coords, edges).expect("vigo construction is always valid")
+    }
+
+    /// A heavy-hex patch (the lattice of current IBM Quantum devices): two
+    /// five-qubit rows joined by bridge qubits at columns 0, 2 and 4,
+    /// forming two hexagonal cells with degree-3 junctions. Bipartite and
+    /// planar, so the complete-suppression result applies.
+    pub fn heavy_hex_cell() -> Self {
+        // Row 0: qubits 0..=4 at y = 0; bridges: 5, 6, 7 at y = 1 under
+        // columns 0/2/4; row 1: qubits 8..=12 at y = 2.
+        let mut coords = Vec::new();
+        for c in 0..5 {
+            coords.push((c as f64, 0.0));
+        }
+        coords.push((0.0, 1.0));
+        coords.push((2.0, 1.0));
+        coords.push((4.0, 1.0));
+        for c in 0..5 {
+            coords.push((c as f64, 2.0));
+        }
+        let mut edges = vec![];
+        for c in 0..4usize {
+            edges.push((c, c + 1)); // top row
+            edges.push((8 + c, 8 + c + 1)); // bottom row
+        }
+        edges.push((0, 5));
+        edges.push((5, 8));
+        edges.push((2, 6));
+        edges.push((6, 10));
+        edges.push((4, 7));
+        edges.push((7, 12));
+        Topology::new("heavy-hex-cell", coords, edges).expect("construction is always valid")
+    }
+
+    /// A 3×3 grid with one diagonal coupling added — a small non-bipartite
+    /// device exhibiting the NQ/NC trade-off of the paper's Figure 10.
+    pub fn grid_with_diagonal() -> Self {
+        let mut coords = Vec::new();
+        for r in 0..3 {
+            for c in 0..3 {
+                coords.push((c as f64, r as f64));
+            }
+        }
+        let mut edges = Vec::new();
+        for r in 0..3usize {
+            for c in 0..3usize {
+                let q = r * 3 + c;
+                if c + 1 < 3 {
+                    edges.push((q, q + 1));
+                }
+                if r + 1 < 3 {
+                    edges.push((q, q + 3));
+                }
+            }
+        }
+        edges.push((0, 4)); // diagonal: creates two triangular faces
+        Topology::new("grid3x3+diag", coords, edges).expect("construction is always valid")
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of couplings.
+    pub fn coupling_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The couplings as `(u, v)` pairs with `u < v`; the index in this slice
+    /// is the coupling's edge id.
+    pub fn couplings(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Embedding coordinates of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn coord(&self, q: usize) -> (f64, f64) {
+        self.coords[q]
+    }
+
+    /// Neighbors of qubit `q` in counter-clockwise order, as
+    /// `(neighbor, edge id)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn neighbors(&self, q: usize) -> &[(usize, usize)] {
+        &self.rotation[q]
+    }
+
+    /// Degree of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn degree(&self, q: usize) -> usize {
+        self.rotation[q].len()
+    }
+
+    /// Maximum degree over all qubits (used by the paper's suppression
+    /// requirement `NQ < max_degree`).
+    pub fn max_degree(&self) -> usize {
+        (0..self.qubit_count()).map(|q| self.degree(q)).max().unwrap_or(0)
+    }
+
+    /// The edge id of the coupling between `u` and `v`, if present.
+    pub fn coupling_between(&self, u: usize, v: usize) -> Option<usize> {
+        let key = (u.min(v), u.max(v));
+        self.edges.iter().position(|&e| e == key)
+    }
+
+    /// The faces of the planar embedding (the outer face included).
+    pub fn faces(&self) -> &[Face] {
+        &self.faces
+    }
+
+    /// Index (into [`Topology::faces`]) of the outer face.
+    pub fn outer_face(&self) -> usize {
+        self.outer_face
+    }
+
+    /// Builds the dual multigraph of the embedding.
+    pub fn dual(&self) -> Dual {
+        Dual::of(self)
+    }
+
+    /// The primal graph as a [`MultiGraph`] (edge ids preserved).
+    pub fn to_multigraph(&self) -> MultiGraph {
+        let mut g = MultiGraph::new(self.qubit_count());
+        for &(u, v) in &self.edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// All-pairs BFS distances between qubits.
+    pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
+        let g = self.to_multigraph();
+        (0..self.qubit_count()).map(|q| zz_graph::bfs_distances(&g, q)).collect()
+    }
+
+    /// Returns `true` if the coupling graph is bipartite (two-colorable) —
+    /// the class of devices on which complete suppression is achievable
+    /// (paper Sec 5.1).
+    pub fn is_bipartite(&self) -> bool {
+        let constraints: Vec<_> = self
+            .edges
+            .iter()
+            .map(|&(u, v)| zz_graph::ColorConstraint::differ(u, v))
+            .collect();
+        zz_graph::two_color(self.qubit_count(), &constraints).is_some()
+    }
+}
+
+/// The outer face is the one with the most negative signed area (interior
+/// faces of a counter-clockwise rotation system trace positive loops); for
+/// tree-like topologies the single face (area 0) is the outer face.
+fn find_outer_face(faces: &[Face], coords: &[(f64, f64)]) -> usize {
+    let mut best = 0;
+    let mut best_area = f64::INFINITY;
+    for (i, face) in faces.iter().enumerate() {
+        let vs = &face.vertices;
+        let mut area = 0.0;
+        for k in 0..vs.len() {
+            let (x1, y1) = coords[vs[k]];
+            let (x2, y2) = coords[vs[(k + 1) % vs.len()]];
+            area += x1 * y2 - x2 * y1;
+        }
+        if area / 2.0 < best_area {
+            best_area = area / 2.0;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        let g = Topology::grid(3, 4);
+        assert_eq!(g.qubit_count(), 12);
+        assert_eq!(g.coupling_count(), 17);
+        assert_eq!(g.max_degree(), 4);
+        assert!(g.is_bipartite());
+    }
+
+    #[test]
+    fn euler_formula_holds() {
+        for t in [
+            Topology::grid(2, 2),
+            Topology::grid(3, 4),
+            Topology::line(5),
+            Topology::ibmq_vigo(),
+            Topology::grid_with_diagonal(),
+        ] {
+            let v = t.qubit_count();
+            let e = t.coupling_count();
+            let f = t.faces().len();
+            assert_eq!(v + f, e + 2, "Euler failed for {}", t.name());
+        }
+    }
+
+    #[test]
+    fn line_has_single_face() {
+        let l = Topology::line(4);
+        assert_eq!(l.faces().len(), 1);
+        assert_eq!(l.outer_face(), 0);
+    }
+
+    #[test]
+    fn grid_faces_are_squares_plus_outer() {
+        let g = Topology::grid(3, 4);
+        assert_eq!(g.faces().len(), 7); // 6 interior squares + outer
+        let interior: Vec<_> = g
+            .faces()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != g.outer_face())
+            .map(|(_, f)| f.edges.len())
+            .collect();
+        assert_eq!(interior.len(), 6);
+        assert!(interior.iter().all(|&l| l == 4), "interior faces are 4-cycles: {interior:?}");
+        assert_eq!(g.faces()[g.outer_face()].edges.len(), 10); // boundary length
+    }
+
+    #[test]
+    fn diagonal_creates_triangles() {
+        let t = Topology::grid_with_diagonal();
+        let tri_count = t
+            .faces()
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| *i != t.outer_face() && f.edges.len() == 3)
+            .count();
+        assert_eq!(tri_count, 2);
+        assert!(!t.is_bipartite());
+    }
+
+    #[test]
+    fn heavy_hex_cell_properties() {
+        let h = Topology::heavy_hex_cell();
+        assert_eq!(h.qubit_count(), 13);
+        assert_eq!(h.coupling_count(), 14);
+        assert!(h.is_bipartite());
+        // Two hexagonal interior faces + the outer face.
+        assert_eq!(h.faces().len(), 3);
+        assert_eq!(h.qubit_count() + h.faces().len(), h.coupling_count() + 2);
+        assert_eq!(h.max_degree(), 3);
+        // The middle-column junctions are the degree-3 qubits.
+        assert_eq!(h.degree(2), 3);
+        assert_eq!(h.degree(10), 3);
+    }
+
+    #[test]
+    fn vigo_is_a_tree() {
+        let v = Topology::ibmq_vigo();
+        assert_eq!(v.faces().len(), 1);
+        assert!(v.is_bipartite());
+        assert_eq!(v.coupling_between(1, 3), Some(2));
+        assert_eq!(v.coupling_between(0, 4), None);
+    }
+
+    #[test]
+    fn distance_matrix_grid() {
+        let g = Topology::grid(2, 2);
+        let d = g.distance_matrix();
+        assert_eq!(d[0][3], 2);
+        assert_eq!(d[0][1], 1);
+        assert_eq!(d[0][0], 0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(
+            Topology::new("bad", vec![(0.0, 0.0)], vec![(0, 1)]).err(),
+            Some(TopologyError::QubitOutOfRange { qubit: 1 })
+        );
+        assert_eq!(
+            Topology::new("bad", vec![(0.0, 0.0), (1.0, 0.0)], vec![(0, 0)]).err(),
+            Some(TopologyError::SelfCoupling { qubit: 0 })
+        );
+        assert_eq!(
+            Topology::new("bad", vec![(0.0, 0.0), (1.0, 0.0)], vec![(0, 1), (1, 0)]).err(),
+            Some(TopologyError::DuplicateCoupling { u: 1, v: 0 })
+        );
+        assert_eq!(
+            Topology::new("bad", vec![(0.0, 0.0), (1.0, 0.0), (5.0, 5.0)], vec![(0, 1)]).err(),
+            Some(TopologyError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn each_coupling_borders_two_face_slots() {
+        let g = Topology::grid(3, 3);
+        let mut incidence = vec![0usize; g.coupling_count()];
+        for f in g.faces() {
+            for &e in &f.edges {
+                incidence[e] += 1;
+            }
+        }
+        assert!(incidence.iter().all(|&c| c == 2));
+    }
+}

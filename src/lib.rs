@@ -1,0 +1,32 @@
+//! Workspace root crate.
+//!
+//! This crate exists to host the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. The actual library surface
+//! lives in the `zz-*` crates under `crates/`; the most convenient entry
+//! point is [`zz_core`], which re-exports the full co-optimization pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use zz_core::{CoOptimizer, PulseMethod, SchedulerKind};
+//! use zz_circuit::bench::{BenchmarkKind, generate};
+//!
+//! let circuit = generate(BenchmarkKind::Qft, 4, 7);
+//! let opt = CoOptimizer::builder()
+//!     .pulse_method(PulseMethod::Pert)
+//!     .scheduler(SchedulerKind::ZzxSched)
+//!     .build();
+//! let compiled = opt.compile(&circuit)?;
+//! assert!(compiled.plan.layer_count() >= 1);
+//! # Ok::<(), zz_core::CoOptError>(())
+//! ```
+
+pub use zz_circuit as circuit;
+pub use zz_core as framework;
+pub use zz_graph as graph;
+pub use zz_linalg as linalg;
+pub use zz_pulse as pulse;
+pub use zz_quantum as quantum;
+pub use zz_sched as sched;
+pub use zz_sim as sim;
+pub use zz_topology as topology;

@@ -1,0 +1,112 @@
+//! Property-based tests across the whole pipeline: random circuits stay
+//! correct through routing, native compilation and both schedulers.
+
+use proptest::prelude::*;
+use zz_circuit::native::compile_to_native;
+use zz_circuit::{route, Circuit, Gate};
+use zz_quantum::gates::equal_up_to_phase;
+use zz_sched::zzx::{zzx_schedule, ZzxConfig};
+use zz_sched::par_schedule;
+use zz_sim::executor::{fidelity_under_zz, ZzErrorModel};
+use zz_sched::GateDurations;
+use zz_topology::Topology;
+
+/// A random gate on up to `n` qubits.
+fn arb_op(n: usize) -> impl Strategy<Value = (Gate, Vec<usize>)> {
+    let one_q = (0..8usize, 0..n).prop_map(|(g, q)| {
+        let gate = match g {
+            0 => Gate::H,
+            1 => Gate::X,
+            2 => Gate::T,
+            3 => Gate::S,
+            4 => Gate::Rx(0.7),
+            5 => Gate::Rz(1.3),
+            6 => Gate::Ry(-0.4),
+            _ => Gate::U3(0.3, 1.1, -0.8),
+        };
+        (gate, vec![q])
+    });
+    let two_q = (0..4usize, 0..n, 0..n).prop_filter_map("distinct qubits", move |(g, a, b)| {
+        if a == b {
+            return None;
+        }
+        let gate = match g {
+            0 => Gate::Cnot,
+            1 => Gate::Cz,
+            2 => Gate::Rzz(0.9),
+            _ => Gate::Swap,
+        };
+        Some((gate, vec![a, b]))
+    });
+    prop_oneof![one_q, two_q]
+}
+
+fn arb_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_op(n), 1..max_len).prop_map(move |ops| {
+        let mut c = Circuit::new(n);
+        for (g, qs) in ops {
+            c.push(g, &qs);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_circuits_compile_correctly(circuit in arb_circuit(5, 12)) {
+        let topo = Topology::grid(2, 3);
+        let native = compile_to_native(&route(&circuit, &topo));
+        let reference = native.unitary();
+
+        let par = par_schedule(&topo, &native);
+        prop_assert!(par.validate().is_ok());
+        prop_assert!(equal_up_to_phase(&par.unitary(), &reference, 1e-7));
+
+        let zzx = zzx_schedule(&topo, &native, &ZzxConfig::paper_default(&topo));
+        prop_assert!(zzx.validate().is_ok());
+        prop_assert!(equal_up_to_phase(&zzx.unitary(), &reference, 1e-7));
+    }
+
+    #[test]
+    fn zzxsched_never_regresses_suppression(circuit in arb_circuit(6, 16)) {
+        let topo = Topology::grid(2, 3);
+        let native = compile_to_native(&route(&circuit, &topo));
+        let par = par_schedule(&topo, &native);
+        let zzx = zzx_schedule(&topo, &native, &ZzxConfig::paper_default(&topo));
+        prop_assert!(zzx.mean_nc() <= par.mean_nc() + 1e-9);
+    }
+
+    #[test]
+    fn suppression_translates_into_fidelity(circuit in arb_circuit(6, 14)) {
+        // With a tiny residual factor, the ZZXSched plan must be at least
+        // as good as ParSched under the same disorder sample.
+        let topo = Topology::grid(2, 3);
+        let native = compile_to_native(&route(&circuit, &topo));
+        let model = ZzErrorModel::sampled(&topo, zz_sim::khz(200.0), zz_sim::khz(50.0), 5)
+            .with_residual(0.005);
+        let d = GateDurations::standard();
+        let par = par_schedule(&topo, &native);
+        let zzx = zzx_schedule(&topo, &native, &ZzxConfig::paper_default(&topo));
+        let f_par = fidelity_under_zz(&par, &topo, &model, &d);
+        let f_zzx = fidelity_under_zz(&zzx, &topo, &model, &d);
+        // Allow a tiny tolerance: layer structure can shuffle which exact
+        // couplings fire, but the aggregate must not collapse.
+        prop_assert!(f_zzx >= f_par - 0.05, "zzx {f_zzx} vs par {f_par}");
+    }
+
+    #[test]
+    fn fidelity_is_monotone_in_crosstalk_strength(seed in 0u64..50) {
+        let topo = Topology::grid(2, 2);
+        let circuit = zz_circuit::bench::generate(zz_circuit::bench::BenchmarkKind::Qft, 4, seed);
+        let native = compile_to_native(&route(&circuit, &topo));
+        let plan = par_schedule(&topo, &native);
+        let d = GateDurations::standard();
+        let weak = ZzErrorModel::uniform(&topo, zz_sim::khz(50.0));
+        let strong = ZzErrorModel::uniform(&topo, zz_sim::khz(400.0));
+        let f_weak = fidelity_under_zz(&plan, &topo, &weak, &d);
+        let f_strong = fidelity_under_zz(&plan, &topo, &strong, &d);
+        prop_assert!(f_weak >= f_strong - 1e-9, "weak {f_weak} vs strong {f_strong}");
+    }
+}
