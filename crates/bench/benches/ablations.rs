@@ -1,10 +1,9 @@
-//! Criterion benches for the design-choice ablations called out in
+//! Wall-clock benches for the design-choice ablations called out in
 //! DESIGN.md: how the α weight, the top-k path budget and the suppression
 //! requirement affect scheduler cost. (Quality-side ablations are printed
 //! by `cargo run -p zz-bench --bin ablation`.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use zz_bench::timing::BenchGroup;
 use zz_circuit::bench::{generate, BenchmarkKind};
 use zz_circuit::native::compile_to_native;
 use zz_circuit::route;
@@ -12,60 +11,63 @@ use zz_sched::zzx::{Requirement, ZzxConfig};
 use zz_sched::zzx_schedule;
 use zz_topology::Topology;
 
-fn bench_k_sweep(c: &mut Criterion) {
+fn bench_k_sweep() {
     let topo = Topology::grid(3, 4);
     let native = compile_to_native(&route(&generate(BenchmarkKind::Qaoa, 9, 7), &topo));
-    let mut group = c.benchmark_group("zzxsched_k");
-    group.sample_size(10);
+    let group = BenchGroup::new("zzxsched_k").sample_size(10);
     for k in [1usize, 2, 3, 5, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            let config = ZzxConfig {
-                k,
-                ..ZzxConfig::paper_default(&topo)
-            };
-            b.iter(|| zzx_schedule(&topo, &native, &config))
-        });
+        let config = ZzxConfig {
+            k,
+            ..ZzxConfig::paper_default(&topo)
+        };
+        group.bench(&k.to_string(), || zzx_schedule(&topo, &native, &config));
     }
-    group.finish();
 }
 
-fn bench_alpha_sweep(c: &mut Criterion) {
+fn bench_alpha_sweep() {
     let topo = Topology::grid(3, 4);
     let native = compile_to_native(&route(&generate(BenchmarkKind::Grc, 12, 7), &topo));
-    let mut group = c.benchmark_group("zzxsched_alpha");
-    group.sample_size(10);
+    let group = BenchGroup::new("zzxsched_alpha").sample_size(10);
     for alpha in [0.0, 0.5, 2.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
-            let config = ZzxConfig {
-                alpha,
-                ..ZzxConfig::paper_default(&topo)
-            };
-            b.iter(|| zzx_schedule(&topo, &native, &config))
-        });
+        let config = ZzxConfig {
+            alpha,
+            ..ZzxConfig::paper_default(&topo)
+        };
+        group.bench(&alpha.to_string(), || zzx_schedule(&topo, &native, &config));
     }
-    group.finish();
 }
 
-fn bench_requirement(c: &mut Criterion) {
+fn bench_requirement() {
     let topo = Topology::grid(3, 4);
     let native = compile_to_native(&route(&generate(BenchmarkKind::Qv, 12, 7), &topo));
-    let mut group = c.benchmark_group("zzxsched_requirement");
-    group.sample_size(10);
+    let group = BenchGroup::new("zzxsched_requirement").sample_size(10);
     for (name, req) in [
-        ("strict", Requirement { nq_limit: 3, nc_limit: 4 }),
+        (
+            "strict",
+            Requirement {
+                nq_limit: 3,
+                nc_limit: 4,
+            },
+        ),
         ("paper", Requirement::paper_default(&topo)),
-        ("loose", Requirement { nq_limit: 99, nc_limit: 99 }),
+        (
+            "loose",
+            Requirement {
+                nq_limit: 99,
+                nc_limit: 99,
+            },
+        ),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &req, |b, &req| {
-            let config = ZzxConfig {
-                requirement: req,
-                ..ZzxConfig::paper_default(&topo)
-            };
-            b.iter(|| zzx_schedule(&topo, &native, &config))
-        });
+        let config = ZzxConfig {
+            requirement: req,
+            ..ZzxConfig::paper_default(&topo)
+        };
+        group.bench(name, || zzx_schedule(&topo, &native, &config));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_k_sweep, bench_alpha_sweep, bench_requirement);
-criterion_main!(benches);
+fn main() {
+    bench_k_sweep();
+    bench_alpha_sweep();
+    bench_requirement();
+}

@@ -1,11 +1,10 @@
-//! Criterion benches for compilation speed.
+//! Wall-clock benches for compilation speed.
 //!
 //! The paper claims every benchmark compiles in < 0.25 s on a 2.3 GHz CPU
 //! (Sec 7.3); these benches measure our route → native → schedule pipeline
 //! per benchmark family at the largest paper size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use zz_bench::timing::BenchGroup;
 use zz_circuit::bench::{generate, BenchmarkKind};
 use zz_circuit::native::compile_to_native;
 use zz_circuit::route;
@@ -13,51 +12,38 @@ use zz_sched::zzx::ZzxConfig;
 use zz_sched::{par_schedule, zzx_schedule};
 use zz_topology::Topology;
 
-fn bench_full_pipeline(c: &mut Criterion) {
+fn bench_full_pipeline() {
     let topo = Topology::grid(3, 4);
-    let mut group = c.benchmark_group("compile_pipeline");
-    group.sample_size(10);
+    let group = BenchGroup::new("compile_pipeline").sample_size(10);
     for kind in BenchmarkKind::CORE {
         let n = *kind.paper_sizes().last().expect("sizes non-empty");
         let circuit = generate(kind, n, 7);
-        group.bench_with_input(
-            BenchmarkId::new("zzxsched", format!("{kind}-{n}")),
-            &circuit,
-            |b, circuit| {
-                b.iter(|| {
-                    let native = compile_to_native(&route(circuit, &topo));
-                    zzx_schedule(&topo, &native, &ZzxConfig::paper_default(&topo))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("parsched", format!("{kind}-{n}")),
-            &circuit,
-            |b, circuit| {
-                b.iter(|| {
-                    let native = compile_to_native(&route(circuit, &topo));
-                    par_schedule(&topo, &native)
-                })
-            },
-        );
+        group.bench(&format!("zzxsched/{kind}-{n}"), || {
+            let native = compile_to_native(&route(&circuit, &topo));
+            zzx_schedule(&topo, &native, &ZzxConfig::paper_default(&topo))
+        });
+        group.bench(&format!("parsched/{kind}-{n}"), || {
+            let native = compile_to_native(&route(&circuit, &topo));
+            par_schedule(&topo, &native)
+        });
     }
-    group.finish();
 }
 
-fn bench_suppression_solver(c: &mut Criterion) {
+fn bench_suppression_solver() {
     let topo = Topology::grid(3, 4);
-    let mut group = c.benchmark_group("alpha_optimal_suppression");
+    let group = BenchGroup::new("alpha_optimal_suppression");
     for (name, qubits) in [
         ("no_gates", vec![]),
         ("one_2q_gate", vec![5usize, 6]),
         ("two_2q_gates", vec![0, 1, 10, 11]),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &qubits, |b, q| {
-            b.iter(|| zz_sched::alpha_optimal_suppression(&topo, q, 0.5, 3))
+        group.bench(name, || {
+            zz_sched::alpha_optimal_suppression(&topo, &qubits, 0.5, 3)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_full_pipeline, bench_suppression_solver);
-criterion_main!(benches);
+fn main() {
+    bench_full_pipeline();
+    bench_suppression_solver();
+}

@@ -5,96 +5,135 @@
 //! * the suppression requirement `R` (strict / paper / loose).
 //!
 //! For each setting: mean NQ/NC over layers, relative execution time, and
-//! end-to-end fidelity on a representative benchmark.
+//! end-to-end fidelity on a representative benchmark. All settings compile
+//! as ONE batch through the [`zz_core::BatchCompiler`]: the QAOA-9 circuit
+//! is routed once and shared by every sweep point, and calibration runs
+//! once for the whole process.
 
-use zz_bench::{banner, fixed, row};
+use zz_bench::{banner, fixed, parallel_map, row};
 use zz_circuit::bench::{generate, BenchmarkKind};
-use zz_circuit::native::compile_to_native;
-use zz_circuit::route;
+use zz_core::batch::{BatchJob, JobOutcome};
 use zz_core::evaluate::EvalConfig;
-use zz_core::{calib, PulseMethod};
-use zz_sched::zzx::{Requirement, ZzxConfig};
-use zz_sched::{zzx_schedule, GateDurations, SchedulePlan};
+use zz_core::{calib, BatchCompiler, Compiled, PulseMethod, SchedulerKind};
+use zz_sched::zzx::Requirement;
 use zz_sim::executor::{fidelity_under_zz, ZzErrorModel};
-use zz_topology::Topology;
 
-fn evaluate(plan: &SchedulePlan, topo: &Topology, cfg: &EvalConfig, residual: f64) -> f64 {
-    let durations = GateDurations::standard();
+fn evaluate(compiled: &Compiled, cfg: &EvalConfig, residual: f64) -> f64 {
+    let topo = &compiled.topology;
     let mut total = 0.0;
     for &seed in &cfg.crosstalk_seeds {
         let model = ZzErrorModel::sampled(topo, cfg.lambda_mean, cfg.lambda_std, seed)
             .with_residual(residual);
-        total += fidelity_under_zz(plan, topo, &model, &durations);
+        total += fidelity_under_zz(&compiled.plan, topo, &model, &compiled.durations);
     }
     total / cfg.crosstalk_seeds.len() as f64
 }
 
+fn stats_row(label: &str, compiled: &Compiled, fidelity: f64) {
+    row(
+        label,
+        &[
+            format!("{:10.2}", compiled.plan.mean_nq()),
+            format!("{:10.2}", compiled.plan.mean_nc()),
+            format!("{:10.0}", compiled.execution_time()),
+            fixed(fidelity),
+        ],
+    );
+}
+
 fn main() {
-    banner("Ablations", "scheduler design choices (QAOA-9 on the 3x4 grid)");
+    banner(
+        "Ablations",
+        "scheduler design choices (QAOA-9 on the 3x4 grid)",
+    );
     let cfg = EvalConfig::paper_default();
-    let topo = Topology::grid(3, 4);
     let residual = calib::residual_factor(PulseMethod::Pert);
-    let native = compile_to_native(&route(&generate(BenchmarkKind::Qaoa, 9, 7), &topo));
-    let durations = GateDurations::standard();
+    let circuit = std::sync::Arc::new(generate(BenchmarkKind::Qaoa, 9, 7));
+
+    let alphas = [0.0, 0.25, 0.5, 1.0, 2.0];
+    let ks = [1usize, 2, 3, 5, 8];
+    // `None` = the compiler's default, which is the paper requirement
+    // derived from the device.
+    let reqs: [(&str, Option<Requirement>); 3] = [
+        (
+            "strict (NQ<3,NC<=4)",
+            Some(Requirement {
+                nq_limit: 3,
+                nc_limit: 4,
+            }),
+        ),
+        ("paper (NQ<4,NC<=8)", None),
+        (
+            "loose (unbounded)",
+            Some(Requirement {
+                nq_limit: 99,
+                nc_limit: 99,
+            }),
+        ),
+    ];
+
+    // One batch for all three sweeps — every sweep point shares the one
+    // Arc'ed circuit, which routes once for the whole batch.
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    let job = |label: String| {
+        BatchJob::shared(
+            std::sync::Arc::clone(&circuit),
+            PulseMethod::Pert,
+            SchedulerKind::ZzxSched,
+        )
+        .with_label(label)
+    };
+    for alpha in alphas {
+        jobs.push(job(format!("{alpha:4.2}")).with_alpha(alpha));
+    }
+    for k in ks {
+        jobs.push(job(format!("{k}")).with_k(k));
+    }
+    for (name, req) in &reqs {
+        let mut j = job(name.to_string());
+        if let Some(req) = req {
+            j = j.with_requirement(*req);
+        }
+        jobs.push(j);
+    }
+    let report = BatchCompiler::builder().build().run(jobs);
+    eprintln!("[batch] {}", report.summary());
+
+    let threads = zz_core::batch::default_threads();
+    let fidelities = parallel_map(report.outcomes.len(), threads, |i| {
+        let compiled = report.outcomes[i]
+            .result
+            .as_ref()
+            .expect("QAOA-9 fits the 3x4 grid");
+        evaluate(compiled, &cfg, residual)
+    });
+    // Recover each sweep's rows by slicing the flat outcome/fidelity lists
+    // in the same order the jobs were pushed.
+    let print_sweep = |outcomes: &[JobOutcome], fidelities: &[f64]| {
+        for (o, &f) in outcomes.iter().zip(fidelities) {
+            stats_row(&o.label, o.result.as_ref().expect("fits"), f);
+        }
+    };
+    let (alpha_out, rest) = report.outcomes.split_at(alphas.len());
+    let (k_out, req_out) = rest.split_at(ks.len());
+    let (alpha_fid, rest) = fidelities.split_at(alphas.len());
+    let (k_fid, req_fid) = rest.split_at(ks.len());
+    let header = [
+        "mean NQ".into(),
+        "mean NC".into(),
+        "time (ns)".into(),
+        "fidelity".into(),
+    ];
 
     println!("\n-- alpha sweep (k = 3, paper requirement) --");
-    row(
-        "alpha",
-        &["mean NQ".into(), "mean NC".into(), "time (ns)".into(), "fidelity".into()],
-    );
-    for alpha in [0.0, 0.25, 0.5, 1.0, 2.0] {
-        let config = ZzxConfig { alpha, ..ZzxConfig::paper_default(&topo) };
-        let plan = zzx_schedule(&topo, &native, &config);
-        row(
-            &format!("{alpha:4.2}"),
-            &[
-                format!("{:10.2}", plan.mean_nq()),
-                format!("{:10.2}", plan.mean_nc()),
-                format!("{:10.0}", plan.duration(&durations)),
-                fixed(evaluate(&plan, &topo, &cfg, residual)),
-            ],
-        );
-    }
+    row("alpha", &header);
+    print_sweep(alpha_out, alpha_fid);
 
     println!("\n-- k sweep (alpha = 0.5, paper requirement) --");
-    row(
-        "k",
-        &["mean NQ".into(), "mean NC".into(), "time (ns)".into(), "fidelity".into()],
-    );
-    for k in [1usize, 2, 3, 5, 8] {
-        let config = ZzxConfig { k, ..ZzxConfig::paper_default(&topo) };
-        let plan = zzx_schedule(&topo, &native, &config);
-        row(
-            &format!("{k}"),
-            &[
-                format!("{:10.2}", plan.mean_nq()),
-                format!("{:10.2}", plan.mean_nc()),
-                format!("{:10.0}", plan.duration(&durations)),
-                fixed(evaluate(&plan, &topo, &cfg, residual)),
-            ],
-        );
-    }
+    row("k", &header);
+    print_sweep(k_out, k_fid);
 
     println!("\n-- requirement sweep (alpha = 0.5, k = 3) --");
-    row(
-        "requirement",
-        &["mean NQ".into(), "mean NC".into(), "time (ns)".into(), "fidelity".into()],
-    );
-    for (name, req) in [
-        ("strict (NQ<3,NC<=4)", Requirement { nq_limit: 3, nc_limit: 4 }),
-        ("paper (NQ<4,NC<=8)", Requirement::paper_default(&topo)),
-        ("loose (unbounded)", Requirement { nq_limit: 99, nc_limit: 99 }),
-    ] {
-        let config = ZzxConfig { requirement: req, ..ZzxConfig::paper_default(&topo) };
-        let plan = zzx_schedule(&topo, &native, &config);
-        row(
-            name,
-            &[
-                format!("{:10.2}", plan.mean_nq()),
-                format!("{:10.2}", plan.mean_nc()),
-                format!("{:10.0}", plan.duration(&durations)),
-                fixed(evaluate(&plan, &topo, &cfg, residual)),
-            ],
-        );
-    }
+    row("requirement", &header);
+    print_sweep(req_out, req_fid);
 }

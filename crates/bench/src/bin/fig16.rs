@@ -8,8 +8,8 @@
 use zz_bench::{banner, lambda_sweep_mhz, row, sci};
 use zz_linalg::Matrix;
 use zz_pulse::library::{id_drive, x90_drive, PulseMethod};
-use zz_pulse::systems::infidelity_1q;
 use zz_pulse::mhz;
+use zz_pulse::systems::infidelity_1q;
 use zz_quantum::gates;
 
 fn main() {
@@ -20,7 +20,10 @@ fn main() {
         println!("\n-- {gate_name} --");
         row(
             "lambda/2pi (MHz)",
-            &sweep.iter().map(|l| format!("{l:10.1}")).collect::<Vec<_>>(),
+            &sweep
+                .iter()
+                .map(|l| format!("{l:10.1}"))
+                .collect::<Vec<_>>(),
         );
         for method in PulseMethod::ALL {
             let drive = match gate_name {

@@ -6,12 +6,15 @@
 
 use zz_bench::{banner, lambda_sweep_mhz, row, sci};
 use zz_pulse::library::{x90_drive, PulseMethod};
-use zz_pulse::noise::{infidelity_1q_noisy, DriveNoise};
 use zz_pulse::mhz;
+use zz_pulse::noise::{infidelity_1q_noisy, DriveNoise};
 use zz_quantum::gates;
 
 fn main() {
-    banner("Figure 17", "robustness of the Pert X90 pulse to drive noise");
+    banner(
+        "Figure 17",
+        "robustness of the Pert X90 pulse to drive noise",
+    );
     let sweep = lambda_sweep_mhz();
     let drive = x90_drive(PulseMethod::Pert);
     let target = gates::x90();
@@ -19,7 +22,10 @@ fn main() {
     println!("\n-- (a) frequency detuning --");
     row(
         "lambda/2pi (MHz)",
-        &sweep.iter().map(|l| format!("{l:10.1}")).collect::<Vec<_>>(),
+        &sweep
+            .iter()
+            .map(|l| format!("{l:10.1}"))
+            .collect::<Vec<_>>(),
     );
     for df in [0.0, 0.1, 0.5, 1.0] {
         let series: Vec<String> = sweep
@@ -40,7 +46,10 @@ fn main() {
     println!("\n-- (b) amplitude noise --");
     row(
         "lambda/2pi (MHz)",
-        &sweep.iter().map(|l| format!("{l:10.1}")).collect::<Vec<_>>(),
+        &sweep
+            .iter()
+            .map(|l| format!("{l:10.1}"))
+            .collect::<Vec<_>>(),
     );
     for pct in [0.0, 0.01, 0.05, 0.1] {
         let series: Vec<String> = sweep

@@ -13,7 +13,10 @@ use zz_pulse::systems::{infidelity_transmon, QubitDrive};
 use zz_quantum::gates;
 
 fn main() {
-    banner("Figure 18", "X90 under ZZ crosstalk and leakage (5-level transmon)");
+    banner(
+        "Figure 18",
+        "X90 under ZZ crosstalk and leakage (5-level transmon)",
+    );
     let sweep = lambda_sweep_mhz();
     let target = gates::x90();
 
@@ -22,7 +25,10 @@ fn main() {
         println!("\n-- anharmonicity {alpha_mhz} MHz --");
         row(
             "lambda/2pi (MHz)",
-            &sweep.iter().map(|l| format!("{l:10.1}")).collect::<Vec<_>>(),
+            &sweep
+                .iter()
+                .map(|l| format!("{l:10.1}"))
+                .collect::<Vec<_>>(),
         );
 
         // Pert without DRAG: leaks.

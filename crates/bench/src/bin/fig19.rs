@@ -18,9 +18,16 @@ fn main() {
     println!("\n-- (a) equal strengths on 1-2 and 3-4 --");
     row(
         "lambda/2pi (MHz)",
-        &sweep.iter().map(|l| format!("{l:10.1}")).collect::<Vec<_>>(),
+        &sweep
+            .iter()
+            .map(|l| format!("{l:10.1}"))
+            .collect::<Vec<_>>(),
     );
-    for method in [PulseMethod::Gaussian, PulseMethod::OptCtrl, PulseMethod::Pert] {
+    for method in [
+        PulseMethod::Gaussian,
+        PulseMethod::OptCtrl,
+        PulseMethod::Pert,
+    ] {
         let drive = zx90_drive(method).expect("method has a two-qubit pulse");
         let series: Vec<String> = sweep
             .iter()

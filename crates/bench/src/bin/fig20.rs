@@ -4,35 +4,23 @@
 //! `Gau+ParSched` (the baseline), `OptCtrl+ZZXSched` and `Pert+ZZXSched`,
 //! plus the improvement factor `Pert+ZZXSched / Gau+ParSched`.
 
-use zz_bench::{banner, fixed, parallel_map, row};
-use zz_circuit::bench::BenchmarkKind;
-use zz_core::evaluate::{benchmark_fidelity, EvalConfig};
+use zz_bench::{banner, core_cases, fidelity_table, fixed, row};
+use zz_core::evaluate::EvalConfig;
 use zz_core::{PulseMethod, SchedulerKind};
 
 fn main() {
-    banner("Figure 20", "overall fidelity improvements under ZZ crosstalk");
+    banner(
+        "Figure 20",
+        "overall fidelity improvements under ZZ crosstalk",
+    );
     let cfg = EvalConfig::paper_default();
-
-    let cases: Vec<(BenchmarkKind, usize)> = BenchmarkKind::CORE
-        .iter()
-        .flat_map(|&kind| kind.paper_sizes().iter().map(move |&n| (kind, n)))
-        .collect();
-
+    let cases = core_cases();
     let configs = [
         (PulseMethod::Gaussian, SchedulerKind::ParSched),
         (PulseMethod::OptCtrl, SchedulerKind::ZzxSched),
         (PulseMethod::Pert, SchedulerKind::ZzxSched),
     ];
-
-    let jobs: Vec<(BenchmarkKind, usize, PulseMethod, SchedulerKind)> = cases
-        .iter()
-        .flat_map(|&(k, n)| configs.iter().map(move |&(m, s)| (k, n, m, s)))
-        .collect();
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
-    let fidelities = parallel_map(jobs.len(), threads, |i| {
-        let (k, n, m, s) = jobs[i];
-        benchmark_fidelity(k, n, m, s, &cfg)
-    });
+    let table = fidelity_table(&cases, &configs, &cfg);
 
     row(
         "benchmark",
@@ -44,9 +32,12 @@ fn main() {
         ],
     );
     let mut improvements = Vec::new();
-    for (ci, &(kind, n)) in cases.iter().enumerate() {
-        let f: Vec<f64> = (0..3).map(|j| fidelities[ci * 3 + j]).collect();
-        let improvement = if f[0] > 1e-6 { f[2] / f[0] } else { f64::INFINITY };
+    for (&(kind, n), f) in cases.iter().zip(&table) {
+        let improvement = if f[0] > 1e-6 {
+            f[2] / f[0]
+        } else {
+            f64::INFINITY
+        };
         improvements.push(improvement);
         row(
             &format!("{kind}-{n}"),

@@ -2,46 +2,37 @@
 //! (`Pert+ParSched`), scheduling alone (`Gau+ZZXSched`), and both
 //! (`Pert+ZZXSched`).
 
-use zz_bench::{banner, fixed, parallel_map, row};
-use zz_circuit::bench::BenchmarkKind;
-use zz_core::evaluate::{benchmark_fidelity, EvalConfig};
+use zz_bench::{banner, core_cases, fidelity_table, fixed, row};
+use zz_core::evaluate::EvalConfig;
 use zz_core::{PulseMethod, SchedulerKind};
 
 fn main() {
-    banner("Figure 21", "pulses alone vs scheduling alone vs co-optimization");
+    banner(
+        "Figure 21",
+        "pulses alone vs scheduling alone vs co-optimization",
+    );
     let cfg = EvalConfig::paper_default();
-
-    let cases: Vec<(BenchmarkKind, usize)> = BenchmarkKind::CORE
-        .iter()
-        .flat_map(|&kind| kind.paper_sizes().iter().map(move |&n| (kind, n)))
-        .collect();
+    let cases = core_cases();
     let configs = [
         (PulseMethod::Pert, SchedulerKind::ParSched),
         (PulseMethod::Gaussian, SchedulerKind::ZzxSched),
         (PulseMethod::Pert, SchedulerKind::ZzxSched),
     ];
-
-    let jobs: Vec<(BenchmarkKind, usize, PulseMethod, SchedulerKind)> = cases
-        .iter()
-        .flat_map(|&(k, n)| configs.iter().map(move |&(m, s)| (k, n, m, s)))
-        .collect();
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
-    let fidelities = parallel_map(jobs.len(), threads, |i| {
-        let (k, n, m, s) = jobs[i];
-        benchmark_fidelity(k, n, m, s, &cfg)
-    });
+    let table = fidelity_table(&cases, &configs, &cfg);
 
     row(
         "benchmark",
         &["Pert+Par".into(), "Gau+ZZX".into(), "Pert+ZZX".into()],
     );
     let mut synergy_wins = 0usize;
-    for (ci, &(kind, n)) in cases.iter().enumerate() {
-        let f: Vec<f64> = (0..3).map(|j| fidelities[ci * 3 + j]).collect();
+    for (&(kind, n), f) in cases.iter().zip(&table) {
         if f[2] >= f[0].max(f[1]) - 1e-9 {
             synergy_wins += 1;
         }
-        row(&format!("{kind}-{n}"), &[fixed(f[0]), fixed(f[1]), fixed(f[2])]);
+        row(
+            &format!("{kind}-{n}"),
+            &[fixed(f[0]), fixed(f[1]), fixed(f[2])],
+        );
     }
     println!(
         "\nco-optimization is at least as good as either part alone on {synergy_wins}/{} benchmarks",

@@ -5,40 +5,28 @@
 //! improvement achieved with only Pert pulses (`Pert+ParSched`) to the
 //! overall improvement; scheduling gets the remainder.
 
-use zz_bench::{banner, parallel_map, row};
-use zz_circuit::bench::BenchmarkKind;
-use zz_core::evaluate::{benchmark_fidelity, EvalConfig};
+use zz_bench::{banner, core_cases, fidelity_table, row};
+use zz_core::evaluate::EvalConfig;
 use zz_core::{PulseMethod, SchedulerKind};
 
 fn main() {
-    banner("Figure 22", "contribution of pulse optimization vs scheduling");
+    banner(
+        "Figure 22",
+        "contribution of pulse optimization vs scheduling",
+    );
     let cfg = EvalConfig::paper_default();
-
-    let cases: Vec<(BenchmarkKind, usize)> = BenchmarkKind::CORE
-        .iter()
-        .flat_map(|&kind| kind.paper_sizes().iter().map(move |&n| (kind, n)))
-        .collect();
+    let cases = core_cases();
     let configs = [
         (PulseMethod::Gaussian, SchedulerKind::ParSched),
         (PulseMethod::Pert, SchedulerKind::ParSched),
         (PulseMethod::Pert, SchedulerKind::ZzxSched),
     ];
-    let jobs: Vec<(BenchmarkKind, usize, PulseMethod, SchedulerKind)> = cases
-        .iter()
-        .flat_map(|&(k, n)| configs.iter().map(move |&(m, s)| (k, n, m, s)))
-        .collect();
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
-    let fidelities = parallel_map(jobs.len(), threads, |i| {
-        let (k, n, m, s) = jobs[i];
-        benchmark_fidelity(k, n, m, s, &cfg)
-    });
+    let table = fidelity_table(&cases, &configs, &cfg);
 
     row("benchmark", &["pulse %".into(), "sched %".into()]);
     let (mut sum_pulse, mut count) = (0.0, 0usize);
-    for (ci, &(kind, n)) in cases.iter().enumerate() {
-        let base = fidelities[ci * 3];
-        let pulse_only = fidelities[ci * 3 + 1];
-        let both = fidelities[ci * 3 + 2];
+    for (&(kind, n), f) in cases.iter().zip(&table) {
+        let (base, pulse_only, both) = (f[0], f[1], f[2]);
         // Improvements measured as fidelity gains over the baseline.
         let total_gain = (both - base).max(1e-9);
         let pulse_gain = (pulse_only - base).clamp(0.0, total_gain);
@@ -47,7 +35,10 @@ fn main() {
         count += 1;
         row(
             &format!("{kind}-{n}"),
-            &[format!("{pulse_pct:8.1}"), format!("{:8.1}", 100.0 - pulse_pct)],
+            &[
+                format!("{pulse_pct:8.1}"),
+                format!("{:8.1}", 100.0 - pulse_pct),
+            ],
         );
     }
     let mean_pulse = sum_pulse / count as f64;

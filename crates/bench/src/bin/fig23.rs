@@ -10,7 +10,10 @@ use zz_core::evaluate::{benchmark_fidelity, EvalConfig};
 use zz_core::{PulseMethod, SchedulerKind};
 
 fn main() {
-    banner("Figure 23", "6-qubit benchmarks under ZZ crosstalk + decoherence");
+    banner(
+        "Figure 23",
+        "6-qubit benchmarks under ZZ crosstalk + decoherence",
+    );
     let times_us = [100.0, 200.0, 500.0, 1000.0];
     let trajectories = 64;
     let configs = [
@@ -27,7 +30,7 @@ fn main() {
             }
         }
     }
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+    let threads = zz_core::batch::default_threads();
     let fidelities = parallel_map(jobs.len(), threads, |i| {
         let (kind, t, m, s) = jobs[i];
         let cfg = EvalConfig {
@@ -42,7 +45,10 @@ fn main() {
         println!("\n-- {kind}-6 --");
         row(
             "T1=T2 (us)",
-            &times_us.iter().map(|t| format!("{t:10.0}")).collect::<Vec<_>>(),
+            &times_us
+                .iter()
+                .map(|t| format!("{t:10.0}"))
+                .collect::<Vec<_>>(),
         );
         for (cj, &(m, s)) in configs.iter().enumerate() {
             let series: Vec<String> = times_us

@@ -2,35 +2,55 @@
 //! ParSched (the parallelism cost of suppression; the paper reports
 //! typically < 2×, independent of the pulse method).
 
-use zz_bench::{banner, row};
-use zz_circuit::bench::BenchmarkKind;
-use zz_core::evaluate::{compile_benchmark, EvalConfig};
+use zz_bench::{banner, core_cases, row};
+use zz_core::evaluate::{compile_suite, EvalConfig, SuiteCase};
 use zz_core::{PulseMethod, SchedulerKind};
 
 fn main() {
-    banner("Figure 24", "execution time of ZZXSched relative to ParSched");
+    banner(
+        "Figure 24",
+        "execution time of ZZXSched relative to ParSched",
+    );
     let cfg = EvalConfig::paper_default();
+    let cases = core_cases();
+
+    // Both schedulers per benchmark, compiled as one batch: each benchmark
+    // instance is routed once and shared by its ParSched and ZZXSched jobs.
+    let suite: Vec<SuiteCase> = cases
+        .iter()
+        .flat_map(|&(kind, n)| {
+            [SchedulerKind::ParSched, SchedulerKind::ZzxSched]
+                .into_iter()
+                .map(move |s| (kind, n, PulseMethod::Pert, s))
+        })
+        .collect();
+    let report = compile_suite(&suite, &cfg);
+    let compiled: Vec<_> = report.successes().collect();
+    assert_eq!(
+        compiled.len(),
+        suite.len(),
+        "benchmarks are sized to their devices"
+    );
 
     row(
         "benchmark",
         &["Par (ns)".into(), "ZZX (ns)".into(), "relative".into()],
     );
     let mut ratios = Vec::new();
-    for kind in BenchmarkKind::CORE {
-        for &n in kind.paper_sizes() {
-            let par = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ParSched, &cfg);
-            let zzx = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg);
-            let (tp, tz) = (par.execution_time(), zzx.execution_time());
-            ratios.push(tz / tp);
-            row(
-                &format!("{kind}-{n}"),
-                &[
-                    format!("{tp:10.0}"),
-                    format!("{tz:10.0}"),
-                    format!("{:8.2}x", tz / tp),
-                ],
-            );
-        }
+    for (ci, &(kind, n)) in cases.iter().enumerate() {
+        let (tp, tz) = (
+            compiled[2 * ci].execution_time(),
+            compiled[2 * ci + 1].execution_time(),
+        );
+        ratios.push(tz / tp);
+        row(
+            &format!("{kind}-{n}"),
+            &[
+                format!("{tp:10.0}"),
+                format!("{tz:10.0}"),
+                format!("{:8.2}x", tz / tp),
+            ],
+        );
     }
     let max = ratios.iter().cloned().fold(0.0f64, f64::max);
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;

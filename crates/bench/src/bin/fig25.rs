@@ -8,41 +8,57 @@
 
 use zz_bench::{banner, row};
 use zz_circuit::bench::BenchmarkKind;
-use zz_core::evaluate::{compile_benchmark, EvalConfig};
+use zz_core::evaluate::{compile_suite, EvalConfig, SuiteCase};
 use zz_core::{PulseMethod, SchedulerKind};
 
 fn main() {
-    banner("Figure 25", "#couplings to turn off (tunable-coupler devices)");
+    banner(
+        "Figure 25",
+        "#couplings to turn off (tunable-coupler devices)",
+    );
     let cfg = EvalConfig::paper_default();
 
-    let kinds: Vec<BenchmarkKind> = BenchmarkKind::CORE
+    let cases: Vec<(BenchmarkKind, usize)> = BenchmarkKind::CORE
         .iter()
         .copied()
         .chain([BenchmarkKind::Qv])
+        .flat_map(|kind| kind.paper_sizes().iter().map(move |&n| (kind, n)))
         .collect();
+    let suite: Vec<SuiteCase> = cases
+        .iter()
+        .map(|&(kind, n)| (kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched))
+        .collect();
+    let report = compile_suite(&suite, &cfg);
+    let compiled: Vec<_> = report.successes().collect();
+    assert_eq!(
+        compiled.len(),
+        suite.len(),
+        "benchmarks are sized to their devices"
+    );
 
     row(
         "benchmark",
         &["baseline".into(), "ZZXSched".into(), "improve".into()],
     );
     let mut improvements = Vec::new();
-    for kind in kinds {
-        for &n in kind.paper_sizes() {
-            let zzx = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg);
-            // Baseline: every coupling of the benchmark's device, every layer.
-            let all_couplings = zzx.topology.coupling_count() as f64;
-            let ours = zzx.plan.mean_nc();
-            let improvement = if ours > 1e-9 { all_couplings / ours } else { f64::INFINITY };
-            improvements.push(improvement.min(all_couplings / 0.5));
-            row(
-                &format!("{kind}-{n}"),
-                &[
-                    format!("{all_couplings:10.1}"),
-                    format!("{ours:10.2}"),
-                    format!("{improvement:8.1}x"),
-                ],
-            );
-        }
+    for (&(kind, n), zzx) in cases.iter().zip(compiled) {
+        // Baseline: every coupling of the benchmark's device, every layer.
+        let all_couplings = zzx.topology.coupling_count() as f64;
+        let ours = zzx.plan.mean_nc();
+        let improvement = if ours > 1e-9 {
+            all_couplings / ours
+        } else {
+            f64::INFINITY
+        };
+        improvements.push(improvement.min(all_couplings / 0.5));
+        row(
+            &format!("{kind}-{n}"),
+            &[
+                format!("{all_couplings:10.1}"),
+                format!("{ours:10.2}"),
+                format!("{improvement:8.1}x"),
+            ],
+        );
     }
     let mean = improvements.iter().sum::<f64>() / improvements.len() as f64;
     println!("\nmean reduction {mean:.1}x (paper: 10–20x)");

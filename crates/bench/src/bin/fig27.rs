@@ -40,11 +40,15 @@ fn main() {
             let f1 = fit_frequency(&ramsey_fringe(circuit, group, true, &cfg), f_max);
             let zz = effective_zz_khz(circuit, group, &cfg);
             row(
-                &format!("{} ({})", circuit.label(), match circuit {
-                    RamseyCircuit::Original => "bare idle",
-                    RamseyCircuit::IdOnQ2 => "I on Q2",
-                    RamseyCircuit::IdOnNeighbors => "I on Q1,Q3",
-                }),
+                &format!(
+                    "{} ({})",
+                    circuit.label(),
+                    match circuit {
+                        RamseyCircuit::Original => "bare idle",
+                        RamseyCircuit::IdOnQ2 => "I on Q2",
+                        RamseyCircuit::IdOnNeighbors => "I on Q1,Q3",
+                    }
+                ),
                 &[
                     format!("{:10.4}", f0 * 1e3),
                     format!("{:10.4}", f1 * 1e3),

@@ -7,7 +7,10 @@ use zz_bench::banner;
 use zz_pulse::library::{x90_drive, PulseMethod};
 
 fn main() {
-    banner("Figure 28", "optimized X90 waveforms (CSV: t, Ox_MHz, Oy_MHz)");
+    banner(
+        "Figure 28",
+        "optimized X90 waveforms (CSV: t, Ox_MHz, Oy_MHz)",
+    );
     for method in [PulseMethod::OptCtrl, PulseMethod::Pert, PulseMethod::Dcg] {
         let drive = x90_drive(method);
         let d = drive.duration();

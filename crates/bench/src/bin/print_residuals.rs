@@ -1,6 +1,9 @@
 fn main() {
     for m in zz_core::PulseMethod::ALL {
         let t = zz_core::calib::residuals(m);
-        println!("{m:10}: x90={:.4} id={:.4} zxc={:.4} zxt={:.4}", t.x90, t.id, t.zx90_control, t.zx90_target);
+        println!(
+            "{m:10}: x90={:.4} id={:.4} zxc={:.4} zxt={:.4}",
+            t.x90, t.id, t.zx90_control, t.zx90_target
+        );
     }
 }

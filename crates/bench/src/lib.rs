@@ -11,6 +11,14 @@
 //! series of the corresponding paper figure. `EXPERIMENTS.md` at the
 //! workspace root records paper-vs-measured values for each figure.
 
+#![warn(missing_docs)]
+
+use zz_circuit::bench::BenchmarkKind;
+use zz_core::evaluate::{benchmark_suite_fidelities, EvalConfig, SuiteCase};
+use zz_core::{PulseMethod, SchedulerKind};
+
+pub mod timing;
+
 /// Prints a figure banner.
 pub fn banner(figure: &str, description: &str) {
     println!("==================================================================");
@@ -46,28 +54,36 @@ pub fn lambda_sweep_mhz() -> Vec<f64> {
 }
 
 /// Runs closures in parallel on up to `threads` OS threads, preserving
-/// input order in the output.
-pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(count: usize, threads: usize, f: F) -> Vec<T> {
-    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let value = f(i);
-                **slots[i].lock().expect("no poisoned slots") = Some(value);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every index computed"))
+/// input order in the output (re-export of the batch engine's pool —
+/// [`zz_core::batch::parallel_map`]).
+pub use zz_core::batch::parallel_map;
+
+/// Every core benchmark at every paper size — the case axis of Figures
+/// 20–22 and 24.
+pub fn core_cases() -> Vec<(BenchmarkKind, usize)> {
+    BenchmarkKind::CORE
+        .iter()
+        .flat_map(|&kind| kind.paper_sizes().iter().map(move |&n| (kind, n)))
         .collect()
+}
+
+/// Fidelity of every `case × config` cell, compiled through one shared
+/// [`zz_core::BatchCompiler`] (one calibration pass per pulse method, one
+/// routing pass per benchmark instance) and evaluated in parallel.
+///
+/// Returns one row per case, one column per config — the table shape the
+/// figure binaries print.
+pub fn fidelity_table(
+    cases: &[(BenchmarkKind, usize)],
+    configs: &[(PulseMethod, SchedulerKind)],
+    cfg: &EvalConfig,
+) -> Vec<Vec<f64>> {
+    let suite: Vec<SuiteCase> = cases
+        .iter()
+        .flat_map(|&(kind, n)| configs.iter().map(move |&(m, s)| (kind, n, m, s)))
+        .collect();
+    let flat = benchmark_suite_fidelities(&suite, cfg);
+    flat.chunks(configs.len()).map(<[f64]>::to_vec).collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,59 @@
+//! A tiny wall-clock benchmarking harness for the `benches/` targets.
+//!
+//! The workspace builds hermetically (no crates.io access), so instead of
+//! Criterion the bench binaries use this module: warm-up followed by a
+//! fixed number of timed samples, reporting min / median / mean per case.
+//! Use `cargo bench -p zz-bench` to run them.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Collects and prints timings for one named group of related cases.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// Starts a group with the default 20 samples per case.
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        BenchGroup {
+            name: name.to_string(),
+            samples: 20,
+        }
+    }
+
+    /// Overrides the number of timed samples per case.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Times `f` (one sample = one call) and prints a stats row.
+    pub fn bench<T>(&self, case: &str, mut f: impl FnMut() -> T) {
+        // Warm-up: fill caches and let lazy statics initialize.
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{:<40} min {:>10.1?}  median {:>10.1?}  mean {:>10.1?}  ({} samples)",
+            format!("{}/{case}", self.name),
+            min,
+            median,
+            mean,
+            self.samples,
+        );
+    }
+}

@@ -235,7 +235,9 @@ fn ising(n: usize, seed: u64) -> Circuit {
     let dt = 0.2;
     let steps = 3;
     // Slight disorder in the couplings makes the circuit less structured.
-    let js: Vec<f64> = (0..n - 1).map(|_| 1.0 + 0.1 * rng.gen_range(-1.0..1.0)).collect();
+    let js: Vec<f64> = (0..n - 1)
+        .map(|_| 1.0 + 0.1 * rng.gen_range(-1.0..1.0))
+        .collect();
     let mut c = Circuit::new(n);
     for _ in 0..steps {
         for (i, &j) in js.iter().enumerate() {
@@ -260,7 +262,7 @@ fn grc(n: usize, seed: u64) -> Circuit {
         for q in 0..n {
             let mut pick = rng.gen_range(0..3);
             if pick == last[q] {
-                pick = (pick + 1 + rng.gen_range(0..2)) % 3;
+                pick = (pick + 1 + rng.gen_range(0..2usize)) % 3;
             }
             last[q] = pick;
             c.push(choices[pick], &[q]);
@@ -368,8 +370,8 @@ mod tests {
         };
         for r in 0..dim {
             for cidx in 0..dim {
-                let expected = zz_linalg::c64::cis(omega * (bitrev(r) * cidx) as f64)
-                    / (dim as f64).sqrt();
+                let expected =
+                    zz_linalg::c64::cis(omega * (bitrev(r) * cidx) as f64) / (dim as f64).sqrt();
                 assert!(
                     (u[(r, cidx)] - expected).abs() < 1e-9,
                     "QFT entry ({r},{cidx}) mismatch"

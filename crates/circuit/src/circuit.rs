@@ -74,7 +74,10 @@ impl Circuit {
             assert!(q < self.qubit_count, "qubit {q} out of range");
         }
         if qubits.len() == 2 {
-            assert_ne!(qubits[0], qubits[1], "two-qubit gate requires distinct qubits");
+            assert_ne!(
+                qubits[0], qubits[1],
+                "two-qubit gate requires distinct qubits"
+            );
         }
         self.ops.push(Op {
             gate,
@@ -115,6 +118,51 @@ impl Circuit {
             }
         }
         frontier.into_iter().max().unwrap_or(0)
+    }
+
+    /// A 64-bit structural digest of the circuit: qubit count, gate kinds,
+    /// exact angle bits, and qubit operands, in program order.
+    ///
+    /// Two circuits have equal digests exactly when they are structurally
+    /// identical (up to the vanishing probability of an FNV collision), so
+    /// the digest can key compilation caches — structurally identical
+    /// circuits route and translate identically.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use zz_circuit::{Circuit, Gate};
+    ///
+    /// let mut a = Circuit::new(2);
+    /// a.push(Gate::H, &[0]).push(Gate::Cnot, &[0, 1]);
+    /// let mut b = Circuit::new(2);
+    /// b.push(Gate::H, &[0]).push(Gate::Cnot, &[0, 1]);
+    /// assert_eq!(a.content_digest(), b.content_digest());
+    /// b.push(Gate::X, &[1]);
+    /// assert_ne!(a.content_digest(), b.content_digest());
+    /// ```
+    pub fn content_digest(&self) -> u64 {
+        // FNV-1a over the op stream.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |w: u64| {
+            h ^= w;
+            h = h.wrapping_mul(PRIME);
+        };
+        mix(self.qubit_count as u64);
+        for op in &self.ops {
+            let (kind, params, count) = op.gate.digest_parts();
+            mix(kind);
+            for p in &params[..count] {
+                mix(p.to_bits());
+            }
+            mix(op.qubits.len() as u64);
+            for &q in &op.qubits {
+                mix(q as u64);
+            }
+        }
+        h
     }
 
     /// The circuit's full unitary, built by embedding each gate.
@@ -184,7 +232,9 @@ mod tests {
     fn depth_follows_dependency_chains() {
         let mut c = Circuit::new(3);
         assert_eq!(c.depth(), 0);
-        c.push(Gate::H, &[0]).push(Gate::H, &[1]).push(Gate::H, &[2]);
+        c.push(Gate::H, &[0])
+            .push(Gate::H, &[1])
+            .push(Gate::H, &[2]);
         assert_eq!(c.depth(), 1, "parallel gates share a level");
         c.push(Gate::Cnot, &[0, 1]);
         assert_eq!(c.depth(), 2);

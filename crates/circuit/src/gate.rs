@@ -111,6 +111,36 @@ impl Gate {
     pub fn is_symmetric_two_qubit(self) -> bool {
         matches!(self, Gate::Cz | Gate::CPhase(_) | Gate::Rzz(_) | Gate::Swap)
     }
+
+    /// Decomposes the gate into a variant tag plus its angle parameters
+    /// (padded; only the first `count` entries are meaningful), for
+    /// structural hashing ([`crate::Circuit::content_digest`]) without
+    /// heap allocation.
+    pub(crate) fn digest_parts(self) -> (u64, [f64; 3], usize) {
+        match self {
+            Gate::H => (0, [0.0; 3], 0),
+            Gate::X => (1, [0.0; 3], 0),
+            Gate::Y => (2, [0.0; 3], 0),
+            Gate::Z => (3, [0.0; 3], 0),
+            Gate::S => (4, [0.0; 3], 0),
+            Gate::Sdg => (5, [0.0; 3], 0),
+            Gate::T => (6, [0.0; 3], 0),
+            Gate::Tdg => (7, [0.0; 3], 0),
+            Gate::Rx(t) => (8, [t, 0.0, 0.0], 1),
+            Gate::Ry(t) => (9, [t, 0.0, 0.0], 1),
+            Gate::Rz(t) => (10, [t, 0.0, 0.0], 1),
+            Gate::Phase(t) => (11, [t, 0.0, 0.0], 1),
+            Gate::U3(t, p, l) => (12, [t, p, l], 3),
+            Gate::Cnot => (13, [0.0; 3], 0),
+            Gate::Cz => (14, [0.0; 3], 0),
+            Gate::CPhase(t) => (15, [t, 0.0, 0.0], 1),
+            Gate::Rzz(t) => (16, [t, 0.0, 0.0], 1),
+            Gate::Swap => (17, [0.0; 3], 0),
+            Gate::SqrtX => (18, [0.0; 3], 0),
+            Gate::SqrtY => (19, [0.0; 3], 0),
+            Gate::SqrtW => (20, [0.0; 3], 0),
+        }
+    }
 }
 
 impl fmt::Display for Gate {

@@ -175,8 +175,14 @@ pub fn compile_to_native(circuit: &Circuit) -> NativeCircuit {
                 emit_single_qubit(&mut out, &gates::h(), b);
             }
             (Gate::CPhase(theta), &[a, b]) => {
-                out.push(NativeOp::Rz { qubit: a, theta: theta / 2.0 });
-                out.push(NativeOp::Rz { qubit: b, theta: theta / 2.0 });
+                out.push(NativeOp::Rz {
+                    qubit: a,
+                    theta: theta / 2.0,
+                });
+                out.push(NativeOp::Rz {
+                    qubit: b,
+                    theta: theta / 2.0,
+                });
                 emit_rzz(&mut out, -theta / 2.0, a, b);
             }
             (Gate::Rzz(theta), &[a, b]) => emit_rzz(&mut out, theta, a, b),
@@ -201,11 +207,23 @@ fn emit_rzz(out: &mut NativeCircuit, theta: f64, a: usize, b: usize) {
 
 /// `CNOT ≅ [Rz(π)@t; ZX90(c,t); Rz(π)@t; X90@t; Rz(π/2)@c]`.
 fn emit_cnot(out: &mut NativeCircuit, c: usize, t: usize) {
-    out.push(NativeOp::Rz { qubit: t, theta: PI });
-    out.push(NativeOp::Zx90 { control: c, target: t });
-    out.push(NativeOp::Rz { qubit: t, theta: PI });
+    out.push(NativeOp::Rz {
+        qubit: t,
+        theta: PI,
+    });
+    out.push(NativeOp::Zx90 {
+        control: c,
+        target: t,
+    });
+    out.push(NativeOp::Rz {
+        qubit: t,
+        theta: PI,
+    });
     out.push(NativeOp::X90 { qubit: t });
-    out.push(NativeOp::Rz { qubit: c, theta: FRAC_PI_2 });
+    out.push(NativeOp::Rz {
+        qubit: c,
+        theta: FRAC_PI_2,
+    });
 }
 
 /// Emits an arbitrary single-qubit unitary in ZXZXZ form.
@@ -213,14 +231,26 @@ fn emit_single_qubit(out: &mut NativeCircuit, u: &Matrix, q: usize) {
     let (theta, phi, lambda) = euler_angles(u);
     if theta.abs() < 1e-12 {
         // Diagonal gate: a single virtual Rz.
-        out.push(NativeOp::Rz { qubit: q, theta: phi + lambda });
+        out.push(NativeOp::Rz {
+            qubit: q,
+            theta: phi + lambda,
+        });
         return;
     }
-    out.push(NativeOp::Rz { qubit: q, theta: lambda });
+    out.push(NativeOp::Rz {
+        qubit: q,
+        theta: lambda,
+    });
     out.push(NativeOp::X90 { qubit: q });
-    out.push(NativeOp::Rz { qubit: q, theta: theta + PI });
+    out.push(NativeOp::Rz {
+        qubit: q,
+        theta: theta + PI,
+    });
     out.push(NativeOp::X90 { qubit: q });
-    out.push(NativeOp::Rz { qubit: q, theta: phi + PI });
+    out.push(NativeOp::Rz {
+        qubit: q,
+        theta: phi + PI,
+    });
 }
 
 /// Extracts `(θ, φ, λ)` with `U ≅ U3(θ, φ, λ)` up to global phase.
@@ -249,7 +279,11 @@ fn merge_rz(c: &mut NativeCircuit) {
     let mut merged: Vec<NativeOp> = Vec::with_capacity(c.ops.len());
     for &op in &c.ops {
         if let NativeOp::Rz { qubit, theta } = op {
-            if let Some(NativeOp::Rz { qubit: pq, theta: pt }) = merged.last().copied() {
+            if let Some(NativeOp::Rz {
+                qubit: pq,
+                theta: pt,
+            }) = merged.last().copied()
+            {
                 if pq == qubit {
                     merged.pop();
                     let sum = pt + theta;
@@ -370,7 +404,9 @@ mod tests {
     #[test]
     fn rz_merging_collapses_diagonals() {
         let mut c = Circuit::new(1);
-        c.push(Gate::S, &[0]).push(Gate::S, &[0]).push(Gate::Z, &[0]);
+        c.push(Gate::S, &[0])
+            .push(Gate::S, &[0])
+            .push(Gate::Z, &[0]);
         let n = compile_to_native(&c);
         // S·S·Z = Z² ≅ I: everything merges to at most one Rz; no pulses.
         assert_eq!(n.physical_op_count(), 0);
@@ -389,7 +425,10 @@ mod tests {
             let u = gates::u3(t, p, l);
             let (t2, p2, l2) = euler_angles(&u);
             let u2 = gates::u3(t2, p2, l2);
-            assert!(equal_up_to_phase(&u, &u2, 1e-9), "roundtrip failed for ({t},{p},{l})");
+            assert!(
+                equal_up_to_phase(&u, &u2, 1e-9),
+                "roundtrip failed for ({t},{p},{l})"
+            );
         }
     }
 

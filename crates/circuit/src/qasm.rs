@@ -45,10 +45,7 @@ pub fn to_qasm(circuit: &Circuit) -> String {
             Gate::U3(t, p, l) => format!("u3({t},{p},{l}) q[{}];", qs[0]),
             Gate::SqrtX => format!("sx q[{}];", qs[0]),
             Gate::SqrtY => format!("ry(pi/2) q[{}]; // sqrt(Y) up to phase", qs[0]),
-            Gate::SqrtW => format!(
-                "u3(pi/2,-pi/4,pi/4) q[{}]; // sqrt(W) up to phase",
-                qs[0]
-            ),
+            Gate::SqrtW => format!("u3(pi/2,-pi/4,pi/4) q[{}]; // sqrt(W) up to phase", qs[0]),
             Gate::Cnot => format!("cx q[{}],q[{}];", qs[0], qs[1]),
             Gate::Cz => format!("cz q[{}],q[{}];", qs[0], qs[1]),
             Gate::CPhase(a) => format!("cu1({a}) q[{}],q[{}];", qs[0], qs[1]),
@@ -119,7 +116,13 @@ mod tests {
         ] {
             c.push(g, &[0]);
         }
-        for g in [Gate::Cnot, Gate::Cz, Gate::CPhase(0.5), Gate::Rzz(0.6), Gate::Swap] {
+        for g in [
+            Gate::Cnot,
+            Gate::Cz,
+            Gate::CPhase(0.5),
+            Gate::Rzz(0.6),
+            Gate::Swap,
+        ] {
             c.push(g, &[0, 1]);
         }
         let q = to_qasm(&c);

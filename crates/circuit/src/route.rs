@@ -62,8 +62,8 @@ pub fn route(circuit: &Circuit, topo: &Topology) -> Circuit {
             &[a, b] => {
                 let (mut pa, pb) = (layout[a], layout[b]);
                 if topo.coupling_between(pa, pb).is_none() {
-                    let path = shortest_path(&graph, pa, pb)
-                        .expect("device topologies are connected");
+                    let path =
+                        shortest_path(&graph, pa, pb).expect("device topologies are connected");
                     // Walk `a` toward `b`, swapping along the path until
                     // adjacent.
                     for &w in &path.vertices[1..path.vertices.len() - 1] {
@@ -228,7 +228,11 @@ mod tests {
 
     #[test]
     fn snake_order_keeps_consecutive_qubits_adjacent() {
-        for topo in [Topology::grid(3, 4), Topology::grid(2, 3), Topology::line(5)] {
+        for topo in [
+            Topology::grid(3, 4),
+            Topology::grid(2, 3),
+            Topology::line(5),
+        ] {
             let snake = snake_order(&topo);
             for w in snake.windows(2) {
                 assert!(

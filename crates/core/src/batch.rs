@@ -1,0 +1,563 @@
+//! Batch compilation: many `(circuit, method, scheduler)` jobs compiled
+//! concurrently with shared caches.
+//!
+//! The paper evaluates its co-optimization over whole benchmark *suites*
+//! (Figures 20–25 each compile dozens of circuit × configuration pairs),
+//! and a production compiler serves exactly that shape of traffic. A
+//! [`BatchCompiler`] runs such a suite on a small worker pool and shares
+//! the two kinds of work that are identical across jobs:
+//!
+//! * **calibration** — per-method residual tables come from the process-wide
+//!   [`CalibCache`], so each pulse method is
+//!   measured at most once per process no matter how many jobs use it;
+//! * **routing / native translation** — jobs whose circuits are structurally
+//!   identical ([`Circuit::content_digest`]) and that target the same device
+//!   are routed and translated once, then share the resulting
+//!   [`NativeCircuit`] (scheduling still runs per job: it depends on the
+//!   scheduler and its parameters).
+//!
+//! Results are deterministic: every job's [`Compiled`] output is
+//! bit-identical to what a sequential [`CoOptimizer::compile`] call with
+//! the same settings would produce (`tests/batch.rs` asserts this).
+//!
+//! # Example
+//!
+//! ```
+//! use zz_core::batch::{BatchCompiler, BatchJob};
+//! use zz_core::{PulseMethod, SchedulerKind};
+//! use zz_circuit::bench::{generate, BenchmarkKind};
+//! use zz_topology::Topology;
+//!
+//! let circuit = generate(BenchmarkKind::Qft, 4, 7);
+//! let jobs = vec![
+//!     BatchJob::new(circuit.clone(), PulseMethod::Gaussian, SchedulerKind::ParSched),
+//!     BatchJob::new(circuit, PulseMethod::Pert, SchedulerKind::ZzxSched),
+//! ];
+//! let report = BatchCompiler::builder()
+//!     .topology(Topology::grid(2, 2))
+//!     .build()
+//!     .run(jobs);
+//! assert_eq!(report.outcomes.len(), 2);
+//! assert_eq!(report.error_count(), 0);
+//! // The two jobs share one routing pass: same circuit, same device.
+//! assert_eq!(report.route_misses, 1);
+//! assert_eq!(report.route_hits, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use zz_circuit::native::{compile_to_native, NativeCircuit};
+use zz_circuit::{route, Circuit};
+use zz_pulse::library::PulseMethod;
+use zz_sched::zzx::Requirement;
+use zz_topology::Topology;
+
+use crate::calib::CalibCache;
+use crate::{CoOptError, CoOptimizer, Compiled, SchedulerKind};
+
+/// One compilation request: a circuit plus the pulse/scheduling
+/// configuration to compile it under.
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    /// The logical circuit (shared, so many jobs can reference one circuit
+    /// without copying it).
+    pub circuit: Arc<Circuit>,
+    /// The pulse method to calibrate for.
+    pub method: PulseMethod,
+    /// The scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Per-job device override; `None` uses the compiler's base topology.
+    pub topology: Option<Topology>,
+    /// Per-job α override for Algorithm 1; `None` uses the compiler's.
+    pub alpha: Option<f64>,
+    /// Per-job top-k budget override; `None` uses the compiler's.
+    pub k: Option<usize>,
+    /// Per-job suppression-requirement override; `None` uses the
+    /// compiler's (which itself defaults to the paper requirement).
+    pub requirement: Option<Requirement>,
+    /// Human-readable label carried into the [`JobOutcome`].
+    pub label: String,
+}
+
+impl BatchJob {
+    /// Creates a job with the default label `"{method}+{scheduler}"`.
+    pub fn new(circuit: Circuit, method: PulseMethod, scheduler: SchedulerKind) -> Self {
+        Self::shared(Arc::new(circuit), method, scheduler)
+    }
+
+    /// Shares an already-`Arc`ed circuit (avoids a deep copy when many jobs
+    /// reuse one circuit).
+    pub fn shared(circuit: Arc<Circuit>, method: PulseMethod, scheduler: SchedulerKind) -> Self {
+        BatchJob {
+            circuit,
+            method,
+            scheduler,
+            topology: None,
+            alpha: None,
+            k: None,
+            requirement: None,
+            label: format!("{method}+{scheduler}"),
+        }
+    }
+
+    /// Overrides the device this job compiles onto.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Overrides the NQ-vs-NC weight α for this job only.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Overrides the top-k path-relaxing budget for this job only.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Overrides the suppression requirement for this job only.
+    pub fn with_requirement(mut self, requirement: Requirement) -> Self {
+        self.requirement = Some(requirement);
+        self
+    }
+
+    /// Overrides the job label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// The result of one [`BatchJob`].
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The job's label.
+    pub label: String,
+    /// The compiled circuit, or why compilation was rejected.
+    pub result: Result<Compiled, CoOptError>,
+    /// Wall-clock time this job spent compiling (excluding queue wait).
+    pub compile_time: Duration,
+    /// Whether routing/native translation was served from the shared memo.
+    pub route_cache_hit: bool,
+}
+
+/// Aggregate results of a [`BatchCompiler::run`] call.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job outcomes, in the order the jobs were submitted.
+    pub outcomes: Vec<JobOutcome>,
+    /// Wall-clock time of the whole batch.
+    pub wall_time: Duration,
+    /// Jobs whose routing was served from the shared memo.
+    pub route_hits: usize,
+    /// Jobs that had to route (one per distinct circuit × device shape).
+    pub route_misses: usize,
+    /// Pulse-level calibration measurements that ran during this batch's
+    /// time window, measured as a delta of the process-wide
+    /// [`CalibCache`] counter (so at most one per pulse method per
+    /// process; a concurrent batch's measurement can be attributed to
+    /// whichever window it lands in).
+    pub calibration_runs: usize,
+}
+
+impl BatchReport {
+    /// The successfully compiled circuits, in submission order (errors are
+    /// skipped; see [`error_count`](Self::error_count)).
+    pub fn successes(&self) -> impl Iterator<Item = &Compiled> {
+        self.outcomes.iter().filter_map(|o| o.result.as_ref().ok())
+    }
+
+    /// Number of jobs that failed to compile.
+    pub fn error_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_err()).count()
+    }
+
+    /// Sum of per-job compile times — with caching and a worker pool this
+    /// exceeds [`wall_time`](Self::wall_time) on multi-core machines.
+    pub fn cpu_time(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.compile_time).sum()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs ({} failed) in {:.1?} wall / {:.1?} cpu; routing {} hit / {} miss; {} calibration run(s)",
+            self.outcomes.len(),
+            self.error_count(),
+            self.wall_time,
+            self.cpu_time(),
+            self.route_hits,
+            self.route_misses,
+            self.calibration_runs,
+        )
+    }
+}
+
+/// Compiles batches of jobs concurrently with shared calibration and
+/// routing caches. See the [module docs](self) for an example.
+#[derive(Debug)]
+pub struct BatchCompiler {
+    topology: Topology,
+    alpha: f64,
+    k: usize,
+    requirement: Option<Requirement>,
+    threads: usize,
+    route_memo: Mutex<HashMap<u64, Vec<Arc<MemoEntry>>>>,
+}
+
+/// One routing-memo slot: the exact shape it was created for (checked on
+/// every hit, so a 64-bit digest collision degrades to a second slot
+/// instead of silently serving the wrong circuit) plus the lazily-routed
+/// translation.
+#[derive(Debug)]
+struct MemoEntry {
+    circuit: Arc<Circuit>,
+    topology: Topology,
+    native: OnceLock<Arc<NativeCircuit>>,
+}
+
+impl BatchCompiler {
+    /// Starts building a batch compiler (defaults match
+    /// [`CoOptimizer::builder`]: 3×4 grid, `α = 0.5`, `k = 3`, paper
+    /// requirement, one worker per available core).
+    pub fn builder() -> BatchCompilerBuilder {
+        BatchCompilerBuilder::default()
+    }
+
+    /// The shared routing/native-translation memo: returns the cached
+    /// native circuit for this circuit × device shape, routing on a miss.
+    ///
+    /// Each shape gets its own `OnceLock` slot, so exactly one worker
+    /// routes a given shape (concurrent requesters for the *same* shape
+    /// wait on its slot; *different* shapes never serialize — the outer
+    /// map lock is only held for the entry lookup). Slots record the exact
+    /// circuit and topology they serve, so a digest collision costs one
+    /// extra slot rather than correctness.
+    fn native_for(&self, circuit: &Arc<Circuit>, topo: &Topology) -> (Arc<NativeCircuit>, bool) {
+        let key = shape_key(circuit, topo);
+        let slot = {
+            let mut memo = self.route_memo.lock().expect("memo poisoned");
+            let bucket = memo.entry(key).or_default();
+            match bucket
+                .iter()
+                .find(|e| *e.circuit == **circuit && e.topology == *topo)
+            {
+                Some(entry) => Arc::clone(entry),
+                None => {
+                    let entry = Arc::new(MemoEntry {
+                        circuit: Arc::clone(circuit),
+                        topology: topo.clone(),
+                        native: OnceLock::new(),
+                    });
+                    bucket.push(Arc::clone(&entry));
+                    entry
+                }
+            }
+        };
+        let mut routed_here = false;
+        let native = Arc::clone(slot.native.get_or_init(|| {
+            routed_here = true;
+            Arc::new(compile_to_native(&route(circuit, topo)))
+        }));
+        (native, !routed_here)
+    }
+
+    /// Compiles one job using the shared caches (no worker pool).
+    pub fn compile(&self, job: &BatchJob) -> (Result<Compiled, CoOptError>, bool) {
+        let topo = job.topology.as_ref().unwrap_or(&self.topology);
+        if job.circuit.qubit_count() > topo.qubit_count() {
+            return (
+                Err(CoOptError::CircuitTooLarge {
+                    needed: job.circuit.qubit_count(),
+                    available: topo.qubit_count(),
+                }),
+                false,
+            );
+        }
+        let (native, hit) = self.native_for(&job.circuit, topo);
+        let mut builder = CoOptimizer::builder()
+            .topology(topo.clone())
+            .pulse_method(job.method)
+            .scheduler(job.scheduler)
+            .alpha(job.alpha.unwrap_or(self.alpha))
+            .k(job.k.unwrap_or(self.k));
+        if let Some(req) = job.requirement.or(self.requirement) {
+            builder = builder.requirement(req);
+        }
+        (Ok(builder.build().compile_native(&native)), hit)
+    }
+
+    /// Compiles every job on the worker pool and aggregates a
+    /// [`BatchReport`]. Outcomes keep submission order.
+    pub fn run(&self, jobs: Vec<BatchJob>) -> BatchReport {
+        let start = Instant::now();
+        let calib_before = CalibCache::global().calibration_runs();
+        let threads = self.threads.min(jobs.len()).max(1);
+        let outcomes = parallel_map(jobs.len(), threads, |i| {
+            let job = &jobs[i];
+            let t0 = Instant::now();
+            let (result, route_cache_hit) = self.compile(job);
+            JobOutcome {
+                label: job.label.clone(),
+                result,
+                compile_time: t0.elapsed(),
+                route_cache_hit,
+            }
+        });
+        let route_hits = outcomes.iter().filter(|o| o.route_cache_hit).count();
+        let route_misses = outcomes
+            .iter()
+            .filter(|o| !o.route_cache_hit && o.result.is_ok())
+            .count();
+        BatchReport {
+            outcomes,
+            wall_time: start.elapsed(),
+            route_hits,
+            route_misses,
+            calibration_runs: CalibCache::global().calibration_runs() - calib_before,
+        }
+    }
+
+    /// Number of distinct circuit × device shapes currently memoized.
+    pub fn memoized_shapes(&self) -> usize {
+        self.route_memo
+            .lock()
+            .expect("memo poisoned")
+            .values()
+            .flatten()
+            .filter(|entry| entry.native.get().is_some())
+            .count()
+    }
+}
+
+/// Builder for [`BatchCompiler`].
+#[derive(Clone, Debug)]
+pub struct BatchCompilerBuilder {
+    topology: Topology,
+    alpha: f64,
+    k: usize,
+    requirement: Option<Requirement>,
+    threads: usize,
+}
+
+impl Default for BatchCompilerBuilder {
+    fn default() -> Self {
+        BatchCompilerBuilder {
+            topology: Topology::grid(3, 4),
+            alpha: 0.5,
+            k: 3,
+            requirement: None,
+            threads: default_threads(),
+        }
+    }
+}
+
+impl BatchCompilerBuilder {
+    /// Sets the base device topology jobs compile onto unless they override
+    /// it (default: the paper's 3×4 grid).
+    pub fn topology(mut self, topo: Topology) -> Self {
+        self.topology = topo;
+        self
+    }
+
+    /// Sets the NQ-vs-NC weight α of Algorithm 1 (default 0.5).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the top-k path-relaxing budget of Algorithm 1 (default 3).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Overrides the suppression requirement `R` (default: the paper's,
+    /// derived from each job's device).
+    pub fn requirement(mut self, requirement: Requirement) -> Self {
+        self.requirement = Some(requirement);
+        self
+    }
+
+    /// Sets the worker-pool size (default: one per available core; always
+    /// clamped to the job count at run time).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> BatchCompiler {
+        BatchCompiler {
+            topology: self.topology,
+            alpha: self.alpha,
+            k: self.k,
+            requirement: self.requirement,
+            threads: self.threads,
+            route_memo: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// Combined structural key of a circuit × device shape.
+fn shape_key(circuit: &Circuit, topo: &Topology) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = circuit.content_digest();
+    let mut mix = |w: u64| {
+        h ^= w;
+        h = h.wrapping_mul(PRIME);
+    };
+    for b in topo.name().bytes() {
+        mix(b as u64);
+    }
+    mix(topo.qubit_count() as u64);
+    for &(u, v) in topo.couplings() {
+        mix(u as u64);
+        mix(v as u64);
+    }
+    // Routing depends on the geometric embedding (qubit layout is chosen by
+    // coordinate order), so the coordinates are part of the shape.
+    for q in 0..topo.qubit_count() {
+        let (x, y) = topo.coord(q);
+        mix(x.to_bits());
+        mix(y.to_bits());
+    }
+    h
+}
+
+/// The default worker count: one per available core (4 when the core count
+/// is unavailable). Shared by the batch engine, the evaluation helpers and
+/// the figure binaries.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4)
+}
+
+/// Runs `f(0..count)` on up to `threads` OS threads, preserving input order
+/// in the output. The workspace's shared work-stealing primitive — the
+/// batch engine, the evaluation helpers and the figure binaries all
+/// schedule through it.
+pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(
+    count: usize,
+    threads: usize,
+    f: F,
+) -> Vec<T> {
+    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<&mut Option<T>>> = results.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let value = f(i);
+                **slots[i].lock().expect("no poisoned slots") = Some(value);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zz_circuit::Gate;
+
+    fn small_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.push(Gate::H, &[0]);
+        if n > 1 {
+            c.push(Gate::Cnot, &[0, 1]);
+        }
+        c
+    }
+
+    #[test]
+    fn batch_preserves_submission_order() {
+        let compiler = BatchCompiler::builder()
+            .topology(Topology::grid(2, 2))
+            .build();
+        let jobs: Vec<BatchJob> = (0..8)
+            .map(|i| {
+                BatchJob::new(small_circuit(2), PulseMethod::Pert, SchedulerKind::ZzxSched)
+                    .with_label(format!("job-{i}"))
+            })
+            .collect();
+        let report = compiler.run(jobs);
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(outcome.label, format!("job-{i}"));
+            assert!(outcome.result.is_ok());
+        }
+    }
+
+    #[test]
+    fn identical_shapes_route_once() {
+        // Serial workers make the hit/miss split deterministic.
+        let compiler = BatchCompiler::builder()
+            .topology(Topology::grid(2, 2))
+            .threads(1)
+            .build();
+        let circuit = small_circuit(2);
+        let jobs: Vec<BatchJob> = [
+            (PulseMethod::Gaussian, SchedulerKind::ParSched),
+            (PulseMethod::Pert, SchedulerKind::ZzxSched),
+            (PulseMethod::Dcg, SchedulerKind::ZzxSched),
+        ]
+        .into_iter()
+        .map(|(m, s)| BatchJob::new(circuit.clone(), m, s))
+        .collect();
+        let report = compiler.run(jobs);
+        assert_eq!(report.route_misses, 1, "{}", report.summary());
+        assert_eq!(report.route_hits, 2, "{}", report.summary());
+        assert_eq!(compiler.memoized_shapes(), 1);
+    }
+
+    #[test]
+    fn distinct_shapes_are_keyed_apart() {
+        let topo = Topology::grid(2, 2);
+        let a = small_circuit(2);
+        let mut b = small_circuit(2);
+        b.push(Gate::X, &[1]);
+        assert_ne!(shape_key(&a, &topo), shape_key(&b, &topo));
+        assert_ne!(shape_key(&a, &topo), shape_key(&a, &Topology::grid(2, 3)));
+    }
+
+    #[test]
+    fn oversized_jobs_error_without_poisoning_the_batch() {
+        let compiler = BatchCompiler::builder()
+            .topology(Topology::grid(2, 2))
+            .build();
+        let jobs = vec![
+            BatchJob::new(small_circuit(2), PulseMethod::Pert, SchedulerKind::ZzxSched),
+            BatchJob::new(small_circuit(9), PulseMethod::Pert, SchedulerKind::ZzxSched),
+        ];
+        let report = compiler.run(jobs);
+        assert_eq!(report.error_count(), 1);
+        assert!(report.outcomes[0].result.is_ok());
+        assert_eq!(
+            report.outcomes[1].result,
+            Err(CoOptError::CircuitTooLarge {
+                needed: 9,
+                available: 4
+            })
+        );
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(64, 8, |i| i * 3);
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

@@ -13,11 +13,12 @@
 //! optimized methods reach `r ≪ 1`. The factors feed
 //! [`zz_sim::executor::ZzErrorModel::residuals`].
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+use zz_pulse::khz;
 use zz_pulse::library::{id_drive, x90_drive, zx90_drive, PulseMethod};
 use zz_pulse::systems::{infidelity_2q, residual_zz_rate, residual_zz_rate_2q, GateSide};
-use zz_pulse::khz;
 use zz_sim::executor::ResidualTable;
 
 /// The calibration crosstalk strength (the paper's device value).
@@ -54,21 +55,58 @@ pub fn measure_residuals(method: PulseMethod) -> ResidualTable {
     }
 }
 
-/// The cached residual table for a method.
-pub fn residuals(method: PulseMethod) -> ResidualTable {
-    static CACHE: OnceLock<[ResidualTable; 4]> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| {
-        let mut v = [ResidualTable::none(); 4];
-        for (i, m) in PulseMethod::ALL.iter().enumerate() {
-            v[i] = measure_residuals(*m);
+/// A thread-safe, lazily-filled cache of per-method residual tables.
+///
+/// Each pulse method's table is measured at most once per cache (and the
+/// process-wide [`CalibCache::global`] instance therefore measures at most
+/// once per process), no matter how many threads ask concurrently — the
+/// batch engine's workers ([`crate::batch`]) all share the global instance.
+/// [`calibration_runs`](CalibCache::calibration_runs) exposes how many
+/// measurements actually ran, so tests and reports can verify sharing.
+#[derive(Debug, Default)]
+pub struct CalibCache {
+    slots: [OnceLock<ResidualTable>; PulseMethod::ALL.len()],
+    runs: AtomicUsize,
+}
+
+impl CalibCache {
+    /// Creates an empty cache (nothing measured yet).
+    pub const fn new() -> Self {
+        CalibCache {
+            slots: [const { OnceLock::new() }; PulseMethod::ALL.len()],
+            runs: AtomicUsize::new(0),
         }
-        v
-    });
-    let idx = PulseMethod::ALL
-        .iter()
-        .position(|&m| m == method)
-        .expect("all methods enumerated");
-    cache[idx]
+    }
+
+    /// The process-wide shared instance.
+    pub fn global() -> &'static CalibCache {
+        static GLOBAL: CalibCache = CalibCache::new();
+        &GLOBAL
+    }
+
+    /// The cached residual table for `method`, measuring it on first use.
+    pub fn residuals(&self, method: PulseMethod) -> ResidualTable {
+        let idx = PulseMethod::ALL
+            .iter()
+            .position(|&m| m == method)
+            .expect("all methods enumerated");
+        *self.slots[idx].get_or_init(|| {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            measure_residuals(method)
+        })
+    }
+
+    /// How many pulse-level calibration measurements this cache has run
+    /// (at most one per pulse method, ever).
+    pub fn calibration_runs(&self) -> usize {
+        self.runs.load(Ordering::Relaxed)
+    }
+}
+
+/// The cached residual table for a method (the process-wide
+/// [`CalibCache::global`] instance).
+pub fn residuals(method: PulseMethod) -> ResidualTable {
+    CalibCache::global().residuals(method)
 }
 
 /// The cached scalar summary of a method's suppression strength: the mean
@@ -106,8 +144,16 @@ mod tests {
         // pure coupling-drive ZX90 leaves the control side completely
         // unprotected ([Z⊗X, Z⊗I] = 0).
         assert!(t.x90 > 0.4, "Gaussian X90 residual too low: {}", t.x90);
-        assert!(t.zx90_control > 0.99, "control side must be unprotected: {}", t.zx90_control);
-        assert!(t.id > 0.2, "the Gaussian Rx(2π) echo is only partial: {}", t.id);
+        assert!(
+            t.zx90_control > 0.99,
+            "control side must be unprotected: {}",
+            t.zx90_control
+        );
+        assert!(
+            t.id > 0.2,
+            "the Gaussian Rx(2π) echo is only partial: {}",
+            t.id
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use zz_sim::executor::{
 };
 use zz_topology::Topology;
 
+use crate::batch::{parallel_map, BatchCompiler, BatchJob, BatchReport};
 use crate::{CoOptimizer, Compiled, PulseMethod, SchedulerKind};
 
 /// The smallest evaluation sub-grid holding `n` qubits.
@@ -139,6 +140,54 @@ pub fn benchmark_fidelity(
 ) -> f64 {
     let compiled = compile_benchmark(kind, n, method, scheduler, cfg);
     fidelity_of(&compiled, cfg)
+}
+
+/// One benchmark-suite case: a benchmark instance × compile configuration.
+pub type SuiteCase = (BenchmarkKind, usize, PulseMethod, SchedulerKind);
+
+/// Compiles a whole suite of cases through one shared [`BatchCompiler`]:
+/// calibration runs at most once per pulse method, and cases that share a
+/// benchmark instance (same kind and size) are generated once and routed
+/// once (the circuit itself is shared via [`BatchJob::shared`]).
+///
+/// This is the compile stage behind Figures 20–25; the figure binaries
+/// feed the report into [`suite_fidelities`].
+pub fn compile_suite(cases: &[SuiteCase], cfg: &EvalConfig) -> BatchReport {
+    let mut instances: std::collections::HashMap<(BenchmarkKind, usize), std::sync::Arc<_>> =
+        std::collections::HashMap::new();
+    let jobs: Vec<BatchJob> = cases
+        .iter()
+        .map(|&(kind, n, method, scheduler)| {
+            let circuit = instances
+                .entry((kind, n))
+                .or_insert_with(|| std::sync::Arc::new(generate(kind, n, cfg.circuit_seed)));
+            BatchJob::shared(std::sync::Arc::clone(circuit), method, scheduler)
+                .with_topology(device_for(n))
+                .with_label(format!("{kind}-{n}/{method}+{scheduler}"))
+        })
+        .collect();
+    BatchCompiler::builder().build().run(jobs)
+}
+
+/// Evaluates every compiled job of a suite report in parallel, preserving
+/// order. Failed jobs (which [`compile_suite`] never produces — benchmarks
+/// are sized to their devices) evaluate to fidelity 0.
+pub fn suite_fidelities(report: &BatchReport, cfg: &EvalConfig) -> Vec<f64> {
+    let threads = crate::batch::default_threads();
+    parallel_map(report.outcomes.len(), threads, |i| {
+        match &report.outcomes[i].result {
+            Ok(compiled) => fidelity_of(compiled, cfg),
+            Err(_) => 0.0,
+        }
+    })
+}
+
+/// Compile-and-evaluate for a whole suite: [`compile_suite`] followed by
+/// [`suite_fidelities`]. Equivalent to mapping [`benchmark_fidelity`] over
+/// `cases`, but compiles on a worker pool with shared calibration/routing
+/// caches.
+pub fn benchmark_suite_fidelities(cases: &[SuiteCase], cfg: &EvalConfig) -> Vec<f64> {
+    suite_fidelities(&compile_suite(cases, cfg), cfg)
 }
 
 #[cfg(test)]

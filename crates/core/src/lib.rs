@@ -15,6 +15,11 @@
 //! after which [`evaluate`] scores the compiled circuit under the ZZ (and
 //! optionally decoherence) error model of [`zz_sim`].
 //!
+//! For suite-scale traffic, [`batch`] compiles many jobs concurrently on a
+//! worker pool with a shared calibration cache ([`calib::CalibCache`]) and
+//! a routing/native-translation memo, producing bit-identical results to
+//! sequential [`CoOptimizer::compile`] calls.
+//!
 //! # Example
 //!
 //! ```
@@ -44,9 +49,11 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod calib;
 pub mod evaluate;
 mod optimizer;
 
+pub use batch::{BatchCompiler, BatchCompilerBuilder, BatchJob, BatchReport};
 pub use optimizer::{CoOptError, CoOptimizer, CoOptimizerBuilder, Compiled, SchedulerKind};
 pub use zz_pulse::library::PulseMethod;

@@ -61,7 +61,7 @@ impl std::error::Error for CoOptError {}
 
 /// A compiled circuit: the schedule plus everything needed to execute or
 /// simulate it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Compiled {
     /// The scheduled layers.
     pub plan: SchedulePlan,
@@ -259,7 +259,9 @@ mod tests {
 
     #[test]
     fn compile_rejects_oversized_circuits() {
-        let opt = CoOptimizer::builder().topology(Topology::grid(2, 2)).build();
+        let opt = CoOptimizer::builder()
+            .topology(Topology::grid(2, 2))
+            .build();
         let c = Circuit::new(9);
         assert_eq!(
             opt.compile(&c).err(),
@@ -313,6 +315,9 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push(Gate::X, &[0]);
         let compiled = opt.compile(&c).expect("fits");
-        assert!(compiled.residuals.x90 > 0.5, "Gaussian X90 must not suppress");
+        assert!(
+            compiled.residuals.x90 > 0.5,
+            "Gaussian X90 must not suppress"
+        );
     }
 }

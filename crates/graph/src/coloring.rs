@@ -89,7 +89,12 @@ pub fn two_color(n: usize, constraints: &[ColorConstraint]) -> Option<Vec<bool>>
             }
         }
     }
-    Some(color.into_iter().map(|c| c.expect("all vertices colored")).collect())
+    Some(
+        color
+            .into_iter()
+            .map(|c| c.expect("all vertices colored"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -98,7 +103,9 @@ mod tests {
 
     #[test]
     fn bipartite_cycle_is_colorable() {
-        let cs: Vec<_> = (0..4).map(|i| ColorConstraint::differ(i, (i + 1) % 4)).collect();
+        let cs: Vec<_> = (0..4)
+            .map(|i| ColorConstraint::differ(i, (i + 1) % 4))
+            .collect();
         let colors = two_color(4, &cs).expect("even cycle is 2-colorable");
         for c in &cs {
             assert_ne!(colors[c.u], colors[c.v]);
@@ -107,7 +114,9 @@ mod tests {
 
     #[test]
     fn odd_cycle_of_differs_is_inconsistent() {
-        let cs: Vec<_> = (0..3).map(|i| ColorConstraint::differ(i, (i + 1) % 3)).collect();
+        let cs: Vec<_> = (0..3)
+            .map(|i| ColorConstraint::differ(i, (i + 1) % 3))
+            .collect();
         assert!(two_color(3, &cs).is_none());
     }
 

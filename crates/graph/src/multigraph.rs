@@ -59,7 +59,10 @@ impl MultiGraph {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) -> EdgeId {
-        assert!(u < self.vertex_count && v < self.vertex_count, "endpoint out of range");
+        assert!(
+            u < self.vertex_count && v < self.vertex_count,
+            "endpoint out of range"
+        );
         let id = self.endpoints.len();
         self.endpoints.push((u, v));
         self.adj[u].push((v, id));
@@ -95,7 +98,9 @@ impl MultiGraph {
 
     /// Vertices with odd degree.
     pub fn odd_vertices(&self) -> Vec<usize> {
-        (0..self.vertex_count).filter(|&v| self.degree(v) % 2 == 1).collect()
+        (0..self.vertex_count)
+            .filter(|&v| self.degree(v) % 2 == 1)
+            .collect()
     }
 
     /// All edge ids currently in the graph.

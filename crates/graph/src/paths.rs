@@ -75,7 +75,11 @@ fn bfs_path(
     let mut queue = VecDeque::from([source]);
     while let Some(u) = queue.pop_front() {
         for &(v, e) in g.neighbors(u) {
-            if v == u || seen[v] || banned_vertices[v] || banned_edges.get(e).copied().unwrap_or(false) {
+            if v == u
+                || seen[v]
+                || banned_vertices[v]
+                || banned_edges.get(e).copied().unwrap_or(false)
+            {
                 continue;
             }
             seen[v] = true;

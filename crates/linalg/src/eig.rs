@@ -160,7 +160,12 @@ fn jacobi_rotate(m: &mut Matrix, v: &mut Matrix, p: usize, q: usize) {
 fn sort_eigh(m: Matrix, v: Matrix) -> Eigh {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| m[(a, a)].re.partial_cmp(&m[(b, b)].re).expect("NaN eigenvalue"));
+    order.sort_by(|&a, &b| {
+        m[(a, a)]
+            .re
+            .partial_cmp(&m[(b, b)].re)
+            .expect("NaN eigenvalue")
+    });
     let values: Vec<f64> = order.iter().map(|&i| m[(i, i)].re).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (new_col, &old_col) in order.iter().enumerate() {
@@ -204,7 +209,9 @@ mod tests {
         let mut h = Matrix::zeros(n, n);
         let mut seed = 0x12345678u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for i in 0..n {

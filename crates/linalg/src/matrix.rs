@@ -283,7 +283,11 @@ impl Matrix {
 
     /// Returns `true` if `self† self ≈ I` within `tol` (per entry).
     pub fn is_unitary(&self, tol: f64) -> bool {
-        self.is_square() && self.dagger().matmul(self).approx_eq(&Matrix::identity(self.rows), tol)
+        self.is_square()
+            && self
+                .dagger()
+                .matmul(self)
+                .approx_eq(&Matrix::identity(self.rows), tol)
     }
 
     /// Returns `true` if `self ≈ self†` within `tol` (per entry).
@@ -390,7 +394,9 @@ mod tests {
         let xy = pauli_x().matmul(&pauli_y());
         assert!(xy.approx_eq(&pauli_z().scale(c64::I), 1e-15));
         // X² = I
-        assert!(pauli_x().matmul(&pauli_x()).approx_eq(&Matrix::identity(2), 1e-15));
+        assert!(pauli_x()
+            .matmul(&pauli_x())
+            .approx_eq(&Matrix::identity(2), 1e-15));
     }
 
     #[test]

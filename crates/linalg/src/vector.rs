@@ -39,7 +39,10 @@ impl Vector {
     ///
     /// Panics if `index >= dim`.
     pub fn basis(dim: usize, index: usize) -> Self {
-        assert!(index < dim, "basis index {index} out of range for dim {dim}");
+        assert!(
+            index < dim,
+            "basis index {index} out of range for dim {dim}"
+        );
         let mut v = Vector::zeros(dim);
         v[index] = c64::ONE;
         v

@@ -39,32 +39,56 @@ fn main() {
     let id = Matrix::identity(2);
 
     // ---- Pert X90 ----
-    let cfg = AdamConfig { lr: 0.004, iters: iters_1q, ..Default::default() };
-    let (pert_x90, loss) = stage_1q("PERT_X90", &x90, std::f64::consts::FRAC_PI_2, |p| {
-        pert_1q_loss(p, &x90, 20.0, 50.0) + AMP_REG * amplitude_penalty(p)
-    }, &cfg);
+    let cfg = AdamConfig {
+        lr: 0.004,
+        iters: iters_1q,
+        ..Default::default()
+    };
+    let (pert_x90, loss) = stage_1q(
+        "PERT_X90",
+        &x90,
+        std::f64::consts::FRAC_PI_2,
+        |p| pert_1q_loss(p, &x90, 20.0, 50.0) + AMP_REG * amplitude_penalty(p),
+        &cfg,
+    );
     report_1q("PERT_X90", &pert_x90, &x90, loss);
 
     // ---- Pert I ----
-    let (pert_id, loss) = stage_1q("PERT_ID", &id, 2.0 * std::f64::consts::PI, |p| {
-        pert_1q_loss(p, &id, 20.0, 50.0) + AMP_REG * amplitude_penalty(p)
-    }, &cfg);
+    let (pert_id, loss) = stage_1q(
+        "PERT_ID",
+        &id,
+        2.0 * std::f64::consts::PI,
+        |p| pert_1q_loss(p, &id, 20.0, 50.0) + AMP_REG * amplitude_penalty(p),
+        &cfg,
+    );
     report_1q("PERT_ID", &pert_id, &id, loss);
 
     // ---- OptCtrl X90 ----
-    let (optctrl_x90, loss) = stage_1q("OPTCTRL_X90", &x90, std::f64::consts::FRAC_PI_2, |p| {
-        optctrl_1q_loss(p, &x90, 20.0, 2.0, &lambdas) + AMP_REG * amplitude_penalty(p)
-    }, &cfg);
+    let (optctrl_x90, loss) = stage_1q(
+        "OPTCTRL_X90",
+        &x90,
+        std::f64::consts::FRAC_PI_2,
+        |p| optctrl_1q_loss(p, &x90, 20.0, 2.0, &lambdas) + AMP_REG * amplitude_penalty(p),
+        &cfg,
+    );
     report_1q("OPTCTRL_X90", &optctrl_x90, &x90, loss);
 
     // ---- OptCtrl I ----
-    let (optctrl_id, loss) = stage_1q("OPTCTRL_ID", &id, 2.0 * std::f64::consts::PI, |p| {
-        optctrl_1q_loss(p, &id, 20.0, 2.0, &lambdas) + AMP_REG * amplitude_penalty(p)
-    }, &cfg);
+    let (optctrl_id, loss) = stage_1q(
+        "OPTCTRL_ID",
+        &id,
+        2.0 * std::f64::consts::PI,
+        |p| optctrl_1q_loss(p, &id, 20.0, 2.0, &lambdas) + AMP_REG * amplitude_penalty(p),
+        &cfg,
+    );
     report_1q("OPTCTRL_ID", &optctrl_id, &id, loss);
 
     // ---- Pert ZX90 ----
-    let cfg2 = AdamConfig { lr: 0.004, iters: iters_2q, ..Default::default() };
+    let cfg2 = AdamConfig {
+        lr: 0.004,
+        iters: iters_2q,
+        ..Default::default()
+    };
     eprintln!("optimizing PERT_ZX90 ({} iters)…", cfg2.iters);
     let p0 = initial_2q(20.0);
     let (pert_zx90, loss) = minimize(|p| pert_2q_loss(p, 20.0, 50.0), &p0, &cfg2);
@@ -78,7 +102,11 @@ fn main() {
     let (optctrl_zx90, loss) = minimize(
         |p| optctrl_2q_loss(p, 20.0, 2.0, &lambdas_2q, mhz(0.2)),
         &pert_zx90, // warm-start from the Pert solution
-        &AdamConfig { lr: 0.002, iters: iters_2q / 2, ..cfg2 },
+        &AdamConfig {
+            lr: 0.002,
+            iters: iters_2q / 2,
+            ..cfg2
+        },
     );
     let (ge, fo) = pulse_quality_2q(&optctrl_zx90, 20.0);
     eprintln!("OPTCTRL_ZX90: loss={loss:.3e} gate_err={ge:.3e} first_order={fo:.3e}");

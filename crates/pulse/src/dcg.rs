@@ -23,7 +23,10 @@ pub fn dcg_x90() -> SequencePulse {
     SequencePulse::new(vec![
         (Box::new(GaussianPulse::with_rotation(PI, 20.0)), 1.0),
         (Box::new(GaussianPulse::with_rotation(FRAC_PI_2, 20.0)), 1.0),
-        (Box::new(GaussianPulse::with_rotation(FRAC_PI_2, 20.0)), -1.0),
+        (
+            Box::new(GaussianPulse::with_rotation(FRAC_PI_2, 20.0)),
+            -1.0,
+        ),
         (Box::new(GaussianPulse::with_rotation(PI, 20.0)), 1.0),
         (Box::new(GaussianPulse::with_rotation(FRAC_PI_2, 40.0)), 1.0),
     ])
@@ -62,7 +65,11 @@ mod tests {
         let x = dcg_id();
         let y = ZeroPulse::new(x.duration());
         let u = evolve_1q_ctrl(&QubitDrive { x: &x, y: &y });
-        assert!(gates::equal_up_to_phase(&u, &zz_linalg::Matrix::identity(2), 1e-4));
+        assert!(gates::equal_up_to_phase(
+            &u,
+            &zz_linalg::Matrix::identity(2),
+            1e-4
+        ));
         assert_eq!(x.duration(), 40.0);
     }
 
@@ -89,7 +96,10 @@ mod tests {
         let idle_x = ZeroPulse::new(40.0);
         let idle_y = ZeroPulse::new(40.0);
         let idle_inf = infidelity_1q(
-            &QubitDrive { x: &idle_x, y: &idle_y },
+            &QubitDrive {
+                x: &idle_x,
+                y: &idle_y,
+            },
             &zz_linalg::Matrix::identity(2),
             lambda,
         );

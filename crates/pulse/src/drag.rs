@@ -35,12 +35,18 @@ impl<'a> DragCorrected<'a> {
 
     /// The corrected in-phase envelope.
     pub fn x(&self) -> DragQuadrature<'_> {
-        DragQuadrature { parent: self, is_x: true }
+        DragQuadrature {
+            parent: self,
+            is_x: true,
+        }
     }
 
     /// The corrected quadrature envelope.
     pub fn y(&self) -> DragQuadrature<'_> {
-        DragQuadrature { parent: self, is_x: false }
+        DragQuadrature {
+            parent: self,
+            is_x: false,
+        }
     }
 }
 
@@ -99,7 +105,8 @@ mod tests {
         let plain = infidelity_transmon(&QubitDrive { x: &x, y: &y }, &gates::x90(), alpha, 0.0);
         let d = DragCorrected::new(&x, &y, alpha);
         let (dx, dy) = (d.x(), d.y());
-        let dragged = infidelity_transmon(&QubitDrive { x: &dx, y: &dy }, &gates::x90(), alpha, 0.0);
+        let dragged =
+            infidelity_transmon(&QubitDrive { x: &dx, y: &dy }, &gates::x90(), alpha, 0.0);
         assert!(
             dragged < plain / 50.0,
             "DRAG must reduce leakage: {dragged} vs {plain}"

@@ -17,7 +17,9 @@ pub trait Envelope {
     fn area(&self) -> f64 {
         let steps = 2000;
         let dt = self.duration() / steps as f64;
-        (0..steps).map(|k| self.value((k as f64 + 0.5) * dt) * dt).sum()
+        (0..steps)
+            .map(|k| self.value((k as f64 + 0.5) * dt) * dt)
+            .sum()
     }
 }
 
@@ -272,11 +274,20 @@ mod tests {
     #[test]
     fn sequence_concatenates() {
         let seq = SequencePulse::new(vec![
-            (Box::new(GaussianPulse::with_rotation(std::f64::consts::PI, 20.0)), 1.0),
-            (Box::new(GaussianPulse::with_rotation(std::f64::consts::PI, 20.0)), -1.0),
+            (
+                Box::new(GaussianPulse::with_rotation(std::f64::consts::PI, 20.0)),
+                1.0,
+            ),
+            (
+                Box::new(GaussianPulse::with_rotation(std::f64::consts::PI, 20.0)),
+                -1.0,
+            ),
         ]);
         assert_eq!(seq.duration(), 40.0);
-        assert!((seq.value(10.0) + seq.value(30.0)).abs() < 1e-9, "second segment flipped");
+        assert!(
+            (seq.value(10.0) + seq.value(30.0)).abs() < 1e-9,
+            "second segment flipped"
+        );
         assert!((seq.area()).abs() < 1e-6, "areas cancel");
     }
 }

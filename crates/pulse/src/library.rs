@@ -66,41 +66,113 @@ impl std::fmt::Display for PulseMethod {
 
 /// Pert-optimized `X90` coefficients.
 pub const PERT_X90: [f64; 2 * BASIS] = [
-    -6.379795436303e-2, 3.445022170688e-1, 6.596379681798e-2, 2.525392816913e-2, 2.015028785533e-2,
-    2.345372920158e-3, 1.410816943453e-2, 1.636092040301e-3, 1.500922122119e-3, 1.199161939501e-3,
+    -6.379795436303e-2,
+    3.445022170688e-1,
+    6.596379681798e-2,
+    2.525392816913e-2,
+    2.015028785533e-2,
+    2.345372920158e-3,
+    1.410816943453e-2,
+    1.636092040301e-3,
+    1.500922122119e-3,
+    1.199161939501e-3,
 ];
 /// Pert-optimized identity (`Rx(2π)`-class) coefficients.
 pub const PERT_ID: [f64; 2 * BASIS] = [
-    3.719705866942e-3, 1.905648066607e-1, 4.668276821242e-2, 3.599656181536e-2, 3.627003975146e-2,
-    -1.198116223436e-3, 5.056120788433e-2, -4.497610750991e-3, -1.360637165653e-2, -4.512982720735e-3,
+    3.719705866942e-3,
+    1.905648066607e-1,
+    4.668276821242e-2,
+    3.599656181536e-2,
+    3.627003975146e-2,
+    -1.198116223436e-3,
+    5.056120788433e-2,
+    -4.497610750991e-3,
+    -1.360637165653e-2,
+    -4.512982720735e-3,
 ];
 /// OptCtrl-optimized `X90` coefficients.
 pub const OPTCTRL_X90: [f64; 2 * BASIS] = [
-    1.146038285045e-1, 1.868906968958e-1, 4.423124361124e-2, 2.578052366321e-2, 1.681127202174e-2,
-    3.077688720537e-2, 1.289473250973e-2, 4.984710471596e-3, 3.020914713013e-3, 1.949569507424e-3,
+    1.146038285045e-1,
+    1.868906968958e-1,
+    4.423124361124e-2,
+    2.578052366321e-2,
+    1.681127202174e-2,
+    3.077688720537e-2,
+    1.289473250973e-2,
+    4.984710471596e-3,
+    3.020914713013e-3,
+    1.949569507424e-3,
 ];
 /// OptCtrl-optimized identity coefficients.
 pub const OPTCTRL_ID: [f64; 2 * BASIS] = [
-    2.114786492444e-1, 7.493388635236e-2, 9.851809875620e-3, 9.617599324621e-3, 8.073511936562e-3,
-    -3.063156636227e-3, -1.040305243987e-3, -2.505471792702e-4, -1.356237392077e-4, -8.465958172631e-5,
+    2.114786492444e-1,
+    7.493388635236e-2,
+    9.851809875620e-3,
+    9.617599324621e-3,
+    8.073511936562e-3,
+    -3.063156636227e-3,
+    -1.040305243987e-3,
+    -2.505471792702e-4,
+    -1.356237392077e-4,
+    -8.465958172631e-5,
 ];
 /// Pert-optimized `ZX90` coefficients
 /// (`[Ωx_a, Ωy_a, Ωx_b, Ωy_b, Ω_ab]`, 5 coefficients each).
 pub const PERT_ZX90: [f64; 5 * BASIS] = [
-    2.564515732832e-2, 2.923927338607e-1, -1.771378859692e-1, -1.350990948305e-1, -1.269136315697e-1,
-    -3.171983355028e-2, -3.856912589122e-1, 2.377744415995e-1, 2.195374359175e-1, 1.258861869821e-1,
-    1.260983948142e-2, 2.482947352475e-2, -6.628881198643e-3, -1.662431934800e-2, -1.418575373137e-2,
-    2.215768570286e-5, -2.252165332911e-5, 4.451843625007e-5, 4.871174796493e-5, -2.813288565764e-4,
-    -1.037093062863e-2, 1.403046536267e-1, 1.249149444109e-1, 2.104836277152e-1, 1.812516223002e-1,
+    2.564515732832e-2,
+    2.923927338607e-1,
+    -1.771378859692e-1,
+    -1.350990948305e-1,
+    -1.269136315697e-1,
+    -3.171983355028e-2,
+    -3.856912589122e-1,
+    2.377744415995e-1,
+    2.195374359175e-1,
+    1.258861869821e-1,
+    1.260983948142e-2,
+    2.482947352475e-2,
+    -6.628881198643e-3,
+    -1.662431934800e-2,
+    -1.418575373137e-2,
+    2.215768570286e-5,
+    -2.252165332911e-5,
+    4.451843625007e-5,
+    4.871174796493e-5,
+    -2.813288565764e-4,
+    -1.037093062863e-2,
+    1.403046536267e-1,
+    1.249149444109e-1,
+    2.104836277152e-1,
+    1.812516223002e-1,
 ];
 /// OptCtrl-optimized `ZX90` coefficients (warm-started from the Pert
 /// solution and refined against the λ-averaged fidelity).
 pub const OPTCTRL_ZX90: [f64; 5 * BASIS] = [
-    2.570876208971e-2, 2.923357652745e-1, -1.772350178761e-1, -1.330146314663e-1, -1.292921784111e-1,
-    -3.184804112199e-2, -3.859218180432e-1, 2.382564327972e-1, 2.198128949497e-1, 1.259560556050e-1,
-    1.260969300307e-2, 2.482738805748e-2, -6.627779120794e-3, -1.662394846095e-2, -1.418529281988e-2,
-    9.851373883648e-6, 1.479799311566e-4, -3.842973395848e-6, 4.652071920633e-4, 7.677688330847e-4,
-    -1.048795680426e-2, 1.399721301986e-1, 1.234622799433e-1, 2.101750102547e-1, 1.822835357773e-1,
+    2.570876208971e-2,
+    2.923357652745e-1,
+    -1.772350178761e-1,
+    -1.330146314663e-1,
+    -1.292921784111e-1,
+    -3.184804112199e-2,
+    -3.859218180432e-1,
+    2.382564327972e-1,
+    2.198128949497e-1,
+    1.259560556050e-1,
+    1.260969300307e-2,
+    2.482738805748e-2,
+    -6.627779120794e-3,
+    -1.662394846095e-2,
+    -1.418529281988e-2,
+    9.851373883648e-6,
+    1.479799311566e-4,
+    -3.842973395848e-6,
+    4.652071920633e-4,
+    7.677688330847e-4,
+    -1.048795680426e-2,
+    1.399721301986e-1,
+    1.234622799433e-1,
+    2.101750102547e-1,
+    1.822835357773e-1,
 ];
 
 /// An owned single-qubit drive: the two quadrature envelopes.
@@ -285,7 +357,10 @@ mod tests {
         // OptCtrl is the indirect suppressor (Fig 16); the first-order
         // methods cancel far more.
         let r_opt = residual_zz_rate(&x90_drive(PulseMethod::OptCtrl).as_drive(), lambda);
-        assert!(r_opt < gauss / 3.0, "OptCtrl X90 residual {r_opt} vs Gaussian {gauss}");
+        assert!(
+            r_opt < gauss / 3.0,
+            "OptCtrl X90 residual {r_opt} vs Gaussian {gauss}"
+        );
         for method in [PulseMethod::Pert, PulseMethod::Dcg] {
             let r = residual_zz_rate(&x90_drive(method).as_drive(), lambda);
             assert!(
@@ -299,14 +374,29 @@ mod tests {
     fn pert_beats_optctrl_on_first_order_term() {
         // The paper's key claim for the Pert objective (Fig 16).
         let lambda = mhz(0.2);
-        let pert = infidelity_1q(&x90_drive(PulseMethod::Pert).as_drive(), &gates::x90(), lambda);
-        let opt = infidelity_1q(&x90_drive(PulseMethod::OptCtrl).as_drive(), &gates::x90(), lambda);
-        assert!(pert <= opt * 2.0, "Pert {pert} should be at least comparable to OptCtrl {opt}");
+        let pert = infidelity_1q(
+            &x90_drive(PulseMethod::Pert).as_drive(),
+            &gates::x90(),
+            lambda,
+        );
+        let opt = infidelity_1q(
+            &x90_drive(PulseMethod::OptCtrl).as_drive(),
+            &gates::x90(),
+            lambda,
+        );
+        assert!(
+            pert <= opt * 2.0,
+            "Pert {pert} should be at least comparable to OptCtrl {opt}"
+        );
     }
 
     #[test]
     fn zx90_drives_implement_the_gate() {
-        for method in [PulseMethod::Gaussian, PulseMethod::OptCtrl, PulseMethod::Pert] {
+        for method in [
+            PulseMethod::Gaussian,
+            PulseMethod::OptCtrl,
+            PulseMethod::Pert,
+        ] {
             let d = zx90_drive(method).expect("available");
             let u = crate::systems::evolve_2q_ctrl(&d.as_drive(), 0.0);
             let inf = 1.0 - zz_quantum::fidelity::average_gate_fidelity(&u, &gates::zx90());

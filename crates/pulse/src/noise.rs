@@ -2,9 +2,9 @@
 //! fluctuation (paper Fig 17).
 
 use zz_linalg::Matrix;
+use zz_quantum::embed;
 use zz_quantum::fidelity::average_gate_infidelity;
 use zz_quantum::pauli::{Pauli, PauliString};
-use zz_quantum::embed;
 
 use crate::propagate::TimeDependentHamiltonian;
 use crate::systems::{QubitDrive, STEPS_PER_NS};
@@ -62,8 +62,12 @@ pub fn infidelity_1q_noisy(
         zz_linalg::c64::real(noise.detuning / 2.0),
     );
     let mut h = TimeDependentHamiltonian::new(h_static);
-    h.add_control(embed(&Pauli::X.matrix(), &[0], 2), move |t| scale * drive.x.value(t));
-    h.add_control(embed(&Pauli::Y.matrix(), &[0], 2), move |t| scale * drive.y.value(t));
+    h.add_control(embed(&Pauli::X.matrix(), &[0], 2), move |t| {
+        scale * drive.x.value(t)
+    });
+    h.add_control(embed(&Pauli::Y.matrix(), &[0], 2), move |t| {
+        scale * drive.y.value(t)
+    });
     let u = h.propagate(duration, (duration * STEPS_PER_NS) as usize);
     average_gate_infidelity(&u, &target.kron(&Matrix::identity(2)))
 }
@@ -91,7 +95,8 @@ mod tests {
         let y = ZeroPulse::new(20.0);
         let drive = QubitDrive { x: &x, y: &y };
         let base = infidelity_1q_noisy(&drive, &gates::x90(), 0.0, DriveNoise::none());
-        let detuned = infidelity_1q_noisy(&drive, &gates::x90(), 0.0, DriveNoise::detuning_mhz(1.0));
+        let detuned =
+            infidelity_1q_noisy(&drive, &gates::x90(), 0.0, DriveNoise::detuning_mhz(1.0));
         assert!(detuned > base + 1e-6, "{detuned} !> {base}");
     }
 

@@ -105,7 +105,13 @@ pub fn unpack_1q(params: &[f64], duration: f64) -> (FourierPulse, FourierPulse) 
 pub fn unpack_2q(
     params: &[f64],
     duration: f64,
-) -> (FourierPulse, FourierPulse, FourierPulse, FourierPulse, FourierPulse) {
+) -> (
+    FourierPulse,
+    FourierPulse,
+    FourierPulse,
+    FourierPulse,
+    FourierPulse,
+) {
     assert_eq!(params.len(), 5 * BASIS, "expected {} parameters", 5 * BASIS);
     let f = |k: usize| FourierPulse::new(params[k * BASIS..(k + 1) * BASIS].to_vec(), duration);
     (f(0), f(1), f(2), f(3), f(4))
@@ -324,7 +330,10 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(after < before, "optimization must improve: {after} !< {before}");
+        assert!(
+            after < before,
+            "optimization must improve: {after} !< {before}"
+        );
         assert_eq!(p1.len(), 2 * BASIS);
     }
 }

@@ -27,7 +27,11 @@ impl<'a> TimeDependentHamiltonian<'a> {
     ///
     /// Panics if the operator dimension differs from the drift's.
     pub fn add_control(&mut self, op: Matrix, amplitude: impl Fn(f64) -> f64 + 'a) -> &mut Self {
-        assert_eq!(op.rows(), self.h_static.rows(), "control dimension mismatch");
+        assert_eq!(
+            op.rows(),
+            self.h_static.rows(),
+            "control dimension mismatch"
+        );
         self.controls.push((op, Box::new(amplitude)));
         self
     }
@@ -69,7 +73,10 @@ impl<'a> TimeDependentHamiltonian<'a> {
         let dim = self.h_static.rows();
         let dt = duration / steps as f64;
         let mut u = Matrix::identity(dim);
-        let mut acc: Vec<Matrix> = observables.iter().map(|_| Matrix::zeros(dim, dim)).collect();
+        let mut acc: Vec<Matrix> = observables
+            .iter()
+            .map(|_| Matrix::zeros(dim, dim))
+            .collect();
         for k in 0..steps {
             let t = (k as f64 + 0.5) * dt;
             let h = self.at(t);
@@ -126,8 +133,15 @@ mod tests {
         h.add_control(Pauli::X.matrix(), move |_| omega);
         let (u, ints) = h.propagate_with_integrals(20.0, 400, &[Pauli::Z.matrix()]);
         // Full 2π rotation returns to identity (up to phase −1).
-        assert!(zz_quantum::gates::equal_up_to_phase(&u, &Matrix::identity(2), 1e-8));
+        assert!(zz_quantum::gates::equal_up_to_phase(
+            &u,
+            &Matrix::identity(2),
+            1e-8
+        ));
         let norm = ints[0].frobenius_norm();
-        assert!(norm < 0.05, "first-order Z integral should cancel, got {norm}");
+        assert!(
+            norm < 0.05,
+            "first-order Z integral should cancel, got {norm}"
+        );
     }
 }

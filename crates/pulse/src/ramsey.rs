@@ -163,15 +163,27 @@ fn idle_block_propagator(
     match circuit {
         RamseyCircuit::Original => {}
         RamseyCircuit::IdOnQ2 => {
-            h.add_control(embed(&Pauli::X.matrix(), &[1], 3), move |t| drive.x.value(t));
-            h.add_control(embed(&Pauli::Y.matrix(), &[1], 3), move |t| drive.y.value(t));
+            h.add_control(embed(&Pauli::X.matrix(), &[1], 3), move |t| {
+                drive.x.value(t)
+            });
+            h.add_control(embed(&Pauli::Y.matrix(), &[1], 3), move |t| {
+                drive.y.value(t)
+            });
         }
         RamseyCircuit::IdOnNeighbors => {
-            h.add_control(embed(&Pauli::X.matrix(), &[0], 3), move |t| drive.x.value(t));
-            h.add_control(embed(&Pauli::Y.matrix(), &[0], 3), move |t| drive.y.value(t));
+            h.add_control(embed(&Pauli::X.matrix(), &[0], 3), move |t| {
+                drive.x.value(t)
+            });
+            h.add_control(embed(&Pauli::Y.matrix(), &[0], 3), move |t| {
+                drive.y.value(t)
+            });
             let drive2 = id.as_drive();
-            h.add_control(embed(&Pauli::X.matrix(), &[2], 3), move |t| drive2.x.value(t));
-            h.add_control(embed(&Pauli::Y.matrix(), &[2], 3), move |t| drive2.y.value(t));
+            h.add_control(embed(&Pauli::X.matrix(), &[2], 3), move |t| {
+                drive2.x.value(t)
+            });
+            h.add_control(embed(&Pauli::Y.matrix(), &[2], 3), move |t| {
+                drive2.y.value(t)
+            });
         }
     }
     h.propagate(duration, (duration * STEPS_PER_NS) as usize)
@@ -193,7 +205,10 @@ pub fn fit_frequency(fringe: &Fringe, f_max: f64) -> f64 {
         let (mut scc, mut sss, mut ssc, mut sc, mut ss) = (0.0, 0.0, 0.0, 0.0, 0.0);
         let (mut syc, mut sys, mut sy) = (0.0, 0.0, 0.0);
         for &(t, y) in fringe {
-            let (c, s) = ((2.0 * std::f64::consts::PI * f * t).cos(), (2.0 * std::f64::consts::PI * f * t).sin());
+            let (c, s) = (
+                (2.0 * std::f64::consts::PI * f * t).cos(),
+                (2.0 * std::f64::consts::PI * f * t).sin(),
+            );
             scc += c * c;
             sss += s * s;
             ssc += s * c;
@@ -205,12 +220,26 @@ pub fn fit_frequency(fringe: &Fringe, f_max: f64) -> f64 {
         }
         // Solve the 3×3 normal equations via zz-linalg (tiny system).
         let m = Matrix::from_rows(&[
-            &[zz_linalg::c64::real(scc), zz_linalg::c64::real(ssc), zz_linalg::c64::real(sc)],
-            &[zz_linalg::c64::real(ssc), zz_linalg::c64::real(sss), zz_linalg::c64::real(ss)],
-            &[zz_linalg::c64::real(sc), zz_linalg::c64::real(ss), zz_linalg::c64::real(n)],
+            &[
+                zz_linalg::c64::real(scc),
+                zz_linalg::c64::real(ssc),
+                zz_linalg::c64::real(sc),
+            ],
+            &[
+                zz_linalg::c64::real(ssc),
+                zz_linalg::c64::real(sss),
+                zz_linalg::c64::real(ss),
+            ],
+            &[
+                zz_linalg::c64::real(sc),
+                zz_linalg::c64::real(ss),
+                zz_linalg::c64::real(n),
+            ],
         ]);
         let rhs = [syc, sys, sy];
-        let Some(sol) = solve3(&m, &rhs) else { continue };
+        let Some(sol) = solve3(&m, &rhs) else {
+            continue;
+        };
         let (a, b, c) = (sol[0], sol[1], sol[2]);
         let residual: f64 = fringe
             .iter()
@@ -232,16 +261,65 @@ pub fn fit_frequency(fringe: &Fringe, f_max: f64) -> f64 {
 /// Solves a real 3×3 system by Cramer's rule.
 fn solve3(m: &Matrix, rhs: &[f64; 3]) -> Option<[f64; 3]> {
     let a = |i: usize, j: usize| m[(i, j)].re;
-    let det3 = |m00: f64, m01: f64, m02: f64, m10: f64, m11: f64, m12: f64, m20: f64, m21: f64, m22: f64| {
-        m00 * (m11 * m22 - m12 * m21) - m01 * (m10 * m22 - m12 * m20) + m02 * (m10 * m21 - m11 * m20)
+    let det3 = |m00: f64,
+                m01: f64,
+                m02: f64,
+                m10: f64,
+                m11: f64,
+                m12: f64,
+                m20: f64,
+                m21: f64,
+                m22: f64| {
+        m00 * (m11 * m22 - m12 * m21) - m01 * (m10 * m22 - m12 * m20)
+            + m02 * (m10 * m21 - m11 * m20)
     };
-    let d = det3(a(0, 0), a(0, 1), a(0, 2), a(1, 0), a(1, 1), a(1, 2), a(2, 0), a(2, 1), a(2, 2));
+    let d = det3(
+        a(0, 0),
+        a(0, 1),
+        a(0, 2),
+        a(1, 0),
+        a(1, 1),
+        a(1, 2),
+        a(2, 0),
+        a(2, 1),
+        a(2, 2),
+    );
     if d.abs() < 1e-12 {
         return None;
     }
-    let dx = det3(rhs[0], a(0, 1), a(0, 2), rhs[1], a(1, 1), a(1, 2), rhs[2], a(2, 1), a(2, 2));
-    let dy = det3(a(0, 0), rhs[0], a(0, 2), a(1, 0), rhs[1], a(1, 2), a(2, 0), rhs[2], a(2, 2));
-    let dz = det3(a(0, 0), a(0, 1), rhs[0], a(1, 0), a(1, 1), rhs[1], a(2, 0), a(2, 1), rhs[2]);
+    let dx = det3(
+        rhs[0],
+        a(0, 1),
+        a(0, 2),
+        rhs[1],
+        a(1, 1),
+        a(1, 2),
+        rhs[2],
+        a(2, 1),
+        a(2, 2),
+    );
+    let dy = det3(
+        a(0, 0),
+        rhs[0],
+        a(0, 2),
+        a(1, 0),
+        rhs[1],
+        a(1, 2),
+        a(2, 0),
+        rhs[2],
+        a(2, 2),
+    );
+    let dz = det3(
+        a(0, 0),
+        a(0, 1),
+        rhs[0],
+        a(1, 0),
+        a(1, 1),
+        rhs[1],
+        a(2, 0),
+        a(2, 1),
+        rhs[2],
+    );
     Some([dx / d, dy / d, dz / d])
 }
 
@@ -272,14 +350,14 @@ mod tests {
         let fringe: Fringe = (0..200)
             .map(|k| {
                 let t = k as f64 * 40.0;
-                (t, 0.5 - 0.5 * (2.0 * std::f64::consts::PI * f_true * t).cos())
+                (
+                    t,
+                    0.5 - 0.5 * (2.0 * std::f64::consts::PI * f_true * t).cos(),
+                )
             })
             .collect();
         let f = fit_frequency(&fringe, 0.0025);
-        assert!(
-            (f - f_true).abs() < 2e-6,
-            "fit {f} vs true {f_true}"
-        );
+        assert!((f - f_true).abs() < 2e-6, "fit {f} vs true {f_true}");
     }
 
     #[test]

@@ -204,9 +204,7 @@ pub fn residual_zz_rate(drive: &QubitDrive<'_>, lambda: f64) -> f64 {
     let u = evolve_1q_with_spectator(drive, lambda);
     // Basis: |q s⟩ with q the driven qubit (MSB). Blocks for s=0 and s=1:
     // extract ⟨0q|U|0q⟩ 2×2 blocks over q for fixed spectator value s.
-    let block = |s: usize| -> Matrix {
-        Matrix::from_fn(2, 2, |r, c| u[(2 * r + s, 2 * c + s)])
-    };
+    let block = |s: usize| -> Matrix { Matrix::from_fn(2, 2, |r, c| u[(2 * r + s, 2 * c + s)]) };
     let u0 = block(0);
     let u1 = block(1);
     // Relative phase between the two conditional evolutions: the conditional
@@ -339,8 +337,14 @@ mod tests {
         let zero20 = ZeroPulse::new(20.0);
         let coupling = GaussianPulse::with_rotation(std::f64::consts::FRAC_PI_2, 40.0);
         let drive = TwoQubitDrive {
-            a: QubitDrive { x: &zero20, y: &zero20 },
-            b: QubitDrive { x: &zero20, y: &zero20 },
+            a: QubitDrive {
+                x: &zero20,
+                y: &zero20,
+            },
+            b: QubitDrive {
+                x: &zero20,
+                y: &zero20,
+            },
             coupling: &coupling,
         };
         let u = evolve_2q_ctrl(&drive, 0.0);
@@ -355,13 +359,22 @@ mod tests {
         let zero20 = ZeroPulse::new(20.0);
         let coupling = GaussianPulse::with_rotation(std::f64::consts::FRAC_PI_2, 40.0);
         let drive = TwoQubitDrive {
-            a: QubitDrive { x: &zero20, y: &zero20 },
-            b: QubitDrive { x: &zero20, y: &zero20 },
+            a: QubitDrive {
+                x: &zero20,
+                y: &zero20,
+            },
+            b: QubitDrive {
+                x: &zero20,
+                y: &zero20,
+            },
             coupling: &coupling,
         };
         let quiet = infidelity_2q(&drive, 0.0, 0.0, mhz(0.2));
         let noisy = infidelity_2q(&drive, mhz(1.0), mhz(1.0), mhz(0.2));
-        assert!(quiet < 1e-8, "no cross-region crosstalk → dressed-exact: {quiet}");
+        assert!(
+            quiet < 1e-8,
+            "no cross-region crosstalk → dressed-exact: {quiet}"
+        );
         assert!(noisy > 1e-4, "cross-region crosstalk must show: {noisy}");
     }
 

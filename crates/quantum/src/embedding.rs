@@ -169,8 +169,7 @@ mod tests {
     fn two_qubit_embedding_matches_pauli_string() {
         let zz = gates::rzz(0.8);
         let full = embed(&zz, &[0, 2], 3);
-        let direct =
-            zz_linalg::expm::expm_neg_i_h_t(&PauliString::zz(3, 0, 2).matrix(), 0.4);
+        let direct = zz_linalg::expm::expm_neg_i_h_t(&PauliString::zz(3, 0, 2).matrix(), 0.4);
         assert!(full.approx_eq(&direct, 1e-12));
     }
 

@@ -23,7 +23,10 @@ use zz_linalg::{Matrix, Vector};
 /// assert!((f - 1.0 / 3.0).abs() < 1e-12);
 /// ```
 pub fn average_gate_fidelity(u: &Matrix, v: &Matrix) -> f64 {
-    assert!(u.is_square() && v.is_square(), "fidelity requires square matrices");
+    assert!(
+        u.is_square() && v.is_square(),
+        "fidelity requires square matrices"
+    );
     assert_eq!(u.rows(), v.rows(), "fidelity dimension mismatch");
     let d = u.rows() as f64;
     let overlap = u.dagger().matmul(v).trace().abs_sq();
@@ -38,7 +41,10 @@ pub fn average_gate_infidelity(u: &Matrix, v: &Matrix) -> f64 {
 
 /// Process (entanglement) fidelity `|Tr(U†V)|² / d²`.
 pub fn process_fidelity(u: &Matrix, v: &Matrix) -> f64 {
-    assert!(u.is_square() && v.is_square(), "fidelity requires square matrices");
+    assert!(
+        u.is_square() && v.is_square(),
+        "fidelity requires square matrices"
+    );
     assert_eq!(u.rows(), v.rows(), "fidelity dimension mismatch");
     let d = u.rows() as f64;
     u.dagger().matmul(v).trace().abs_sq() / (d * d)

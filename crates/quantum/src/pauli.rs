@@ -176,7 +176,10 @@ mod tests {
     fn pauli_matrices_are_involutions() {
         for p in [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z] {
             let m = p.matrix();
-            assert!(m.matmul(&m).approx_eq(&Matrix::identity(2), 1e-15), "{p}² ≠ I");
+            assert!(
+                m.matmul(&m).approx_eq(&Matrix::identity(2), 1e-15),
+                "{p}² ≠ I"
+            );
         }
     }
 

@@ -90,9 +90,16 @@ pub fn z_ladder(d: usize) -> Matrix {
 /// ```
 pub fn computational_block(m: &Matrix, dims: &[usize]) -> Matrix {
     let total: usize = dims.iter().product();
-    assert_eq!(m.rows(), total, "matrix dimension must match product of dims");
+    assert_eq!(
+        m.rows(),
+        total,
+        "matrix dimension must match product of dims"
+    );
     assert!(m.is_square(), "matrix must be square");
-    assert!(dims.iter().all(|&d| d >= 2), "every subsystem needs ≥ 2 levels");
+    assert!(
+        dims.iter().all(|&d| d >= 2),
+        "every subsystem needs ≥ 2 levels"
+    );
 
     let k = dims.len();
     // Map a computational index (k bits, subsystem 0 most significant) to the

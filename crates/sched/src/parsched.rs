@@ -126,7 +126,10 @@ mod tests {
         let topo = Topology::line(2);
         let mut c = NativeCircuit::new(2);
         c.push(NativeOp::X90 { qubit: 0 });
-        c.push(NativeOp::Rz { qubit: 0, theta: 0.5 });
+        c.push(NativeOp::Rz {
+            qubit: 0,
+            theta: 0.5,
+        });
         let plan = par_schedule(&topo, &c);
         assert_eq!(plan.final_rz, vec![(0, 0.5)]);
     }

@@ -60,7 +60,7 @@ impl Default for GateDurations {
 
 /// One scheduled layer: simultaneous pulses plus the virtual rotations that
 /// precede them.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Layer {
     /// Virtual `Rz` rotations applied (for free) before this layer's pulses,
     /// as `(qubit, angle)` in program order.
@@ -86,13 +86,16 @@ impl Layer {
 
     /// Number of identity pulses inserted for suppression.
     pub fn identity_count(&self) -> usize {
-        self.ops.iter().filter(|op| matches!(op, NativeOp::Id { .. })).count()
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, NativeOp::Id { .. }))
+            .count()
     }
 }
 
 /// A complete schedule: an ordered list of layers plus trailing virtual
 /// rotations.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SchedulePlan {
     qubit_count: usize,
     /// The scheduled layers in execution order.
@@ -325,7 +328,13 @@ mod tests {
     fn durations_pick_the_longest_pulse() {
         let layer = Layer {
             rz_before: vec![],
-            ops: vec![NativeOp::X90 { qubit: 0 }, NativeOp::Zx90 { control: 1, target: 2 }],
+            ops: vec![
+                NativeOp::X90 { qubit: 0 },
+                NativeOp::Zx90 {
+                    control: 1,
+                    target: 2,
+                },
+            ],
             pulsed: vec![true, true, true],
             metrics: CutMetrics {
                 nc: 0,
@@ -340,9 +349,15 @@ mod tests {
     #[test]
     fn tracker_respects_per_qubit_order() {
         let mut c = NativeCircuit::new(2);
-        c.push(NativeOp::Rz { qubit: 0, theta: 1.0 });
+        c.push(NativeOp::Rz {
+            qubit: 0,
+            theta: 1.0,
+        });
         c.push(NativeOp::X90 { qubit: 0 });
-        c.push(NativeOp::Rz { qubit: 0, theta: 2.0 });
+        c.push(NativeOp::Rz {
+            qubit: 0,
+            theta: 2.0,
+        });
         c.push(NativeOp::X90 { qubit: 1 });
         let mut t = DependencyTracker::new(&c);
         let rz = t.flush_rz();
@@ -360,7 +375,10 @@ mod tests {
     fn zx90_orders_against_both_qubits() {
         let mut c = NativeCircuit::new(3);
         c.push(NativeOp::X90 { qubit: 0 });
-        c.push(NativeOp::Zx90 { control: 0, target: 1 });
+        c.push(NativeOp::Zx90 {
+            control: 0,
+            target: 1,
+        });
         c.push(NativeOp::X90 { qubit: 1 });
         let mut t = DependencyTracker::new(&c);
         assert_eq!(t.ready_physical(), vec![0]);

@@ -88,7 +88,10 @@ mod tests {
         let plan = zzx_schedule(&topo, &c, &ZzxConfig::paper_default(&topo));
         let art = render_plan(&plan);
         assert!(art.contains('X'));
-        assert!(art.contains('I'), "identity supplementation must show: \n{art}");
+        assert!(
+            art.contains('I'),
+            "identity supplementation must show: \n{art}"
+        );
         assert_eq!(art.lines().count(), 4);
     }
 

@@ -218,7 +218,9 @@ fn schedule_case2(
         // by largest distance while the requirement holds.
         let gate_distance = |a: usize, b: usize| -> usize {
             let (qa, qb) = (ops[a].qubits(), ops[b].qubits());
-            qa.iter().map(|&x| qb.iter().map(|&y| dist[x][y]).sum::<usize>()).sum()
+            qa.iter()
+                .map(|&x| qb.iter().map(|&y| dist[x][y]).sum::<usize>())
+                .sum()
         };
         let (mut seed_a, mut seed_b, mut best_d) = (two_q[0], two_q[1], usize::MAX);
         for (i, &a) in two_q.iter().enumerate() {
@@ -233,9 +235,17 @@ fn schedule_case2(
         }
         let mut group_a = vec![seed_a];
         let mut group_b = vec![seed_b];
-        let mut pool: Vec<usize> = two_q.iter().copied().filter(|&g| g != seed_a && g != seed_b).collect();
+        let mut pool: Vec<usize> = two_q
+            .iter()
+            .copied()
+            .filter(|&g| g != seed_a && g != seed_b)
+            .collect();
         let group_distance = |g: usize, group: &[usize]| -> usize {
-            group.iter().map(|&m| gate_distance(g, m)).min().unwrap_or(usize::MAX)
+            group
+                .iter()
+                .map(|&m| gate_distance(g, m))
+                .min()
+                .unwrap_or(usize::MAX)
         };
         while !pool.is_empty() {
             // The (gate, group) pair with the maximum distance.
@@ -255,7 +265,8 @@ fn schedule_case2(
             } else {
                 group_b.iter().chain([&g]).copied().collect()
             };
-            let sp_try = alpha_optimal_suppression(topo, &qubits_of(&target), config.alpha, config.k);
+            let sp_try =
+                alpha_optimal_suppression(topo, &qubits_of(&target), config.alpha, config.k);
             if config.requirement.satisfied_by(&sp_try) {
                 if to_a {
                     group_a.push(g);
@@ -267,7 +278,11 @@ fn schedule_case2(
                 break;
             }
         }
-        let m = if group_a.len() >= group_b.len() { group_a } else { group_b };
+        let m = if group_a.len() >= group_b.len() {
+            group_a
+        } else {
+            group_b
+        };
         sp = alpha_optimal_suppression(topo, &qubits_of(&m), config.alpha, config.k);
         chosen_2q = m;
     }
@@ -340,7 +355,10 @@ mod tests {
         c.push(Gate::Rx(1.0), &[5]);
         let native = compile_on(&topo, &c);
         let plan = zzx_schedule(&topo, &native, &ZzxConfig::paper_default(&topo));
-        assert!(plan.identity_count() > 0, "idle qubits must receive identity pulses");
+        assert!(
+            plan.identity_count() > 0,
+            "idle qubits must receive identity pulses"
+        );
     }
 
     #[test]
@@ -382,13 +400,25 @@ mod tests {
         let mut c = NativeCircuit::new(9);
         // Gates on couplings (0,3), (4,1), (2,5) — paper's CNOT1,4 CNOT5,2
         // CNOT3,6 in 1-indexed row-major labels.
-        c.push(NativeOp::Zx90 { control: 0, target: 3 });
-        c.push(NativeOp::Zx90 { control: 4, target: 1 });
-        c.push(NativeOp::Zx90 { control: 2, target: 5 });
+        c.push(NativeOp::Zx90 {
+            control: 0,
+            target: 3,
+        });
+        c.push(NativeOp::Zx90 {
+            control: 4,
+            target: 1,
+        });
+        c.push(NativeOp::Zx90 {
+            control: 2,
+            target: 5,
+        });
         let tight = ZzxConfig {
             alpha: 0.5,
             k: 3,
-            requirement: Requirement { nq_limit: 3, nc_limit: 4 },
+            requirement: Requirement {
+                nq_limit: 3,
+                nc_limit: 4,
+            },
         };
         let plan = zzx_schedule(&topo, &c, &tight);
         assert!(plan.layer_count() >= 2, "requirement must force a split");
@@ -396,7 +426,11 @@ mod tests {
         let layer_of = |ctrl: usize| -> usize {
             plan.layers
                 .iter()
-                .position(|l| l.ops.iter().any(|op| matches!(op, NativeOp::Zx90 { control, .. } if *control == ctrl)))
+                .position(|l| {
+                    l.ops
+                        .iter()
+                        .any(|op| matches!(op, NativeOp::Zx90 { control, .. } if *control == ctrl))
+                })
                 .expect("gate scheduled")
         };
         // Gates (0,3) and (4,1) are the closest pair; they must differ.

@@ -1,11 +1,17 @@
 //! Property-based tests of Algorithm 1 (α-optimal suppression) and the
 //! schedulers' structural invariants.
+//!
+//! Random cases come from the workspace PRNG with per-case seeds, so any
+//! failure names the case that produced it.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use zz_circuit::native::{NativeCircuit, NativeOp};
 use zz_sched::zzx::{zzx_schedule, ZzxConfig};
 use zz_sched::{alpha_optimal_suppression, cut_metrics, par_schedule};
 use zz_topology::Topology;
+
+const CASES: u64 = 64;
 
 fn topologies() -> Vec<Topology> {
     vec![
@@ -20,23 +26,20 @@ fn topologies() -> Vec<Topology> {
     ]
 }
 
-/// A strategy choosing a topology index and a random set of gate qubits
-/// built from couplings (so two-qubit gates are realizable).
-fn arb_case() -> impl Strategy<Value = (usize, Vec<usize>, f64, usize)> {
-    (0..8usize, proptest::collection::vec(any::<u32>(), 0..3), 0.0..4.0f64, 1..5usize)
-        .prop_map(|(t, picks, alpha, k)| (t, picks.iter().map(|&p| p as usize).collect(), alpha, k))
-}
+#[test]
+fn suppression_plan_invariants() {
+    let topologies = topologies();
+    for case in 0..CASES {
+        let rng = &mut StdRng::seed_from_u64(case);
+        let topo = &topologies[rng.gen_range(0..topologies.len())];
+        let alpha = rng.gen_range(0.0..4.0);
+        let k = rng.gen_range(1..5usize);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn suppression_plan_invariants((t, picks, alpha, k) in arb_case()) {
-        let topo = &topologies()[t];
         // Build Q from whole couplings so gates are realizable.
         let mut q: Vec<usize> = Vec::new();
-        for p in picks {
-            let (u, v) = topo.couplings()[p % topo.coupling_count()];
+        for _ in 0..rng.gen_range(0..3usize) {
+            let pick = rng.gen_range(0..topo.coupling_count());
+            let (u, v) = topo.couplings()[pick];
             q.push(u);
             q.push(v);
         }
@@ -47,11 +50,15 @@ proptest! {
 
         // 1. Gate qubits always land in S.
         for &qubit in &q {
-            prop_assert!(plan.pulsed[qubit], "gate qubit {qubit} not pulsed on {}", topo.name());
+            assert!(
+                plan.pulsed[qubit],
+                "gate qubit {qubit} not pulsed on {}",
+                topo.name()
+            );
         }
         // 2. Reported metrics equal recomputed metrics.
         let recomputed = cut_metrics(topo, &plan.pulsed);
-        prop_assert_eq!(&plan.metrics, &recomputed);
+        assert_eq!(&plan.metrics, &recomputed, "case {case}");
         // 3. The plan never loses to the trivial cut S = Q.
         let trivial = {
             let mut pulsed = vec![false; topo.qubit_count()];
@@ -61,39 +68,48 @@ proptest! {
             cut_metrics(topo, &pulsed)
         };
         let score = |nq: usize, nc: usize| alpha * nq as f64 + nc as f64;
-        prop_assert!(
+        assert!(
             score(plan.metrics.nq, plan.metrics.nc) <= score(trivial.nq, trivial.nc) + 1e-9,
-            "algorithm lost to the trivial plan on {}", topo.name()
+            "algorithm lost to the trivial plan on {}",
+            topo.name()
         );
     }
+}
 
-    #[test]
-    fn bipartite_no_gate_layers_reach_complete_suppression(
-        t in 0..6usize, alpha in 0.0..2.0f64, k in 1..4usize
-    ) {
-        let topo = &topologies()[t]; // the first six are bipartite
+#[test]
+fn bipartite_no_gate_layers_reach_complete_suppression() {
+    let topologies = topologies();
+    for case in 0..CASES {
+        let rng = &mut StdRng::seed_from_u64(case);
+        let topo = &topologies[rng.gen_range(0..6usize)]; // the first six are bipartite
+        let alpha = rng.gen_range(0.0..2.0);
+        let k = rng.gen_range(1..4usize);
         let plan = alpha_optimal_suppression(topo, &[], alpha, k);
-        prop_assert_eq!(plan.metrics.nc, 0);
-        prop_assert_eq!(plan.metrics.nq, 1);
+        assert_eq!(plan.metrics.nc, 0, "case {case} on {}", topo.name());
+        assert_eq!(plan.metrics.nq, 1, "case {case} on {}", topo.name());
     }
+}
 
-    #[test]
-    fn schedulers_cover_every_op_exactly_once(
-        ops in proptest::collection::vec((0..2usize, any::<u32>()), 1..20)
-    ) {
+#[test]
+fn schedulers_cover_every_op_exactly_once() {
+    for case in 0..CASES {
+        let rng = &mut StdRng::seed_from_u64(case);
         let topo = Topology::grid(2, 3);
         let mut native = NativeCircuit::new(6);
         let mut physical = 0usize;
-        for (kind, r) in ops {
-            let r = r as usize;
-            match kind {
+        for _ in 0..rng.gen_range(1..20usize) {
+            let r = rng.gen_range(0..u32::MAX) as usize;
+            match rng.gen_range(0..2usize) {
                 0 => {
                     native.push(NativeOp::X90 { qubit: r % 6 });
                     physical += 1;
                 }
                 _ => {
                     let (u, v) = topo.couplings()[r % topo.coupling_count()];
-                    native.push(NativeOp::Zx90 { control: u, target: v });
+                    native.push(NativeOp::Zx90 {
+                        control: u,
+                        target: v,
+                    });
                     physical += 1;
                 }
             }
@@ -102,23 +118,31 @@ proptest! {
             par_schedule(&topo, &native),
             zzx_schedule(&topo, &native, &ZzxConfig::paper_default(&topo)),
         ] {
-            prop_assert!(plan.validate().is_ok());
+            assert!(plan.validate().is_ok(), "case {case}");
             let scheduled: usize = plan
                 .layers
                 .iter()
                 .flat_map(|l| l.ops.iter())
                 .filter(|op| !matches!(op, NativeOp::Id { .. }))
                 .count();
-            prop_assert_eq!(scheduled, physical, "an op was lost or duplicated");
+            assert_eq!(
+                scheduled, physical,
+                "case {case}: an op was lost or duplicated"
+            );
         }
     }
+}
 
-    #[test]
-    fn zzx_layers_always_make_progress(qubits in proptest::collection::vec(0..12usize, 1..24)) {
+#[test]
+fn zzx_layers_always_make_progress() {
+    for case in 0..CASES {
+        let rng = &mut StdRng::seed_from_u64(case);
         let topo = Topology::grid(3, 4);
         let mut native = NativeCircuit::new(12);
-        for q in qubits {
-            native.push(NativeOp::X90 { qubit: q });
+        for _ in 0..rng.gen_range(1..24usize) {
+            native.push(NativeOp::X90 {
+                qubit: rng.gen_range(0..12usize),
+            });
         }
         let plan = zzx_schedule(&topo, &native, &ZzxConfig::paper_default(&topo));
         for (i, layer) in plan.layers.iter().enumerate() {
@@ -127,7 +151,7 @@ proptest! {
                 .iter()
                 .filter(|op| !matches!(op, NativeOp::Id { .. }))
                 .count();
-            prop_assert!(gates > 0, "layer {i} contains no real gates");
+            assert!(gates > 0, "case {case}: layer {i} contains no real gates");
         }
     }
 }

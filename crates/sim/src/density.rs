@@ -113,9 +113,14 @@ pub fn amplitude_damping(gamma: f64) -> Vec<Matrix> {
 /// shrinks coherences by `e^{−t/Tφ}`; `p` is the equivalent phase-flip
 /// probability `p = (1 − e^{−t/Tφ})/2`.
 pub fn dephasing(p: f64) -> Vec<Matrix> {
-    assert!((0.0..=0.5).contains(&p), "dephasing probability must be in [0, 1/2]");
+    assert!(
+        (0.0..=0.5).contains(&p),
+        "dephasing probability must be in [0, 1/2]"
+    );
     let k0 = Matrix::identity(2).scale(c64::real((1.0 - p).sqrt()));
-    let k1 = zz_quantum::pauli::Pauli::Z.matrix().scale(c64::real(p.sqrt()));
+    let k1 = zz_quantum::pauli::Pauli::Z
+        .matrix()
+        .scale(c64::real(p.sqrt()));
     vec![k0, k1]
 }
 
@@ -189,7 +194,10 @@ mod tests {
         dm.apply_unitary(&gates::h(), &[0]);
         let before = dm.matrix()[(0, 1)].re;
         dm.apply_kraus(&dephasing(0.5), 0);
-        assert!(dm.matrix()[(0, 1)].abs() < 1e-12, "full dephasing kills coherence");
+        assert!(
+            dm.matrix()[(0, 1)].abs() < 1e-12,
+            "full dephasing kills coherence"
+        );
         assert!((dm.matrix()[(0, 0)].re - 0.5).abs() < 1e-12);
         assert!(before > 0.4);
     }

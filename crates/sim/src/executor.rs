@@ -251,7 +251,11 @@ fn sample_amplitude_damping(sv: &mut StateVector, q: usize, gamma: f64, rng: &mu
     let p_excited = sv.excited_population(q);
     let p_jump = gamma * p_excited;
     let kraus = amplitude_damping(gamma);
-    let chosen = if rng.gen_range(0.0..1.0) < p_jump { &kraus[1] } else { &kraus[0] };
+    let chosen = if rng.gen_range(0.0..1.0) < p_jump {
+        &kraus[1]
+    } else {
+        &kraus[0]
+    };
     sv.apply_single(chosen, q);
     sv.normalize();
 }
@@ -298,7 +302,10 @@ pub fn run_density(
     durations: &GateDurations,
 ) -> DensityMatrix {
     let n = plan.qubit_count();
-    assert!(n <= 8, "density-matrix execution is limited to small registers");
+    assert!(
+        n <= 8,
+        "density-matrix execution is limited to small registers"
+    );
     let mut dm = DensityMatrix::zero(n);
     for layer in &plan.layers {
         for &(q, theta) in &layer.rz_before {
@@ -431,7 +438,10 @@ mod tests {
             200,
             3,
         );
-        assert!(f_deco <= f_zz + 0.02, "decoherence {f_deco} vs zz-only {f_zz}");
+        assert!(
+            f_deco <= f_zz + 0.02,
+            "decoherence {f_deco} vs zz-only {f_zz}"
+        );
     }
 
     #[test]
@@ -441,11 +451,17 @@ mod tests {
         // output is exactly ideal — the paper's Ũ₂ dressing (Sec 4.2).
         let topo = Topology::line(2);
         let mut c = zz_circuit::native::NativeCircuit::new(2);
-        c.push(zz_circuit::native::NativeOp::Zx90 { control: 0, target: 1 });
+        c.push(zz_circuit::native::NativeOp::Zx90 {
+            control: 0,
+            target: 1,
+        });
         let plan = par_schedule(&topo, &c);
         let model = ZzErrorModel::uniform(&topo, crate::khz(400.0));
         let f = fidelity_under_zz(&plan, &topo, &model, &GateDurations::standard());
-        assert!((f - 1.0).abs() < 1e-12, "driven coupling must not be charged: {f}");
+        assert!(
+            (f - 1.0).abs() < 1e-12,
+            "driven coupling must not be charged: {f}"
+        );
     }
 
     #[test]
@@ -456,7 +472,10 @@ mod tests {
         let mut c = zz_circuit::native::NativeCircuit::new(3);
         // Put qubit 2 in superposition first so the 1-2 coupling matters.
         c.push(zz_circuit::native::NativeOp::X90 { qubit: 2 });
-        c.push(zz_circuit::native::NativeOp::Zx90 { control: 0, target: 1 });
+        c.push(zz_circuit::native::NativeOp::Zx90 {
+            control: 0,
+            target: 1,
+        });
         let plan = par_schedule(&topo, &c);
         let model = ZzErrorModel::uniform(&topo, crate::khz(400.0));
         let f = fidelity_under_zz(&plan, &topo, &model, &GateDurations::standard());
@@ -490,7 +509,10 @@ mod tests {
         let f_x = fidelity_under_zz(&plan, &topo, &x90_perfect, &d);
         let f_i = fidelity_under_zz(&plan, &topo, &id_perfect, &d);
         assert!((f_x - 1.0).abs() < 1e-12, "x90 residual must apply: {f_x}");
-        assert!(f_i < 1.0 - 1e-6, "id residual must not apply to an X90: {f_i}");
+        assert!(
+            f_i < 1.0 - 1e-6,
+            "id residual must not apply to an X90: {f_i}"
+        );
     }
 
     #[test]

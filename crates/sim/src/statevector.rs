@@ -41,7 +41,10 @@ impl StateVector {
     /// Panics if the length is not a power of two.
     pub fn from_vector(v: Vector) -> Self {
         let len = v.len();
-        assert!(len.is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            len.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         StateVector {
             n: len.trailing_zeros() as usize,
             amps: v.into_vec(),
@@ -140,7 +143,12 @@ impl StateVector {
         for i in 0..self.amps.len() {
             if i & ba == 0 && i & bb == 0 {
                 let idx = [i, i | bb, i | ba, i | ba | bb];
-                let old = [self.amps[idx[0]], self.amps[idx[1]], self.amps[idx[2]], self.amps[idx[3]]];
+                let old = [
+                    self.amps[idx[0]],
+                    self.amps[idx[1]],
+                    self.amps[idx[2]],
+                    self.amps[idx[3]],
+                ];
                 for (r, &target) in idx.iter().enumerate() {
                     let mut acc = c64::ZERO;
                     for (c, &o) in old.iter().enumerate() {

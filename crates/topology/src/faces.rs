@@ -23,10 +23,7 @@ pub struct Face {
 /// Every dart (directed edge) belongs to exactly one face, so every
 /// undirected edge is incident to exactly two face slots (possibly the same
 /// face twice, for bridges).
-pub(crate) fn trace_faces(
-    rotation: &[Vec<(usize, usize)>],
-    edges: &[(usize, usize)],
-) -> Vec<Face> {
+pub(crate) fn trace_faces(rotation: &[Vec<(usize, usize)>], edges: &[(usize, usize)]) -> Vec<Face> {
     let edge_count = edges.len();
     // Dart id: 2*edge + 0 for (min→max), +1 for (max→min).
     let dart_of = |from: usize, edge_id: usize| -> usize {

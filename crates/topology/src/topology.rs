@@ -67,7 +67,7 @@ impl std::error::Error for TopologyError {}
 /// suppression algorithm; constructors for the devices used in the paper's
 /// evaluation are provided ([`Topology::grid`], [`Topology::line`],
 /// [`Topology::ibmq_vigo`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Topology {
     name: String,
     coords: Vec<(f64, f64)>,
@@ -208,7 +208,8 @@ impl Topology {
         assert!(n > 0, "line needs at least one qubit");
         let coords = (0..n).map(|i| (i as f64, 0.0)).collect();
         let edges = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
-        Topology::new(format!("line-{n}"), coords, edges).expect("line construction is always valid")
+        Topology::new(format!("line-{n}"), coords, edges)
+            .expect("line construction is always valid")
     }
 
     /// The 5-qubit IBMQ Vigo device of the paper's Figure 1.
@@ -326,7 +327,10 @@ impl Topology {
     /// Maximum degree over all qubits (used by the paper's suppression
     /// requirement `NQ < max_degree`).
     pub fn max_degree(&self) -> usize {
-        (0..self.qubit_count()).map(|q| self.degree(q)).max().unwrap_or(0)
+        (0..self.qubit_count())
+            .map(|q| self.degree(q))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The edge id of the coupling between `u` and `v`, if present.
@@ -362,7 +366,9 @@ impl Topology {
     /// All-pairs BFS distances between qubits.
     pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
         let g = self.to_multigraph();
-        (0..self.qubit_count()).map(|q| zz_graph::bfs_distances(&g, q)).collect()
+        (0..self.qubit_count())
+            .map(|q| zz_graph::bfs_distances(&g, q))
+            .collect()
     }
 
     /// Returns `true` if the coupling graph is bipartite (two-colorable) —
@@ -448,7 +454,10 @@ mod tests {
             .map(|(_, f)| f.edges.len())
             .collect();
         assert_eq!(interior.len(), 6);
-        assert!(interior.iter().all(|&l| l == 4), "interior faces are 4-cycles: {interior:?}");
+        assert!(
+            interior.iter().all(|&l| l == 4),
+            "interior faces are 4-cycles: {interior:?}"
+        );
         assert_eq!(g.faces()[g.outer_face()].edges.len(), 10); // boundary length
     }
 
@@ -513,7 +522,12 @@ mod tests {
             Some(TopologyError::DuplicateCoupling { u: 1, v: 0 })
         );
         assert_eq!(
-            Topology::new("bad", vec![(0.0, 0.0), (1.0, 0.0), (5.0, 5.0)], vec![(0, 1)]).err(),
+            Topology::new(
+                "bad",
+                vec![(0.0, 0.0), (1.0, 0.0), (5.0, 5.0)],
+                vec![(0, 1)]
+            )
+            .err(),
             Some(TopologyError::Disconnected)
         );
     }

@@ -23,8 +23,16 @@ fn main() -> Result<(), zz_core::CoOptError> {
 
     let shots = 4096;
     for (name, method, sched) in [
-        ("baseline  (Gaussian + ParSched)", PulseMethod::Gaussian, SchedulerKind::ParSched),
-        ("co-optimized (Pert + ZZXSched)", PulseMethod::Pert, SchedulerKind::ZzxSched),
+        (
+            "baseline  (Gaussian + ParSched)",
+            PulseMethod::Gaussian,
+            SchedulerKind::ParSched,
+        ),
+        (
+            "co-optimized (Pert + ZZXSched)",
+            PulseMethod::Pert,
+            SchedulerKind::ZzxSched,
+        ),
     ] {
         let compiled = CoOptimizer::builder()
             .topology(device.clone())
@@ -55,7 +63,10 @@ fn main() -> Result<(), zz_core::CoOptError> {
             .map(|&(_, c)| c)
             .unwrap_or(0);
         println!("{name}");
-        println!("  correct readout: {correct}/{shots} shots ({:.1}%)", 100.0 * correct as f64 / shots as f64);
+        println!(
+            "  correct readout: {correct}/{shots} shots ({:.1}%)",
+            100.0 * correct as f64 / shots as f64
+        );
         let top: Vec<String> = counts
             .iter()
             .take(3)

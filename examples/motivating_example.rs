@@ -22,14 +22,20 @@ fn main() {
         pulsed[q] = true;
     }
     let m = cut_metrics(&topo, &pulsed);
-    println!("(b) one layer, no identities:        NQ = {:2}, NC = {:2}", m.nq, m.nc);
+    println!(
+        "(b) one layer, no identities:        NQ = {:2}, NC = {:2}",
+        m.nq, m.nc
+    );
 
     // Figure 3(c) plan A: identity gates on paper-qubits 1 and 11.
     let mut plan_a = pulsed.clone();
     plan_a[0] = true;
     plan_a[10] = true;
     let m = cut_metrics(&topo, &plan_a);
-    println!("(c) plan A (I on 1, 11):             NQ = {:2}, NC = {:2}", m.nq, m.nc);
+    println!(
+        "(c) plan A (I on 1, 11):             NQ = {:2}, NC = {:2}",
+        m.nq, m.nc
+    );
 
     // Figure 3(c) plan B: identity gates on 1, 11, 3, 13.
     let mut plan_b = pulsed.clone();
@@ -37,7 +43,10 @@ fn main() {
         plan_b[q] = true;
     }
     let m = cut_metrics(&topo, &plan_b);
-    println!("(c) plan B (I on 1, 11, 3, 13):      NQ = {:2}, NC = {:2}", m.nq, m.nc);
+    println!(
+        "(c) plan B (I on 1, 11, 3, 13):      NQ = {:2}, NC = {:2}",
+        m.nq, m.nc
+    );
 
     // What does Algorithm 1 itself pick for this layer?
     let plan = alpha_optimal_suppression(&topo, &[6, 7, 8, 9], 0.5, 3);
@@ -48,7 +57,10 @@ fn main() {
 
     // Figure 3(d): let the full scheduler partition the work into layers.
     let mut native = NativeCircuit::new(15);
-    native.push(NativeOp::Zx90 { control: 6, target: 7 }); // the CNOT's pulse
+    native.push(NativeOp::Zx90 {
+        control: 6,
+        target: 7,
+    }); // the CNOT's pulse
     native.push(NativeOp::X90 { qubit: 8 });
     native.push(NativeOp::X90 { qubit: 9 });
     let schedule = zzx_schedule(&topo, &native, &ZzxConfig::paper_default(&topo));

@@ -19,11 +19,24 @@ fn main() -> Result<(), zz_core::CoOptError> {
     let device = Topology::grid(2, 3);
     let cfg = EvalConfig::paper_default();
 
-    println!("device: {} ({} qubits, {} couplings)\n", device.name(), device.qubit_count(), device.coupling_count());
+    println!(
+        "device: {} ({} qubits, {} couplings)\n",
+        device.name(),
+        device.qubit_count(),
+        device.coupling_count()
+    );
 
     for (name, method, sched) in [
-        ("baseline  (Gaussian + ParSched)", PulseMethod::Gaussian, SchedulerKind::ParSched),
-        ("co-optimized (Pert + ZZXSched)", PulseMethod::Pert, SchedulerKind::ZzxSched),
+        (
+            "baseline  (Gaussian + ParSched)",
+            PulseMethod::Gaussian,
+            SchedulerKind::ParSched,
+        ),
+        (
+            "co-optimized (Pert + ZZXSched)",
+            PulseMethod::Pert,
+            SchedulerKind::ZzxSched,
+        ),
     ] {
         let compiled = CoOptimizer::builder()
             .topology(device.clone())
@@ -35,7 +48,11 @@ fn main() -> Result<(), zz_core::CoOptError> {
         println!("{name}");
         println!("  layers            : {}", compiled.plan.layer_count());
         println!("  identity pulses   : {}", compiled.plan.identity_count());
-        println!("  mean NC / NQ      : {:.2} / {:.2}", compiled.plan.mean_nc(), compiled.plan.mean_nq());
+        println!(
+            "  mean NC / NQ      : {:.2} / {:.2}",
+            compiled.plan.mean_nc(),
+            compiled.plan.mean_nq()
+        );
         println!("  execution time    : {:.0} ns", compiled.execution_time());
         println!(
             "  residual ZZ (x90/id): {:.4} / {:.4}",

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --example ramsey_experiment --release`
 
-use zz_pulse::ramsey::{
-    effective_zz_khz, NeighborGroup, RamseyCircuit, RamseyConfig,
-};
+use zz_pulse::ramsey::{effective_zz_khz, NeighborGroup, RamseyCircuit, RamseyConfig};
 
 fn main() {
     let cfg = RamseyConfig {

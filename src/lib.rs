@@ -20,6 +20,25 @@
 //! assert!(compiled.plan.layer_count() >= 1);
 //! # Ok::<(), zz_core::CoOptError>(())
 //! ```
+//!
+//! For many circuits at once, [`zz_core::batch`] compiles whole suites on a
+//! worker pool with shared calibration and routing caches:
+//!
+//! ```
+//! use zz_core::batch::{BatchCompiler, BatchJob};
+//! use zz_core::{PulseMethod, SchedulerKind};
+//! use zz_circuit::bench::{BenchmarkKind, generate};
+//!
+//! let jobs: Vec<BatchJob> = [PulseMethod::Gaussian, PulseMethod::Pert]
+//!     .into_iter()
+//!     .map(|m| BatchJob::new(generate(BenchmarkKind::Qft, 4, 7), m, SchedulerKind::ZzxSched))
+//!     .collect();
+//! let report = BatchCompiler::builder().build().run(jobs);
+//! assert_eq!(report.error_count(), 0);
+//! println!("{}", report.summary());
+//! ```
+
+#![warn(missing_docs)]
 
 pub use zz_circuit as circuit;
 pub use zz_core as framework;

@@ -1,0 +1,125 @@
+//! Integration tests of the batch compilation engine: batch output must be
+//! bit-identical to sequential compilation, and the shared caches must
+//! actually share.
+
+use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_core::batch::{BatchCompiler, BatchJob};
+use zz_core::calib::CalibCache;
+use zz_core::{CoOptimizer, PulseMethod, SchedulerKind};
+use zz_topology::Topology;
+
+/// The suite used by both tests: every core benchmark at its smallest
+/// paper size, under three pulse × scheduler configurations.
+fn suite() -> Vec<(BenchmarkKind, usize, PulseMethod, SchedulerKind)> {
+    let configs = [
+        (PulseMethod::Gaussian, SchedulerKind::ParSched),
+        (PulseMethod::Pert, SchedulerKind::ZzxSched),
+        (PulseMethod::Dcg, SchedulerKind::ZzxSched),
+    ];
+    BenchmarkKind::CORE
+        .iter()
+        .map(|&kind| (kind, kind.paper_sizes()[0]))
+        .flat_map(|(kind, n)| configs.iter().map(move |&(m, s)| (kind, n, m, s)))
+        .collect()
+}
+
+#[test]
+fn batch_results_are_identical_to_sequential_compilation() {
+    let topo = Topology::grid(3, 3);
+    let cases = suite();
+
+    // Sequential reference: one CoOptimizer::compile call per case.
+    let sequential: Vec<_> = cases
+        .iter()
+        .map(|&(kind, n, method, scheduler)| {
+            CoOptimizer::builder()
+                .topology(topo.clone())
+                .pulse_method(method)
+                .scheduler(scheduler)
+                .build()
+                .compile(&generate(kind, n, 7))
+                .expect("fits the 3x3 grid")
+        })
+        .collect();
+
+    // The same cases through the batch engine (worker pool + caches).
+    let jobs: Vec<BatchJob> = cases
+        .iter()
+        .map(|&(kind, n, method, scheduler)| BatchJob::new(generate(kind, n, 7), method, scheduler))
+        .collect();
+    let report = BatchCompiler::builder().topology(topo).build().run(jobs);
+
+    assert_eq!(report.error_count(), 0, "{}", report.summary());
+    assert!(
+        report.route_hits > 0,
+        "repeated circuit shapes must hit the routing memo: {}",
+        report.summary()
+    );
+    for (case, (seq, outcome)) in cases.iter().zip(sequential.iter().zip(&report.outcomes)) {
+        let batch = outcome.result.as_ref().expect("compiled");
+        // Bit-identical: the full Compiled (plan layers, Rz bookkeeping,
+        // durations, residual table) compares equal field-for-field.
+        assert_eq!(
+            seq, batch,
+            "case {case:?} diverged between batch and sequential"
+        );
+    }
+}
+
+#[test]
+fn calibration_runs_at_most_once_per_method_per_process() {
+    let cache = CalibCache::global();
+    let compiler = BatchCompiler::builder()
+        .topology(Topology::grid(2, 2))
+        .build();
+    let jobs = || -> Vec<BatchJob> {
+        [
+            PulseMethod::Gaussian,
+            PulseMethod::Pert,
+            PulseMethod::Gaussian,
+        ]
+        .into_iter()
+        .map(|m| {
+            BatchJob::new(
+                generate(BenchmarkKind::Qft, 4, 7),
+                m,
+                SchedulerKind::ZzxSched,
+            )
+        })
+        .collect()
+    };
+
+    // Fill every slot deterministically first (idempotent): the sibling
+    // test in this binary runs concurrently and also calibrates, so the
+    // global counter is only stable once all methods are measured.
+    for method in PulseMethod::ALL {
+        cache.residuals(method);
+    }
+    let runs_before = cache.calibration_runs();
+    assert!(
+        runs_before <= PulseMethod::ALL.len(),
+        "at most one measurement per method per process, got {runs_before}"
+    );
+
+    // First batch: every method is already cached — zero new measurements,
+    // regardless of how many jobs or workers used each.
+    let first = compiler.run(jobs());
+    assert_eq!(first.error_count(), 0);
+    assert_eq!(first.calibration_runs, 0, "{}", first.summary());
+
+    // Second batch with the same methods: still fully served from the
+    // shared cache.
+    let second = compiler.run(jobs());
+    assert_eq!(second.error_count(), 0);
+    assert_eq!(second.calibration_runs, 0, "{}", second.summary());
+    assert_eq!(cache.calibration_runs(), runs_before);
+
+    // And sequential compilation shares the same process-wide cache.
+    CoOptimizer::builder()
+        .topology(Topology::grid(2, 2))
+        .pulse_method(PulseMethod::Pert)
+        .build()
+        .compile(&generate(BenchmarkKind::Qft, 4, 7))
+        .expect("fits");
+    assert_eq!(cache.calibration_runs(), runs_before);
+}

@@ -21,7 +21,11 @@ fn quick_cfg() -> EvalConfig {
 #[test]
 fn both_schedulers_preserve_the_computation() {
     let topo = Topology::grid(2, 3);
-    for kind in [BenchmarkKind::Qft, BenchmarkKind::Qaoa, BenchmarkKind::HiddenShift] {
+    for kind in [
+        BenchmarkKind::Qft,
+        BenchmarkKind::Qaoa,
+        BenchmarkKind::HiddenShift,
+    ] {
         let circuit = generate(kind, 5, 3);
         let native = compile_to_native(&route(&circuit, &topo));
         for sched in [SchedulerKind::ParSched, SchedulerKind::ZzxSched] {
@@ -55,7 +59,12 @@ fn hidden_shift_survives_the_full_noisy_pipeline() {
     );
     let model = ZzErrorModel::uniform(&compiled.topology, zz_sim::khz(200.0))
         .with_residuals(compiled.residuals);
-    let noisy = run_with_zz(&compiled.plan, &compiled.topology, &model, &compiled.durations);
+    let noisy = run_with_zz(
+        &compiled.plan,
+        &compiled.topology,
+        &model,
+        &compiled.durations,
+    );
 
     // Ideal output: |shift⟩ permuted onto the device by the snake layout.
     let ideal = run_ideal(&compiled.plan);
@@ -79,7 +88,13 @@ fn co_optimization_wins_on_every_core_benchmark() {
     let cfg = quick_cfg();
     for kind in BenchmarkKind::CORE {
         let n = kind.paper_sizes()[1]; // the 6-qubit size
-        let base = benchmark_fidelity(kind, n, PulseMethod::Gaussian, SchedulerKind::ParSched, &cfg);
+        let base = benchmark_fidelity(
+            kind,
+            n,
+            PulseMethod::Gaussian,
+            SchedulerKind::ParSched,
+            &cfg,
+        );
         let ours = benchmark_fidelity(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg);
         assert!(
             ours >= base,
@@ -177,7 +192,10 @@ fn framework_generalizes_to_heavy_hex_devices() {
     assert!(one_q_layers > 0);
     for layer in &compiled.plan.layers {
         if layer.ops.iter().all(|op| op.qubits().len() == 1) {
-            assert_eq!(layer.metrics.nc, 0, "heavy-hex 1q layer not fully suppressed");
+            assert_eq!(
+                layer.metrics.nc, 0,
+                "heavy-hex 1q layer not fully suppressed"
+            );
         }
     }
 }

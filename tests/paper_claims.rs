@@ -24,7 +24,11 @@ fn quick_cfg() -> EvalConfig {
 /// every single-qubit-gate layer scheduled by ZZXSched has NC = 0.
 #[test]
 fn claim_complete_suppression_on_bipartite_devices() {
-    for topo in [Topology::grid(3, 4), Topology::grid(2, 3), Topology::line(7)] {
+    for topo in [
+        Topology::grid(3, 4),
+        Topology::grid(2, 3),
+        Topology::line(7),
+    ] {
         let mut native = NativeCircuit::new(topo.qubit_count());
         for q in 0..topo.qubit_count() {
             native.push(NativeOp::X90 { qubit: q });
@@ -32,7 +36,8 @@ fn claim_complete_suppression_on_bipartite_devices() {
         let plan = zzx_schedule(&topo, &native, &ZzxConfig::paper_default(&topo));
         for (i, layer) in plan.layers.iter().enumerate() {
             assert_eq!(
-                layer.metrics.nc, 0,
+                layer.metrics.nc,
+                0,
                 "layer {i} on {} not completely suppressed",
                 topo.name()
             );
@@ -57,7 +62,10 @@ fn claim_pulse_method_ordering() {
     );
     assert!(pert < optctrl, "Pert {pert} must beat OptCtrl {optctrl}");
     assert!(pert < dcg, "Pert {pert} must beat DCG {dcg}");
-    assert!(optctrl < gauss / 5.0, "OptCtrl {optctrl} must beat Gaussian {gauss}");
+    assert!(
+        optctrl < gauss / 5.0,
+        "OptCtrl {optctrl} must beat Gaussian {gauss}"
+    );
     assert!(dcg < gauss / 5.0, "DCG {dcg} must beat Gaussian {gauss}");
 }
 
@@ -69,7 +77,13 @@ fn claim_insensitive_to_pulse_method() {
     let cfg = quick_cfg();
     let kind = BenchmarkKind::Grc;
     let n = 6;
-    let base = benchmark_fidelity(kind, n, PulseMethod::Gaussian, SchedulerKind::ParSched, &cfg);
+    let base = benchmark_fidelity(
+        kind,
+        n,
+        PulseMethod::Gaussian,
+        SchedulerKind::ParSched,
+        &cfg,
+    );
     let opt = benchmark_fidelity(kind, n, PulseMethod::OptCtrl, SchedulerKind::ZzxSched, &cfg);
     let pert = benchmark_fidelity(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg);
     assert!(
@@ -85,8 +99,13 @@ fn claim_synergy_of_co_optimization() {
     for (kind, n) in [(BenchmarkKind::Grc, 6), (BenchmarkKind::Ising, 6)] {
         let pulses_only =
             benchmark_fidelity(kind, n, PulseMethod::Pert, SchedulerKind::ParSched, &cfg);
-        let sched_only =
-            benchmark_fidelity(kind, n, PulseMethod::Gaussian, SchedulerKind::ZzxSched, &cfg);
+        let sched_only = benchmark_fidelity(
+            kind,
+            n,
+            PulseMethod::Gaussian,
+            SchedulerKind::ZzxSched,
+            &cfg,
+        );
         let both = benchmark_fidelity(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg);
         assert!(
             both + 1e-9 >= pulses_only && both + 1e-9 >= sched_only,
@@ -122,7 +141,10 @@ fn claim_residual_hierarchy() {
     let g = calib::residual_factor(PulseMethod::Gaussian);
     let o = calib::residual_factor(PulseMethod::OptCtrl);
     let p = calib::residual_factor(PulseMethod::Pert);
-    assert!(p < o && o < g, "hierarchy violated: pert {p}, optctrl {o}, gauss {g}");
+    assert!(
+        p < o && o < g,
+        "hierarchy violated: pert {p}, optctrl {o}, gauss {g}"
+    );
 }
 
 /// Sec 7.4 / Fig 27: protective identity pulses collapse the effective ZZ
@@ -136,6 +158,12 @@ fn claim_ramsey_suppression() {
     };
     let bare = effective_zz_khz(RamseyCircuit::Original, NeighborGroup::Q1Only, &cfg);
     let protected = effective_zz_khz(RamseyCircuit::IdOnQ2, NeighborGroup::Q1Only, &cfg);
-    assert!(bare > 150.0, "unprotected ZZ should be ≈200 kHz, got {bare}");
-    assert!(protected < 11.0, "protected ZZ should be <11 kHz, got {protected}");
+    assert!(
+        bare > 150.0,
+        "unprotected ZZ should be ≈200 kHz, got {bare}"
+    );
+    assert!(
+        protected < 11.0,
+        "protected ZZ should be <11 kHz, got {protected}"
+    );
 }

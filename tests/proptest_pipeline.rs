@@ -1,20 +1,24 @@
 //! Property-based tests across the whole pipeline: random circuits stay
 //! correct through routing, native compilation and both schedulers.
+//!
+//! Random circuits are drawn from the workspace PRNG with per-case seeds.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use zz_circuit::native::compile_to_native;
 use zz_circuit::{route, Circuit, Gate};
 use zz_quantum::gates::equal_up_to_phase;
-use zz_sched::zzx::{zzx_schedule, ZzxConfig};
 use zz_sched::par_schedule;
-use zz_sim::executor::{fidelity_under_zz, ZzErrorModel};
+use zz_sched::zzx::{zzx_schedule, ZzxConfig};
 use zz_sched::GateDurations;
+use zz_sim::executor::{fidelity_under_zz, ZzErrorModel};
 use zz_topology::Topology;
 
-/// A random gate on up to `n` qubits.
-fn arb_op(n: usize) -> impl Strategy<Value = (Gate, Vec<usize>)> {
-    let one_q = (0..8usize, 0..n).prop_map(|(g, q)| {
-        let gate = match g {
+/// Pushes one random gate acting on up to `n` qubits.
+fn push_arb_op(rng: &mut StdRng, c: &mut Circuit, n: usize) {
+    if rng.gen_bool(0.5) {
+        let q = rng.gen_range(0..n);
+        let gate = match rng.gen_range(0..8usize) {
             0 => Gate::H,
             1 => Gate::X,
             2 => Gate::T,
@@ -24,62 +28,74 @@ fn arb_op(n: usize) -> impl Strategy<Value = (Gate, Vec<usize>)> {
             6 => Gate::Ry(-0.4),
             _ => Gate::U3(0.3, 1.1, -0.8),
         };
-        (gate, vec![q])
-    });
-    let two_q = (0..4usize, 0..n, 0..n).prop_filter_map("distinct qubits", move |(g, a, b)| {
+        c.push(gate, &[q]);
+    } else {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n);
         if a == b {
-            return None;
+            b = (b + 1) % n;
         }
-        let gate = match g {
+        let gate = match rng.gen_range(0..4usize) {
             0 => Gate::Cnot,
             1 => Gate::Cz,
             2 => Gate::Rzz(0.9),
             _ => Gate::Swap,
         };
-        Some((gate, vec![a, b]))
-    });
-    prop_oneof![one_q, two_q]
+        c.push(gate, &[a, b]);
+    }
 }
 
-fn arb_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec(arb_op(n), 1..max_len).prop_map(move |ops| {
-        let mut c = Circuit::new(n);
-        for (g, qs) in ops {
-            c.push(g, &qs);
-        }
-        c
-    })
+fn arb_circuit(rng: &mut StdRng, n: usize, max_len: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..rng.gen_range(1..max_len) {
+        push_arb_op(rng, &mut c, n);
+    }
+    c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_circuits_compile_correctly(circuit in arb_circuit(5, 12)) {
+#[test]
+fn random_circuits_compile_correctly() {
+    for case in 0..24u64 {
+        let rng = &mut StdRng::seed_from_u64(case);
+        let circuit = arb_circuit(rng, 5, 12);
         let topo = Topology::grid(2, 3);
         let native = compile_to_native(&route(&circuit, &topo));
         let reference = native.unitary();
 
         let par = par_schedule(&topo, &native);
-        prop_assert!(par.validate().is_ok());
-        prop_assert!(equal_up_to_phase(&par.unitary(), &reference, 1e-7));
+        assert!(par.validate().is_ok(), "case {case}");
+        assert!(
+            equal_up_to_phase(&par.unitary(), &reference, 1e-7),
+            "case {case}"
+        );
 
         let zzx = zzx_schedule(&topo, &native, &ZzxConfig::paper_default(&topo));
-        prop_assert!(zzx.validate().is_ok());
-        prop_assert!(equal_up_to_phase(&zzx.unitary(), &reference, 1e-7));
+        assert!(zzx.validate().is_ok(), "case {case}");
+        assert!(
+            equal_up_to_phase(&zzx.unitary(), &reference, 1e-7),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn zzxsched_never_regresses_suppression(circuit in arb_circuit(6, 16)) {
+#[test]
+fn zzxsched_never_regresses_suppression() {
+    for case in 0..24u64 {
+        let rng = &mut StdRng::seed_from_u64(case);
+        let circuit = arb_circuit(rng, 6, 16);
         let topo = Topology::grid(2, 3);
         let native = compile_to_native(&route(&circuit, &topo));
         let par = par_schedule(&topo, &native);
         let zzx = zzx_schedule(&topo, &native, &ZzxConfig::paper_default(&topo));
-        prop_assert!(zzx.mean_nc() <= par.mean_nc() + 1e-9);
+        assert!(zzx.mean_nc() <= par.mean_nc() + 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn suppression_translates_into_fidelity(circuit in arb_circuit(6, 14)) {
+#[test]
+fn suppression_translates_into_fidelity() {
+    for case in 0..24u64 {
+        let rng = &mut StdRng::seed_from_u64(case);
+        let circuit = arb_circuit(rng, 6, 14);
         // With a tiny residual factor, the ZZXSched plan must be at least
         // as good as ParSched under the same disorder sample.
         let topo = Topology::grid(2, 3);
@@ -93,11 +109,16 @@ proptest! {
         let f_zzx = fidelity_under_zz(&zzx, &topo, &model, &d);
         // Allow a tiny tolerance: layer structure can shuffle which exact
         // couplings fire, but the aggregate must not collapse.
-        prop_assert!(f_zzx >= f_par - 0.05, "zzx {f_zzx} vs par {f_par}");
+        assert!(
+            f_zzx >= f_par - 0.05,
+            "case {case}: zzx {f_zzx} vs par {f_par}"
+        );
     }
+}
 
-    #[test]
-    fn fidelity_is_monotone_in_crosstalk_strength(seed in 0u64..50) {
+#[test]
+fn fidelity_is_monotone_in_crosstalk_strength() {
+    for seed in 0u64..50 {
         let topo = Topology::grid(2, 2);
         let circuit = zz_circuit::bench::generate(zz_circuit::bench::BenchmarkKind::Qft, 4, seed);
         let native = compile_to_native(&route(&circuit, &topo));
@@ -107,6 +128,9 @@ proptest! {
         let strong = ZzErrorModel::uniform(&topo, zz_sim::khz(400.0));
         let f_weak = fidelity_under_zz(&plan, &topo, &weak, &d);
         let f_strong = fidelity_under_zz(&plan, &topo, &strong, &d);
-        prop_assert!(f_weak >= f_strong - 1e-9, "weak {f_weak} vs strong {f_strong}");
+        assert!(
+            f_weak >= f_strong - 1e-9,
+            "seed {seed}: weak {f_weak} vs strong {f_strong}"
+        );
     }
 }
