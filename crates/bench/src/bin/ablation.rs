@@ -96,8 +96,8 @@ fn main() {
         }
         jobs.push(j);
     }
-    let report = BatchCompiler::builder().build().run(jobs);
-    eprintln!("[batch] {}", report.summary());
+    let report = BatchCompiler::builder().store_from_env().build().run(jobs);
+    eprintln!("[batch] {report}");
 
     let threads = zz_core::batch::default_threads();
     let fidelities = parallel_map(report.outcomes.len(), threads, |i| {

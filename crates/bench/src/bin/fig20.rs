@@ -20,7 +20,8 @@ fn main() {
         (PulseMethod::OptCtrl, SchedulerKind::ZzxSched),
         (PulseMethod::Pert, SchedulerKind::ZzxSched),
     ];
-    let table = fidelity_table(&cases, &configs, &cfg);
+    let (table, report) = fidelity_table(&cases, &configs, &cfg);
+    eprintln!("[batch] {report}");
 
     row(
         "benchmark",

@@ -18,7 +18,8 @@ fn main() {
         (PulseMethod::Gaussian, SchedulerKind::ZzxSched),
         (PulseMethod::Pert, SchedulerKind::ZzxSched),
     ];
-    let table = fidelity_table(&cases, &configs, &cfg);
+    let (table, report) = fidelity_table(&cases, &configs, &cfg);
+    eprintln!("[batch] {report}");
 
     row(
         "benchmark",

@@ -21,7 +21,8 @@ fn main() {
         (PulseMethod::Pert, SchedulerKind::ParSched),
         (PulseMethod::Pert, SchedulerKind::ZzxSched),
     ];
-    let table = fidelity_table(&cases, &configs, &cfg);
+    let (table, report) = fidelity_table(&cases, &configs, &cfg);
+    eprintln!("[batch] {report}");
 
     row("benchmark", &["pulse %".into(), "sched %".into()]);
     let (mut sum_pulse, mut count) = (0.0, 0usize);

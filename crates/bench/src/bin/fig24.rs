@@ -25,6 +25,7 @@ fn main() {
         })
         .collect();
     let report = compile_suite(&suite, &cfg);
+    eprintln!("[batch] {report}");
     let compiled: Vec<_> = report.successes().collect();
     assert_eq!(
         compiled.len(),

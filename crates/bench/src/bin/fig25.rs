@@ -29,6 +29,7 @@ fn main() {
         .map(|&(kind, n)| (kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched))
         .collect();
     let report = compile_suite(&suite, &cfg);
+    eprintln!("[batch] {report}");
     let compiled: Vec<_> = report.successes().collect();
     assert_eq!(
         compiled.len(),

@@ -14,8 +14,8 @@
 #![warn(missing_docs)]
 
 use zz_circuit::bench::BenchmarkKind;
-use zz_core::evaluate::{benchmark_suite_fidelities, EvalConfig, SuiteCase};
-use zz_core::{PulseMethod, SchedulerKind};
+use zz_core::evaluate::{compile_suite, suite_fidelities, EvalConfig, SuiteCase};
+use zz_core::{BatchReport, PulseMethod, SchedulerKind};
 
 pub mod timing;
 
@@ -69,21 +69,25 @@ pub fn core_cases() -> Vec<(BenchmarkKind, usize)> {
 
 /// Fidelity of every `case × config` cell, compiled through one shared
 /// [`zz_core::BatchCompiler`] (one calibration pass per pulse method, one
-/// routing pass per benchmark instance) and evaluated in parallel.
+/// routing pass per benchmark instance; persistent across runs when
+/// `ZZ_CACHE_DIR` is set) and evaluated in parallel.
 ///
 /// Returns one row per case, one column per config — the table shape the
-/// figure binaries print.
+/// figure binaries print — plus the compile-stage [`BatchReport`], which
+/// the binaries show via its `Display` impl.
 pub fn fidelity_table(
     cases: &[(BenchmarkKind, usize)],
     configs: &[(PulseMethod, SchedulerKind)],
     cfg: &EvalConfig,
-) -> Vec<Vec<f64>> {
+) -> (Vec<Vec<f64>>, BatchReport) {
     let suite: Vec<SuiteCase> = cases
         .iter()
         .flat_map(|&(kind, n)| configs.iter().map(move |&(m, s)| (kind, n, m, s)))
         .collect();
-    let flat = benchmark_suite_fidelities(&suite, cfg);
-    flat.chunks(configs.len()).map(<[f64]>::to_vec).collect()
+    let report = compile_suite(&suite, cfg);
+    let flat = suite_fidelities(&report, cfg);
+    let table = flat.chunks(configs.len()).map(<[f64]>::to_vec).collect();
+    (table, report)
 }
 
 #[cfg(test)]

@@ -133,17 +133,16 @@ fn hidden_shift(n: usize, seed: u64) -> Circuit {
     for q in 0..n {
         c.push(Gate::H, &[q]);
     }
-    for q in 0..m {
-        if shift[q] == 1 {
-            c.push(Gate::X, &[q]);
+    let flip_shifted = |c: &mut Circuit| {
+        for (q, &s) in shift.iter().enumerate() {
+            if s == 1 {
+                c.push(Gate::X, &[q]);
+            }
         }
-    }
+    };
+    flip_shifted(&mut c);
     oracle(&mut c);
-    for q in 0..m {
-        if shift[q] == 1 {
-            c.push(Gate::X, &[q]);
-        }
-    }
+    flip_shifted(&mut c);
     for q in 0..m {
         c.push(Gate::H, &[q]);
     }
@@ -259,12 +258,12 @@ fn grc(n: usize, seed: u64) -> Circuit {
     let mut last = vec![usize::MAX; n];
     let mut c = Circuit::new(n);
     for cycle in 0..depth {
-        for q in 0..n {
+        for (q, last_pick) in last.iter_mut().enumerate() {
             let mut pick = rng.gen_range(0..3);
-            if pick == last[q] {
+            if pick == *last_pick {
                 pick = (pick + 1 + rng.gen_range(0..2usize)) % 3;
             }
-            last[q] = pick;
+            *last_pick = pick;
             c.push(choices[pick], &[q]);
         }
         let start = cycle % 2;
@@ -421,7 +420,7 @@ mod tests {
     fn paper_sizes_are_sane() {
         for kind in BenchmarkKind::CORE {
             assert!(!kind.paper_sizes().is_empty());
-            assert!(kind.paper_sizes().iter().all(|&n| n >= 4 && n <= 12));
+            assert!(kind.paper_sizes().iter().all(|&n| (4..=12).contains(&n)));
         }
     }
 }

@@ -129,10 +129,10 @@ mod tests {
         let dim = 1usize << n;
         let map_index = |i: usize| -> usize {
             let mut j = 0usize;
-            for l in 0..n {
+            for (l, &p) in perm.iter().enumerate().take(n) {
                 let bit = (i >> (n - 1 - l)) & 1;
                 if bit == 1 {
-                    j |= 1 << (n - 1 - perm[l]);
+                    j |= 1 << (n - 1 - p);
                 }
             }
             j
@@ -205,9 +205,9 @@ mod tests {
         let dim = 1usize << 6;
         let map_with = |wires: &[usize], i: usize| -> usize {
             let mut j = 0usize;
-            for l in 0..6 {
+            for (l, &w) in wires.iter().enumerate().take(6) {
                 if (i >> (5 - l)) & 1 == 1 {
-                    j |= 1 << (5 - wires[l]);
+                    j |= 1 << (5 - w);
                 }
             }
             j

@@ -16,9 +16,21 @@
 //!   [`NativeCircuit`] (scheduling still runs per job: it depends on the
 //!   scheduler and its parameters).
 //!
+//! With an optional on-disk [`ArtifactStore`]
+//! ([`BatchCompilerBuilder::store`], or `ZZ_CACHE_DIR` via
+//! [`BatchCompilerBuilder::store_from_env`]), both kinds of work persist
+//! *across* processes: compiled plans, routed translations and residual
+//! tables are published to the cache directory and served on the next run,
+//! so a warm process compiles a repeated suite with zero routing passes
+//! and zero calibration measurements (`tests/persist.rs` asserts this).
+//! Damaged or stale cache files are silently recompiled; an unwritable
+//! cache directory degrades to the in-memory behavior.
+//!
 //! Results are deterministic: every job's [`Compiled`] output is
 //! bit-identical to what a sequential [`CoOptimizer::compile`] call with
-//! the same settings would produce (`tests/batch.rs` asserts this).
+//! the same settings would produce (`tests/batch.rs` asserts this), and
+//! the disk codec round-trips plans bit-identically, so warm starts
+//! preserve that guarantee.
 //!
 //! # Example
 //!
@@ -45,17 +57,20 @@
 //! ```
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use zz_circuit::native::{compile_to_native, NativeCircuit};
 use zz_circuit::{route, Circuit};
+use zz_persist::{ArtifactKind, ArtifactStore};
 use zz_pulse::library::PulseMethod;
 use zz_sched::zzx::Requirement;
 use zz_topology::Topology;
 
 use crate::calib::CalibCache;
+use crate::persist::{compiled_artifact_key, native_artifact_key, CompiledArtifact};
 use crate::{CoOptError, CoOptimizer, Compiled, SchedulerKind};
 
 /// One compilation request: a circuit plus the pulse/scheduling
@@ -134,6 +149,19 @@ impl BatchJob {
     }
 }
 
+/// Whether the on-disk store served a job's compiled plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskStatus {
+    /// No store is configured, or the job failed before the lookup.
+    NotConsulted,
+    /// The fully compiled plan was loaded from disk (no routing,
+    /// scheduling or calibration ran for this job).
+    Hit,
+    /// The store had no usable artifact for this job; it compiled from
+    /// scratch and published its result for the next process.
+    Miss,
+}
+
 /// The result of one [`BatchJob`].
 #[derive(Clone, Debug)]
 pub struct JobOutcome {
@@ -143,8 +171,11 @@ pub struct JobOutcome {
     pub result: Result<Compiled, CoOptError>,
     /// Wall-clock time this job spent compiling (excluding queue wait).
     pub compile_time: Duration,
-    /// Whether routing/native translation was served from the shared memo.
+    /// Whether routing/native translation was skipped — served from the
+    /// in-memory memo or the on-disk store.
     pub route_cache_hit: bool,
+    /// Whether the on-disk store served this job's compiled plan.
+    pub disk: DiskStatus,
 }
 
 /// Aggregate results of a [`BatchCompiler::run`] call.
@@ -158,10 +189,15 @@ pub struct BatchReport {
     pub route_hits: usize,
     /// Jobs that had to route (one per distinct circuit × device shape).
     pub route_misses: usize,
+    /// Jobs whose compiled plan was served from the on-disk store.
+    pub disk_hits: usize,
+    /// Jobs that consulted the on-disk store and missed (0 when no store
+    /// is configured).
+    pub disk_misses: usize,
     /// Pulse-level calibration measurements that ran during this batch's
-    /// time window, measured as a delta of the process-wide
+    /// time window, measured as a delta of this compiler's
     /// [`CalibCache`] counter (so at most one per pulse method per
-    /// process; a concurrent batch's measurement can be attributed to
+    /// cache; a concurrent batch's measurement can be attributed to
     /// whichever window it lands in).
     pub calibration_runs: usize,
 }
@@ -183,19 +219,33 @@ impl BatchReport {
     pub fn cpu_time(&self) -> Duration {
         self.outcomes.iter().map(|o| o.compile_time).sum()
     }
+}
 
-    /// One-line human-readable summary.
-    pub fn summary(&self) -> String {
-        format!(
-            "{} jobs ({} failed) in {:.1?} wall / {:.1?} cpu; routing {} hit / {} miss; {} calibration run(s)",
+/// One-line human-readable summary: job/failure counts, wall and cpu time,
+/// routing-memo and disk hit rates, and calibration measurements. The
+/// `fig*` binaries print this after every suite compile.
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs ({} failed) in {:.1?} wall / {:.1?} cpu; routing memo {} hit / {} miss; ",
             self.outcomes.len(),
             self.error_count(),
             self.wall_time,
             self.cpu_time(),
             self.route_hits,
             self.route_misses,
-            self.calibration_runs,
-        )
+        )?;
+        if self.disk_hits + self.disk_misses > 0 {
+            write!(
+                f,
+                "disk {} hit / {} miss; ",
+                self.disk_hits, self.disk_misses
+            )?;
+        } else {
+            write!(f, "disk cache off; ")?;
+        }
+        write!(f, "{} calibration run(s)", self.calibration_runs)
     }
 }
 
@@ -209,6 +259,8 @@ pub struct BatchCompiler {
     requirement: Option<Requirement>,
     threads: usize,
     route_memo: Mutex<HashMap<u64, Vec<Arc<MemoEntry>>>>,
+    store: Option<ArtifactStore>,
+    calib: Option<Arc<CalibCache>>,
 }
 
 /// One routing-memo slot: the exact shape it was created for (checked on
@@ -230,15 +282,32 @@ impl BatchCompiler {
         BatchCompilerBuilder::default()
     }
 
+    /// The calibration cache serving this compiler's jobs: the builder's
+    /// [`calib_cache`](BatchCompilerBuilder::calib_cache) instance, or the
+    /// process-wide [`CalibCache::global`] by default.
+    pub fn calib_cache(&self) -> &CalibCache {
+        match &self.calib {
+            Some(cache) => cache,
+            None => CalibCache::global(),
+        }
+    }
+
+    /// The on-disk artifact store backing this compiler, if any.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
+    }
+
     /// The shared routing/native-translation memo: returns the cached
-    /// native circuit for this circuit × device shape, routing on a miss.
+    /// native circuit for this circuit × device shape, consulting the
+    /// on-disk store (when configured) and routing only when both miss.
     ///
     /// Each shape gets its own `OnceLock` slot, so exactly one worker
     /// routes a given shape (concurrent requesters for the *same* shape
     /// wait on its slot; *different* shapes never serialize — the outer
     /// map lock is only held for the entry lookup). Slots record the exact
     /// circuit and topology they serve, so a digest collision costs one
-    /// extra slot rather than correctness.
+    /// extra slot rather than correctness; on-disk artifacts carry the
+    /// full source circuit for the same reason, and a mismatch is a miss.
     fn native_for(&self, circuit: &Arc<Circuit>, topo: &Topology) -> (Arc<NativeCircuit>, bool) {
         let key = shape_key(circuit, topo);
         let slot = {
@@ -262,14 +331,45 @@ impl BatchCompiler {
         };
         let mut routed_here = false;
         let native = Arc::clone(slot.native.get_or_init(|| {
+            let disk_key = native_artifact_key(key);
+            if let Some(store) = &self.store {
+                if let Some(((source, source_topo), native)) =
+                    store
+                        .get::<((Circuit, Topology), NativeCircuit)>(ArtifactKind::Native, disk_key)
+                {
+                    if source == **circuit && source_topo == *topo {
+                        return Arc::new(native);
+                    }
+                }
+            }
             routed_here = true;
-            Arc::new(compile_to_native(&route(circuit, topo)))
+            let native = compile_to_native(&route(circuit, topo));
+            if let Some(store) = &self.store {
+                store.put(
+                    ArtifactKind::Native,
+                    disk_key,
+                    &((&**circuit, topo), &native),
+                );
+            }
+            Arc::new(native)
         }));
         (native, !routed_here)
     }
 
     /// Compiles one job using the shared caches (no worker pool).
-    pub fn compile(&self, job: &BatchJob) -> (Result<Compiled, CoOptError>, bool) {
+    pub fn compile(&self, job: &BatchJob) -> JobOutcome {
+        let t0 = Instant::now();
+        let (result, route_cache_hit, disk) = self.compile_inner(job);
+        JobOutcome {
+            label: job.label.clone(),
+            result,
+            compile_time: t0.elapsed(),
+            route_cache_hit,
+            disk,
+        }
+    }
+
+    fn compile_inner(&self, job: &BatchJob) -> (Result<Compiled, CoOptError>, bool, DiskStatus) {
         let topo = job.topology.as_ref().unwrap_or(&self.topology);
         if job.circuit.qubit_count() > topo.qubit_count() {
             return (
@@ -278,49 +378,112 @@ impl BatchCompiler {
                     available: topo.qubit_count(),
                 }),
                 false,
+                DiskStatus::NotConsulted,
             );
         }
-        let (native, hit) = self.native_for(&job.circuit, topo);
+        let alpha = job.alpha.unwrap_or(self.alpha);
+        let k = job.k.unwrap_or(self.k);
+        let requirement = job.requirement.or(self.requirement);
+
+        // Disk fast path: a usable compiled artifact skips routing,
+        // scheduling and calibration outright.
+        let mut disk = DiskStatus::NotConsulted;
+        let mut artifact_key = 0;
+        if let Some(store) = &self.store {
+            artifact_key = compiled_artifact_key(
+                shape_key(&job.circuit, topo),
+                job.method,
+                job.scheduler,
+                alpha,
+                k,
+                requirement,
+            );
+            if let Some(artifact) =
+                store.get::<CompiledArtifact>(ArtifactKind::Compiled, artifact_key)
+            {
+                // The artifact embeds its full request; a key collision is
+                // rejected here and recompiles instead of serving a wrong
+                // plan.
+                if artifact.matches(
+                    &job.circuit,
+                    topo,
+                    job.method,
+                    job.scheduler,
+                    alpha,
+                    k,
+                    requirement,
+                ) {
+                    return (Ok(artifact.compiled), true, DiskStatus::Hit);
+                }
+            }
+            disk = DiskStatus::Miss;
+        }
+
+        let (native, route_cache_hit) = self.native_for(&job.circuit, topo);
+        let residuals = self
+            .calib_cache()
+            .residuals_via_store(job.method, self.store.as_ref());
         let mut builder = CoOptimizer::builder()
             .topology(topo.clone())
             .pulse_method(job.method)
             .scheduler(job.scheduler)
-            .alpha(job.alpha.unwrap_or(self.alpha))
-            .k(job.k.unwrap_or(self.k));
-        if let Some(req) = job.requirement.or(self.requirement) {
+            .alpha(alpha)
+            .k(k);
+        if let Some(req) = requirement {
             builder = builder.requirement(req);
         }
-        (Ok(builder.build().compile_native(&native)), hit)
+        let compiled = builder
+            .build()
+            .compile_native_with_residuals(&native, residuals);
+        if let Some(store) = &self.store {
+            let artifact = CompiledArtifact {
+                circuit: (*job.circuit).clone(),
+                scheduler: job.scheduler,
+                alpha,
+                k,
+                requirement,
+                compiled: compiled.clone(),
+            };
+            store.put(ArtifactKind::Compiled, artifact_key, &artifact);
+        }
+        (Ok(compiled), route_cache_hit, disk)
     }
 
     /// Compiles every job on the worker pool and aggregates a
     /// [`BatchReport`]. Outcomes keep submission order.
     pub fn run(&self, jobs: Vec<BatchJob>) -> BatchReport {
         let start = Instant::now();
-        let calib_before = CalibCache::global().calibration_runs();
+        let calib_before = self.calib_cache().calibration_runs();
         let threads = self.threads.min(jobs.len()).max(1);
-        let outcomes = parallel_map(jobs.len(), threads, |i| {
-            let job = &jobs[i];
-            let t0 = Instant::now();
-            let (result, route_cache_hit) = self.compile(job);
-            JobOutcome {
-                label: job.label.clone(),
-                result,
-                compile_time: t0.elapsed(),
-                route_cache_hit,
-            }
-        });
+        let outcomes = parallel_map(jobs.len(), threads, |i| self.compile(&jobs[i]));
         let route_hits = outcomes.iter().filter(|o| o.route_cache_hit).count();
         let route_misses = outcomes
             .iter()
             .filter(|o| !o.route_cache_hit && o.result.is_ok())
             .count();
+        let disk_hits = outcomes
+            .iter()
+            .filter(|o| o.disk == DiskStatus::Hit)
+            .count();
+        let disk_misses = outcomes
+            .iter()
+            .filter(|o| o.disk == DiskStatus::Miss)
+            .count();
+        // Publish every residual table the cache holds — including ones
+        // measured *before* this batch (a direct `calib::residuals` call
+        // fills the slot without writing), so the next process never
+        // repeats a measurement this one already paid for.
+        if let Some(store) = &self.store {
+            self.calib_cache().save_to(store);
+        }
         BatchReport {
             outcomes,
             wall_time: start.elapsed(),
             route_hits,
             route_misses,
-            calibration_runs: CalibCache::global().calibration_runs() - calib_before,
+            disk_hits,
+            disk_misses,
+            calibration_runs: self.calib_cache().calibration_runs() - calib_before,
         }
     }
 
@@ -337,13 +500,15 @@ impl BatchCompiler {
 }
 
 /// Builder for [`BatchCompiler`].
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct BatchCompilerBuilder {
     topology: Topology,
     alpha: f64,
     k: usize,
     requirement: Option<Requirement>,
     threads: usize,
+    store: Option<ArtifactStore>,
+    calib: Option<Arc<CalibCache>>,
 }
 
 impl Default for BatchCompilerBuilder {
@@ -354,6 +519,8 @@ impl Default for BatchCompilerBuilder {
             k: 3,
             requirement: None,
             threads: default_threads(),
+            store: None,
+            calib: None,
         }
     }
 }
@@ -392,6 +559,32 @@ impl BatchCompilerBuilder {
         self
     }
 
+    /// Backs this compiler with an on-disk [`ArtifactStore`]: compiled
+    /// plans, routed translations and residual tables persist across
+    /// processes (default: no store — caches are in-memory only).
+    pub fn store(mut self, store: ArtifactStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Backs this compiler with the store named by the `ZZ_CACHE_DIR`
+    /// environment variable; a no-op when the variable is unset or empty.
+    /// The figure binaries and examples opt in through this.
+    pub fn store_from_env(mut self) -> Self {
+        if let Some(store) = ArtifactStore::from_env() {
+            self.store = Some(store);
+        }
+        self
+    }
+
+    /// Serves calibration from the given cache instead of the process-wide
+    /// [`CalibCache::global`] — lets tests and multi-tenant services
+    /// isolate calibration state per compiler.
+    pub fn calib_cache(mut self, cache: Arc<CalibCache>) -> Self {
+        self.calib = Some(cache);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> BatchCompiler {
         BatchCompiler {
@@ -401,18 +594,19 @@ impl BatchCompilerBuilder {
             requirement: self.requirement,
             threads: self.threads,
             route_memo: Mutex::new(HashMap::new()),
+            store: self.store,
+            calib: self.calib,
         }
     }
 }
 
-/// Combined structural key of a circuit × device shape.
-fn shape_key(circuit: &Circuit, topo: &Topology) -> u64 {
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Combined structural key of a circuit × device shape: the routing-memo
+/// and on-disk native-artifact key. `tests/golden_keys.rs` pins its output
+/// for fixed inputs — if this function (or [`Circuit::content_digest`])
+/// must change meaning, bump [`zz_persist::SCHEMA_VERSION`] alongside.
+pub fn shape_key(circuit: &Circuit, topo: &Topology) -> u64 {
     let mut h = circuit.content_digest();
-    let mut mix = |w: u64| {
-        h ^= w;
-        h = h.wrapping_mul(PRIME);
-    };
+    let mut mix = |w: u64| h = zz_persist::fnv1a_mix(h, w);
     for b in topo.name().bytes() {
         mix(b as u64);
     }
@@ -519,8 +713,8 @@ mod tests {
         .map(|(m, s)| BatchJob::new(circuit.clone(), m, s))
         .collect();
         let report = compiler.run(jobs);
-        assert_eq!(report.route_misses, 1, "{}", report.summary());
-        assert_eq!(report.route_hits, 2, "{}", report.summary());
+        assert_eq!(report.route_misses, 1, "{report}");
+        assert_eq!(report.route_hits, 2, "{report}");
         assert_eq!(compiler.memoized_shapes(), 1);
     }
 

@@ -16,6 +16,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+use zz_persist::{fnv1a, ArtifactKind, ArtifactStore};
 use zz_pulse::khz;
 use zz_pulse::library::{id_drive, x90_drive, zx90_drive, PulseMethod};
 use zz_pulse::systems::{infidelity_2q, residual_zz_rate, residual_zz_rate_2q, GateSide};
@@ -86,11 +87,7 @@ impl CalibCache {
 
     /// The cached residual table for `method`, measuring it on first use.
     pub fn residuals(&self, method: PulseMethod) -> ResidualTable {
-        let idx = PulseMethod::ALL
-            .iter()
-            .position(|&m| m == method)
-            .expect("all methods enumerated");
-        *self.slots[idx].get_or_init(|| {
+        *self.slots[slot_index(method)].get_or_init(|| {
             self.runs.fetch_add(1, Ordering::Relaxed);
             measure_residuals(method)
         })
@@ -101,6 +98,123 @@ impl CalibCache {
     pub fn calibration_runs(&self) -> usize {
         self.runs.load(Ordering::Relaxed)
     }
+
+    /// The cached table for `method` if it is already present, without
+    /// triggering a measurement.
+    pub fn peek(&self, method: PulseMethod) -> Option<ResidualTable> {
+        self.slots[slot_index(method)].get().copied()
+    }
+
+    /// Exports every filled slot as `(method, table)` pairs — the artifact
+    /// payload behind [`save_to`](Self::save_to).
+    pub fn snapshot(&self) -> Vec<(PulseMethod, ResidualTable)> {
+        PulseMethod::ALL
+            .iter()
+            .filter_map(|&m| self.peek(m).map(|t| (m, t)))
+            .collect()
+    }
+
+    /// Imports a snapshot, filling *empty* slots only (already-measured
+    /// tables win, and nothing counts as a calibration run). Returns how
+    /// many slots the import filled.
+    pub fn import(&self, entries: &[(PulseMethod, ResidualTable)]) -> usize {
+        let mut filled = 0;
+        for &(method, table) in entries {
+            let slot = &self.slots[slot_index(method)];
+            let mut fresh = false;
+            slot.get_or_init(|| {
+                fresh = true;
+                table
+            });
+            filled += fresh as usize;
+        }
+        filled
+    }
+
+    /// Persists the current snapshot to `store` (one `CalibSnapshot`
+    /// artifact, plus one per-method `Calibration` artifact so partial
+    /// caches can still warm individual methods). Returns the number of
+    /// methods written; write failures degrade silently to 0.
+    pub fn save_to(&self, store: &ArtifactStore) -> usize {
+        let snapshot = self.snapshot();
+        store.put(
+            ArtifactKind::CalibSnapshot,
+            snapshot_artifact_key(),
+            &snapshot,
+        );
+        snapshot
+            .iter()
+            .filter(|&&(method, ref table)| {
+                store.put(
+                    ArtifactKind::Calibration,
+                    residual_artifact_key(method),
+                    table,
+                )
+            })
+            .count()
+    }
+
+    /// Imports the snapshot persisted in `store`, if any (empty slots only;
+    /// a missing or damaged snapshot is simply a no-op). Returns how many
+    /// slots were filled from disk.
+    pub fn load_from(&self, store: &ArtifactStore) -> usize {
+        match store.get::<Vec<(PulseMethod, ResidualTable)>>(
+            ArtifactKind::CalibSnapshot,
+            snapshot_artifact_key(),
+        ) {
+            Some(snapshot) => self.import(&snapshot),
+            None => 0,
+        }
+    }
+
+    /// The cached residual table for `method`, consulting `store` before
+    /// measuring: on a disk hit the table loads without counting as a
+    /// calibration run; on a miss the measurement runs and its result is
+    /// persisted for the next process. With no store this is exactly
+    /// [`residuals`](Self::residuals).
+    pub fn residuals_via_store(
+        &self,
+        method: PulseMethod,
+        store: Option<&ArtifactStore>,
+    ) -> ResidualTable {
+        let Some(store) = store else {
+            return self.residuals(method);
+        };
+        *self.slots[slot_index(method)].get_or_init(|| {
+            let key = residual_artifact_key(method);
+            if let Some(table) = store.get::<ResidualTable>(ArtifactKind::Calibration, key) {
+                return table;
+            }
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            let table = measure_residuals(method);
+            store.put(ArtifactKind::Calibration, key, &table);
+            table
+        })
+    }
+}
+
+/// Index of a method's slot in a [`CalibCache`].
+fn slot_index(method: PulseMethod) -> usize {
+    PulseMethod::ALL
+        .iter()
+        .position(|&m| m == method)
+        .expect("all methods enumerated")
+}
+
+/// On-disk key of a method's residual table: the method label mixed with
+/// the exact calibration-strength bits, so a recalibrated device (different
+/// `λ`) can never serve stale tables.
+pub fn residual_artifact_key(method: PulseMethod) -> u64 {
+    let mut bytes = method.label().as_bytes().to_vec();
+    bytes.extend_from_slice(&calibration_lambda().to_bits().to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// On-disk key of the whole-cache snapshot artifact.
+pub fn snapshot_artifact_key() -> u64 {
+    let mut bytes = b"calib-snapshot".to_vec();
+    bytes.extend_from_slice(&calibration_lambda().to_bits().to_le_bytes());
+    fnv1a(&bytes)
 }
 
 /// The cached residual table for a method (the process-wide

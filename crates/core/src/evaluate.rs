@@ -150,6 +150,11 @@ pub type SuiteCase = (BenchmarkKind, usize, PulseMethod, SchedulerKind);
 /// benchmark instance (same kind and size) are generated once and routed
 /// once (the circuit itself is shared via [`BatchJob::shared`]).
 ///
+/// When the `ZZ_CACHE_DIR` environment variable names a cache directory,
+/// the compiler is additionally backed by an on-disk
+/// [`zz_persist::ArtifactStore`], so a second run of the same suite — in
+/// a new process — skips calibration and routing entirely.
+///
 /// This is the compile stage behind Figures 20–25; the figure binaries
 /// feed the report into [`suite_fidelities`].
 pub fn compile_suite(cases: &[SuiteCase], cfg: &EvalConfig) -> BatchReport {
@@ -166,7 +171,7 @@ pub fn compile_suite(cases: &[SuiteCase], cfg: &EvalConfig) -> BatchReport {
                 .with_label(format!("{kind}-{n}/{method}+{scheduler}"))
         })
         .collect();
-    BatchCompiler::builder().build().run(jobs)
+    BatchCompiler::builder().store_from_env().build().run(jobs)
 }
 
 /// Evaluates every compiled job of a suite report in parallel, preserving

@@ -18,7 +18,10 @@
 //! For suite-scale traffic, [`batch`] compiles many jobs concurrently on a
 //! worker pool with a shared calibration cache ([`calib::CalibCache`]) and
 //! a routing/native-translation memo, producing bit-identical results to
-//! sequential [`CoOptimizer::compile`] calls.
+//! sequential [`CoOptimizer::compile`] calls. Backed by an on-disk
+//! [`zz_persist::ArtifactStore`], those caches additionally persist across
+//! processes ([`persist`] holds the codec glue), so a warm start skips
+//! calibration and routing entirely.
 //!
 //! # Example
 //!
@@ -53,7 +56,8 @@ pub mod batch;
 pub mod calib;
 pub mod evaluate;
 mod optimizer;
+pub mod persist;
 
-pub use batch::{BatchCompiler, BatchCompilerBuilder, BatchJob, BatchReport};
+pub use batch::{BatchCompiler, BatchCompilerBuilder, BatchJob, BatchReport, DiskStatus};
 pub use optimizer::{CoOptError, CoOptimizer, CoOptimizerBuilder, Compiled, SchedulerKind};
 pub use zz_pulse::library::PulseMethod;

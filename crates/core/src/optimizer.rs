@@ -150,6 +150,20 @@ impl CoOptimizer {
     ///
     /// Panics if the native circuit has more qubits than the device.
     pub fn compile_native(&self, native: &NativeCircuit) -> Compiled {
+        self.compile_native_with_residuals(native, crate::calib::residuals(self.method))
+    }
+
+    /// Like [`compile_native`](Self::compile_native), but attaches the
+    /// given residual table instead of consulting the process-wide
+    /// calibration cache — the batch engine uses this to serve residuals
+    /// from a per-compiler [`crate::calib::CalibCache`] or a disk store.
+    /// The caller is responsible for passing the table that belongs to
+    /// this optimizer's pulse method.
+    pub fn compile_native_with_residuals(
+        &self,
+        native: &NativeCircuit,
+        residuals: zz_sim::executor::ResidualTable,
+    ) -> Compiled {
         let plan = match self.scheduler {
             SchedulerKind::ParSched => par_schedule(&self.topology, native),
             SchedulerKind::ZzxSched => {
@@ -172,7 +186,7 @@ impl CoOptimizer {
             topology: self.topology.clone(),
             durations,
             method: self.method,
-            residuals: crate::calib::residuals(self.method),
+            residuals,
         }
     }
 }

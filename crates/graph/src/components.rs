@@ -25,13 +25,13 @@ pub fn components(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
     let mut ids = vec![usize::MAX; n];
     let mut next = 0;
     let mut out = vec![0; n];
-    for v in 0..n {
+    for (v, slot) in out.iter_mut().enumerate() {
         let root = uf.find(v);
         if ids[root] == usize::MAX {
             ids[root] = next;
             next += 1;
         }
-        out[v] = ids[root];
+        *slot = ids[root];
     }
     out
 }

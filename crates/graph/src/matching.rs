@@ -39,7 +39,10 @@ pub fn min_cost_perfect_matching(
     n: usize,
     cost: impl Fn(usize, usize) -> f64,
 ) -> Vec<(usize, usize)> {
-    assert!(n % 2 == 0, "perfect matching requires an even vertex count");
+    assert!(
+        n.is_multiple_of(2),
+        "perfect matching requires an even vertex count"
+    );
     if n == 0 {
         return Vec::new();
     }
@@ -151,7 +154,7 @@ mod tests {
 
     /// Brute-force optimal matching cost by recursion (for cross-checks).
     fn brute_force(n: usize, cost: &impl Fn(usize, usize) -> f64) -> f64 {
-        fn rec(remaining: &mut Vec<usize>, cost: &impl Fn(usize, usize) -> f64) -> f64 {
+        fn rec(remaining: &mut [usize], cost: &impl Fn(usize, usize) -> f64) -> f64 {
             if remaining.is_empty() {
                 return 0.0;
             }
@@ -168,7 +171,7 @@ mod tests {
             }
             best
         }
-        rec(&mut (0..n).collect(), cost)
+        rec(&mut (0..n).collect::<Vec<_>>(), cost)
     }
 
     #[test]
@@ -200,7 +203,7 @@ mod tests {
     #[test]
     fn matching_covers_every_vertex_once() {
         let m = min_cost_perfect_matching(8, |i, j| ((i * j) % 7) as f64 + 1.0);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for (i, j) in m {
             assert!(!seen[i] && !seen[j], "vertex matched twice");
             seen[i] = true;

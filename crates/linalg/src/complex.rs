@@ -164,6 +164,7 @@ impl Mul for c64 {
 impl Div for c64 {
     type Output = c64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z·w⁻¹
     fn div(self, rhs: c64) -> c64 {
         self * rhs.recip()
     }

@@ -38,8 +38,8 @@ pub fn expm_neg_i_h_t(h: &Matrix, t: f64) -> Matrix {
     for i in 0..n {
         for j in 0..n {
             let mut acc = c64::ZERO;
-            for k in 0..n {
-                acc += e.vectors[(i, k)] * phases[k] * e.vectors[(j, k)].conj();
+            for (k, &phase) in phases.iter().enumerate() {
+                acc += e.vectors[(i, k)] * phase * e.vectors[(j, k)].conj();
             }
             out[(i, j)] = acc;
         }

@@ -161,9 +161,9 @@ impl Matrix {
     pub fn mul_vec(&self, v: &Vector) -> Vector {
         assert_eq!(self.cols, v.len(), "mul_vec dimension mismatch");
         let mut out = vec![c64::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(v.as_slice()).map(|(&a, &x)| a * x).sum();
+            *slot = row.iter().zip(v.as_slice()).map(|(&a, &x)| a * x).sum();
         }
         Vector::from_vec(out)
     }
@@ -203,7 +203,7 @@ impl Matrix {
     pub fn scale(&self, factor: c64) -> Matrix {
         let mut out = self.clone();
         for z in &mut out.data {
-            *z = *z * factor;
+            *z *= factor;
         }
         out
     }

@@ -322,7 +322,7 @@ mod tests {
         let loss = |p: &[f64]| pert_1q_loss(p, &target, 20.0, 20.0);
         let before = loss(&p0);
         let (p1, after) = minimize(
-            &loss,
+            loss,
             &p0,
             &AdamConfig {
                 lr: 0.01,

@@ -3,13 +3,16 @@
 use zz_linalg::expm::expm_step;
 use zz_linalg::Matrix;
 
+/// One controlled Hamiltonian term: an operator and its amplitude `u(t)`.
+pub type ControlTerm<'a> = (Matrix, Box<dyn Fn(f64) -> f64 + 'a>);
+
 /// A time-dependent Hamiltonian `H(t) = H₀ + Σ_k u_k(t)·H_k` given by a
 /// static part and amplitude-controlled terms.
 pub struct TimeDependentHamiltonian<'a> {
     /// The drift (static) Hamiltonian.
     pub h_static: Matrix,
     /// Controlled terms: `(operator, amplitude function of t)`.
-    pub controls: Vec<(Matrix, Box<dyn Fn(f64) -> f64 + 'a>)>,
+    pub controls: Vec<ControlTerm<'a>>,
 }
 
 impl<'a> TimeDependentHamiltonian<'a> {

@@ -70,7 +70,7 @@ mod tests {
     #[test]
     fn all_idle_is_one_big_region() {
         let topo = Topology::grid(3, 4);
-        let m = cut_metrics(&topo, &vec![false; 12]);
+        let m = cut_metrics(&topo, &[false; 12]);
         assert_eq!(m.nc, 17);
         assert_eq!(m.nq, 12);
         assert!(m.suppressed.iter().all(|&s| !s));

@@ -114,6 +114,20 @@ impl SchedulePlan {
         }
     }
 
+    /// Reassembles a plan from its parts — the entry point for the
+    /// `zz_persist` codec, which round-trips plans through disk caches.
+    ///
+    /// The parts are taken at face value; callers that read them from an
+    /// untrusted source (the codec does) must bounds-check qubit indices
+    /// first, exactly as [`validate`](Self::validate) would.
+    pub fn from_parts(qubit_count: usize, layers: Vec<Layer>, final_rz: Vec<(usize, f64)>) -> Self {
+        SchedulePlan {
+            qubit_count,
+            layers,
+            final_rz,
+        }
+    }
+
     /// Number of qubits.
     pub fn qubit_count(&self) -> usize {
         self.qubit_count

@@ -113,7 +113,10 @@ pub fn alpha_optimal_suppression(
 
     // Step 1 (Vertex Matching).
     let odd = gd.odd_vertices();
-    debug_assert!(odd.len() % 2 == 0, "odd-degree vertices come in pairs");
+    debug_assert!(
+        odd.len().is_multiple_of(2),
+        "odd-degree vertices come in pairs"
+    );
     let mut pair_paths: Vec<Vec<Path>> = Vec::new();
     if !odd.is_empty() {
         let dist: Vec<Vec<usize>> = odd.iter().map(|&v| bfs_distances(&gd, v)).collect();

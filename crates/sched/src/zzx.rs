@@ -132,8 +132,8 @@ pub fn zzx_schedule(topo: &Topology, circuit: &NativeCircuit, config: &ZzxConfig
             v
         };
         let mut layer_ops: Vec<NativeOp> = selected.iter().map(|&j| ops[j]).collect();
-        for q in 0..n {
-            if suppression.pulsed[q] && !sg_qubits[q] {
+        for (q, &has_gate) in sg_qubits.iter().enumerate() {
+            if suppression.pulsed[q] && !has_gate {
                 layer_ops.push(NativeOp::Id { qubit: q });
             }
         }

@@ -177,7 +177,7 @@ impl StateVector {
         let plus = c64::cis(phi);
         for (i, a) in self.amps.iter_mut().enumerate() {
             let same = ((i & bu == 0) == (i & bv == 0)) as usize;
-            *a = *a * if same == 1 { minus } else { plus };
+            *a *= if same == 1 { minus } else { plus };
         }
     }
 
@@ -191,7 +191,7 @@ impl StateVector {
         let mask = 1usize << self.bit(q);
         let (lo, hi) = (c64::cis(-theta / 2.0), c64::cis(theta / 2.0));
         for (i, a) in self.amps.iter_mut().enumerate() {
-            *a = *a * if i & mask == 0 { lo } else { hi };
+            *a *= if i & mask == 0 { lo } else { hi };
         }
     }
 

@@ -36,7 +36,7 @@ pub(crate) fn trace_faces(rotation: &[Vec<(usize, usize)>], edges: &[(usize, usi
     };
     let dart_target = |dart: usize| -> usize {
         let (u, v) = edges[dart / 2];
-        if dart % 2 == 0 {
+        if dart.is_multiple_of(2) {
             v
         } else {
             u
@@ -44,7 +44,7 @@ pub(crate) fn trace_faces(rotation: &[Vec<(usize, usize)>], edges: &[(usize, usi
     };
     let dart_source = |dart: usize| -> usize {
         let (u, v) = edges[dart / 2];
-        if dart % 2 == 0 {
+        if dart.is_multiple_of(2) {
             u
         } else {
             v

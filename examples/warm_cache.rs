@@ -1,0 +1,96 @@
+//! Cold vs. warm compilation through the on-disk artifact store.
+//!
+//! Two passes compile the same benchmark suite against the same device.
+//! Each pass uses a *fresh* [`BatchCompiler`] and a *fresh* calibration
+//! cache — as a new process would — so the only state they share is the
+//! cache directory. The first pass pays for pulse-level calibration,
+//! routing and scheduling and publishes every artifact; the second pass
+//! serves everything from disk.
+//!
+//! ```text
+//! cargo run --release --example warm_cache
+//! ```
+//!
+//! Set `ZZ_CACHE_DIR` to persist the cache across invocations (the `fig*`
+//! binaries honor the same variable); by default this example uses a
+//! scratch directory and removes it at the end.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_core::batch::{BatchCompiler, BatchJob, BatchReport};
+use zz_core::calib::CalibCache;
+use zz_core::{PulseMethod, SchedulerKind};
+use zz_persist::{ArtifactStore, CACHE_DIR_ENV};
+use zz_topology::Topology;
+
+fn suite() -> Vec<BatchJob> {
+    let configs = [
+        (PulseMethod::Gaussian, SchedulerKind::ParSched),
+        (PulseMethod::OptCtrl, SchedulerKind::ZzxSched),
+        (PulseMethod::Pert, SchedulerKind::ZzxSched),
+        (PulseMethod::Dcg, SchedulerKind::ZzxSched),
+    ];
+    [
+        (BenchmarkKind::Qft, 4),
+        (BenchmarkKind::Qaoa, 6),
+        (BenchmarkKind::Ising, 9),
+    ]
+    .iter()
+    .flat_map(|&(kind, n)| {
+        let circuit = Arc::new(generate(kind, n, 7));
+        configs.iter().map(move |&(m, s)| {
+            BatchJob::shared(Arc::clone(&circuit), m, s).with_label(format!("{kind}-{n}/{m}+{s}"))
+        })
+    })
+    .collect()
+}
+
+fn run_pass(name: &str, dir: &std::path::Path) -> BatchReport {
+    // A fresh compiler *and* a fresh calibration cache: nothing carries
+    // over in memory, exactly like a new process.
+    let compiler = BatchCompiler::builder()
+        .topology(Topology::grid(3, 3))
+        .store(ArtifactStore::at(dir))
+        .calib_cache(Arc::new(CalibCache::new()))
+        .build();
+    let t0 = Instant::now();
+    let report = compiler.run(suite());
+    println!("{name:>5} pass: {report}");
+    println!("{:>11} {:.1?} end to end", "", t0.elapsed());
+    report
+}
+
+fn main() {
+    let (dir, ephemeral) = match std::env::var(CACHE_DIR_ENV) {
+        Ok(d) if !d.is_empty() => (std::path::PathBuf::from(d), false),
+        _ => (
+            std::env::temp_dir().join(format!("zz-warm-cache-{}", std::process::id())),
+            true,
+        ),
+    };
+    println!("artifact store: {}", dir.display());
+
+    let cold = run_pass("cold", &dir);
+    let warm = run_pass("warm", &dir);
+
+    assert_eq!(warm.calibration_runs, 0, "warm pass must not calibrate");
+    assert_eq!(warm.route_misses, 0, "warm pass must not route");
+    for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        assert_eq!(
+            c.result.as_ref().expect("cold compiled"),
+            w.result.as_ref().expect("warm compiled"),
+            "{} must be bit-identical across passes",
+            c.label
+        );
+    }
+    let speedup = cold.cpu_time().as_secs_f64() / warm.cpu_time().as_secs_f64().max(1e-9);
+    println!("compile-time speedup (cpu): {speedup:.1}x; outputs bit-identical");
+
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    } else {
+        println!("cache kept at {} (set by ${CACHE_DIR_ENV})", dir.display());
+    }
+}

@@ -35,8 +35,14 @@
 //!     .collect();
 //! let report = BatchCompiler::builder().build().run(jobs);
 //! assert_eq!(report.error_count(), 0);
-//! println!("{}", report.summary());
+//! println!("{report}");
 //! ```
+//!
+//! To persist compiled artifacts across processes — warm starts for the
+//! figure binaries, tests and services — back the compiler with
+//! [`zz_persist::ArtifactStore`] (or set `ZZ_CACHE_DIR` and use
+//! `BatchCompiler::builder().store_from_env()`); see
+//! `examples/warm_cache.rs`.
 
 #![warn(missing_docs)]
 
@@ -44,6 +50,7 @@ pub use zz_circuit as circuit;
 pub use zz_core as framework;
 pub use zz_graph as graph;
 pub use zz_linalg as linalg;
+pub use zz_persist as persist;
 pub use zz_pulse as pulse;
 pub use zz_quantum as quantum;
 pub use zz_sched as sched;

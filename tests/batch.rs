@@ -49,11 +49,11 @@ fn batch_results_are_identical_to_sequential_compilation() {
         .collect();
     let report = BatchCompiler::builder().topology(topo).build().run(jobs);
 
-    assert_eq!(report.error_count(), 0, "{}", report.summary());
+    assert_eq!(report.error_count(), 0, "{report}");
     assert!(
         report.route_hits > 0,
         "repeated circuit shapes must hit the routing memo: {}",
-        report.summary()
+        report
     );
     for (case, (seq, outcome)) in cases.iter().zip(sequential.iter().zip(&report.outcomes)) {
         let batch = outcome.result.as_ref().expect("compiled");
@@ -105,13 +105,13 @@ fn calibration_runs_at_most_once_per_method_per_process() {
     // regardless of how many jobs or workers used each.
     let first = compiler.run(jobs());
     assert_eq!(first.error_count(), 0);
-    assert_eq!(first.calibration_runs, 0, "{}", first.summary());
+    assert_eq!(first.calibration_runs, 0, "{first}");
 
     // Second batch with the same methods: still fully served from the
     // shared cache.
     let second = compiler.run(jobs());
     assert_eq!(second.error_count(), 0);
-    assert_eq!(second.calibration_runs, 0, "{}", second.summary());
+    assert_eq!(second.calibration_runs, 0, "{second}");
     assert_eq!(cache.calibration_runs(), runs_before);
 
     // And sequential compilation shares the same process-wide cache.

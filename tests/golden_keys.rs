@@ -1,0 +1,105 @@
+//! Golden-value regression tests for the on-disk cache keys.
+//!
+//! `Circuit::content_digest` and `zz_core::batch::shape_key` key the
+//! persistent artifact store ([`zz_persist`]), so their outputs are part
+//! of the on-disk format: if either silently changed meaning, a warm cache
+//! would serve artifacts for the *wrong* circuits. These tests pin exact
+//! outputs for fixed inputs. If one fails because a key function had to
+//! change, bump [`zz_persist::SCHEMA_VERSION`] in the same PR and update
+//! the pinned values — never update the values alone.
+
+use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_circuit::{Circuit, Gate};
+use zz_core::batch::shape_key;
+use zz_topology::Topology;
+
+/// A fixed hand-built circuit with parameter-free gates.
+fn bell_plus() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.push(Gate::H, &[0])
+        .push(Gate::Cnot, &[0, 1])
+        .push(Gate::X, &[2])
+        .push(Gate::Swap, &[1, 2]);
+    c
+}
+
+/// A fixed circuit whose digest depends on exact angle bit patterns.
+fn rotations() -> Circuit {
+    let mut c = Circuit::new(2);
+    c.push(Gate::Rx(0.5), &[0])
+        .push(Gate::Rz(-std::f64::consts::PI), &[1])
+        .push(Gate::U3(0.1, 0.2, 0.3), &[0])
+        .push(Gate::Rzz(2.0_f64.sqrt()), &[0, 1]);
+    c
+}
+
+#[test]
+fn content_digest_is_pinned() {
+    assert_eq!(
+        bell_plus().content_digest(),
+        0xf7205d647c7aa7edu64,
+        "bell_plus"
+    );
+    assert_eq!(
+        rotations().content_digest(),
+        0xdef101fe87bc4d90u64,
+        "rotations"
+    );
+    // Seeded benchmark generation feeds the same keys, so its stability is
+    // pinned too (kind, size and seed are part of the figure pipeline).
+    assert_eq!(
+        generate(BenchmarkKind::Qft, 4, 7).content_digest(),
+        0x3f047223346b62e1u64,
+        "qft-4 seed 7"
+    );
+}
+
+#[test]
+fn shape_key_is_pinned() {
+    assert_eq!(
+        shape_key(&bell_plus(), &Topology::grid(2, 2)),
+        0x8c6121df6931459eu64
+    );
+    assert_eq!(
+        shape_key(&bell_plus(), &Topology::ibmq_vigo()),
+        0xea4aa0ec0710b3acu64
+    );
+    assert_eq!(
+        shape_key(&rotations(), &Topology::line(2)),
+        0x44471d4ef01894eau64
+    );
+}
+
+#[test]
+fn digests_depend_on_angle_bits_not_angle_values() {
+    // −0.0 == 0.0 numerically, but the bit patterns differ, so the digests
+    // must differ: caches key exact compilation inputs.
+    let mut pos = Circuit::new(1);
+    pos.push(Gate::Rz(0.0), &[0]);
+    let mut neg = Circuit::new(1);
+    neg.push(Gate::Rz(-0.0), &[0]);
+    assert_ne!(pos.content_digest(), neg.content_digest());
+}
+
+#[test]
+#[ignore = "helper for regenerating pinned values after an intentional schema bump"]
+fn print_current_keys() {
+    println!("bell_plus  digest: {:#018x}", bell_plus().content_digest());
+    println!("rotations  digest: {:#018x}", rotations().content_digest());
+    println!(
+        "qft-4/7    digest: {:#018x}",
+        generate(BenchmarkKind::Qft, 4, 7).content_digest()
+    );
+    println!(
+        "bell@2x2   shape:  {:#018x}",
+        shape_key(&bell_plus(), &Topology::grid(2, 2))
+    );
+    println!(
+        "bell@vigo  shape:  {:#018x}",
+        shape_key(&bell_plus(), &Topology::ibmq_vigo())
+    );
+    println!(
+        "rot@line2  shape:  {:#018x}",
+        shape_key(&rotations(), &Topology::line(2))
+    );
+}

@@ -1,0 +1,230 @@
+//! Integration tests of the on-disk compilation cache: a warm start in a
+//! fresh compiler with reset calibration state must reproduce the cold
+//! pass bit-identically with zero recompilation, and every failure mode of
+//! the cache (corruption, truncation, stale versions, unwritable
+//! directories) must degrade to recompilation — never to an error.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_core::batch::{BatchCompiler, BatchJob};
+use zz_core::calib::CalibCache;
+use zz_core::{PulseMethod, SchedulerKind};
+use zz_persist::ArtifactStore;
+use zz_topology::Topology;
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "zz-persist-it-{label}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A small suite exercising both schedulers, three pulse methods and two
+/// distinct circuit shapes.
+fn suite_jobs() -> Vec<BatchJob> {
+    let qft = Arc::new(generate(BenchmarkKind::Qft, 4, 7));
+    let ising = Arc::new(generate(BenchmarkKind::Ising, 6, 7));
+    let configs = [
+        (PulseMethod::Gaussian, SchedulerKind::ParSched),
+        (PulseMethod::Pert, SchedulerKind::ZzxSched),
+        (PulseMethod::Dcg, SchedulerKind::ZzxSched),
+    ];
+    [qft, ising]
+        .iter()
+        .flat_map(|c| {
+            configs
+                .iter()
+                .map(move |&(m, s)| BatchJob::shared(Arc::clone(c), m, s))
+        })
+        .collect()
+}
+
+/// A compiler over `suite_jobs()`-sized devices with isolated calibration
+/// state, backed by `dir`.
+fn compiler_at(dir: &PathBuf, calib: Arc<CalibCache>) -> BatchCompiler {
+    BatchCompiler::builder()
+        .topology(Topology::grid(3, 3))
+        .store(ArtifactStore::at(dir))
+        .calib_cache(calib)
+        .build()
+}
+
+#[test]
+fn warm_start_is_bit_identical_with_zero_calibration_and_routing() {
+    let dir = scratch_dir("warm");
+    let jobs = suite_jobs().len();
+
+    // Cold pass: fresh cache directory, fresh calibration state — every
+    // job misses disk, calibration actually measures, every shape routes.
+    let cold_calib = Arc::new(CalibCache::new());
+    let cold = compiler_at(&dir, Arc::clone(&cold_calib)).run(suite_jobs());
+    assert_eq!(cold.error_count(), 0, "{cold}");
+    assert_eq!(cold.disk_hits, 0, "{cold}");
+    assert_eq!(cold.disk_misses, jobs, "{cold}");
+    assert!(cold.calibration_runs > 0, "{cold}");
+    assert!(cold.route_misses > 0, "{cold}");
+    assert_eq!(cold_calib.calibration_runs(), cold.calibration_runs);
+
+    // Warm pass: a *new* compiler and *reset* calibration state, backed by
+    // the same directory. Everything must come from disk: zero pulse-level
+    // measurements, zero routing passes, all compiled plans served.
+    let warm_calib = Arc::new(CalibCache::new());
+    let warm = compiler_at(&dir, Arc::clone(&warm_calib)).run(suite_jobs());
+    assert_eq!(warm.error_count(), 0, "{warm}");
+    assert_eq!(warm.calibration_runs, 0, "{warm}");
+    assert_eq!(warm_calib.calibration_runs(), 0);
+    assert_eq!(warm.route_misses, 0, "{warm}");
+    assert_eq!(warm.disk_hits, jobs, "{warm}");
+    assert_eq!(warm.disk_misses, 0, "{warm}");
+
+    // And the outputs are bit-identical, field for field.
+    for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        assert_eq!(
+            c.result.as_ref().expect("cold compiled"),
+            w.result.as_ref().expect("warm compiled"),
+            "{} diverged across the disk round-trip",
+            c.label
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damaged_cache_files_are_recompiled_silently() {
+    let dir = scratch_dir("damaged");
+    let jobs = suite_jobs().len();
+    let cold = compiler_at(&dir, Arc::new(CalibCache::new())).run(suite_jobs());
+    assert_eq!(cold.error_count(), 0, "{cold}");
+
+    // Damage every artifact in the cache in a rotating style: truncate,
+    // corrupt a payload byte, stamp a stale schema version.
+    let mut damaged = 0usize;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for entry in walk(&dir) {
+        files.push(entry);
+    }
+    files.sort();
+    assert!(!files.is_empty(), "cold pass must populate the cache");
+    for (i, path) in files.iter().enumerate() {
+        let bytes = std::fs::read(path).expect("artifact readable");
+        let mangled = match i % 3 {
+            0 => bytes[..bytes.len() / 2].to_vec(), // truncated
+            1 => {
+                let mut b = bytes;
+                let last = b.len() - 1;
+                b[last] ^= 0x55; // corrupted payload
+                b
+            }
+            _ => {
+                let mut b = bytes;
+                b[4..8].copy_from_slice(&u32::MAX.to_le_bytes()); // stale version
+                b
+            }
+        };
+        std::fs::write(path, mangled).expect("artifact writable");
+        damaged += 1;
+    }
+    assert!(damaged >= jobs, "every compiled artifact damaged");
+
+    // The warm pass sees only damaged files: every read is a miss, every
+    // job recompiles successfully, and the outputs still match the cold
+    // pass bit for bit.
+    let recovery = compiler_at(&dir, Arc::new(CalibCache::new())).run(suite_jobs());
+    assert_eq!(recovery.error_count(), 0, "{recovery}");
+    assert_eq!(recovery.disk_hits, 0, "{recovery}");
+    assert_eq!(recovery.disk_misses, jobs, "{recovery}");
+    assert!(recovery.calibration_runs > 0, "{recovery}");
+    for (c, r) in cold.outcomes.iter().zip(&recovery.outcomes) {
+        assert_eq!(
+            c.result.as_ref().expect("cold compiled"),
+            r.result.as_ref().expect("recovery compiled"),
+            "{} diverged after cache damage",
+            c.label
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_cache_dir_degrades_to_in_memory_compilation() {
+    // Root the store under a regular *file*, so neither directories nor
+    // artifacts can ever be created: the batch must behave exactly like a
+    // store-less compiler, erroring nowhere.
+    let dir = scratch_dir("unwritable");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, b"not a directory").expect("blocker file");
+
+    let jobs = suite_jobs().len();
+    let report = compiler_at(&blocker.join("cache"), Arc::new(CalibCache::new())).run(suite_jobs());
+    assert_eq!(report.error_count(), 0, "{report}");
+    assert_eq!(report.disk_hits, 0, "{report}");
+    assert_eq!(report.disk_misses, jobs, "{report}");
+
+    // Same results as a compiler with no store at all.
+    let baseline = BatchCompiler::builder()
+        .topology(Topology::grid(3, 3))
+        .calib_cache(Arc::new(CalibCache::new()))
+        .build()
+        .run(suite_jobs());
+    for (a, b) in report.outcomes.iter().zip(&baseline.outcomes) {
+        assert_eq!(
+            a.result.as_ref().expect("degraded compiled"),
+            b.result.as_ref().expect("baseline compiled"),
+            "{} diverged between degraded-store and store-less compilation",
+            a.label
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn calib_cache_snapshots_roundtrip_through_a_store() {
+    let dir = scratch_dir("calib-snapshot");
+    let store = ArtifactStore::at(&dir);
+
+    let source = CalibCache::new();
+    source.residuals(PulseMethod::Gaussian);
+    source.residuals(PulseMethod::Pert);
+    assert_eq!(source.calibration_runs(), 2);
+    assert_eq!(source.save_to(&store), 2);
+
+    // A fresh cache imports both tables from disk without measuring.
+    let restored = CalibCache::new();
+    assert_eq!(restored.load_from(&store), 2);
+    assert_eq!(restored.calibration_runs(), 0);
+    for m in [PulseMethod::Gaussian, PulseMethod::Pert] {
+        assert_eq!(restored.peek(m), Some(source.residuals(m)), "{m}");
+    }
+    // Unmeasured methods stay empty, and importing over a filled slot is a
+    // no-op (already-measured tables win).
+    assert_eq!(restored.peek(PulseMethod::Dcg), None);
+    assert_eq!(restored.import(&source.snapshot()), 0);
+
+    // A store without a snapshot is a silent no-op.
+    let empty = ArtifactStore::at(dir.join("empty"));
+    assert_eq!(CalibCache::new().load_from(&empty), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Recursively lists the files under `dir`.
+fn walk(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            out.extend(walk(&path));
+        } else {
+            out.push(path);
+        }
+    }
+    out
+}
