@@ -1,0 +1,94 @@
+//! Per-stage pipeline timing snapshot — the perf-trajectory probe run by
+//! CI.
+//!
+//! Compiles a representative benchmark suite twice through the pass-based
+//! pipeline against one scratch artifact store:
+//!
+//! * **cold** — fresh cache directory, fresh calibration: every stage
+//!   runs;
+//! * **warm** — a new compiler and reset calibration over the same
+//!   directory, exactly like a new process: route/lower and the
+//!   whole-plan artifacts serve from disk, calibration loads instead of
+//!   measuring.
+//!
+//! The aggregated [`BatchReport::stage_stats`] of both passes is written
+//! as `BENCH_pipeline.json` (override the path with the
+//! `BENCH_PIPELINE_OUT` environment variable), so the CI workflow can
+//! record how per-stage timings evolve across PRs.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use zz_bench::demo_suite;
+use zz_core::batch::BatchCompiler;
+use zz_core::calib::CalibCache;
+use zz_core::BatchReport;
+use zz_persist::ArtifactStore;
+use zz_topology::Topology;
+
+fn run_pass(dir: &std::path::Path) -> BatchReport {
+    // A fresh compiler and a fresh calibration cache per pass: nothing
+    // carries over in memory, exactly like a new process.
+    BatchCompiler::builder()
+        .topology(Topology::grid(3, 3))
+        .store(ArtifactStore::at(dir))
+        .calib_cache(Arc::new(CalibCache::new()))
+        .build()
+        .run(demo_suite())
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Serializes one pass's report as a JSON object (hand-rolled: the
+/// workspace builds without external crates).
+fn pass_json(report: &BatchReport) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"jobs\": {}, \"wall_ms\": {:.3}, \"cpu_ms\": {:.3}, \"calibration_runs\": {}, \"disk_hits\": {}, \"stages\": [",
+        report.outcomes.len(),
+        ms(report.wall_time),
+        ms(report.cpu_time()),
+        report.calibration_runs,
+        report.disk_hits,
+    );
+    for (i, stats) in report.stage_stats().iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"stage\": \"{}\", \"runs\": {}, \"cache_hits\": {}, \"wall_ms\": {:.3}}}",
+            if i == 0 { "" } else { ", " },
+            stats.stage,
+            stats.executed,
+            stats.cache_hits,
+            ms(stats.wall),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("zz-bench-pipeline-{}", std::process::id()));
+    let cold = run_pass(&dir);
+    println!("[cold] {cold}");
+    let warm = run_pass(&dir);
+    println!("[warm] {warm}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(cold.error_count(), 0, "cold pass must compile everything");
+    assert_eq!(warm.error_count(), 0, "warm pass must compile everything");
+    assert_eq!(warm.calibration_runs, 0, "warm pass must not calibrate");
+    assert_eq!(warm.route_misses, 0, "warm pass must not route");
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"cold\": {},\n  \"warm\": {}\n}}\n",
+        pass_json(&cold),
+        pass_json(&warm),
+    );
+    let out = std::env::var("BENCH_PIPELINE_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    std::fs::write(&out, &json).expect("snapshot file writable");
+    println!("wrote {out}");
+}

@@ -58,6 +58,37 @@ pub fn lambda_sweep_mhz() -> Vec<f64> {
 /// [`zz_core::batch::parallel_map`]).
 pub use zz_core::batch::parallel_map;
 
+/// A small representative suite — three benchmark instances × the four
+/// pulse/scheduler configurations, sized for the 3×3 evaluation grid —
+/// shared by `examples/warm_cache.rs` and the `bench_pipeline` CI probe
+/// so the documented warm-start demo and the recorded perf trajectory
+/// measure the *same* workload.
+pub fn demo_suite() -> Vec<zz_core::BatchJob> {
+    use std::sync::Arc;
+    use zz_circuit::bench::generate;
+    use zz_core::BatchJob;
+
+    let configs = [
+        (PulseMethod::Gaussian, SchedulerKind::ParSched),
+        (PulseMethod::OptCtrl, SchedulerKind::ZzxSched),
+        (PulseMethod::Pert, SchedulerKind::ZzxSched),
+        (PulseMethod::Dcg, SchedulerKind::ZzxSched),
+    ];
+    [
+        (BenchmarkKind::Qft, 4),
+        (BenchmarkKind::Qaoa, 6),
+        (BenchmarkKind::Ising, 9),
+    ]
+    .iter()
+    .flat_map(|&(kind, n)| {
+        let circuit = Arc::new(generate(kind, n, 7));
+        configs.iter().map(move |&(m, s)| {
+            BatchJob::shared(Arc::clone(&circuit), m, s).with_label(format!("{kind}-{n}/{m}+{s}"))
+        })
+    })
+    .collect()
+}
+
 /// Every core benchmark at every paper size — the case axis of Figures
 /// 20–22 and 24.
 pub fn core_cases() -> Vec<(BenchmarkKind, usize)> {
@@ -68,13 +99,15 @@ pub fn core_cases() -> Vec<(BenchmarkKind, usize)> {
 }
 
 /// Fidelity of every `case × config` cell, compiled through one shared
-/// [`zz_core::BatchCompiler`] (one calibration pass per pulse method, one
-/// routing pass per benchmark instance; persistent across runs when
-/// `ZZ_CACHE_DIR` is set) and evaluated in parallel.
+/// [`zz_core::BatchCompiler`] running the pass pipeline (one calibration
+/// pass per pulse method, one routing pass per benchmark instance;
+/// persistent across runs when `ZZ_CACHE_DIR` is set) and evaluated in
+/// parallel.
 ///
 /// Returns one row per case, one column per config — the table shape the
 /// figure binaries print — plus the compile-stage [`BatchReport`], which
-/// the binaries show via its `Display` impl.
+/// the binaries show via its `Display` impl (summary line + per-stage
+/// timing breakdown aggregated from the jobs' pipeline traces).
 pub fn fidelity_table(
     cases: &[(BenchmarkKind, usize)],
     configs: &[(PulseMethod, SchedulerKind)],

@@ -13,7 +13,7 @@
 //! * **routing / native translation** — jobs whose circuits are structurally
 //!   identical ([`Circuit::content_digest`]) and that target the same device
 //!   are routed and translated once, then share the resulting
-//!   [`NativeCircuit`] (scheduling still runs per job: it depends on the
+//!   [`zz_circuit::native::NativeCircuit`] (scheduling still runs per job: it depends on the
 //!   scheduler and its parameters).
 //!
 //! With an optional on-disk [`ArtifactStore`]
@@ -27,7 +27,7 @@
 //! cache directory degrades to the in-memory behavior.
 //!
 //! Results are deterministic: every job's [`Compiled`] output is
-//! bit-identical to what a sequential [`CoOptimizer::compile`] call with
+//! bit-identical to what a sequential [`crate::CoOptimizer::compile`] call with
 //! the same settings would produce (`tests/batch.rs` asserts this), and
 //! the disk codec round-trips plans bit-identically, so warm starts
 //! preserve that guarantee.
@@ -56,22 +56,22 @@
 //! assert_eq!(report.route_hits, 1);
 //! ```
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use zz_circuit::native::{compile_to_native, NativeCircuit};
-use zz_circuit::{route, Circuit};
-use zz_persist::{ArtifactKind, ArtifactStore};
+use zz_circuit::Circuit;
+use zz_persist::ArtifactStore;
 use zz_pulse::library::PulseMethod;
 use zz_sched::zzx::Requirement;
 use zz_topology::Topology;
 
 use crate::calib::CalibCache;
-use crate::persist::{compiled_artifact_key, native_artifact_key, CompiledArtifact};
-use crate::{CoOptError, CoOptimizer, Compiled, SchedulerKind};
+use crate::pipeline::{CacheDisposition, PassManager, PipelineTrace, RouteMemo, Stage};
+use crate::{CoOptError, Compiled, SchedulerKind};
+
+pub use crate::pipeline::shape_key;
 
 /// One compilation request: a circuit plus the pulse/scheduling
 /// configuration to compile it under.
@@ -176,6 +176,9 @@ pub struct JobOutcome {
     pub route_cache_hit: bool,
     /// Whether the on-disk store served this job's compiled plan.
     pub disk: DiskStatus,
+    /// The pipeline's per-pass instrumentation for this job (empty when
+    /// the job failed validation before any stage ran).
+    pub trace: PipelineTrace,
 }
 
 /// Aggregate results of a [`BatchCompiler::run`] call.
@@ -219,11 +222,58 @@ impl BatchReport {
     pub fn cpu_time(&self) -> Duration {
         self.outcomes.iter().map(|o| o.compile_time).sum()
     }
+
+    /// Per-stage aggregation of every job's pipeline trace: how often
+    /// each stage actually executed vs. was served from a cache, and the
+    /// total wall time it consumed across the batch. Stages appear in
+    /// pipeline order; a stage no job reached reports all zeros.
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        Stage::ALL
+            .iter()
+            .map(|&stage| {
+                let mut stats = StageStats {
+                    stage,
+                    executed: 0,
+                    cache_hits: 0,
+                    wall: Duration::ZERO,
+                };
+                for outcome in &self.outcomes {
+                    for pass in outcome.trace.passes.iter().filter(|p| p.stage == stage) {
+                        if pass.cache.is_hit() {
+                            stats.cache_hits += 1;
+                        } else {
+                            stats.executed += 1;
+                        }
+                        stats.wall += pass.wall;
+                    }
+                }
+                stats
+            })
+            .collect()
+    }
 }
 
-/// One-line human-readable summary: job/failure counts, wall and cpu time,
-/// routing-memo and disk hit rates, and calibration measurements. The
-/// `fig*` binaries print this after every suite compile.
+/// One row of [`BatchReport::stage_stats`]: a pipeline stage's aggregate
+/// execution counts and wall time across a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageStats {
+    /// The pipeline stage.
+    pub stage: Stage,
+    /// Jobs whose pass for this stage actually ran.
+    pub executed: usize,
+    /// Jobs served from a stage cache (route memo, disk artifact, or an
+    /// already-measured calibration slot).
+    pub cache_hits: usize,
+    /// Total wall time spent in this stage across the batch (for cache
+    /// hits: the lookup time).
+    pub wall: Duration,
+}
+
+/// Human-readable summary: one line of job/failure counts, wall and cpu
+/// time, routing-memo and disk hit rates, and calibration measurements,
+/// followed by a per-stage `runs/hits wall` breakdown aggregated from the
+/// jobs' pipeline traces. The `fig*` binaries print this after every
+/// suite compile.
 impl fmt::Display for BatchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -245,12 +295,25 @@ impl fmt::Display for BatchReport {
         } else {
             write!(f, "disk cache off; ")?;
         }
-        write!(f, "{} calibration run(s)", self.calibration_runs)
+        write!(f, "{} calibration run(s)", self.calibration_runs)?;
+        write!(f, "\n  stages (runs/hits wall):")?;
+        for stats in self.stage_stats() {
+            write!(
+                f,
+                " {} {}/{} {:.1?}",
+                stats.stage, stats.executed, stats.cache_hits, stats.wall
+            )?;
+        }
+        Ok(())
     }
 }
 
 /// Compiles batches of jobs concurrently with shared calibration and
-/// routing caches. See the [module docs](self) for an example.
+/// routing caches. Each job runs through a [`PassManager`] wired to the
+/// compiler's shared [`RouteMemo`], calibration cache and store, so the
+/// stage-granular caching (and the per-pass instrumentation) of
+/// [`crate::pipeline`] applies batch-wide. See the [module docs](self)
+/// for an example.
 #[derive(Debug)]
 pub struct BatchCompiler {
     topology: Topology,
@@ -258,26 +321,16 @@ pub struct BatchCompiler {
     k: usize,
     requirement: Option<Requirement>,
     threads: usize,
-    route_memo: Mutex<HashMap<u64, Vec<Arc<MemoEntry>>>>,
-    store: Option<ArtifactStore>,
+    route_memo: Arc<RouteMemo>,
+    store: Option<Arc<ArtifactStore>>,
     calib: Option<Arc<CalibCache>>,
-}
-
-/// One routing-memo slot: the exact shape it was created for (checked on
-/// every hit, so a 64-bit digest collision degrades to a second slot
-/// instead of silently serving the wrong circuit) plus the lazily-routed
-/// translation.
-#[derive(Debug)]
-struct MemoEntry {
-    circuit: Arc<Circuit>,
-    topology: Topology,
-    native: OnceLock<Arc<NativeCircuit>>,
 }
 
 impl BatchCompiler {
     /// Starts building a batch compiler (defaults match
-    /// [`CoOptimizer::builder`]: 3×4 grid, `α = 0.5`, `k = 3`, paper
-    /// requirement, one worker per available core).
+    /// [`CoOptimizer::builder`](crate::CoOptimizer::builder): 3×4 grid,
+    /// `α = 0.5`, `k = 3`, paper requirement, one worker per available
+    /// core).
     pub fn builder() -> BatchCompilerBuilder {
         BatchCompilerBuilder::default()
     }
@@ -294,159 +347,66 @@ impl BatchCompiler {
 
     /// The on-disk artifact store backing this compiler, if any.
     pub fn store(&self) -> Option<&ArtifactStore> {
-        self.store.as_ref()
+        self.store.as_deref()
     }
 
-    /// The shared routing/native-translation memo: returns the cached
-    /// native circuit for this circuit × device shape, consulting the
-    /// on-disk store (when configured) and routing only when both miss.
-    ///
-    /// Each shape gets its own `OnceLock` slot, so exactly one worker
-    /// routes a given shape (concurrent requesters for the *same* shape
-    /// wait on its slot; *different* shapes never serialize — the outer
-    /// map lock is only held for the entry lookup). Slots record the exact
-    /// circuit and topology they serve, so a digest collision costs one
-    /// extra slot rather than correctness; on-disk artifacts carry the
-    /// full source circuit for the same reason, and a mismatch is a miss.
-    fn native_for(&self, circuit: &Arc<Circuit>, topo: &Topology) -> (Arc<NativeCircuit>, bool) {
-        let key = shape_key(circuit, topo);
-        let slot = {
-            let mut memo = self.route_memo.lock().expect("memo poisoned");
-            let bucket = memo.entry(key).or_default();
-            match bucket
-                .iter()
-                .find(|e| *e.circuit == **circuit && e.topology == *topo)
-            {
-                Some(entry) => Arc::clone(entry),
-                None => {
-                    let entry = Arc::new(MemoEntry {
-                        circuit: Arc::clone(circuit),
-                        topology: topo.clone(),
-                        native: OnceLock::new(),
-                    });
-                    bucket.push(Arc::clone(&entry));
-                    entry
-                }
-            }
-        };
-        let mut routed_here = false;
-        let native = Arc::clone(slot.native.get_or_init(|| {
-            let disk_key = native_artifact_key(key);
-            if let Some(store) = &self.store {
-                if let Some(((source, source_topo), native)) =
-                    store
-                        .get::<((Circuit, Topology), NativeCircuit)>(ArtifactKind::Native, disk_key)
-                {
-                    if source == **circuit && source_topo == *topo {
-                        return Arc::new(native);
-                    }
-                }
-            }
-            routed_here = true;
-            let native = compile_to_native(&route(circuit, topo));
-            if let Some(store) = &self.store {
-                store.put(
-                    ArtifactKind::Native,
-                    disk_key,
-                    &((&**circuit, topo), &native),
-                );
-            }
-            Arc::new(native)
-        }));
-        (native, !routed_here)
+    /// The [`PassManager`] compiling `job`: the job's effective
+    /// configuration (its overrides over the compiler's defaults), wired
+    /// to the compiler's shared route memo, store and calibration cache.
+    fn manager_for(&self, job: &BatchJob) -> PassManager {
+        let topo = job.topology.as_ref().unwrap_or(&self.topology);
+        let mut builder = PassManager::builder()
+            .topology(topo.clone())
+            .pulse_method(job.method)
+            .scheduler(job.scheduler)
+            .alpha(job.alpha.unwrap_or(self.alpha))
+            .k(job.k.unwrap_or(self.k))
+            .route_memo(Arc::clone(&self.route_memo));
+        if let Some(req) = job.requirement.or(self.requirement) {
+            builder = builder.requirement(req);
+        }
+        if let Some(store) = &self.store {
+            builder = builder.store(Arc::clone(store));
+        }
+        if let Some(calib) = &self.calib {
+            builder = builder.calib(Arc::clone(calib));
+        }
+        builder.build()
     }
 
     /// Compiles one job using the shared caches (no worker pool).
     pub fn compile(&self, job: &BatchJob) -> JobOutcome {
         let t0 = Instant::now();
-        let (result, route_cache_hit, disk) = self.compile_inner(job);
-        JobOutcome {
-            label: job.label.clone(),
-            result,
-            compile_time: t0.elapsed(),
-            route_cache_hit,
-            disk,
-        }
-    }
-
-    fn compile_inner(&self, job: &BatchJob) -> (Result<Compiled, CoOptError>, bool, DiskStatus) {
-        let topo = job.topology.as_ref().unwrap_or(&self.topology);
-        if job.circuit.qubit_count() > topo.qubit_count() {
-            return (
-                Err(CoOptError::CircuitTooLarge {
-                    needed: job.circuit.qubit_count(),
-                    available: topo.qubit_count(),
-                }),
-                false,
-                DiskStatus::NotConsulted,
-            );
-        }
-        let alpha = job.alpha.unwrap_or(self.alpha);
-        let k = job.k.unwrap_or(self.k);
-        let requirement = job.requirement.or(self.requirement);
-
-        // Disk fast path: a usable compiled artifact skips routing,
-        // scheduling and calibration outright.
-        let mut disk = DiskStatus::NotConsulted;
-        let mut artifact_key = 0;
-        if let Some(store) = &self.store {
-            artifact_key = compiled_artifact_key(
-                shape_key(&job.circuit, topo),
-                job.method,
-                job.scheduler,
-                alpha,
-                k,
-                requirement,
-            );
-            if let Some(artifact) =
-                store.get::<CompiledArtifact>(ArtifactKind::Compiled, artifact_key)
-            {
-                // The artifact embeds its full request; a key collision is
-                // rejected here and recompiles instead of serving a wrong
-                // plan.
-                if artifact.matches(
-                    &job.circuit,
-                    topo,
-                    job.method,
-                    job.scheduler,
-                    alpha,
-                    k,
-                    requirement,
-                ) {
-                    return (Ok(artifact.compiled), true, DiskStatus::Hit);
+        match self.manager_for(job).run(Arc::clone(&job.circuit)) {
+            Ok(outcome) => {
+                let route_cache_hit = outcome.trace.compiled_cache == CacheDisposition::DiskHit
+                    || outcome
+                        .trace
+                        .pass(Stage::Route)
+                        .is_some_and(|p| p.cache.is_hit());
+                let disk = match outcome.trace.compiled_cache {
+                    CacheDisposition::DiskHit => DiskStatus::Hit,
+                    CacheDisposition::Miss => DiskStatus::Miss,
+                    _ => DiskStatus::NotConsulted,
+                };
+                JobOutcome {
+                    label: job.label.clone(),
+                    result: Ok(outcome.compiled),
+                    compile_time: t0.elapsed(),
+                    route_cache_hit,
+                    disk,
+                    trace: outcome.trace,
                 }
             }
-            disk = DiskStatus::Miss;
+            Err(err) => JobOutcome {
+                label: job.label.clone(),
+                result: Err(err),
+                compile_time: t0.elapsed(),
+                route_cache_hit: false,
+                disk: DiskStatus::NotConsulted,
+                trace: PipelineTrace::default(),
+            },
         }
-
-        let (native, route_cache_hit) = self.native_for(&job.circuit, topo);
-        let residuals = self
-            .calib_cache()
-            .residuals_via_store(job.method, self.store.as_ref());
-        let mut builder = CoOptimizer::builder()
-            .topology(topo.clone())
-            .pulse_method(job.method)
-            .scheduler(job.scheduler)
-            .alpha(alpha)
-            .k(k);
-        if let Some(req) = requirement {
-            builder = builder.requirement(req);
-        }
-        let compiled = builder
-            .build()
-            .compile_native_with_residuals(&native, residuals);
-        if let Some(store) = &self.store {
-            let artifact = CompiledArtifact {
-                circuit: (*job.circuit).clone(),
-                scheduler: job.scheduler,
-                alpha,
-                k,
-                requirement,
-                compiled: compiled.clone(),
-            };
-            store.put(ArtifactKind::Compiled, artifact_key, &artifact);
-        }
-        (Ok(compiled), route_cache_hit, disk)
     }
 
     /// Compiles every job on the worker pool and aggregates a
@@ -489,13 +449,7 @@ impl BatchCompiler {
 
     /// Number of distinct circuit × device shapes currently memoized.
     pub fn memoized_shapes(&self) -> usize {
-        self.route_memo
-            .lock()
-            .expect("memo poisoned")
-            .values()
-            .flatten()
-            .filter(|entry| entry.native.get().is_some())
-            .count()
+        self.route_memo.memoized_shapes()
     }
 }
 
@@ -507,7 +461,7 @@ pub struct BatchCompilerBuilder {
     k: usize,
     requirement: Option<Requirement>,
     threads: usize,
-    store: Option<ArtifactStore>,
+    store: Option<Arc<ArtifactStore>>,
     calib: Option<Arc<CalibCache>>,
 }
 
@@ -563,6 +517,13 @@ impl BatchCompilerBuilder {
     /// plans, routed translations and residual tables persist across
     /// processes (default: no store — caches are in-memory only).
     pub fn store(mut self, store: ArtifactStore) -> Self {
+        self.store = Some(Arc::new(store));
+        self
+    }
+
+    /// Like [`store`](Self::store), for an already-shared store (e.g. one
+    /// that also backs a standalone [`PassManager`]).
+    pub fn shared_store(mut self, store: Arc<ArtifactStore>) -> Self {
         self.store = Some(store);
         self
     }
@@ -572,7 +533,7 @@ impl BatchCompilerBuilder {
     /// The figure binaries and examples opt in through this.
     pub fn store_from_env(mut self) -> Self {
         if let Some(store) = ArtifactStore::from_env() {
-            self.store = Some(store);
+            self.store = Some(Arc::new(store));
         }
         self
     }
@@ -593,36 +554,11 @@ impl BatchCompilerBuilder {
             k: self.k,
             requirement: self.requirement,
             threads: self.threads,
-            route_memo: Mutex::new(HashMap::new()),
+            route_memo: Arc::new(RouteMemo::new()),
             store: self.store,
             calib: self.calib,
         }
     }
-}
-
-/// Combined structural key of a circuit × device shape: the routing-memo
-/// and on-disk native-artifact key. `tests/golden_keys.rs` pins its output
-/// for fixed inputs — if this function (or [`Circuit::content_digest`])
-/// must change meaning, bump [`zz_persist::SCHEMA_VERSION`] alongside.
-pub fn shape_key(circuit: &Circuit, topo: &Topology) -> u64 {
-    let mut h = circuit.content_digest();
-    let mut mix = |w: u64| h = zz_persist::fnv1a_mix(h, w);
-    for b in topo.name().bytes() {
-        mix(b as u64);
-    }
-    mix(topo.qubit_count() as u64);
-    for &(u, v) in topo.couplings() {
-        mix(u as u64);
-        mix(v as u64);
-    }
-    // Routing depends on the geometric embedding (qubit layout is chosen by
-    // coordinate order), so the coordinates are part of the shape.
-    for q in 0..topo.qubit_count() {
-        let (x, y) = topo.coord(q);
-        mix(x.to_bits());
-        mix(y.to_bits());
-    }
-    h
 }
 
 /// The default worker count: one per available core (4 when the core count

@@ -177,19 +177,48 @@ impl CalibCache {
         method: PulseMethod,
         store: Option<&ArtifactStore>,
     ) -> ResidualTable {
-        let Some(store) = store else {
-            return self.residuals(method);
-        };
-        *self.slots[slot_index(method)].get_or_init(|| {
+        self.residuals_traced(method, store).0
+    }
+
+    /// Like [`residuals_via_store`](Self::residuals_via_store), but also
+    /// reports *how* the table was obtained — the pipeline's pulse stage
+    /// records this in its [`crate::pipeline::PipelineTrace`]:
+    ///
+    /// * [`MemoryHit`](crate::pipeline::CacheDisposition::MemoryHit) —
+    ///   the slot was already measured (or imported) in this cache;
+    /// * [`DiskHit`](crate::pipeline::CacheDisposition::DiskHit) — the
+    ///   table loaded from the store, no measurement ran;
+    /// * [`Miss`](crate::pipeline::CacheDisposition::Miss) — a store was
+    ///   consulted, missed, and the measurement ran (then published);
+    /// * [`NotCached`](crate::pipeline::CacheDisposition::NotCached) —
+    ///   no store: the measurement ran, in-memory only.
+    pub fn residuals_traced(
+        &self,
+        method: PulseMethod,
+        store: Option<&ArtifactStore>,
+    ) -> (ResidualTable, crate::pipeline::CacheDisposition) {
+        use crate::pipeline::CacheDisposition;
+        // If the closure below never runs, the slot was already filled —
+        // by an earlier call or a concurrent thread: a memory hit.
+        let mut disposition = CacheDisposition::MemoryHit;
+        let table = *self.slots[slot_index(method)].get_or_init(|| {
+            let Some(store) = store else {
+                disposition = CacheDisposition::NotCached;
+                self.runs.fetch_add(1, Ordering::Relaxed);
+                return measure_residuals(method);
+            };
             let key = residual_artifact_key(method);
             if let Some(table) = store.get::<ResidualTable>(ArtifactKind::Calibration, key) {
+                disposition = CacheDisposition::DiskHit;
                 return table;
             }
+            disposition = CacheDisposition::Miss;
             self.runs.fetch_add(1, Ordering::Relaxed);
             let table = measure_residuals(method);
             store.put(ArtifactKind::Calibration, key, &table);
             table
-        })
+        });
+        (table, disposition)
     }
 }
 
@@ -205,7 +234,9 @@ fn slot_index(method: PulseMethod) -> usize {
 /// the exact calibration-strength bits, so a recalibrated device (different
 /// `λ`) can never serve stale tables.
 pub fn residual_artifact_key(method: PulseMethod) -> u64 {
-    let mut bytes = method.label().as_bytes().to_vec();
+    // The Display name ("Gaussian", "Pert", …) is stable and part of the
+    // on-disk format, like the golden-keyed digests.
+    let mut bytes = method.to_string().into_bytes();
     bytes.extend_from_slice(&calibration_lambda().to_bits().to_le_bytes());
     fnv1a(&bytes)
 }

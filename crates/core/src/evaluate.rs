@@ -145,10 +145,12 @@ pub fn benchmark_fidelity(
 /// One benchmark-suite case: a benchmark instance × compile configuration.
 pub type SuiteCase = (BenchmarkKind, usize, PulseMethod, SchedulerKind);
 
-/// Compiles a whole suite of cases through one shared [`BatchCompiler`]:
-/// calibration runs at most once per pulse method, and cases that share a
-/// benchmark instance (same kind and size) are generated once and routed
-/// once (the circuit itself is shared via [`BatchJob::shared`]).
+/// Compiles a whole suite of cases through one shared [`BatchCompiler`]
+/// (each job runs the pass pipeline of [`crate::pipeline`]): calibration
+/// runs at most once per pulse method, and cases that share a benchmark
+/// instance (same kind and size) are generated once and routed once (the
+/// circuit itself is shared via [`BatchJob::shared`], the translation via
+/// the compiler's shared [`crate::pipeline::RouteMemo`]).
 ///
 /// When the `ZZ_CACHE_DIR` environment variable names a cache directory,
 /// the compiler is additionally backed by an on-disk
@@ -156,7 +158,11 @@ pub type SuiteCase = (BenchmarkKind, usize, PulseMethod, SchedulerKind);
 /// a new process — skips calibration and routing entirely.
 ///
 /// This is the compile stage behind Figures 20–25; the figure binaries
-/// feed the report into [`suite_fidelities`].
+/// feed the report into [`suite_fidelities`] and print its [`Display`]
+/// form (one summary line plus the per-stage timing breakdown aggregated
+/// from the jobs' pipeline traces).
+///
+/// [`Display`]: std::fmt::Display
 pub fn compile_suite(cases: &[SuiteCase], cfg: &EvalConfig) -> BatchReport {
     let mut instances: std::collections::HashMap<(BenchmarkKind, usize), std::sync::Arc<_>> =
         std::collections::HashMap::new();

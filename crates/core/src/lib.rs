@@ -15,6 +15,11 @@
 //! after which [`evaluate`] scores the compiled circuit under the ZZ (and
 //! optionally decoherence) error model of [`zz_sim`].
 //!
+//! Those stages are first-class: [`pipeline`] models them as typed
+//! passes (`Logical → Routed → Native → Scheduled → Compiled`) run by a
+//! [`PassManager`] with per-pass instrumentation ([`PipelineTrace`]) and
+//! stage-granular caching; `CoOptimizer` is a thin facade over it.
+//!
 //! For suite-scale traffic, [`batch`] compiles many jobs concurrently on a
 //! worker pool with a shared calibration cache ([`calib::CalibCache`]) and
 //! a routing/native-translation memo, producing bit-identical results to
@@ -57,7 +62,9 @@ pub mod calib;
 pub mod evaluate;
 mod optimizer;
 pub mod persist;
+pub mod pipeline;
 
 pub use batch::{BatchCompiler, BatchCompilerBuilder, BatchJob, BatchReport, DiskStatus};
 pub use optimizer::{CoOptError, CoOptimizer, CoOptimizerBuilder, Compiled, SchedulerKind};
+pub use pipeline::{PassManager, PassManagerBuilder, PipelineOutcome, PipelineTrace, Stage};
 pub use zz_pulse::library::PulseMethod;

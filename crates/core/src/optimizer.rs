@@ -1,13 +1,17 @@
-//! The `CoOptimizer` facade.
+//! The `CoOptimizer` facade — a thin, stable front over the pass-based
+//! pipeline ([`crate::pipeline`]).
 
 use std::fmt;
+use std::sync::Arc;
 
-use zz_circuit::native::{compile_to_native, NativeCircuit};
-use zz_circuit::{route, Circuit};
+use zz_circuit::native::NativeCircuit;
+use zz_circuit::Circuit;
 use zz_pulse::library::PulseMethod;
-use zz_sched::zzx::{Requirement, ZzxConfig};
-use zz_sched::{par_schedule, zzx_schedule, GateDurations, SchedulePlan};
+use zz_sched::zzx::Requirement;
+use zz_sched::{GateDurations, SchedulePlan};
 use zz_topology::Topology;
+
+use crate::pipeline::{PassManager, PipelineOutcome};
 
 /// The scheduling policy half of the co-optimization.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -18,19 +22,13 @@ pub enum SchedulerKind {
     ZzxSched,
 }
 
-impl SchedulerKind {
-    /// Label used in figures ("ParSched"/"ZZXSched").
-    pub fn label(self) -> &'static str {
-        match self {
-            SchedulerKind::ParSched => "ParSched",
-            SchedulerKind::ZzxSched => "ZZXSched",
-        }
-    }
-}
-
+/// The figure label ("ParSched"/"ZZXSched").
 impl fmt::Display for SchedulerKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.label())
+        f.write_str(match self {
+            SchedulerKind::ParSched => "ParSched",
+            SchedulerKind::ZzxSched => "ZZXSched",
+        })
     }
 }
 
@@ -126,68 +124,87 @@ impl CoOptimizer {
         self.scheduler
     }
 
-    /// Compiles a logical circuit: route → native gates → schedule.
+    /// The [`PassManager`] this optimizer's configuration denotes: the
+    /// standard pass sequence on this device with this pulse method and
+    /// scheduler, no disk store, process-wide calibration. Every
+    /// `compile*` method below runs through one of these.
+    pub fn pass_manager(&self) -> PassManager {
+        let mut builder = PassManager::builder()
+            .topology(self.topology.clone())
+            .pulse_method(self.method)
+            .scheduler(self.scheduler)
+            .alpha(self.alpha)
+            .k(self.k);
+        if let Some(req) = self.requirement {
+            builder = builder.requirement(req);
+        }
+        builder.build()
+    }
+
+    /// Compiles a logical circuit: validate → route → lower to native
+    /// gates → schedule → attach pulses.
     ///
     /// # Errors
     ///
     /// Returns [`CoOptError::CircuitTooLarge`] if the circuit does not fit
     /// on the device.
     pub fn compile(&self, circuit: &Circuit) -> Result<Compiled, CoOptError> {
-        if circuit.qubit_count() > self.topology.qubit_count() {
-            return Err(CoOptError::CircuitTooLarge {
-                needed: circuit.qubit_count(),
-                available: self.topology.qubit_count(),
-            });
-        }
-        let routed = route(circuit, &self.topology);
-        let native = compile_to_native(&routed);
-        Ok(self.compile_native(&native))
+        Ok(self.compile_traced(circuit)?.compiled)
     }
 
-    /// Schedules an already-native circuit (must fit the device).
+    /// Like [`compile`](Self::compile), but also returns the pipeline's
+    /// per-pass instrumentation
+    /// ([`PipelineTrace`](crate::pipeline::PipelineTrace)).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the native circuit has more qubits than the device.
-    pub fn compile_native(&self, native: &NativeCircuit) -> Compiled {
-        self.compile_native_with_residuals(native, crate::calib::residuals(self.method))
+    /// Returns [`CoOptError::CircuitTooLarge`] if the circuit does not fit
+    /// on the device.
+    pub fn compile_traced(&self, circuit: &Circuit) -> Result<PipelineOutcome, CoOptError> {
+        self.pass_manager().run(Arc::new(circuit.clone()))
+    }
+
+    /// Schedules an already-native circuit (the schedule-only pipeline
+    /// entry point: routing and lowering are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoOptError::CircuitTooLarge`] if the native circuit has
+    /// more qubits than the device (the pre-pipeline implementation
+    /// panicked here; validation now runs in both entry points).
+    pub fn compile_native(&self, native: &NativeCircuit) -> Result<Compiled, CoOptError> {
+        Ok(self.pass_manager().run_native(native)?.compiled)
     }
 
     /// Like [`compile_native`](Self::compile_native), but attaches the
     /// given residual table instead of consulting the process-wide
-    /// calibration cache — the batch engine uses this to serve residuals
-    /// from a per-compiler [`crate::calib::CalibCache`] or a disk store.
-    /// The caller is responsible for passing the table that belongs to
-    /// this optimizer's pulse method.
+    /// calibration cache — callers that own their calibration state (a
+    /// per-compiler [`crate::calib::CalibCache`] or a disk store) inject
+    /// tables through this. The caller is responsible for passing the
+    /// table that belongs to this optimizer's pulse method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoOptError::CircuitTooLarge`] if the native circuit has
+    /// more qubits than the device.
     pub fn compile_native_with_residuals(
         &self,
         native: &NativeCircuit,
         residuals: zz_sim::executor::ResidualTable,
-    ) -> Compiled {
-        let plan = match self.scheduler {
-            SchedulerKind::ParSched => par_schedule(&self.topology, native),
-            SchedulerKind::ZzxSched => {
-                let config = ZzxConfig {
-                    alpha: self.alpha,
-                    k: self.k,
-                    requirement: self
-                        .requirement
-                        .unwrap_or_else(|| Requirement::paper_default(&self.topology)),
-                };
-                zzx_schedule(&self.topology, native, &config)
-            }
-        };
-        let durations = match self.method {
-            PulseMethod::Dcg => GateDurations::dcg(),
-            _ => GateDurations::standard(),
-        };
-        Compiled {
-            plan,
-            topology: self.topology.clone(),
-            durations,
-            method: self.method,
-            residuals,
+    ) -> Result<Compiled, CoOptError> {
+        let mut builder = PassManager::builder()
+            .topology(self.topology.clone())
+            .pulse_pass(Box::new(crate::pipeline::FixedResiduals {
+                method: self.method,
+                residuals,
+            }))
+            .scheduler(self.scheduler)
+            .alpha(self.alpha)
+            .k(self.k);
+        if let Some(req) = self.requirement {
+            builder = builder.requirement(req);
         }
+        Ok(builder.build().run_native(native)?.compiled)
     }
 }
 

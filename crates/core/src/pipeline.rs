@@ -1,0 +1,1343 @@
+//! The pass-based compilation pipeline: typed stages, pluggable
+//! schedulers and pulse methods, stage-granular caching and
+//! instrumentation.
+//!
+//! The paper's co-optimization is inherently staged — route onto the
+//! device, lower to the native gate set, schedule under a ZZ-suppression
+//! requirement, attach calibrated pulses — and this module makes those
+//! stages first-class:
+//!
+//! * **Typed stage artifacts** flow through the pipeline:
+//!   [`Logical`] → [`Routed`] → [`Native`] → [`Scheduled`] →
+//!   [`Compiled`]. Each implements [`StageArtifact`], which the
+//!   instrumentation uses to record input/output sizes.
+//! * **A [`Pass`] consumes one artifact and produces the next.** The
+//!   fixed passes ([`ValidatePass`], [`RoutePass`], [`LowerPass`]) are
+//!   plain structs; the *variant* stages are trait objects — a
+//!   [`SchedulerPass`] ([`ParSchedPass`], [`ZzxSchedPass`]) and a
+//!   [`PulsePass`] ([`CalibratedPulse`]) — so alternative schedulers or
+//!   pulse libraries slot in without touching the driver.
+//! * **A [`PassManager`] runs the sequence**, timing every pass and
+//!   recording its cache disposition into a [`PipelineTrace`], and
+//!   manages the stage-granular caches: an in-memory [`RouteMemo`]
+//!   shared across jobs, the on-disk routed/native artifact, and the
+//!   on-disk whole-[`Compiled`] artifact. A parameter sweep that only
+//!   changes α/k therefore replays the cached route+lower stages and
+//!   re-runs only scheduling onward (`tests/pipeline.rs` asserts this).
+//!
+//! [`CoOptimizer::compile`](crate::CoOptimizer::compile) and the batch
+//! engine ([`crate::batch`]) are thin layers over this module; their
+//! output is bit-identical to the pre-pipeline implementation
+//! (`tests/pipeline.rs` pins the equivalence for every
+//! `(PulseMethod, SchedulerKind)` combination).
+//!
+//! # Example
+//!
+//! ```
+//! use zz_core::pipeline::PassManager;
+//! use zz_core::{PulseMethod, SchedulerKind};
+//! use zz_circuit::bench::{generate, BenchmarkKind};
+//! use zz_topology::Topology;
+//! use std::sync::Arc;
+//!
+//! let manager = PassManager::builder()
+//!     .topology(Topology::grid(2, 2))
+//!     .pulse_method(PulseMethod::Pert)
+//!     .scheduler(SchedulerKind::ZzxSched)
+//!     .build();
+//! let outcome = manager.run(Arc::new(generate(BenchmarkKind::Qft, 4, 7)))?;
+//! assert!(outcome.compiled.plan.layer_count() > 0);
+//! // Every stage was timed: validate, route, lower, schedule, pulse.
+//! assert_eq!(outcome.trace.passes.len(), 5);
+//! # Ok::<(), zz_core::CoOptError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use zz_circuit::native::{compile_to_native, NativeCircuit};
+use zz_circuit::{route, Circuit};
+use zz_persist::{ArtifactKind, ArtifactStore};
+use zz_pulse::library::PulseMethod;
+use zz_sched::zzx::{zzx_schedule, Requirement, ZzxConfig};
+use zz_sched::{par_schedule, GateDurations, SchedulePlan};
+use zz_sim::executor::ResidualTable;
+use zz_topology::Topology;
+
+use crate::calib::CalibCache;
+use crate::persist::{compiled_artifact_key, native_artifact_key, CompiledArtifact};
+use crate::{CoOptError, Compiled, SchedulerKind};
+
+// ---------------------------------------------------------------------
+// Stages and instrumentation
+// ---------------------------------------------------------------------
+
+/// The fixed stage sequence of the compilation pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Request validation (circuit fits the device).
+    Validate,
+    /// Routing onto the device topology.
+    Route,
+    /// Lowering to the native gate set.
+    Lower,
+    /// Layer scheduling (the [`SchedulerPass`]).
+    Schedule,
+    /// Pulse attachment: durations + residual lookup (the [`PulsePass`]).
+    Pulse,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Validate,
+        Stage::Route,
+        Stage::Lower,
+        Stage::Schedule,
+        Stage::Pulse,
+    ];
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Validate => "validate",
+            Stage::Route => "route",
+            Stage::Lower => "lower",
+            Stage::Schedule => "schedule",
+            Stage::Pulse => "pulse",
+        })
+    }
+}
+
+/// How a pass's result was obtained with respect to the stage caches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// No cache covers this pass (or none is configured): it computed.
+    #[default]
+    NotCached,
+    /// Served from an in-memory cache (the [`RouteMemo`] or an
+    /// already-measured calibration slot); the pass did not run.
+    MemoryHit,
+    /// Served from the on-disk [`ArtifactStore`]; the pass did not run.
+    DiskHit,
+    /// A cache was consulted and missed: the pass ran and published its
+    /// result for the next request.
+    Miss,
+}
+
+impl CacheDisposition {
+    /// Whether the pass was served from a cache instead of running.
+    pub fn is_hit(self) -> bool {
+        matches!(
+            self,
+            CacheDisposition::MemoryHit | CacheDisposition::DiskHit
+        )
+    }
+}
+
+impl fmt::Display for CacheDisposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CacheDisposition::NotCached => "uncached",
+            CacheDisposition::MemoryHit => "memory hit",
+            CacheDisposition::DiskHit => "disk hit",
+            CacheDisposition::Miss => "miss",
+        })
+    }
+}
+
+/// Instrumentation record of one executed (or cache-served) pass.
+#[derive(Clone, Copy, Debug)]
+pub struct PassTrace {
+    /// The stage this pass implements.
+    pub stage: Stage,
+    /// The pass's name (e.g. `"zzx-sched"`).
+    pub name: &'static str,
+    /// Wall-clock time of the pass (for cache hits: the lookup time).
+    pub wall: Duration,
+    /// How the result was obtained.
+    pub cache: CacheDisposition,
+    /// Input artifact size (gates, native ops or layers).
+    pub input_items: usize,
+    /// Output artifact size.
+    pub output_items: usize,
+}
+
+/// The per-pass instrumentation of one pipeline run.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineTrace {
+    /// One record per stage that was executed or cache-served, in
+    /// pipeline order. When the whole-plan artifact hits
+    /// ([`compiled_cache`](Self::compiled_cache)), only `validate`
+    /// appears — the remaining stages never ran.
+    pub passes: Vec<PassTrace>,
+    /// Disposition of the whole-[`Compiled`] artifact lookup
+    /// ([`CacheDisposition::NotCached`] when no store is configured or
+    /// the run failed validation).
+    pub compiled_cache: CacheDisposition,
+    /// End-to-end wall time of the pipeline run.
+    pub total_wall: Duration,
+}
+
+impl PipelineTrace {
+    fn new() -> Self {
+        PipelineTrace {
+            passes: Vec::new(),
+            compiled_cache: CacheDisposition::NotCached,
+            total_wall: Duration::ZERO,
+        }
+    }
+
+    /// The trace record of `stage`, if that stage was reached.
+    pub fn pass(&self, stage: Stage) -> Option<&PassTrace> {
+        self.passes.iter().find(|p| p.stage == stage)
+    }
+
+    /// Wall time spent in `stage` (zero when it never ran).
+    pub fn stage_wall(&self, stage: Stage) -> Duration {
+        self.passes
+            .iter()
+            .filter(|p| p.stage == stage)
+            .map(|p| p.wall)
+            .sum()
+    }
+
+    /// Whether `stage` actually executed (reached, and not served from a
+    /// cache).
+    pub fn executed(&self, stage: Stage) -> bool {
+        self.passes
+            .iter()
+            .any(|p| p.stage == stage && !p.cache.is_hit())
+    }
+}
+
+/// Compact one-line rendering: `validate 1.2µs → route 310µs (miss) → …`.
+impl fmt::Display for PipelineTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.compiled_cache == CacheDisposition::DiskHit {
+            return write!(
+                f,
+                "compiled plan served from disk in {:.1?}",
+                self.total_wall
+            );
+        }
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            write!(f, "{} {:.1?}", p.name, p.wall)?;
+            if p.cache != CacheDisposition::NotCached {
+                write!(f, " ({})", p.cache)?;
+            }
+        }
+        write!(f, " | total {:.1?}", self.total_wall)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed stage artifacts
+// ---------------------------------------------------------------------
+
+/// A value flowing between pipeline stages; sized for instrumentation.
+pub trait StageArtifact {
+    /// Item count recorded by the instrumentation (gates, native ops or
+    /// scheduled layers — whatever the artifact is made of).
+    fn items(&self) -> usize;
+}
+
+/// Stage artifact: the logical circuit as submitted.
+#[derive(Clone, Debug)]
+pub struct Logical {
+    /// The source circuit (shared, so the pipeline never deep-copies it).
+    pub circuit: Arc<Circuit>,
+}
+
+impl StageArtifact for Logical {
+    fn items(&self) -> usize {
+        self.circuit.gate_count()
+    }
+}
+
+/// Stage artifact: the circuit routed onto the device topology.
+#[derive(Clone, Debug)]
+pub struct Routed {
+    /// The logical source circuit the routing came from.
+    pub source: Arc<Circuit>,
+    /// The routed circuit (SWAPs inserted, qubits placed).
+    pub circuit: Circuit,
+}
+
+impl StageArtifact for Routed {
+    fn items(&self) -> usize {
+        self.circuit.gate_count()
+    }
+}
+
+/// Stage artifact: the routed circuit lowered to the native gate set.
+#[derive(Clone, Debug)]
+pub struct Native {
+    /// The logical source circuit the translation came from (`None` when
+    /// the pipeline was entered at the native stage, as
+    /// [`PassManager::run_native`] does).
+    pub source: Option<Arc<Circuit>>,
+    /// The native-gate circuit (shared: the [`RouteMemo`] hands the same
+    /// translation to every job with this circuit × device shape).
+    pub circuit: Arc<NativeCircuit>,
+}
+
+impl StageArtifact for Native {
+    fn items(&self) -> usize {
+        self.circuit.ops().len()
+    }
+}
+
+/// Stage artifact: the native circuit scheduled into layers.
+#[derive(Clone, Debug)]
+pub struct Scheduled {
+    /// The scheduled layers (with identity supplementation under
+    /// ZZXSched).
+    pub plan: SchedulePlan,
+}
+
+impl StageArtifact for Scheduled {
+    fn items(&self) -> usize {
+        self.plan.layer_count()
+    }
+}
+
+impl StageArtifact for Compiled {
+    fn items(&self) -> usize {
+        self.plan.layer_count()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The Pass contract and the fixed passes
+// ---------------------------------------------------------------------
+
+/// Read-only context handed to every pass: the device and the caches.
+pub struct PassCx<'a> {
+    /// The device topology the pipeline compiles onto.
+    pub topology: &'a Topology,
+    /// The on-disk artifact store, when configured.
+    pub store: Option<&'a ArtifactStore>,
+    /// The calibration cache serving residual lookups.
+    pub calib: &'a CalibCache,
+}
+
+/// One compilation pass: consumes a typed stage artifact, produces the
+/// next. Run passes through [`PassManager::apply`] to get instrumentation
+/// for free.
+pub trait Pass {
+    /// The artifact this pass consumes.
+    type Input: StageArtifact;
+    /// The artifact this pass produces.
+    type Output: StageArtifact;
+
+    /// The stage this pass implements (groups trace records).
+    fn stage(&self) -> Stage;
+
+    /// The pass's display name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoOptError`] when the input cannot be compiled (today:
+    /// only [`ValidatePass`] rejects, with
+    /// [`CoOptError::CircuitTooLarge`]).
+    fn run(&self, input: Self::Input, cx: &PassCx<'_>) -> Result<Self::Output, CoOptError>;
+}
+
+/// Validation pass: rejects circuits that do not fit the device. Both
+/// [`CoOptimizer::compile`](crate::CoOptimizer::compile) and
+/// [`CoOptimizer::compile_native`](crate::CoOptimizer::compile_native)
+/// surface its error (the pre-pipeline `compile_native` panicked
+/// instead).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ValidatePass;
+
+impl ValidatePass {
+    fn check(needed: usize, topo: &Topology) -> Result<(), CoOptError> {
+        if needed > topo.qubit_count() {
+            return Err(CoOptError::CircuitTooLarge {
+                needed,
+                available: topo.qubit_count(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Pass for ValidatePass {
+    type Input = Logical;
+    type Output = Logical;
+
+    fn stage(&self) -> Stage {
+        Stage::Validate
+    }
+
+    fn name(&self) -> &'static str {
+        "validate"
+    }
+
+    fn run(&self, input: Logical, cx: &PassCx<'_>) -> Result<Logical, CoOptError> {
+        ValidatePass::check(input.circuit.qubit_count(), cx.topology)?;
+        Ok(input)
+    }
+}
+
+/// Routing pass: places qubits and inserts SWAPs
+/// ([`zz_circuit::route`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoutePass;
+
+impl Pass for RoutePass {
+    type Input = Logical;
+    type Output = Routed;
+
+    fn stage(&self) -> Stage {
+        Stage::Route
+    }
+
+    fn name(&self) -> &'static str {
+        "route"
+    }
+
+    fn run(&self, input: Logical, cx: &PassCx<'_>) -> Result<Routed, CoOptError> {
+        let circuit = route(&input.circuit, cx.topology);
+        Ok(Routed {
+            source: input.circuit,
+            circuit,
+        })
+    }
+}
+
+/// Lowering pass: translates the routed circuit to the native gate set
+/// ([`zz_circuit::native::compile_to_native`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LowerPass;
+
+impl Pass for LowerPass {
+    type Input = Routed;
+    type Output = Native;
+
+    fn stage(&self) -> Stage {
+        Stage::Lower
+    }
+
+    fn name(&self) -> &'static str {
+        "lower"
+    }
+
+    fn run(&self, input: Routed, _cx: &PassCx<'_>) -> Result<Native, CoOptError> {
+        let native = compile_to_native(&input.circuit);
+        Ok(Native {
+            source: Some(input.source),
+            circuit: Arc::new(native),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The variant stages: scheduler and pulse trait objects
+// ---------------------------------------------------------------------
+
+/// The scheduling policy stage: turns a native circuit into layered
+/// [`SchedulePlan`]s. Implemented by [`ParSchedPass`] and
+/// [`ZzxSchedPass`]; alternative schedulers (e.g. cycle-aware variants)
+/// plug in through [`PassManagerBuilder::scheduler_pass`].
+pub trait SchedulerPass: fmt::Debug + Send + Sync {
+    /// The pass's display name.
+    fn name(&self) -> &'static str;
+
+    /// Schedules the native circuit on the device.
+    fn schedule(&self, topo: &Topology, native: &NativeCircuit) -> SchedulePlan;
+}
+
+/// The maximal-parallelism ASAP baseline ([`zz_sched::par_schedule`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParSchedPass;
+
+impl SchedulerPass for ParSchedPass {
+    fn name(&self) -> &'static str {
+        "par-sched"
+    }
+
+    fn schedule(&self, topo: &Topology, native: &NativeCircuit) -> SchedulePlan {
+        par_schedule(topo, native)
+    }
+}
+
+/// The ZZ-aware scheduler of Algorithm 2 ([`zz_sched::zzx_schedule`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ZzxSchedPass {
+    /// The NQ-vs-NC weight α of Algorithm 1.
+    pub alpha: f64,
+    /// The top-k path-relaxing budget of Algorithm 1.
+    pub k: usize,
+    /// The suppression requirement (`None` = the topology-derived paper
+    /// default, resolved per device at schedule time).
+    pub requirement: Option<Requirement>,
+}
+
+impl SchedulerPass for ZzxSchedPass {
+    fn name(&self) -> &'static str {
+        "zzx-sched"
+    }
+
+    fn schedule(&self, topo: &Topology, native: &NativeCircuit) -> SchedulePlan {
+        let config = ZzxConfig {
+            alpha: self.alpha,
+            k: self.k,
+            requirement: self
+                .requirement
+                .unwrap_or_else(|| Requirement::paper_default(topo)),
+        };
+        zzx_schedule(topo, native, &config)
+    }
+}
+
+/// The pulse stage: maps a pulse method to its gate durations and its
+/// measured cross-region residual table. Implemented by
+/// [`CalibratedPulse`]; alternative pulse libraries (e.g.
+/// crosstalk-cancellation gate variants) plug in through
+/// [`PassManagerBuilder::pulse_pass`].
+pub trait PulsePass: fmt::Debug + Send + Sync {
+    /// The pass's display name.
+    fn name(&self) -> &'static str;
+
+    /// The pulse method the compiled plan is calibrated for.
+    fn method(&self) -> PulseMethod;
+
+    /// Gate durations implied by the method's pulses.
+    fn durations(&self) -> GateDurations;
+
+    /// The method's residual table, plus how it was obtained (measured,
+    /// already in memory, or loaded from disk).
+    fn residuals(&self, cx: &PassCx<'_>) -> (ResidualTable, CacheDisposition);
+}
+
+/// The standard pulse stage: durations from the method (DCG pulses are
+/// longer), residuals from the calibration cache — consulting the on-disk
+/// store before paying for a pulse-level measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct CalibratedPulse {
+    /// The pulse method to calibrate for.
+    pub method: PulseMethod,
+}
+
+impl PulsePass for CalibratedPulse {
+    fn name(&self) -> &'static str {
+        "calibrated-pulse"
+    }
+
+    fn method(&self) -> PulseMethod {
+        self.method
+    }
+
+    fn durations(&self) -> GateDurations {
+        durations_for(self.method)
+    }
+
+    fn residuals(&self, cx: &PassCx<'_>) -> (ResidualTable, CacheDisposition) {
+        cx.calib.residuals_traced(self.method, cx.store)
+    }
+}
+
+/// A pulse stage with a pre-measured residual table — the engine behind
+/// [`CoOptimizer::compile_native_with_residuals`](crate::CoOptimizer::compile_native_with_residuals),
+/// where the caller owns the calibration state.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedResiduals {
+    /// The pulse method the table belongs to.
+    pub method: PulseMethod,
+    /// The table to attach verbatim.
+    pub residuals: ResidualTable,
+}
+
+impl PulsePass for FixedResiduals {
+    fn name(&self) -> &'static str {
+        "fixed-residuals"
+    }
+
+    fn method(&self) -> PulseMethod {
+        self.method
+    }
+
+    fn durations(&self) -> GateDurations {
+        durations_for(self.method)
+    }
+
+    fn residuals(&self, _cx: &PassCx<'_>) -> (ResidualTable, CacheDisposition) {
+        (self.residuals, CacheDisposition::NotCached)
+    }
+}
+
+/// The gate durations implied by a pulse method (DCG stretches its
+/// pulses; every other method uses the standard library timings).
+pub fn durations_for(method: PulseMethod) -> GateDurations {
+    match method {
+        PulseMethod::Dcg => GateDurations::dcg(),
+        _ => GateDurations::standard(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The shared routing memo
+// ---------------------------------------------------------------------
+
+/// In-memory memo of route+lower results, shared across jobs (and across
+/// [`PassManager`]s — the batch engine hands one memo to every job's
+/// manager). Keyed by [`shape_key`]; each slot records the exact circuit
+/// and topology it serves, so a 64-bit digest collision degrades to a
+/// second slot instead of silently serving the wrong circuit.
+#[derive(Debug, Default)]
+pub struct RouteMemo {
+    shapes: Mutex<HashMap<u64, Vec<Arc<MemoEntry>>>>,
+}
+
+/// One memo slot: the exact shape it was created for plus the
+/// lazily-computed translation. Exactly one thread routes a given shape
+/// (concurrent requesters for the *same* shape wait on its `OnceLock`;
+/// *different* shapes never serialize — the outer map lock is only held
+/// for the entry lookup).
+#[derive(Debug)]
+struct MemoEntry {
+    circuit: Arc<Circuit>,
+    topology: Topology,
+    native: OnceLock<Arc<NativeCircuit>>,
+}
+
+impl RouteMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        RouteMemo::default()
+    }
+
+    /// The slot for this circuit × device shape, creating it if absent.
+    fn slot(&self, key: u64, circuit: &Arc<Circuit>, topo: &Topology) -> Arc<MemoEntry> {
+        let mut memo = self.shapes.lock().expect("memo poisoned");
+        let bucket = memo.entry(key).or_default();
+        match bucket
+            .iter()
+            .find(|e| *e.circuit == **circuit && e.topology == *topo)
+        {
+            Some(entry) => Arc::clone(entry),
+            None => {
+                let entry = Arc::new(MemoEntry {
+                    circuit: Arc::clone(circuit),
+                    topology: topo.clone(),
+                    native: OnceLock::new(),
+                });
+                bucket.push(Arc::clone(&entry));
+                entry
+            }
+        }
+    }
+
+    /// Number of distinct circuit × device shapes currently memoized.
+    pub fn memoized_shapes(&self) -> usize {
+        self.shapes
+            .lock()
+            .expect("memo poisoned")
+            .values()
+            .flatten()
+            .filter(|entry| entry.native.get().is_some())
+            .count()
+    }
+}
+
+/// Combined structural key of a circuit × device shape: the routing-memo
+/// and on-disk native-artifact key. `tests/golden_keys.rs` pins its
+/// output for fixed inputs — if this function (or
+/// [`Circuit::content_digest`]) must change meaning, bump
+/// [`zz_persist::SCHEMA_VERSION`] alongside.
+pub fn shape_key(circuit: &Circuit, topo: &Topology) -> u64 {
+    let mut h = circuit.content_digest();
+    let mut mix = |w: u64| h = zz_persist::fnv1a_mix(h, w);
+    for b in topo.name().bytes() {
+        mix(b as u64);
+    }
+    mix(topo.qubit_count() as u64);
+    for &(u, v) in topo.couplings() {
+        mix(u as u64);
+        mix(v as u64);
+    }
+    // Routing depends on the geometric embedding (qubit layout is chosen by
+    // coordinate order), so the coordinates are part of the shape.
+    for q in 0..topo.qubit_count() {
+        let (x, y) = topo.coord(q);
+        mix(x.to_bits());
+        mix(y.to_bits());
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// The pass manager
+// ---------------------------------------------------------------------
+
+/// The full request a [`PassManager`] was configured from, when it was
+/// built from the standard enums — the information needed to key and
+/// verify the whole-[`Compiled`] disk artifact. Managers built from
+/// custom trait-object passes have no spec and skip that cache (the
+/// route/lower stage cache still applies: it is scheduler-independent).
+#[derive(Clone, Copy, Debug)]
+struct RequestSpec {
+    method: PulseMethod,
+    scheduler: SchedulerKind,
+    alpha: f64,
+    k: usize,
+    requirement: Option<Requirement>,
+}
+
+/// The result of a pipeline run: the compiled circuit plus the per-pass
+/// instrumentation.
+#[derive(Clone, Debug)]
+pub struct PipelineOutcome {
+    /// The compiled circuit.
+    pub compiled: Compiled,
+    /// Per-pass wall times, sizes and cache dispositions.
+    pub trace: PipelineTrace,
+}
+
+/// Runs the pass sequence with per-pass instrumentation and
+/// stage-granular caching. See the [module docs](self) for the stage
+/// diagram and an example.
+#[derive(Debug)]
+pub struct PassManager {
+    topology: Topology,
+    scheduler: Box<dyn SchedulerPass>,
+    pulse: Box<dyn PulsePass>,
+    store: Option<Arc<ArtifactStore>>,
+    calib: Option<Arc<CalibCache>>,
+    memo: Arc<RouteMemo>,
+    request: Option<RequestSpec>,
+}
+
+impl PassManager {
+    /// Starts building a pass manager (defaults match
+    /// [`CoOptimizer::builder`](crate::CoOptimizer::builder): 3×4 grid,
+    /// `Pert`, `ZZXSched`, `α = 0.5`, `k = 3`, paper requirement, no
+    /// store, process-wide calibration).
+    pub fn builder() -> PassManagerBuilder {
+        PassManagerBuilder::default()
+    }
+
+    /// The device topology the pipeline compiles onto.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The calibration cache serving this manager's pulse stage.
+    pub fn calib(&self) -> &CalibCache {
+        match &self.calib {
+            Some(cache) => cache,
+            None => CalibCache::global(),
+        }
+    }
+
+    /// The routing memo shared by this manager's runs.
+    pub fn memo(&self) -> &RouteMemo {
+        &self.memo
+    }
+
+    fn cx(&self) -> PassCx<'_> {
+        PassCx {
+            topology: &self.topology,
+            store: self.store.as_deref(),
+            calib: self.calib(),
+        }
+    }
+
+    /// Runs one pass with instrumentation, appending its record to
+    /// `trace`. `cache` states how the manager obtained the inputs (the
+    /// built-in stage caches live *around* passes, in the manager).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pass's [`CoOptError`] (nothing is recorded then).
+    pub fn apply<P: Pass>(
+        &self,
+        pass: &P,
+        input: P::Input,
+        cache: CacheDisposition,
+        trace: &mut PipelineTrace,
+    ) -> Result<P::Output, CoOptError> {
+        let input_items = input.items();
+        let t0 = Instant::now();
+        let output = pass.run(input, &self.cx())?;
+        trace.passes.push(PassTrace {
+            stage: pass.stage(),
+            name: pass.name(),
+            wall: t0.elapsed(),
+            cache,
+            input_items,
+            output_items: output.items(),
+        });
+        Ok(output)
+    }
+
+    /// Compiles a logical circuit through the full pass sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoOptError::CircuitTooLarge`] from the validation pass
+    /// if the circuit does not fit the device.
+    pub fn run(&self, circuit: Arc<Circuit>) -> Result<PipelineOutcome, CoOptError> {
+        let total = Instant::now();
+        let mut trace = PipelineTrace::new();
+        let logical = self.apply(
+            &ValidatePass,
+            Logical { circuit },
+            CacheDisposition::NotCached,
+            &mut trace,
+        )?;
+
+        // Whole-plan cache point: a usable compiled artifact skips
+        // routing, scheduling and calibration outright.
+        let mut compiled_key = 0;
+        if let (Some(store), Some(spec)) = (self.store.as_deref(), &self.request) {
+            compiled_key = compiled_artifact_key(
+                shape_key(&logical.circuit, &self.topology),
+                spec.method,
+                spec.scheduler,
+                spec.alpha,
+                spec.k,
+                spec.requirement,
+            );
+            if let Some(artifact) =
+                store.get::<CompiledArtifact>(ArtifactKind::Compiled, compiled_key)
+            {
+                // The artifact embeds its full request; a key collision is
+                // rejected here and recompiles instead of serving a wrong
+                // plan.
+                if artifact.matches(
+                    &logical.circuit,
+                    &self.topology,
+                    spec.method,
+                    spec.scheduler,
+                    spec.alpha,
+                    spec.k,
+                    spec.requirement,
+                ) {
+                    trace.compiled_cache = CacheDisposition::DiskHit;
+                    trace.total_wall = total.elapsed();
+                    return Ok(PipelineOutcome {
+                        compiled: artifact.compiled,
+                        trace,
+                    });
+                }
+            }
+            trace.compiled_cache = CacheDisposition::Miss;
+        }
+
+        let source = Arc::clone(&logical.circuit);
+        let native = self.route_and_lower(logical, &mut trace)?;
+        let compiled = self.schedule_and_pulse(&native.circuit, &mut trace);
+
+        if let (Some(store), Some(spec)) = (self.store.as_deref(), &self.request) {
+            let artifact = CompiledArtifact {
+                circuit: (*source).clone(),
+                scheduler: spec.scheduler,
+                alpha: spec.alpha,
+                k: spec.k,
+                requirement: spec.requirement,
+                compiled: compiled.clone(),
+            };
+            store.put(ArtifactKind::Compiled, compiled_key, &artifact);
+        }
+
+        trace.total_wall = total.elapsed();
+        Ok(PipelineOutcome { compiled, trace })
+    }
+
+    /// Schedules an already-native circuit (the schedule-only entry
+    /// point: routing and lowering are skipped, no disk caching, and the
+    /// circuit is borrowed — no copies on this hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoOptError::CircuitTooLarge`] from the validation pass
+    /// if the native circuit has more qubits than the device.
+    pub fn run_native(&self, native: &NativeCircuit) -> Result<PipelineOutcome, CoOptError> {
+        let total = Instant::now();
+        let mut trace = PipelineTrace::new();
+
+        let t0 = Instant::now();
+        ValidatePass::check(native.qubit_count(), &self.topology)?;
+        trace.passes.push(PassTrace {
+            stage: Stage::Validate,
+            name: "validate",
+            wall: t0.elapsed(),
+            cache: CacheDisposition::NotCached,
+            input_items: native.ops().len(),
+            output_items: native.ops().len(),
+        });
+
+        let compiled = self.schedule_and_pulse(native, &mut trace);
+        trace.total_wall = total.elapsed();
+        Ok(PipelineOutcome { compiled, trace })
+    }
+
+    /// The route + lower stages, behind the two stage caches: the shared
+    /// in-memory [`RouteMemo`] and the on-disk `native/` artifact.
+    fn route_and_lower(
+        &self,
+        logical: Logical,
+        trace: &mut PipelineTrace,
+    ) -> Result<Native, CoOptError> {
+        let key = shape_key(&logical.circuit, &self.topology);
+        let slot = self.memo.slot(key, &logical.circuit, &self.topology);
+
+        // Fast path: the slot is already filled — a pure-lookup memory
+        // hit, timed without touching the `OnceLock` wait path.
+        let t0 = Instant::now();
+        if let Some(native) = slot.native.get() {
+            let native = Arc::clone(native);
+            trace.passes.extend(hit_traces(
+                CacheDisposition::MemoryHit,
+                t0.elapsed(),
+                logical.circuit.gate_count(),
+                native.ops().len(),
+            ));
+            return Ok(Native {
+                source: Some(logical.circuit),
+                circuit: native,
+            });
+        }
+
+        // Filled by the closure when *this* thread does the work; when it
+        // stays `None` a concurrent thread routed this shape while we
+        // blocked on its slot (memory hit).
+        let mut computed: Option<Vec<PassTrace>> = None;
+        let native = Arc::clone(slot.native.get_or_init(|| {
+            let disk_key = native_artifact_key(key);
+            if let Some(store) = self.store.as_deref() {
+                let lookup = Instant::now();
+                if let Some(((source, source_topo), native)) =
+                    store
+                        .get::<((Circuit, Topology), NativeCircuit)>(ArtifactKind::Native, disk_key)
+                {
+                    if source == *logical.circuit && source_topo == self.topology {
+                        let native = Arc::new(native);
+                        computed = Some(hit_traces(
+                            CacheDisposition::DiskHit,
+                            lookup.elapsed(),
+                            logical.circuit.gate_count(),
+                            native.ops().len(),
+                        ));
+                        return native;
+                    }
+                }
+            }
+            let disposition = match self.store {
+                Some(_) => CacheDisposition::Miss,
+                None => CacheDisposition::NotCached,
+            };
+            let mut inner = PipelineTrace::new();
+            // The closure runs the real passes; validation already passed,
+            // so neither can fail.
+            let routed = self
+                .apply(&RoutePass, logical.clone(), disposition, &mut inner)
+                .expect("route is infallible");
+            let native = self
+                .apply(&LowerPass, routed, disposition, &mut inner)
+                .expect("lower is infallible");
+            if let Some(store) = self.store.as_deref() {
+                store.put(
+                    ArtifactKind::Native,
+                    disk_key,
+                    &((&*logical.circuit, &self.topology), &*native.circuit),
+                );
+            }
+            computed = Some(inner.passes);
+            native.circuit
+        }));
+
+        let passes = computed.unwrap_or_else(|| {
+            // We blocked while a concurrent worker routed this shape; the
+            // routing wall time is attributed to *that* job's trace, so
+            // this one records a free hit (otherwise `stage_stats` would
+            // double-count the same work once per waiting thread).
+            hit_traces(
+                CacheDisposition::MemoryHit,
+                Duration::ZERO,
+                logical.circuit.gate_count(),
+                native.ops().len(),
+            )
+        });
+        trace.passes.extend(passes);
+        Ok(Native {
+            source: Some(logical.circuit),
+            circuit: native,
+        })
+    }
+
+    /// The schedule + pulse stages (never cached individually — the
+    /// whole-plan artifact in [`run`](Self::run) covers them).
+    fn schedule_and_pulse(&self, native: &NativeCircuit, trace: &mut PipelineTrace) -> Compiled {
+        let in_items = native.ops().len();
+        let t0 = Instant::now();
+        let plan = self.scheduler.schedule(&self.topology, native);
+        let scheduled = Scheduled { plan };
+        trace.passes.push(PassTrace {
+            stage: Stage::Schedule,
+            name: self.scheduler.name(),
+            wall: t0.elapsed(),
+            cache: CacheDisposition::NotCached,
+            input_items: in_items,
+            output_items: scheduled.items(),
+        });
+
+        let in_items = scheduled.items();
+        let t0 = Instant::now();
+        let (residuals, cache) = self.pulse.residuals(&self.cx());
+        let compiled = Compiled {
+            plan: scheduled.plan,
+            topology: self.topology.clone(),
+            durations: self.pulse.durations(),
+            method: self.pulse.method(),
+            residuals,
+        };
+        trace.passes.push(PassTrace {
+            stage: Stage::Pulse,
+            name: self.pulse.name(),
+            wall: t0.elapsed(),
+            cache,
+            input_items: in_items,
+            output_items: compiled.items(),
+        });
+        compiled
+    }
+}
+
+/// Trace records for a route+lower stage served from a cache: the lookup
+/// time is attributed to the route entry, the lower entry is free.
+///
+/// Sizes describe what the cache *served* — the final native translation
+/// — because the routed intermediate no longer exists on this path. A
+/// cache-served route entry therefore reports the native op count as its
+/// output, where an executed one reports the routed gate count; compare
+/// sizes across runs per-disposition, not across cold/warm.
+fn hit_traces(
+    cache: CacheDisposition,
+    lookup: Duration,
+    source_gates: usize,
+    native_ops: usize,
+) -> Vec<PassTrace> {
+    vec![
+        PassTrace {
+            stage: Stage::Route,
+            name: "route",
+            wall: lookup,
+            cache,
+            input_items: source_gates,
+            output_items: native_ops,
+        },
+        PassTrace {
+            stage: Stage::Lower,
+            name: "lower",
+            wall: Duration::ZERO,
+            cache,
+            input_items: native_ops,
+            output_items: native_ops,
+        },
+    ]
+}
+
+/// Builder for [`PassManager`].
+#[derive(Debug)]
+pub struct PassManagerBuilder {
+    topology: Topology,
+    method: PulseMethod,
+    scheduler_kind: SchedulerKind,
+    alpha: f64,
+    k: usize,
+    requirement: Option<Requirement>,
+    scheduler_pass: Option<Box<dyn SchedulerPass>>,
+    pulse_pass: Option<Box<dyn PulsePass>>,
+    store: Option<Arc<ArtifactStore>>,
+    calib: Option<Arc<CalibCache>>,
+    memo: Option<Arc<RouteMemo>>,
+}
+
+impl Default for PassManagerBuilder {
+    fn default() -> Self {
+        PassManagerBuilder {
+            topology: Topology::grid(3, 4),
+            method: PulseMethod::Pert,
+            scheduler_kind: SchedulerKind::ZzxSched,
+            alpha: 0.5,
+            k: 3,
+            requirement: None,
+            scheduler_pass: None,
+            pulse_pass: None,
+            store: None,
+            calib: None,
+            memo: None,
+        }
+    }
+}
+
+impl PassManagerBuilder {
+    /// Sets the device topology (default: the paper's 3×4 grid).
+    pub fn topology(mut self, topo: Topology) -> Self {
+        self.topology = topo;
+        self
+    }
+
+    /// Sets the pulse method (default: `Pert`).
+    pub fn pulse_method(mut self, method: PulseMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the scheduler (default: `ZzxSched`).
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler_kind = scheduler;
+        self
+    }
+
+    /// Sets the NQ-vs-NC weight α of Algorithm 1 (default 0.5).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the top-k path-relaxing budget of Algorithm 1 (default 3).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Overrides the suppression requirement `R` (default: the paper's
+    /// `NQ < max_degree`, `NC ≤ |E|/2`, derived from the device).
+    pub fn requirement(mut self, requirement: Requirement) -> Self {
+        self.requirement = Some(requirement);
+        self
+    }
+
+    /// Replaces the scheduling stage with a custom [`SchedulerPass`].
+    /// Disables the whole-plan disk cache for this manager (a custom
+    /// pass's output cannot be keyed by the standard request
+    /// parameters); the route/lower stage cache still applies.
+    pub fn scheduler_pass(mut self, pass: Box<dyn SchedulerPass>) -> Self {
+        self.scheduler_pass = Some(pass);
+        self
+    }
+
+    /// Replaces the pulse stage with a custom [`PulsePass`]. Disables the
+    /// whole-plan disk cache, like
+    /// [`scheduler_pass`](Self::scheduler_pass).
+    pub fn pulse_pass(mut self, pass: Box<dyn PulsePass>) -> Self {
+        self.pulse_pass = Some(pass);
+        self
+    }
+
+    /// Backs the route/lower and whole-plan stages with an on-disk
+    /// [`ArtifactStore`] (default: in-memory caching only).
+    pub fn store(mut self, store: Arc<ArtifactStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Serves calibration from the given cache instead of the
+    /// process-wide [`CalibCache::global`].
+    pub fn calib(mut self, calib: Arc<CalibCache>) -> Self {
+        self.calib = Some(calib);
+        self
+    }
+
+    /// Shares a routing memo across managers (the batch engine hands one
+    /// memo to every job's manager; default: a fresh private memo).
+    pub fn route_memo(mut self, memo: Arc<RouteMemo>) -> Self {
+        self.memo = Some(memo);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> PassManager {
+        // A manager configured purely from the standard enums carries a
+        // request spec, which keys (and verifies) the whole-plan disk
+        // artifact. Custom trait-object passes opt out of that cache.
+        let request = match (&self.scheduler_pass, &self.pulse_pass) {
+            (None, None) => Some(RequestSpec {
+                method: self.method,
+                scheduler: self.scheduler_kind,
+                alpha: self.alpha,
+                k: self.k,
+                requirement: self.requirement,
+            }),
+            _ => None,
+        };
+        let scheduler = self.scheduler_pass.unwrap_or_else(|| {
+            scheduler_pass_for(self.scheduler_kind, self.alpha, self.k, self.requirement)
+        });
+        let pulse = self.pulse_pass.unwrap_or_else(|| {
+            Box::new(CalibratedPulse {
+                method: self.method,
+            })
+        });
+        PassManager {
+            topology: self.topology,
+            scheduler,
+            pulse,
+            store: self.store,
+            calib: self.calib,
+            memo: self.memo.unwrap_or_default(),
+            request,
+        }
+    }
+}
+
+/// The standard [`SchedulerPass`] for a [`SchedulerKind`] with the given
+/// Algorithm 1 parameters.
+pub fn scheduler_pass_for(
+    kind: SchedulerKind,
+    alpha: f64,
+    k: usize,
+    requirement: Option<Requirement>,
+) -> Box<dyn SchedulerPass> {
+    match kind {
+        SchedulerKind::ParSched => Box::new(ParSchedPass),
+        SchedulerKind::ZzxSched => Box::new(ZzxSchedPass {
+            alpha,
+            k,
+            requirement,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zz_circuit::Gate;
+
+    fn small_circuit() -> Arc<Circuit> {
+        let mut c = Circuit::new(4);
+        c.push(Gate::H, &[0])
+            .push(Gate::Cnot, &[0, 1])
+            .push(Gate::Cnot, &[2, 3]);
+        Arc::new(c)
+    }
+
+    fn manager() -> PassManager {
+        PassManager::builder()
+            .topology(Topology::grid(2, 2))
+            .build()
+    }
+
+    #[test]
+    fn full_run_records_every_stage_in_order() {
+        // Isolated calibration state: the pulse stage must *measure*
+        // (NotCached), not hit a slot another test already filled.
+        let outcome = PassManager::builder()
+            .topology(Topology::grid(2, 2))
+            .calib(Arc::new(CalibCache::new()))
+            .build()
+            .run(small_circuit())
+            .expect("fits");
+        let stages: Vec<Stage> = outcome.trace.passes.iter().map(|p| p.stage).collect();
+        assert_eq!(stages, Stage::ALL);
+        assert_eq!(outcome.trace.compiled_cache, CacheDisposition::NotCached);
+        for pass in &outcome.trace.passes {
+            assert_eq!(pass.cache, CacheDisposition::NotCached, "{}", pass.name);
+        }
+        assert!(outcome.trace.total_wall >= outcome.trace.stage_wall(Stage::Schedule));
+    }
+
+    #[test]
+    fn second_run_hits_the_route_memo() {
+        let manager = manager();
+        let cold = manager.run(small_circuit()).expect("fits");
+        assert!(cold.trace.executed(Stage::Route));
+        let warm = manager.run(small_circuit()).expect("fits");
+        let route = warm.trace.pass(Stage::Route).expect("route reached");
+        assert_eq!(route.cache, CacheDisposition::MemoryHit);
+        assert!(!warm.trace.executed(Stage::Route));
+        assert!(!warm.trace.executed(Stage::Lower));
+        // Scheduling still ran — it is never served by the route memo.
+        assert!(warm.trace.executed(Stage::Schedule));
+        assert_eq!(cold.compiled, warm.compiled);
+        assert_eq!(manager.memo().memoized_shapes(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_oversized_circuits_in_both_entry_points() {
+        let manager = manager();
+        let big = Arc::new(Circuit::new(9));
+        assert_eq!(
+            manager.run(Arc::clone(&big)).err(),
+            Some(CoOptError::CircuitTooLarge {
+                needed: 9,
+                available: 4
+            })
+        );
+        let native = compile_to_native(&Circuit::new(9));
+        assert_eq!(
+            manager.run_native(&native).err(),
+            Some(CoOptError::CircuitTooLarge {
+                needed: 9,
+                available: 4
+            })
+        );
+    }
+
+    #[test]
+    fn run_native_schedules_without_routing() {
+        let manager = manager();
+        let native = compile_to_native(&route(&small_circuit(), manager.topology()));
+        let outcome = manager.run_native(&native).expect("fits");
+        let stages: Vec<Stage> = outcome.trace.passes.iter().map(|p| p.stage).collect();
+        assert_eq!(stages, [Stage::Validate, Stage::Schedule, Stage::Pulse]);
+    }
+
+    #[test]
+    fn custom_scheduler_pass_plugs_in() {
+        /// A degenerate scheduler: every native op in its own layer.
+        #[derive(Debug)]
+        struct OnePerLayer;
+        impl SchedulerPass for OnePerLayer {
+            fn name(&self) -> &'static str {
+                "one-per-layer"
+            }
+            fn schedule(&self, topo: &Topology, native: &NativeCircuit) -> SchedulePlan {
+                // Reuse ParSched on one-op slices to stay well-formed.
+                let mut layers = Vec::new();
+                for &op in native.ops() {
+                    let mut single = NativeCircuit::new(native.qubit_count());
+                    single.push(op);
+                    layers.extend(par_schedule(topo, &single).layers);
+                }
+                SchedulePlan::from_parts(topo.qubit_count(), layers, Vec::new())
+            }
+        }
+        let topo = Topology::grid(2, 2);
+        let native = compile_to_native(&route(&small_circuit(), &topo));
+        let expected = OnePerLayer.schedule(&topo, &native);
+        let outcome = PassManager::builder()
+            .topology(topo)
+            .scheduler_pass(Box::new(OnePerLayer))
+            .build()
+            .run(small_circuit())
+            .expect("fits");
+        assert_eq!(outcome.compiled.plan, expected);
+        let schedule = outcome.trace.pass(Stage::Schedule).expect("ran");
+        assert_eq!(schedule.name, "one-per-layer");
+    }
+
+    #[test]
+    fn trace_display_is_compact() {
+        let outcome = manager().run(small_circuit()).expect("fits");
+        let line = outcome.trace.to_string();
+        assert!(line.contains("validate"), "{line}");
+        assert!(line.contains("zzx-sched"), "{line}");
+        assert!(line.contains("total"), "{line}");
+    }
+}

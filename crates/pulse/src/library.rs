@@ -41,21 +41,19 @@ impl PulseMethod {
         PulseMethod::Pert,
         PulseMethod::Dcg,
     ];
+}
 
-    /// Label used in figures ("Gaussian", "OptCtrl", …).
-    pub fn label(self) -> &'static str {
-        match self {
+/// The figure label ("Gaussian", "OptCtrl", "Pert", "DCG") — also part of
+/// the on-disk calibration-key format (`zz_core::calib`), so the names
+/// are stable.
+impl std::fmt::Display for PulseMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
             PulseMethod::Gaussian => "Gaussian",
             PulseMethod::OptCtrl => "OptCtrl",
             PulseMethod::Pert => "Pert",
             PulseMethod::Dcg => "DCG",
-        }
-    }
-}
-
-impl std::fmt::Display for PulseMethod {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.label())
+        })
     }
 }
 

@@ -23,7 +23,7 @@ fn main() {
         let res = residual_zz_rate(&drive.as_drive(), lambda) / lambda;
         println!(
             "{:<10} {:>10.0} {:>14.2e} {:>15.1}%",
-            method.label(),
+            method,
             drive.duration(),
             inf,
             res * 100.0
@@ -37,7 +37,7 @@ fn main() {
         let res = residual_zz_rate(&drive.as_drive(), lambda) / lambda;
         println!(
             "{:<10} {:>10.0} {:>15.1}%",
-            method.label(),
+            method,
             drive.duration(),
             res * 100.0
         );

@@ -18,34 +18,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use zz_circuit::bench::{generate, BenchmarkKind};
-use zz_core::batch::{BatchCompiler, BatchJob, BatchReport};
+use zz_bench::demo_suite as suite;
+use zz_core::batch::{BatchCompiler, BatchReport};
 use zz_core::calib::CalibCache;
-use zz_core::{PulseMethod, SchedulerKind};
 use zz_persist::{ArtifactStore, CACHE_DIR_ENV};
 use zz_topology::Topology;
-
-fn suite() -> Vec<BatchJob> {
-    let configs = [
-        (PulseMethod::Gaussian, SchedulerKind::ParSched),
-        (PulseMethod::OptCtrl, SchedulerKind::ZzxSched),
-        (PulseMethod::Pert, SchedulerKind::ZzxSched),
-        (PulseMethod::Dcg, SchedulerKind::ZzxSched),
-    ];
-    [
-        (BenchmarkKind::Qft, 4),
-        (BenchmarkKind::Qaoa, 6),
-        (BenchmarkKind::Ising, 9),
-    ]
-    .iter()
-    .flat_map(|&(kind, n)| {
-        let circuit = Arc::new(generate(kind, n, 7));
-        configs.iter().map(move |&(m, s)| {
-            BatchJob::shared(Arc::clone(&circuit), m, s).with_label(format!("{kind}-{n}/{m}+{s}"))
-        })
-    })
-    .collect()
-}
 
 fn run_pass(name: &str, dir: &std::path::Path) -> BatchReport {
     // A fresh compiler *and* a fresh calibration cache: nothing carries
@@ -84,6 +61,13 @@ fn main() {
             "{} must be bit-identical across passes",
             c.label
         );
+    }
+    // The per-stage traces make the mechanism visible: warm jobs are
+    // whole-plan disk hits, so no stage beyond validation executed.
+    for stats in warm.stage_stats() {
+        if stats.stage != zz_core::Stage::Validate {
+            assert_eq!(stats.executed, 0, "warm pass ran stage {}", stats.stage);
+        }
     }
     let speedup = cold.cpu_time().as_secs_f64() / warm.cpu_time().as_secs_f64().max(1e-9);
     println!("compile-time speedup (cpu): {speedup:.1}x; outputs bit-identical");

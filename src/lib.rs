@@ -38,6 +38,24 @@
 //! println!("{report}");
 //! ```
 //!
+//! Both sit on the typed pass pipeline of [`zz_core::pipeline`]
+//! (`Logical → Routed → Native → Scheduled → Compiled`), whose
+//! [`PassManager`](zz_core::pipeline::PassManager) times every pass and
+//! records stage-cache dispositions into a
+//! [`PipelineTrace`](zz_core::pipeline::PipelineTrace):
+//!
+//! ```
+//! use zz_core::pipeline::PassManager;
+//! use zz_circuit::bench::{BenchmarkKind, generate};
+//! use std::sync::Arc;
+//!
+//! let outcome = PassManager::builder()
+//!     .build()
+//!     .run(Arc::new(generate(BenchmarkKind::Qft, 4, 7)))?;
+//! assert_eq!(outcome.trace.passes.len(), 5); // validate…pulse, all timed
+//! # Ok::<(), zz_core::CoOptError>(())
+//! ```
+//!
 //! To persist compiled artifacts across processes — warm starts for the
 //! figure binaries, tests and services — back the compiler with
 //! [`zz_persist::ArtifactStore`] (or set `ZZ_CACHE_DIR` and use

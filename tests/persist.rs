@@ -82,6 +82,24 @@ fn warm_start_is_bit_identical_with_zero_calibration_and_routing() {
     assert_eq!(warm.disk_hits, jobs, "{warm}");
     assert_eq!(warm.disk_misses, 0, "{warm}");
 
+    // The stage traces agree: every warm job is a whole-plan disk hit,
+    // so no stage beyond validation executed anywhere in the batch.
+    for stats in warm.stage_stats() {
+        if stats.stage == zz_core::Stage::Validate {
+            assert_eq!(stats.executed, jobs, "{warm}");
+        } else {
+            assert_eq!(stats.executed, 0, "warm {} ran: {warm}", stats.stage);
+        }
+    }
+    for outcome in &warm.outcomes {
+        assert_eq!(
+            outcome.trace.compiled_cache,
+            zz_core::pipeline::CacheDisposition::DiskHit,
+            "{}",
+            outcome.label
+        );
+    }
+
     // And the outputs are bit-identical, field for field.
     for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
         assert_eq!(

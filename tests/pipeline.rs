@@ -1,0 +1,361 @@
+//! Integration tests of the pass-based pipeline (`zz_core::pipeline`):
+//!
+//! * **Equivalence matrix** — pipeline output must be bit-identical to
+//!   the pre-refactor `CoOptimizer::compile` sequence (re-implemented
+//!   verbatim here as `legacy_compile`) for every
+//!   `(PulseMethod, SchedulerKind)` combination, through every entry
+//!   point: `CoOptimizer::compile`, `PassManager::run`, and the batch
+//!   engine.
+//! * **Stage-granular caching** — an α/k-only parameter sweep re-runs
+//!   *zero* route/lower passes: the first job routes, every other job is
+//!   served by the route memo (in-process) or the disk artifact (across
+//!   compilers), while scheduling re-runs for every sweep point.
+//! * **Per-pass units** — route-only and schedule-only runs using the
+//!   typed stage artifacts.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_circuit::native::compile_to_native;
+use zz_circuit::{route, Circuit};
+use zz_core::batch::{BatchCompiler, BatchJob};
+use zz_core::calib::{self, CalibCache};
+use zz_core::pipeline::{
+    CacheDisposition, Logical, LowerPass, PassManager, PipelineTrace, RoutePass, StageArtifact,
+    ValidatePass,
+};
+use zz_core::{CoOptError, CoOptimizer, Compiled, PulseMethod, SchedulerKind, Stage};
+use zz_persist::ArtifactStore;
+use zz_sched::zzx::{zzx_schedule, Requirement, ZzxConfig};
+use zz_sched::{par_schedule, GateDurations};
+use zz_topology::Topology;
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "zz-pipeline-it-{label}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The pre-refactor `CoOptimizer::compile` body, reproduced verbatim:
+/// route → lower → `match` on the scheduler → `match` on the method →
+/// assemble. The pipeline must never drift from this.
+fn legacy_compile(
+    circuit: &Circuit,
+    topo: &Topology,
+    method: PulseMethod,
+    scheduler: SchedulerKind,
+    alpha: f64,
+    k: usize,
+    requirement: Option<Requirement>,
+) -> Compiled {
+    let routed = route(circuit, topo);
+    let native = compile_to_native(&routed);
+    let plan = match scheduler {
+        SchedulerKind::ParSched => par_schedule(topo, &native),
+        SchedulerKind::ZzxSched => {
+            let config = ZzxConfig {
+                alpha,
+                k,
+                requirement: requirement.unwrap_or_else(|| Requirement::paper_default(topo)),
+            };
+            zzx_schedule(topo, &native, &config)
+        }
+    };
+    let durations = match method {
+        PulseMethod::Dcg => GateDurations::dcg(),
+        _ => GateDurations::standard(),
+    };
+    Compiled {
+        plan,
+        topology: topo.clone(),
+        durations,
+        method,
+        residuals: calib::residuals(method),
+    }
+}
+
+/// Every `(PulseMethod, SchedulerKind)` combination.
+fn full_matrix() -> Vec<(PulseMethod, SchedulerKind)> {
+    PulseMethod::ALL
+        .iter()
+        .flat_map(|&m| {
+            [SchedulerKind::ParSched, SchedulerKind::ZzxSched]
+                .into_iter()
+                .map(move |s| (m, s))
+        })
+        .collect()
+}
+
+#[test]
+fn pipeline_matches_the_legacy_path_for_every_method_scheduler_pair() {
+    let topo = Topology::grid(2, 3);
+    let circuit = generate(BenchmarkKind::Qaoa, 6, 7);
+    for (method, scheduler) in full_matrix() {
+        let reference = legacy_compile(&circuit, &topo, method, scheduler, 0.5, 3, None);
+
+        // Entry point 1: the facade.
+        let opt = CoOptimizer::builder()
+            .topology(topo.clone())
+            .pulse_method(method)
+            .scheduler(scheduler)
+            .build();
+        let via_facade = opt.compile(&circuit).expect("fits");
+        assert_eq!(reference, via_facade, "{method}+{scheduler}: facade drift");
+
+        // Entry point 2: the pass manager directly.
+        let via_pipeline = PassManager::builder()
+            .topology(topo.clone())
+            .pulse_method(method)
+            .scheduler(scheduler)
+            .build()
+            .run(Arc::new(circuit.clone()))
+            .expect("fits")
+            .compiled;
+        assert_eq!(
+            reference, via_pipeline,
+            "{method}+{scheduler}: pipeline drift"
+        );
+
+        // Entry point 3: the batch engine.
+        let report = BatchCompiler::builder()
+            .topology(topo.clone())
+            .build()
+            .run(vec![BatchJob::new(circuit.clone(), method, scheduler)]);
+        let via_batch = report.outcomes[0].result.as_ref().expect("fits");
+        assert_eq!(&reference, via_batch, "{method}+{scheduler}: batch drift");
+    }
+}
+
+#[test]
+fn pipeline_matches_the_legacy_path_for_non_default_parameters() {
+    let topo = Topology::grid(3, 3);
+    let circuit = generate(BenchmarkKind::Qft, 9, 7);
+    let req = Requirement {
+        nq_limit: 3,
+        nc_limit: 5,
+    };
+    for (alpha, k, requirement) in [(0.25, 1, None), (2.0, 8, Some(req))] {
+        let reference = legacy_compile(
+            &circuit,
+            &topo,
+            PulseMethod::Pert,
+            SchedulerKind::ZzxSched,
+            alpha,
+            k,
+            requirement,
+        );
+        let mut builder = CoOptimizer::builder()
+            .topology(topo.clone())
+            .alpha(alpha)
+            .k(k);
+        if let Some(r) = requirement {
+            builder = builder.requirement(r);
+        }
+        let compiled = builder.build().compile(&circuit).expect("fits");
+        assert_eq!(reference, compiled, "alpha={alpha} k={k}");
+    }
+}
+
+#[test]
+fn alpha_k_sweep_reruns_zero_route_passes_in_process() {
+    let compiler = BatchCompiler::builder()
+        .topology(Topology::grid(3, 3))
+        .calib_cache(Arc::new(CalibCache::new()))
+        .threads(1) // deterministic hit/miss split
+        .build();
+    let circuit = Arc::new(generate(BenchmarkKind::Qaoa, 9, 7));
+    let jobs: Vec<BatchJob> = [0.0, 0.25, 0.5, 1.0]
+        .into_iter()
+        .map(|a| {
+            BatchJob::shared(
+                Arc::clone(&circuit),
+                PulseMethod::Pert,
+                SchedulerKind::ZzxSched,
+            )
+            .with_alpha(a)
+        })
+        .chain([1usize, 2, 5].into_iter().map(|k| {
+            BatchJob::shared(
+                Arc::clone(&circuit),
+                PulseMethod::Pert,
+                SchedulerKind::ZzxSched,
+            )
+            .with_k(k)
+        }))
+        .collect();
+    let sweep_points = jobs.len();
+    let report = compiler.run(jobs);
+    assert_eq!(report.error_count(), 0, "{report}");
+
+    // Exactly one job routed; every other sweep point replayed the memo.
+    let stats = report.stage_stats();
+    let route = stats.iter().find(|s| s.stage == Stage::Route).unwrap();
+    assert_eq!(route.executed, 1, "{report}");
+    assert_eq!(route.cache_hits, sweep_points - 1, "{report}");
+    let lower = stats.iter().find(|s| s.stage == Stage::Lower).unwrap();
+    assert_eq!(lower.executed, 1, "{report}");
+
+    // Scheduling can never be replayed across α/k changes: it ran for
+    // every sweep point.
+    let schedule = stats.iter().find(|s| s.stage == Stage::Schedule).unwrap();
+    assert_eq!(schedule.executed, sweep_points, "{report}");
+    assert_eq!(schedule.cache_hits, 0, "{report}");
+
+    // The per-job traces agree with the aggregate.
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        let trace = &outcome.trace;
+        let expected = if i == 0 {
+            CacheDisposition::NotCached
+        } else {
+            CacheDisposition::MemoryHit
+        };
+        assert_eq!(trace.pass(Stage::Route).unwrap().cache, expected, "job {i}");
+        assert!(trace.executed(Stage::Schedule), "job {i}");
+    }
+}
+
+#[test]
+fn alpha_sweep_routes_from_disk_across_compilers() {
+    let dir = scratch_dir("alpha-sweep");
+    let job = |alpha: f64| {
+        BatchJob::new(
+            generate(BenchmarkKind::Ising, 6, 7),
+            PulseMethod::Pert,
+            SchedulerKind::ZzxSched,
+        )
+        .with_alpha(alpha)
+    };
+    let compiler = |dir: &PathBuf| {
+        BatchCompiler::builder()
+            .topology(Topology::grid(2, 3))
+            .store(ArtifactStore::at(dir))
+            .calib_cache(Arc::new(CalibCache::new()))
+            .threads(1)
+            .build()
+    };
+
+    // First compiler pays for routing once.
+    let cold = compiler(&dir).run(vec![job(0.5)]);
+    assert_eq!(cold.error_count(), 0, "{cold}");
+    assert!(cold.outcomes[0].trace.executed(Stage::Route), "{cold}");
+
+    // A *new* compiler (fresh memo, fresh calibration) sweeping *new*
+    // α values: the whole-plan artifacts miss (different α), but the
+    // route/lower stage is served from the disk artifact — zero route
+    // passes run.
+    let warm = compiler(&dir).run(vec![job(0.125), job(0.75)]);
+    assert_eq!(warm.error_count(), 0, "{warm}");
+    let stats = warm.stage_stats();
+    let route = stats.iter().find(|s| s.stage == Stage::Route).unwrap();
+    assert_eq!(route.executed, 0, "{warm}");
+    assert_eq!(
+        warm.outcomes[0].trace.pass(Stage::Route).unwrap().cache,
+        CacheDisposition::DiskHit,
+        "{warm}"
+    );
+    // The second sweep point hits the memo the first one just filled.
+    assert_eq!(
+        warm.outcomes[1].trace.pass(Stage::Route).unwrap().cache,
+        CacheDisposition::MemoryHit,
+        "{warm}"
+    );
+    let schedule = stats.iter().find(|s| s.stage == Stage::Schedule).unwrap();
+    assert_eq!(schedule.executed, 2, "{warm}");
+
+    // Replaying an *already-swept* α in a third compiler is a whole-plan
+    // disk hit: no stage beyond validation runs at all.
+    let replay = compiler(&dir).run(vec![job(0.75)]);
+    let trace = &replay.outcomes[0].trace;
+    assert_eq!(trace.compiled_cache, CacheDisposition::DiskHit, "{replay}");
+    assert!(!trace.executed(Stage::Route), "{replay}");
+    assert!(!trace.executed(Stage::Schedule), "{replay}");
+    assert_eq!(
+        replay.outcomes[0].result.as_ref().expect("served"),
+        warm.outcomes[1].result.as_ref().expect("compiled"),
+        "disk replay must be bit-identical"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn route_only_pass_produces_the_routed_artifact() {
+    let topo = Topology::grid(2, 2);
+    let circuit = Arc::new(generate(BenchmarkKind::Qft, 4, 7));
+    let manager = PassManager::builder().topology(topo.clone()).build();
+    let mut trace = PipelineTrace::default();
+
+    let logical = manager
+        .apply(
+            &ValidatePass,
+            Logical {
+                circuit: Arc::clone(&circuit),
+            },
+            CacheDisposition::NotCached,
+            &mut trace,
+        )
+        .expect("fits");
+    let routed = manager
+        .apply(&RoutePass, logical, CacheDisposition::NotCached, &mut trace)
+        .expect("route is infallible");
+
+    // The typed artifact carries both the source and the routed circuit,
+    // and matches a direct `route` call exactly.
+    assert_eq!(*routed.source, *circuit);
+    assert_eq!(routed.circuit, route(&circuit, &topo));
+    assert_eq!(trace.passes.len(), 2);
+    assert_eq!(trace.passes[1].stage, Stage::Route);
+    assert_eq!(trace.passes[1].output_items, routed.items());
+
+    // And lowering the routed artifact matches a direct translation.
+    let native = manager
+        .apply(&LowerPass, routed, CacheDisposition::NotCached, &mut trace)
+        .expect("lower is infallible");
+    assert_eq!(*native.circuit, compile_to_native(&route(&circuit, &topo)));
+}
+
+#[test]
+fn schedule_only_run_skips_route_and_lower() {
+    let topo = Topology::grid(2, 2);
+    let circuit = generate(BenchmarkKind::Qft, 4, 7);
+    let native = compile_to_native(&route(&circuit, &topo));
+    let manager = PassManager::builder().topology(topo.clone()).build();
+
+    let outcome = manager.run_native(&native).expect("fits");
+    assert!(outcome.trace.pass(Stage::Route).is_none());
+    assert!(outcome.trace.pass(Stage::Lower).is_none());
+    assert!(outcome.trace.executed(Stage::Schedule));
+
+    // Identical to the full pipeline's result on the same circuit.
+    let full = manager.run(Arc::new(circuit)).expect("fits");
+    assert_eq!(outcome.compiled, full.compiled);
+}
+
+#[test]
+fn oversized_circuits_error_through_both_entry_points() {
+    let opt = CoOptimizer::builder()
+        .topology(Topology::grid(2, 2))
+        .build();
+    let too_large = CoOptError::CircuitTooLarge {
+        needed: 9,
+        available: 4,
+    };
+
+    // `compile` rejects, as it always did…
+    assert_eq!(opt.compile(&Circuit::new(9)).err(), Some(too_large.clone()));
+
+    // …and `compile_native` now returns the same error through the
+    // validation pass instead of panicking.
+    let native = compile_to_native(&Circuit::new(9));
+    assert_eq!(opt.compile_native(&native).err(), Some(too_large.clone()));
+    assert_eq!(
+        opt.compile_native_with_residuals(&native, calib::residuals(PulseMethod::Pert))
+            .err(),
+        Some(too_large)
+    );
+}
