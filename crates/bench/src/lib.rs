@@ -17,6 +17,7 @@ use zz_circuit::bench::BenchmarkKind;
 use zz_core::evaluate::{compile_suite, suite_fidelities, EvalConfig, SuiteCase};
 use zz_core::{BatchReport, PulseMethod, SchedulerKind};
 
+pub mod reference;
 pub mod timing;
 
 /// Prints a figure banner.
@@ -108,6 +109,12 @@ pub fn core_cases() -> Vec<(BenchmarkKind, usize)> {
 /// figure binaries print — plus the compile-stage [`BatchReport`], which
 /// the binaries show via its `Display` impl (summary line + per-stage
 /// timing breakdown aggregated from the jobs' pipeline traces).
+///
+/// # Panics
+///
+/// Panics with the failing jobs' labels if any compile job errored
+/// (failed jobs used to fold in silently as fidelity 0.0, skewing every
+/// figure built from the table).
 pub fn fidelity_table(
     cases: &[(BenchmarkKind, usize)],
     configs: &[(PulseMethod, SchedulerKind)],

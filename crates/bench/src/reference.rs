@@ -1,0 +1,190 @@
+//! The straight-line reference executor — the pre-engine semantics,
+//! pinned in one place.
+//!
+//! This is the executor as it existed before the precompiled engine of
+//! `zz_sim::program`: one amplitude sweep per undriven coupling per
+//! layer, an `O(ops)` residual scan per coupling per run, gate matrices
+//! built fresh per application, Kraus sampling with an explicit
+//! normalization pass, and strictly sequential trajectories on a single
+//! RNG stream.
+//!
+//! Two consumers share it, so the baseline cannot drift apart:
+//!
+//! * `tests/sim_engine.rs` pins the engine amplitude-for-amplitude
+//!   against it across the `(PulseMethod, SchedulerKind)` matrix;
+//! * the `bench_sim` CI probe measures the engine's speedup against it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zz_circuit::native::NativeOp;
+use zz_sched::{GateDurations, Layer, SchedulePlan};
+use zz_sim::density::{amplitude_damping, Decoherence};
+use zz_sim::executor::{ResidualTable, ZzErrorModel};
+use zz_sim::StateVector;
+use zz_topology::Topology;
+
+fn qubit_residual(layer: &Layer, q: usize, table: &ResidualTable) -> f64 {
+    for op in &layer.ops {
+        match *op {
+            NativeOp::X90 { qubit } if qubit == q => return table.x90,
+            NativeOp::Id { qubit } if qubit == q => return table.id,
+            NativeOp::Zx90 { control, .. } if control == q => return table.zx90_control,
+            NativeOp::Zx90 { target, .. } if target == q => return table.zx90_target,
+            _ => {}
+        }
+    }
+    1.0
+}
+
+fn apply_layer_gates(sv: &mut StateVector, layer: &Layer) {
+    for &(q, theta) in &layer.rz_before {
+        sv.apply_rz(theta, q);
+    }
+    for op in &layer.ops {
+        match *op {
+            NativeOp::Rz { qubit, theta } => sv.apply_rz(theta, qubit),
+            NativeOp::X90 { qubit } => sv.apply_single(&zz_quantum::gates::x90(), qubit),
+            NativeOp::Zx90 { control, target } => {
+                sv.apply_two(&zz_quantum::gates::zx90(), control, target)
+            }
+            NativeOp::Id { .. } => {}
+        }
+    }
+}
+
+fn apply_layer_zz(
+    sv: &mut StateVector,
+    layer: &Layer,
+    topo: &Topology,
+    model: &ZzErrorModel,
+    duration: f64,
+) {
+    let mut driven = vec![false; topo.coupling_count()];
+    for op in &layer.ops {
+        if let NativeOp::Zx90 { control, target } = *op {
+            if let Some(e) = topo.coupling_between(control, target) {
+                driven[e] = true;
+            }
+        }
+    }
+    for (e, &(u, v)) in topo.couplings().iter().enumerate() {
+        if driven[e] {
+            continue;
+        }
+        let factor = if layer.metrics.suppressed[e] {
+            if layer.pulsed[u] {
+                qubit_residual(layer, u, &model.residuals)
+            } else {
+                qubit_residual(layer, v, &model.residuals)
+            }
+        } else {
+            1.0
+        };
+        sv.apply_zz_phase(model.lambdas[e] * factor * duration, u, v);
+    }
+}
+
+/// Runs the plan with no errors at all — the ideal reference state,
+/// computed with one phase pass per rotation.
+pub fn run_ideal(plan: &SchedulePlan) -> StateVector {
+    let mut sv = StateVector::zero(plan.qubit_count());
+    for layer in &plan.layers {
+        apply_layer_gates(&mut sv, layer);
+    }
+    for &(q, theta) in &plan.final_rz {
+        sv.apply_rz(theta, q);
+    }
+    sv
+}
+
+/// Runs the plan under ZZ crosstalk with one amplitude sweep per
+/// undriven coupling per layer.
+pub fn run_with_zz(
+    plan: &SchedulePlan,
+    topo: &Topology,
+    model: &ZzErrorModel,
+    durations: &GateDurations,
+) -> StateVector {
+    let mut sv = StateVector::zero(plan.qubit_count());
+    for layer in &plan.layers {
+        apply_layer_gates(&mut sv, layer);
+        apply_layer_zz(&mut sv, layer, topo, model, layer.duration(durations));
+    }
+    for &(q, theta) in &plan.final_rz {
+        sv.apply_rz(theta, q);
+    }
+    sv
+}
+
+fn sample_amplitude_damping(sv: &mut StateVector, q: usize, gamma: f64, rng: &mut StdRng) {
+    if gamma == 0.0 {
+        return;
+    }
+    let p_jump = gamma * sv.excited_population(q);
+    let kraus = amplitude_damping(gamma);
+    let chosen = if rng.gen_range(0.0..1.0) < p_jump {
+        &kraus[1]
+    } else {
+        &kraus[0]
+    };
+    sv.apply_single(chosen, q);
+    sv.normalize();
+}
+
+fn sample_dephasing(sv: &mut StateVector, q: usize, p: f64, rng: &mut StdRng) {
+    if p == 0.0 {
+        return;
+    }
+    if rng.gen_range(0.0..1.0) < p {
+        sv.apply_single(&zz_quantum::pauli::Pauli::Z.matrix(), q);
+    }
+}
+
+fn run_trajectory(
+    plan: &SchedulePlan,
+    topo: &Topology,
+    model: &ZzErrorModel,
+    deco: &Decoherence,
+    durations: &GateDurations,
+    rng: &mut StdRng,
+) -> StateVector {
+    let n = plan.qubit_count();
+    let mut sv = StateVector::zero(n);
+    for layer in &plan.layers {
+        apply_layer_gates(&mut sv, layer);
+        let dt = layer.duration(durations);
+        apply_layer_zz(&mut sv, layer, topo, model, dt);
+        let gamma = deco.gamma(dt);
+        let p_flip = deco.phase_flip(dt);
+        for q in 0..n {
+            sample_amplitude_damping(&mut sv, q, gamma, rng);
+            sample_dephasing(&mut sv, q, p_flip, rng);
+        }
+    }
+    for &(q, theta) in &plan.final_rz {
+        sv.apply_rz(theta, q);
+    }
+    sv
+}
+
+/// Mean fidelity over `trajectories` strictly sequential Monte-Carlo
+/// runs drawing from one shared RNG stream.
+#[allow(clippy::too_many_arguments)] // mirrors the executor signature
+pub fn fidelity_with_decoherence(
+    plan: &SchedulePlan,
+    topo: &Topology,
+    model: &ZzErrorModel,
+    deco: &Decoherence,
+    durations: &GateDurations,
+    trajectories: usize,
+    seed: u64,
+) -> f64 {
+    let ideal = run_ideal(plan);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    for _ in 0..trajectories {
+        let out = run_trajectory(plan, topo, model, deco, durations, &mut rng);
+        total += ideal.fidelity(&out);
+    }
+    total / trajectories as f64
+}

@@ -7,10 +7,9 @@
 //! baseline (#couplings of the device) grows with benchmark size.
 
 use zz_circuit::bench::{generate, BenchmarkKind};
-use zz_sim::density::Decoherence;
-use zz_sim::executor::{
-    fidelity_under_zz, fidelity_with_decoherence, run_density, run_ideal, ZzErrorModel,
-};
+use zz_sim::density::{Decoherence, EXACT_MAX_QUBITS};
+use zz_sim::executor::{run_density, ZzErrorModel};
+use zz_sim::program::{PlanProgram, TrajectoryProgram};
 use zz_topology::Topology;
 
 use crate::batch::{parallel_map, BatchCompiler, BatchJob, BatchReport};
@@ -51,9 +50,9 @@ pub struct EvalConfig {
     pub crosstalk_seeds: Vec<u64>,
     /// Seed for benchmark-circuit generation.
     pub circuit_seed: u64,
-    /// Optional decoherence: `(model, trajectories, rng seed)`. Registers of
-    /// ≤ 8 qubits are evaluated exactly on density matrices; larger ones use
-    /// Monte-Carlo trajectories.
+    /// Optional decoherence: `(model, trajectories, rng seed)`. Registers
+    /// of up to [`EXACT_MAX_QUBITS`] qubits are evaluated exactly on
+    /// density matrices; larger ones use Monte-Carlo trajectories.
     pub decoherence: Option<(Decoherence, usize, u64)>,
 }
 
@@ -99,29 +98,44 @@ pub fn compile_benchmark(
 
 /// Mean output-state fidelity of a compiled plan over the config's
 /// crosstalk samples (and decoherence, when enabled).
+///
+/// The ideal reference state is computed once and reused across all
+/// crosstalk seeds; each seed's noisy execution runs through the
+/// precompiled programs of [`zz_sim::program`].
+///
+/// Monte-Carlo trajectories run sequentially here: every in-repo caller
+/// ([`suite_fidelities`], the `fig23` binary) already fans evaluations
+/// over a full-width [`parallel_map`] at the job level, and nesting a
+/// second full-width pool per seed would oversubscribe the machine
+/// quadratically. For a standalone parallel fan, call
+/// [`zz_sim::executor::fidelity_with_decoherence`] directly.
 pub fn fidelity_of(compiled: &Compiled, cfg: &EvalConfig) -> f64 {
     let topo = &compiled.topology;
+    let ideal = PlanProgram::ideal(&compiled.plan).run();
     let mut total = 0.0;
     for &seed in &cfg.crosstalk_seeds {
         let model = ZzErrorModel::sampled(topo, cfg.lambda_mean, cfg.lambda_std, seed)
             .with_residuals(compiled.residuals);
         total += match &cfg.decoherence {
-            None => fidelity_under_zz(&compiled.plan, topo, &model, &compiled.durations),
+            None => {
+                let noisy =
+                    PlanProgram::compile(&compiled.plan, topo, &model, &compiled.durations).run();
+                ideal.fidelity(&noisy)
+            }
             Some((deco, trajectories, mc_seed)) => {
-                if compiled.plan.qubit_count() <= 8 {
+                if compiled.plan.qubit_count() <= EXACT_MAX_QUBITS {
                     // Exact: density-matrix evolution.
                     let dm = run_density(&compiled.plan, topo, &model, deco, &compiled.durations);
-                    dm.fidelity_to_pure(&run_ideal(&compiled.plan).to_vector())
+                    dm.fidelity_to_pure(&ideal.to_vector())
                 } else {
-                    fidelity_with_decoherence(
+                    TrajectoryProgram::compile(
                         &compiled.plan,
                         topo,
                         &model,
                         deco,
                         &compiled.durations,
-                        *trajectories,
-                        *mc_seed ^ seed,
                     )
+                    .mean_fidelity(&ideal, *trajectories, *mc_seed ^ seed, 1)
                 }
             }
         };
@@ -181,16 +195,47 @@ pub fn compile_suite(cases: &[SuiteCase], cfg: &EvalConfig) -> BatchReport {
 }
 
 /// Evaluates every compiled job of a suite report in parallel, preserving
-/// order. Failed jobs (which [`compile_suite`] never produces — benchmarks
-/// are sized to their devices) evaluate to fidelity 0.
-pub fn suite_fidelities(report: &BatchReport, cfg: &EvalConfig) -> Vec<f64> {
+/// order.
+///
+/// Failed compile jobs are an error, not a data point: they used to map to
+/// fidelity 0.0, which silently dragged suite averages (and the figure
+/// tables built from them) down with no signal that anything went wrong.
+/// Now every failed job is reported with its label — as an `Err` listing
+/// all failures, so callers can decide whether to abort or re-slice the
+/// suite.
+pub fn try_suite_fidelities(report: &BatchReport, cfg: &EvalConfig) -> Result<Vec<f64>, String> {
+    let failures: Vec<String> = report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.result.as_ref().err().map(|e| format!("{}: {e}", o.label)))
+        .collect();
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} compile job(s) failed: [{}]",
+            failures.len(),
+            failures.join("; ")
+        ));
+    }
     let threads = crate::batch::default_threads();
-    parallel_map(report.outcomes.len(), threads, |i| {
-        match &report.outcomes[i].result {
-            Ok(compiled) => fidelity_of(compiled, cfg),
-            Err(_) => 0.0,
-        }
-    })
+    Ok(parallel_map(report.outcomes.len(), threads, |i| {
+        let compiled = report.outcomes[i]
+            .result
+            .as_ref()
+            .expect("failures were filtered above");
+        fidelity_of(compiled, cfg)
+    }))
+}
+
+/// [`try_suite_fidelities`] for suites that must be fully compilable —
+/// the figure binaries, whose benchmarks are sized to their devices.
+///
+/// # Panics
+///
+/// Panics with the failing jobs' labels if any compile job errored
+/// (instead of silently folding them in as fidelity 0.0).
+pub fn suite_fidelities(report: &BatchReport, cfg: &EvalConfig) -> Vec<f64> {
+    try_suite_fidelities(report, cfg)
+        .unwrap_or_else(|failures| panic!("suite evaluation aborted: {failures}"))
 }
 
 /// Compile-and-evaluate for a whole suite: [`compile_suite`] followed by
@@ -252,6 +297,44 @@ mod tests {
                 assert!((0.0..=1.0 + 1e-9).contains(&f), "{method}+{sched}: {f}");
             }
         }
+    }
+
+    #[test]
+    fn failed_compiles_are_surfaced_not_zeroed() {
+        use crate::batch::{BatchCompiler, BatchJob};
+        let cfg = small_cfg();
+        // A 6-qubit circuit on a 4-qubit device: the compile job must fail,
+        // and the failure must carry the job's label instead of silently
+        // averaging in as fidelity 0.0.
+        let big = generate(BenchmarkKind::Qft, 6, 1);
+        let jobs = vec![
+            BatchJob::new(big, PulseMethod::Gaussian, SchedulerKind::ParSched)
+                .with_label("qft-6-on-2x2"),
+        ];
+        let report = BatchCompiler::builder()
+            .topology(Topology::grid(2, 2))
+            .build()
+            .run(jobs);
+        assert_eq!(report.error_count(), 1);
+        let err = try_suite_fidelities(&report, &cfg).unwrap_err();
+        assert!(err.contains("qft-6-on-2x2"), "label missing from: {err}");
+        assert!(err.contains("6 qubits"), "cause missing from: {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "qft-6-on-2x2")]
+    fn suite_fidelities_panics_with_the_failing_label() {
+        use crate::batch::{BatchCompiler, BatchJob};
+        let big = generate(BenchmarkKind::Qft, 6, 1);
+        let jobs = vec![
+            BatchJob::new(big, PulseMethod::Gaussian, SchedulerKind::ParSched)
+                .with_label("qft-6-on-2x2"),
+        ];
+        let report = BatchCompiler::builder()
+            .topology(Topology::grid(2, 2))
+            .build()
+            .run(jobs);
+        let _ = suite_fidelities(&report, &small_cfg());
     }
 
     #[test]

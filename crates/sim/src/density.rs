@@ -1,13 +1,24 @@
 //! A density-matrix simulator with exact Kraus noise channels.
 //!
-//! Usable up to ~6 qubits (the matrix has `4^n` entries); serves as the
-//! exact reference against which the trajectory unraveling in [`crate::executor`]
-//! is validated, and runs the decoherence experiments on small registers.
+//! Usable up to [`EXACT_MAX_QUBITS`] qubits (the matrix has `4^n`
+//! entries); serves as the exact reference against which the trajectory
+//! unraveling in [`crate::executor`] is validated, and runs the
+//! decoherence experiments on small registers.
 
 use zz_linalg::{c64, Matrix, Vector};
 use zz_quantum::embed;
 
 use crate::StateVector;
+
+/// Largest register the exact density-matrix path simulates — **the**
+/// exact/Monte-Carlo cutoff of the workspace. `run_density` rejects larger
+/// registers, and `zz_core::evaluate` routes registers of up to this many
+/// qubits to the exact path and larger ones to trajectory sampling.
+///
+/// 8 qubits means a `256 × 256` density matrix (65 536 complex entries),
+/// which the dense [`Matrix`] arithmetic below still handles in well under
+/// a second per layer.
+pub const EXACT_MAX_QUBITS: usize = 8;
 
 /// An n-qubit density matrix.
 #[derive(Clone, Debug)]
@@ -150,16 +161,21 @@ impl Decoherence {
         Decoherence::new(t * 1000.0, t * 1000.0)
     }
 
-    /// Amplitude-damping probability over `dt` ns.
+    /// Amplitude-damping probability over `dt` ns, clamped to `[0, 1]`.
     pub fn gamma(&self, dt: f64) -> f64 {
-        1.0 - (-dt / self.t1).exp()
+        (1.0 - (-dt / self.t1).exp()).clamp(0.0, 1.0)
     }
 
     /// Pure-dephasing phase-flip probability over `dt` ns
-    /// (from `1/Tφ = 1/T2 − 1/(2T1)`).
+    /// (from `1/Tφ = 1/T2 − 1/(2T1)`), clamped to `[0, 1/2]`.
+    ///
+    /// The clamp matters: [`Decoherence::new`] accepts `T2` up to
+    /// `2·T1 + 1e-9`, and inside that tolerance the dephasing rate goes
+    /// slightly negative — an unclamped probability would be below zero
+    /// and [`dephasing`] would panic mid-simulation.
     pub fn phase_flip(&self, dt: f64) -> f64 {
         let rate = 1.0 / self.t2 - 1.0 / (2.0 * self.t1);
-        (1.0 - (-dt * rate).exp()) / 2.0
+        ((1.0 - (-dt * rate).exp()) / 2.0).clamp(0.0, 0.5)
     }
 }
 
@@ -230,5 +246,22 @@ mod tests {
     #[should_panic(expected = "T2 cannot exceed")]
     fn rejects_unphysical_t2() {
         let _ = Decoherence::new(100.0, 300.0);
+    }
+
+    #[test]
+    fn phase_flip_is_clamped_inside_the_t2_tolerance() {
+        // T2 marginally above 2·T1 passes `new`'s 1e-9 tolerance but makes
+        // the raw dephasing rate negative; the probability must clamp to 0
+        // so `dephasing(p)` stays constructible mid-simulation.
+        let d = Decoherence::new(100.0, 200.0 + 1e-10);
+        for dt in [1.0, 20.0, 1e6] {
+            let p = d.phase_flip(dt);
+            assert!((0.0..=0.5).contains(&p), "dt={dt}: p={p}");
+            let _ = dephasing(p); // must not panic
+            let g = d.gamma(dt);
+            assert!((0.0..=1.0).contains(&g), "dt={dt}: gamma={g}");
+            let _ = amplitude_damping(g);
+        }
+        assert_eq!(d.phase_flip(20.0), 0.0);
     }
 }

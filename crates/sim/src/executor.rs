@@ -1,4 +1,10 @@
 //! Executes schedule plans under the ZZ-crosstalk and decoherence model.
+//!
+//! These entry points are thin wrappers over the precompiled programs of
+//! [`crate::program`]: each call compiles a [`PlanProgram`] or
+//! [`TrajectoryProgram`] and runs it once. When one plan is executed many
+//! times (disorder averages, trajectory fans, sweeps), compile the program
+//! yourself and reuse it — that is where the engine's speed comes from.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -8,7 +14,8 @@ use zz_linalg::Matrix;
 use zz_sched::{GateDurations, Layer, SchedulePlan};
 use zz_topology::Topology;
 
-use crate::density::{amplitude_damping, dephasing, Decoherence, DensityMatrix};
+use crate::density::{amplitude_damping, dephasing, Decoherence, DensityMatrix, EXACT_MAX_QUBITS};
+use crate::program::{PlanProgram, TrajectoryProgram};
 use crate::StateVector;
 
 /// Cross-region residual factors per pulse kind: the fraction of `λ` that
@@ -96,7 +103,7 @@ impl ZzErrorModel {
 
 /// The residual factor of the pulse on qubit `q` in this layer (1.0 when
 /// the qubit carries no pulse).
-fn qubit_residual(layer: &Layer, q: usize, table: &ResidualTable) -> f64 {
+pub(crate) fn qubit_residual(layer: &Layer, q: usize, table: &ResidualTable) -> f64 {
     for op in &layer.ops {
         match *op {
             NativeOp::X90 { qubit } if qubit == q => return table.x90,
@@ -111,7 +118,7 @@ fn qubit_residual(layer: &Layer, q: usize, table: &ResidualTable) -> f64 {
 
 /// Effective residual on a suppressed (cross-region) coupling: the factor
 /// of whichever endpoint carries the pulse.
-fn coupling_residual(layer: &Layer, u: usize, v: usize, table: &ResidualTable) -> f64 {
+pub(crate) fn coupling_residual(layer: &Layer, u: usize, v: usize, table: &ResidualTable) -> f64 {
     if layer.pulsed[u] {
         qubit_residual(layer, u, table)
     } else {
@@ -119,27 +126,11 @@ fn coupling_residual(layer: &Layer, u: usize, v: usize, table: &ResidualTable) -
     }
 }
 
-fn apply_layer_gates(sv: &mut StateVector, layer: &Layer) {
-    for &(q, theta) in &layer.rz_before {
-        sv.apply_rz(theta, q);
-    }
-    for op in &layer.ops {
-        match *op {
-            NativeOp::Rz { qubit, theta } => sv.apply_rz(theta, qubit),
-            NativeOp::X90 { qubit } => sv.apply_single(&zz_quantum::gates::x90(), qubit),
-            NativeOp::Zx90 { control, target } => {
-                sv.apply_two(&zz_quantum::gates::zx90(), control, target)
-            }
-            NativeOp::Id { .. } => {}
-        }
-    }
-}
-
 /// Couplings that host a two-qubit gate in this layer. Their static ZZ is
 /// part of the Hamiltonian the gate pulse is calibrated against — the paper
 /// dresses it into the target `Ũ₂` (Sec 4.2) — so it is not charged as an
 /// error during the gate.
-fn driven_couplings(layer: &Layer, topo: &Topology) -> Vec<bool> {
+pub(crate) fn driven_couplings(layer: &Layer, topo: &Topology) -> Vec<bool> {
     let mut driven = vec![false; topo.coupling_count()];
     for op in &layer.ops {
         if let NativeOp::Zx90 { control, target } = *op {
@@ -151,56 +142,24 @@ fn driven_couplings(layer: &Layer, topo: &Topology) -> Vec<bool> {
     driven
 }
 
-fn apply_layer_zz(
-    sv: &mut StateVector,
-    layer: &Layer,
-    topo: &Topology,
-    model: &ZzErrorModel,
-    duration: f64,
-) {
-    let driven = driven_couplings(layer, topo);
-    for (e, &(u, v)) in topo.couplings().iter().enumerate() {
-        if driven[e] {
-            continue;
-        }
-        let factor = if layer.metrics.suppressed[e] {
-            coupling_residual(layer, u, v, &model.residuals)
-        } else {
-            1.0
-        };
-        let phi = model.lambdas[e] * factor * duration;
-        sv.apply_zz_phase(phi, u, v);
-    }
-}
-
 /// Runs the plan with no errors at all — the ideal reference state.
+///
+/// Wrapper over [`PlanProgram::ideal`]; compile the program yourself to
+/// reuse the ideal state across many noisy comparisons.
 pub fn run_ideal(plan: &SchedulePlan) -> StateVector {
-    let mut sv = StateVector::zero(plan.qubit_count());
-    for layer in &plan.layers {
-        apply_layer_gates(&mut sv, layer);
-    }
-    for &(q, theta) in &plan.final_rz {
-        sv.apply_rz(theta, q);
-    }
-    sv
+    PlanProgram::ideal(plan).run()
 }
 
 /// Runs the plan under ZZ crosstalk only (deterministic).
+///
+/// Wrapper over [`PlanProgram::compile`] + [`PlanProgram::run`].
 pub fn run_with_zz(
     plan: &SchedulePlan,
     topo: &Topology,
     model: &ZzErrorModel,
     durations: &GateDurations,
 ) -> StateVector {
-    let mut sv = StateVector::zero(plan.qubit_count());
-    for layer in &plan.layers {
-        apply_layer_gates(&mut sv, layer);
-        apply_layer_zz(&mut sv, layer, topo, model, layer.duration(durations));
-    }
-    for &(q, theta) in &plan.final_rz {
-        sv.apply_rz(theta, q);
-    }
-    sv
+    PlanProgram::compile(plan, topo, model, durations).run()
 }
 
 /// Fidelity of the ZZ-noisy output against the ideal output — the metric of
@@ -217,6 +176,9 @@ pub fn fidelity_under_zz(
 /// One Monte-Carlo trajectory: ZZ phases exactly, decoherence by sampling
 /// Kraus operators per qubit per layer (an exact unraveling of the
 /// amplitude-damping + dephasing channel).
+///
+/// Wrapper over [`TrajectoryProgram::compile`] + [`TrajectoryProgram::run`];
+/// compile the program yourself when running more than one trajectory.
 pub fn run_trajectory(
     plan: &SchedulePlan,
     topo: &Topology,
@@ -225,54 +187,16 @@ pub fn run_trajectory(
     durations: &GateDurations,
     rng: &mut StdRng,
 ) -> StateVector {
-    let n = plan.qubit_count();
-    let mut sv = StateVector::zero(n);
-    for layer in &plan.layers {
-        apply_layer_gates(&mut sv, layer);
-        let dt = layer.duration(durations);
-        apply_layer_zz(&mut sv, layer, topo, model, dt);
-        let gamma = deco.gamma(dt);
-        let p_flip = deco.phase_flip(dt);
-        for q in 0..n {
-            sample_amplitude_damping(&mut sv, q, gamma, rng);
-            sample_dephasing(&mut sv, q, p_flip, rng);
-        }
-    }
-    for &(q, theta) in &plan.final_rz {
-        sv.apply_rz(theta, q);
-    }
-    sv
-}
-
-fn sample_amplitude_damping(sv: &mut StateVector, q: usize, gamma: f64, rng: &mut StdRng) {
-    if gamma == 0.0 {
-        return;
-    }
-    let p_excited = sv.excited_population(q);
-    let p_jump = gamma * p_excited;
-    let kraus = amplitude_damping(gamma);
-    let chosen = if rng.gen_range(0.0..1.0) < p_jump {
-        &kraus[1]
-    } else {
-        &kraus[0]
-    };
-    sv.apply_single(chosen, q);
-    sv.normalize();
-}
-
-fn sample_dephasing(sv: &mut StateVector, q: usize, p: f64, rng: &mut StdRng) {
-    if p == 0.0 {
-        return;
-    }
-    if rng.gen_range(0.0..1.0) < p {
-        sv.apply_single(&zz_quantum::pauli::Pauli::Z.matrix(), q);
-    }
-    // Both branches of dephasing are proportional to unitaries, so no
-    // renormalization is needed.
+    TrajectoryProgram::compile(plan, topo, model, deco, durations).run(rng)
 }
 
 /// Mean fidelity against the ideal output over `trajectories` Monte-Carlo
 /// runs — the metric of the paper's Figure 23.
+///
+/// Trajectories fan out over all available cores; results are
+/// bit-identical for any thread count (deterministic per-trajectory seed
+/// derivation, ordered reduction). Use
+/// [`fidelity_with_decoherence_threads`] to pick the pool width.
 pub fn fidelity_with_decoherence(
     plan: &SchedulePlan,
     topo: &Topology,
@@ -282,14 +206,40 @@ pub fn fidelity_with_decoherence(
     trajectories: usize,
     seed: u64,
 ) -> f64 {
-    let ideal = run_ideal(plan);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut total = 0.0;
-    for _ in 0..trajectories {
-        let out = run_trajectory(plan, topo, model, deco, durations, &mut rng);
-        total += ideal.fidelity(&out);
-    }
-    total / trajectories as f64
+    fidelity_with_decoherence_threads(
+        plan,
+        topo,
+        model,
+        deco,
+        durations,
+        trajectories,
+        seed,
+        crate::pool::default_threads(),
+    )
+}
+
+/// [`fidelity_with_decoherence`] with an explicit thread count.
+///
+/// The plan is precompiled once ([`TrajectoryProgram`]) and shared by all
+/// trajectories; the ideal reference state is computed once.
+#[allow(clippy::too_many_arguments)] // mirrors fidelity_with_decoherence + threads
+pub fn fidelity_with_decoherence_threads(
+    plan: &SchedulePlan,
+    topo: &Topology,
+    model: &ZzErrorModel,
+    deco: &Decoherence,
+    durations: &GateDurations,
+    trajectories: usize,
+    seed: u64,
+    threads: usize,
+) -> f64 {
+    let ideal = PlanProgram::ideal(plan).run();
+    TrajectoryProgram::compile(plan, topo, model, deco, durations).mean_fidelity(
+        &ideal,
+        trajectories,
+        seed,
+        threads,
+    )
 }
 
 /// Exact density-matrix execution (small registers): ZZ phases plus the
@@ -303,8 +253,8 @@ pub fn run_density(
 ) -> DensityMatrix {
     let n = plan.qubit_count();
     assert!(
-        n <= 8,
-        "density-matrix execution is limited to small registers"
+        n <= EXACT_MAX_QUBITS,
+        "density-matrix execution is limited to {EXACT_MAX_QUBITS} qubits (got {n})"
     );
     let mut dm = DensityMatrix::zero(n);
     for layer in &plan.layers {

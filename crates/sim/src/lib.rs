@@ -13,8 +13,16 @@
 //!   (see `DESIGN.md`, substitution 2).
 //! * **Decoherence** — amplitude damping (`T1`) and pure dephasing (from
 //!   `T2`) per qubit per layer, simulated exactly on density matrices
-//!   ([`density`]) and by Monte-Carlo trajectory unraveling on state
-//!   vectors ([`executor`]) for registers too large for density matrices.
+//!   ([`density`], up to [`density::EXACT_MAX_QUBITS`] qubits) and by
+//!   Monte-Carlo trajectory unraveling on state vectors ([`executor`])
+//!   for larger registers.
+//!
+//! Execution goes through precompiled programs ([`program`]): a plan is
+//! resolved once into fused phase diagonals and branch-free gate kernels,
+//! then replayed — deterministically ([`program::PlanProgram`]) or as
+//! parallel Monte-Carlo trajectories with thread-count-independent
+//! results ([`program::TrajectoryProgram`]). The [`executor`] functions
+//! are one-shot wrappers over those programs.
 //!
 //! # Example
 //!
@@ -37,6 +45,8 @@
 
 pub mod density;
 pub mod executor;
+mod pool;
+pub mod program;
 pub mod statevector;
 
 pub use statevector::StateVector;

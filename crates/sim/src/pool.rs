@@ -1,0 +1,62 @@
+//! A small order-preserving scoped-thread pool for Monte-Carlo fan-out.
+//!
+//! This is the worker-pool idiom of `zz_core::batch::parallel_map`,
+//! duplicated here because `zz_core` depends on this crate (the dependency
+//! arrow cannot be reversed). Trajectory results are written back into
+//! their input slots, so the output order — and therefore any sequential
+//! reduction over it — is independent of the thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(0..count)` on up to `threads` OS threads, preserving input
+/// order in the output. With `threads <= 1` (or a single item) the work
+/// runs inline on the calling thread — same results, no spawn overhead.
+pub(crate) fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(
+    count: usize,
+    threads: usize,
+    f: F,
+) -> Vec<T> {
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<&mut Option<T>>> = results.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(count) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let value = f(i);
+                **slots[i].lock().expect("no poisoned slots") = Some(value);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index computed"))
+        .collect()
+}
+
+/// The pool width used when callers don't pick one: every available core.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_at_any_width() {
+        for threads in [1, 2, 8] {
+            let out = parallel_map(37, threads, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+}

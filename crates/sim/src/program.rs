@@ -1,0 +1,657 @@
+//! Precompiled execution programs for schedule plans.
+//!
+//! The straight-line executor recomputes a lot of invariant work on every
+//! run: which couplings a layer drives, which residual factor each
+//! suppressed coupling picks up (an `O(ops)` scan per coupling), the gate
+//! matrices (allocated per application), the per-layer durations, and —
+//! worst of all — one full `O(2^n)` amplitude sweep *per coupling per
+//! layer* for the ZZ phases. A [`PlanProgram`] resolves all of that once
+//! per `(SchedulePlan, Topology, ZzErrorModel, GateDurations)` tuple:
+//!
+//! * every layer's undriven-coupling ZZ phases and the adjacent virtual
+//!   rotations are **fused into a single diagonal** — one `O(2^n)` pass
+//!   per layer (tabulated as `2^n` phases for registers up to
+//!   [`DIAG_TABLE_MAX_QUBITS`] qubits, evaluated on the fly above that),
+//! * gate matrices are resolved to branch-free statevector kernels with
+//!   precomputed bit masks,
+//! * the [`TrajectoryProgram`] variant additionally precomputes per-layer
+//!   decoherence probabilities and samples Kraus jumps with analytic
+//!   renormalization (no separate norm pass), and fans trajectories out
+//!   over a scoped-thread pool with **deterministic per-trajectory
+//!   seeds**, so Monte-Carlo results are bit-identical regardless of the
+//!   thread count.
+//!
+//! The legacy entry points in [`crate::executor`] are thin wrappers over
+//! these programs; compile a program directly whenever one plan is run
+//! more than once (disorder averages, trajectory fans, parameter sweeps).
+//!
+//! # Example
+//!
+//! ```
+//! use zz_circuit::{bench, native::compile_to_native, route};
+//! use zz_sched::{par_schedule, GateDurations};
+//! use zz_sim::executor::ZzErrorModel;
+//! use zz_sim::program::PlanProgram;
+//! use zz_topology::Topology;
+//!
+//! let topo = Topology::grid(2, 2);
+//! let circuit = bench::generate(bench::BenchmarkKind::Qft, 4, 1);
+//! let native = compile_to_native(&route(&circuit, &topo));
+//! let plan = par_schedule(&topo, &native);
+//!
+//! let ideal = PlanProgram::ideal(&plan).run();
+//! let model = ZzErrorModel::uniform(&topo, zz_sim::khz(200.0));
+//! let noisy = PlanProgram::compile(&plan, &topo, &model, &GateDurations::standard());
+//! // The program is reusable: every `run()` replays the precompiled steps.
+//! let f = ideal.fidelity(&noisy.run());
+//! assert!(f > 0.0 && f <= 1.0 + 1e-9);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use zz_circuit::native::NativeOp;
+use zz_linalg::{c64, Matrix};
+use zz_sched::{GateDurations, Layer, SchedulePlan};
+use zz_topology::Topology;
+
+use crate::density::Decoherence;
+use crate::executor::{coupling_residual, driven_couplings, ZzErrorModel};
+use crate::pool::parallel_map;
+use crate::StateVector;
+
+/// Largest register whose fused layer diagonals are tabulated as dense
+/// `2^n` complex tables (16 qubits = 1 MiB per layer). Larger registers
+/// evaluate the fused phase terms on the fly — still one pass per layer,
+/// but with an `O(terms)` phase sum per amplitude instead of a lookup.
+pub const DIAG_TABLE_MAX_QUBITS: usize = 16;
+
+/// One resolved gate application: matrix entries unpacked into a fixed
+/// array and qubit indices pre-translated to amplitude bit masks.
+#[derive(Clone, Debug)]
+enum GateApp {
+    /// A virtual rotation that survived among the layer's ops.
+    Rz { q: usize, theta: f64 },
+    /// A single-qubit pulse.
+    Single { mask: usize, m: [c64; 4] },
+    /// A two-qubit pulse; `ba` is the gate's most significant factor.
+    Two { ba: usize, bb: usize, m: [c64; 16] },
+}
+
+impl GateApp {
+    #[inline]
+    fn apply(&self, sv: &mut StateVector) {
+        match self {
+            GateApp::Rz { q, theta } => sv.apply_rz(*theta, *q),
+            GateApp::Single { mask, m } => sv.kernel_single(m, *mask),
+            GateApp::Two { ba, bb, m } => sv.kernel_two(m, *ba, *bb),
+        }
+    }
+}
+
+/// A fused diagonal: the sum of a set of commuting Rz and ZZ phases,
+/// applied in one amplitude sweep.
+#[derive(Clone, Debug)]
+struct Diag {
+    /// `(mask, θ/2)` — adds `+θ/2` where the bit is set, `−θ/2` where
+    /// it is clear (the `diag(e^{−iθ/2}, e^{iθ/2})` convention of
+    /// [`StateVector::apply_rz`]).
+    rz: Vec<(usize, f64)>,
+    /// `(mask_u, mask_v, φ)` — adds `−φ` where the two bits agree, `+φ`
+    /// where they differ ([`StateVector::apply_zz_phase`]).
+    zz: Vec<(usize, usize, f64)>,
+    /// Dense `e^{i·phase}` table for small registers.
+    table: Option<Vec<c64>>,
+}
+
+impl Diag {
+    /// Builds a fused diagonal, or `None` when there is nothing to apply.
+    fn build(n: usize, rz: Vec<(usize, f64)>, zz: Vec<(usize, usize, f64)>) -> Option<Diag> {
+        if rz.is_empty() && zz.is_empty() {
+            return None;
+        }
+        let mut diag = Diag {
+            rz,
+            zz,
+            table: None,
+        };
+        if n <= DIAG_TABLE_MAX_QUBITS {
+            diag.table = Some(diag.build_table(1usize << n));
+        }
+        Some(diag)
+    }
+
+    /// Tabulates the fused diagonal multiplicatively: each term contributes
+    /// a two-valued `e^{±iφ}` pattern, folded in with strided branch-free
+    /// passes (only 2 `cis` evaluations per term — no per-entry sin/cos).
+    /// The first term initializes the table outright, so an `m`-term
+    /// diagonal costs `m − 1` multiply passes plus one fill.
+    fn build_table(&self, size: usize) -> Vec<c64> {
+        let mut table = vec![c64::ONE; size];
+        let mut started = false;
+        for &(mask, half) in &self.rz {
+            let (lo, hi) = (c64::cis(-half), c64::cis(half));
+            let block = mask << 1;
+            let mut base = 0;
+            while base < size {
+                if started {
+                    for t in &mut table[base..base + mask] {
+                        *t *= lo;
+                    }
+                    for t in &mut table[base + mask..base + block] {
+                        *t *= hi;
+                    }
+                } else {
+                    table[base..base + mask].fill(lo);
+                    table[base + mask..base + block].fill(hi);
+                }
+                base += block;
+            }
+            started = true;
+        }
+        for &(mu, mv, phi) in &self.zz {
+            let factors = [c64::cis(-phi), c64::cis(phi)];
+            if started {
+                for (i, t) in table.iter_mut().enumerate() {
+                    let differ = ((i & mu != 0) != (i & mv != 0)) as usize;
+                    *t *= factors[differ];
+                }
+            } else {
+                for (i, t) in table.iter_mut().enumerate() {
+                    let differ = ((i & mu != 0) != (i & mv != 0)) as usize;
+                    *t = factors[differ];
+                }
+                started = true;
+            }
+        }
+        table
+    }
+
+    /// Total phase accumulated by basis state `i`.
+    fn phase_at(&self, i: usize) -> f64 {
+        let mut phase = 0.0;
+        for &(mask, half) in &self.rz {
+            phase += if i & mask != 0 { half } else { -half };
+        }
+        for &(mu, mv, phi) in &self.zz {
+            let same = (i & mu == 0) == (i & mv == 0);
+            phase += if same { -phi } else { phi };
+        }
+        phase
+    }
+
+    /// Applies the diagonal in a single sweep.
+    fn apply(&self, sv: &mut StateVector) {
+        match &self.table {
+            Some(table) => sv.apply_diagonal(table),
+            None => {
+                for (i, a) in sv.amps_mut().iter_mut().enumerate() {
+                    *a *= c64::cis(self.phase_at(i));
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn mask_of(n: usize, q: usize) -> usize {
+    1usize << (n - 1 - q)
+}
+
+fn mat4(m: &Matrix) -> [c64; 4] {
+    let s = m.as_slice();
+    [s[0], s[1], s[2], s[3]]
+}
+
+fn mat16(m: &Matrix) -> [c64; 16] {
+    let mut out = [c64::ZERO; 16];
+    out.copy_from_slice(m.as_slice());
+    out
+}
+
+/// Resolves a layer's physical ops to kernels (identity pulses vanish —
+/// they only matter for suppression bookkeeping, already folded into the
+/// layer's metrics).
+fn resolve_gates(n: usize, layer: &Layer, x90: &[c64; 4], zx90: &[c64; 16]) -> Vec<GateApp> {
+    let mut gates = Vec::with_capacity(layer.ops.len());
+    for op in &layer.ops {
+        match *op {
+            NativeOp::Rz { qubit, theta } => gates.push(GateApp::Rz { q: qubit, theta }),
+            NativeOp::X90 { qubit } => gates.push(GateApp::Single {
+                mask: mask_of(n, qubit),
+                m: *x90,
+            }),
+            NativeOp::Zx90 { control, target } => gates.push(GateApp::Two {
+                ba: mask_of(n, control),
+                bb: mask_of(n, target),
+                m: *zx90,
+            }),
+            NativeOp::Id { .. } => {}
+        }
+    }
+    gates
+}
+
+/// Converts `(qubit, θ)` rotations to `(mask, θ/2)` phase terms, dropping
+/// exact zeros (which the executor's `apply_rz` applies as exactly 1).
+fn rz_terms(n: usize, rz: &[(usize, f64)]) -> Vec<(usize, f64)> {
+    rz.iter()
+        .filter(|&&(_, theta)| theta != 0.0)
+        .map(|&(q, theta)| (mask_of(n, q), theta / 2.0))
+        .collect()
+}
+
+/// The layer's undriven-coupling ZZ phase terms: residual factors are
+/// resolved here, once per program, instead of once per coupling per run.
+fn zz_terms(
+    n: usize,
+    layer: &Layer,
+    topo: &Topology,
+    model: &ZzErrorModel,
+    duration: f64,
+) -> Vec<(usize, usize, f64)> {
+    let driven = driven_couplings(layer, topo);
+    let mut terms = Vec::new();
+    for (e, &(u, v)) in topo.couplings().iter().enumerate() {
+        if driven[e] {
+            continue;
+        }
+        let factor = if layer.metrics.suppressed[e] {
+            coupling_residual(layer, u, v, &model.residuals)
+        } else {
+            1.0
+        };
+        let phi = model.lambdas[e] * factor * duration;
+        if phi != 0.0 {
+            terms.push((mask_of(n, u), mask_of(n, v), phi));
+        }
+    }
+    terms
+}
+
+/// One precompiled layer of a [`PlanProgram`]: the fused pre-gate diagonal
+/// (this layer's virtual rotations plus the *previous* layer's ZZ phases,
+/// which are adjacent commuting diagonals in the deterministic run) and
+/// the layer's resolved gate kernels.
+#[derive(Clone, Debug)]
+pub struct LayerProgram {
+    pre: Option<Diag>,
+    gates: Vec<GateApp>,
+}
+
+/// A deterministic execution program: the whole plan resolved to a flat
+/// sequence of fused diagonals and gate kernels. Compile once, [`run`]
+/// many times.
+///
+/// [`run`]: PlanProgram::run
+#[derive(Clone, Debug)]
+pub struct PlanProgram {
+    n: usize,
+    layers: Vec<LayerProgram>,
+    /// Trailing diagonal: the last layer's ZZ phases plus the plan's
+    /// final virtual rotations.
+    tail: Option<Diag>,
+}
+
+impl PlanProgram {
+    /// Precompiles the error-free reference program (no ZZ phases at all).
+    pub fn ideal(plan: &SchedulePlan) -> Self {
+        Self::build(plan, None)
+    }
+
+    /// Precompiles the plan under the given ZZ-crosstalk model: driven
+    /// couplings, residual factors, layer durations and fused phase
+    /// diagonals are all resolved here, never during [`run`](Self::run).
+    pub fn compile(
+        plan: &SchedulePlan,
+        topo: &Topology,
+        model: &ZzErrorModel,
+        durations: &GateDurations,
+    ) -> Self {
+        Self::build(plan, Some((topo, model, durations)))
+    }
+
+    fn build(
+        plan: &SchedulePlan,
+        noise: Option<(&Topology, &ZzErrorModel, &GateDurations)>,
+    ) -> Self {
+        let n = plan.qubit_count();
+        let x90 = mat4(&zz_quantum::gates::x90());
+        let zx90 = mat16(&zz_quantum::gates::zx90());
+        let mut layers = Vec::with_capacity(plan.layers.len());
+        // ZZ phases of the previous layer, carried forward into the next
+        // layer's pre-gate diagonal (diagonals commute, so fusing across
+        // the layer boundary is exact).
+        let mut carry: Vec<(usize, usize, f64)> = Vec::new();
+        for layer in &plan.layers {
+            let pre = Diag::build(n, rz_terms(n, &layer.rz_before), std::mem::take(&mut carry));
+            let gates = resolve_gates(n, layer, &x90, &zx90);
+            if let Some((topo, model, durations)) = noise {
+                carry = zz_terms(n, layer, topo, model, layer.duration(durations));
+            }
+            layers.push(LayerProgram { pre, gates });
+        }
+        let tail = Diag::build(n, rz_terms(n, &plan.final_rz), carry);
+        PlanProgram { n, layers, tail }
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.n
+    }
+
+    /// The precompiled layers.
+    pub fn layers(&self) -> &[LayerProgram] {
+        &self.layers
+    }
+
+    /// Executes the program from `|0…0⟩`.
+    pub fn run(&self) -> StateVector {
+        let mut sv = StateVector::zero(self.n);
+        for layer in &self.layers {
+            if let Some(diag) = &layer.pre {
+                diag.apply(&mut sv);
+            }
+            for gate in &layer.gates {
+                gate.apply(&mut sv);
+            }
+        }
+        if let Some(diag) = &self.tail {
+            diag.apply(&mut sv);
+        }
+        sv
+    }
+}
+
+/// One precompiled Monte-Carlo layer: unlike the deterministic layout, the
+/// ZZ diagonal must stay inside its own layer (amplitude-damping jumps do
+/// not commute with diagonals), and the decoherence probabilities are
+/// resolved per layer.
+#[derive(Clone, Debug)]
+struct TrajLayer {
+    rz: Option<Diag>,
+    gates: Vec<GateApp>,
+    zz: Option<Diag>,
+    /// Amplitude-damping probability over this layer's duration.
+    gamma: f64,
+    /// `√(1−γ)` — the no-jump Kraus factor on excited amplitudes.
+    sqrt_keep: f64,
+    /// Phase-flip probability over this layer's duration.
+    p_flip: f64,
+}
+
+/// A Monte-Carlo trajectory program: the plan resolved as in
+/// [`PlanProgram`], plus per-layer decoherence probabilities. One compiled
+/// program serves every trajectory — and is `Sync`, so trajectories fan
+/// out over threads against shared precompiled state.
+#[derive(Clone, Debug)]
+pub struct TrajectoryProgram {
+    n: usize,
+    layers: Vec<TrajLayer>,
+    /// The plan's final virtual rotations.
+    tail: Option<Diag>,
+}
+
+impl TrajectoryProgram {
+    /// Precompiles the plan under ZZ crosstalk and decoherence.
+    pub fn compile(
+        plan: &SchedulePlan,
+        topo: &Topology,
+        model: &ZzErrorModel,
+        deco: &Decoherence,
+        durations: &GateDurations,
+    ) -> Self {
+        let n = plan.qubit_count();
+        let x90 = mat4(&zz_quantum::gates::x90());
+        let zx90 = mat16(&zz_quantum::gates::zx90());
+        let layers = plan
+            .layers
+            .iter()
+            .map(|layer| {
+                let dt = layer.duration(durations);
+                let gamma = deco.gamma(dt);
+                TrajLayer {
+                    rz: Diag::build(n, rz_terms(n, &layer.rz_before), Vec::new()),
+                    gates: resolve_gates(n, layer, &x90, &zx90),
+                    zz: Diag::build(n, Vec::new(), zz_terms(n, layer, topo, model, dt)),
+                    gamma,
+                    sqrt_keep: (1.0 - gamma).sqrt(),
+                    p_flip: deco.phase_flip(dt),
+                }
+            })
+            .collect();
+        let tail = Diag::build(n, rz_terms(n, &plan.final_rz), Vec::new());
+        TrajectoryProgram { n, layers, tail }
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.n
+    }
+
+    /// Runs one trajectory: ZZ phases exactly, decoherence by sampling
+    /// Kraus operators per qubit per layer (an exact unraveling of the
+    /// amplitude-damping + dephasing channel).
+    pub fn run(&self, rng: &mut StdRng) -> StateVector {
+        let mut sv = StateVector::zero(self.n);
+        for layer in &self.layers {
+            if let Some(diag) = &layer.rz {
+                diag.apply(&mut sv);
+            }
+            for gate in &layer.gates {
+                gate.apply(&mut sv);
+            }
+            if let Some(diag) = &layer.zz {
+                diag.apply(&mut sv);
+            }
+            for q in 0..self.n {
+                sample_amplitude_damping(&mut sv, q, layer.gamma, layer.sqrt_keep, rng);
+                sample_dephasing(&mut sv, q, layer.p_flip, rng);
+            }
+        }
+        if let Some(diag) = &self.tail {
+            diag.apply(&mut sv);
+        }
+        sv
+    }
+
+    /// Mean fidelity against `ideal` over `trajectories` Monte-Carlo runs,
+    /// fanned out over up to `threads` OS threads.
+    ///
+    /// Trajectory `i` draws from its own generator seeded by
+    /// [`trajectory_seed`]`(seed, i)`, and per-trajectory fidelities are
+    /// reduced in trajectory order — the result is **bit-identical for any
+    /// thread count**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trajectories` is zero.
+    pub fn mean_fidelity(
+        &self,
+        ideal: &StateVector,
+        trajectories: usize,
+        seed: u64,
+        threads: usize,
+    ) -> f64 {
+        assert!(trajectories > 0, "at least one trajectory is required");
+        let fidelities = parallel_map(trajectories, threads, |i| {
+            let mut rng = StdRng::seed_from_u64(trajectory_seed(seed, i));
+            ideal.fidelity(&self.run(&mut rng))
+        });
+        fidelities.iter().sum::<f64>() / trajectories as f64
+    }
+}
+
+/// Derives the RNG seed of trajectory `index` from the fan's base seed —
+/// a SplitMix64-style mix, so per-trajectory streams are decorrelated and
+/// independent of how trajectories are distributed over threads.
+pub fn trajectory_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples the amplitude-damping channel on qubit `q` and renormalizes
+/// analytically: the post-Kraus norm is known in closed form
+/// (`1 − γ·p_exc` for the no-jump branch, `γ·p_exc` for the jump), so no
+/// norm sweep is needed.
+fn sample_amplitude_damping(
+    sv: &mut StateVector,
+    q: usize,
+    gamma: f64,
+    sqrt_keep: f64,
+    rng: &mut StdRng,
+) {
+    if gamma == 0.0 {
+        return;
+    }
+    let p_excited = sv.excited_population(q);
+    let mask = sv.qubit_mask(q);
+    let block = mask << 1;
+    let amps = sv.amps_mut();
+    if rng.gen_range(0.0..1.0) < gamma * p_excited {
+        // Jump: K₁ maps |1⟩ → |0⟩; normalized by √(γ·p_exc), the γ cancels.
+        let scale = 1.0 / p_excited.sqrt();
+        let mut base = 0;
+        while base < amps.len() {
+            for i in base..base + mask {
+                let j = i | mask;
+                amps[i] = amps[j] * scale;
+                amps[j] = c64::ZERO;
+            }
+            base += block;
+        }
+    } else {
+        // No jump: K₀ = diag(1, √(1−γ)), normalized by √(1 − γ·p_exc).
+        let inv_norm = 1.0 / (1.0 - gamma * p_excited).sqrt();
+        let keep = sqrt_keep * inv_norm;
+        let mut base = 0;
+        while base < amps.len() {
+            for i in base..base + mask {
+                let j = i | mask;
+                amps[i] = amps[i] * inv_norm;
+                amps[j] = amps[j] * keep;
+            }
+            base += block;
+        }
+    }
+}
+
+/// Samples the dephasing channel on qubit `q`: with probability `p` apply
+/// `Z` (both branches are proportional to unitaries — no renormalization).
+fn sample_dephasing(sv: &mut StateVector, q: usize, p: f64, rng: &mut StdRng) {
+    if p == 0.0 {
+        return;
+    }
+    if rng.gen_range(0.0..1.0) < p {
+        let mask = sv.qubit_mask(q);
+        let block = mask << 1;
+        let amps = sv.amps_mut();
+        let mut base = mask;
+        while base < amps.len() {
+            for a in &mut amps[base..base + mask] {
+                *a = -*a;
+            }
+            base += block;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zz_circuit::native::compile_to_native;
+    use zz_circuit::{bench, route};
+    use zz_sched::{zzx::ZzxConfig, zzx_schedule};
+
+    fn qaoa_plan(topo: &Topology) -> SchedulePlan {
+        let c = bench::generate(bench::BenchmarkKind::Qaoa, topo.qubit_count(), 9);
+        let native = compile_to_native(&route(&c, topo));
+        zzx_schedule(topo, &native, &ZzxConfig::paper_default(topo))
+    }
+
+    #[test]
+    fn diag_table_and_terms_paths_agree() {
+        let n = 4;
+        let rz = vec![(mask_of(n, 1), 0.35), (mask_of(n, 3), -0.8)];
+        let zz = vec![(mask_of(n, 0), mask_of(n, 2), 0.21)];
+        let tabulated = Diag::build(n, rz.clone(), zz.clone()).unwrap();
+        assert!(tabulated.table.is_some());
+        let mut on_the_fly = tabulated.clone();
+        on_the_fly.table = None;
+
+        let mut a = StateVector::zero(n);
+        for q in 0..n {
+            a.apply_single(&zz_quantum::gates::h(), q);
+        }
+        let mut b = a.clone();
+        tabulated.apply(&mut a);
+        on_the_fly.apply(&mut b);
+        let diff: f64 = a
+            .amplitudes()
+            .iter()
+            .zip(b.amplitudes())
+            .map(|(&x, &y)| (x - y).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-15, "table vs terms diverged by {diff}");
+    }
+
+    #[test]
+    fn empty_diag_is_elided() {
+        assert!(Diag::build(3, Vec::new(), Vec::new()).is_none());
+        assert!(Diag::build(3, vec![(1, 0.1)], Vec::new()).is_some());
+    }
+
+    #[test]
+    fn ideal_program_matches_plan_unitary() {
+        let topo = Topology::grid(2, 2);
+        let plan = qaoa_plan(&topo);
+        let sv = PlanProgram::ideal(&plan).run();
+        let direct = plan
+            .unitary()
+            .mul_vec(&zz_quantum::states::zero_state(plan.qubit_count()));
+        let f = sv.to_vector().fidelity(&direct.normalized());
+        assert!(f > 1.0 - 1e-10, "fidelity {f}");
+    }
+
+    #[test]
+    fn trajectory_with_no_decoherence_matches_deterministic_run() {
+        let topo = Topology::grid(2, 3);
+        let plan = qaoa_plan(&topo);
+        let model = ZzErrorModel::uniform(&topo, crate::khz(200.0)).with_residual(0.05);
+        let d = GateDurations::standard();
+        // Huge T1/T2 ⇒ γ and p are numerically 0 ⇒ no random draws at all.
+        let deco = Decoherence::new(f64::INFINITY, f64::INFINITY);
+        let det = PlanProgram::compile(&plan, &topo, &model, &d).run();
+        let mut rng = StdRng::seed_from_u64(3);
+        let traj = TrajectoryProgram::compile(&plan, &topo, &model, &deco, &d).run(&mut rng);
+        assert!(det.fidelity(&traj) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn mean_fidelity_is_thread_count_invariant() {
+        let topo = Topology::grid(2, 2);
+        let plan = qaoa_plan(&topo);
+        let model = ZzErrorModel::uniform(&topo, crate::khz(200.0));
+        let deco = Decoherence::equal_us(50.0);
+        let program =
+            TrajectoryProgram::compile(&plan, &topo, &model, &deco, &GateDurations::standard());
+        let ideal = PlanProgram::ideal(&plan).run();
+        let f1 = program.mean_fidelity(&ideal, 16, 7, 1);
+        let f2 = program.mean_fidelity(&ideal, 16, 7, 2);
+        let f8 = program.mean_fidelity(&ideal, 16, 7, 8);
+        assert_eq!(f1.to_bits(), f2.to_bits());
+        assert_eq!(f1.to_bits(), f8.to_bits());
+    }
+
+    #[test]
+    fn trajectory_seeds_are_decorrelated() {
+        let a = trajectory_seed(7, 0);
+        let b = trajectory_seed(7, 1);
+        let c = trajectory_seed(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, trajectory_seed(7, 0));
+    }
+}

@@ -105,8 +105,21 @@ impl StateVector {
     }
 
     #[inline]
-    fn bit(&self, q: usize) -> usize {
+    pub(crate) fn bit(&self, q: usize) -> usize {
         self.n - 1 - q
+    }
+
+    /// The amplitude-index bit mask of qubit `q` under the workspace bit
+    /// convention (qubit 0 is the most significant bit).
+    #[inline]
+    pub(crate) fn qubit_mask(&self, q: usize) -> usize {
+        1usize << self.bit(q)
+    }
+
+    /// Mutable amplitude access for the crate's fused kernels.
+    #[inline]
+    pub(crate) fn amps_mut(&mut self) -> &mut [c64] {
+        &mut self.amps
     }
 
     /// Applies a single-qubit gate to qubit `q`.
@@ -117,15 +130,23 @@ impl StateVector {
     pub fn apply_single(&mut self, m: &Matrix, q: usize) {
         assert_eq!(m.rows(), 2, "apply_single expects a 2x2 matrix");
         assert!(q < self.n, "qubit {q} out of range");
-        let mask = 1usize << self.bit(q);
-        let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
-        for i in 0..self.amps.len() {
-            if i & mask == 0 {
+        let mk = [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]];
+        self.kernel_single(&mk, self.qubit_mask(q));
+    }
+
+    /// Branch-free single-qubit kernel: strides over exactly the
+    /// `2^(n-1)` amplitude pairs split by `mask` (row-major 2×2 `m`).
+    pub(crate) fn kernel_single(&mut self, m: &[c64; 4], mask: usize) {
+        let block = mask << 1;
+        let mut base = 0;
+        while base < self.amps.len() {
+            for i in base..base + mask {
                 let j = i | mask;
                 let (a0, a1) = (self.amps[i], self.amps[j]);
-                self.amps[i] = m00 * a0 + m01 * a1;
-                self.amps[j] = m10 * a0 + m11 * a1;
+                self.amps[i] = m[0] * a0 + m[1] * a1;
+                self.amps[j] = m[2] * a0 + m[3] * a1;
             }
+            base += block;
         }
     }
 
@@ -139,24 +160,49 @@ impl StateVector {
         assert_eq!(m.rows(), 4, "apply_two expects a 4x4 matrix");
         assert!(qa < self.n && qb < self.n, "qubit out of range");
         assert_ne!(qa, qb, "two-qubit gate requires distinct qubits");
-        let (ba, bb) = (1usize << self.bit(qa), 1usize << self.bit(qb));
-        for i in 0..self.amps.len() {
-            if i & ba == 0 && i & bb == 0 {
-                let idx = [i, i | bb, i | ba, i | ba | bb];
-                let old = [
-                    self.amps[idx[0]],
-                    self.amps[idx[1]],
-                    self.amps[idx[2]],
-                    self.amps[idx[3]],
-                ];
-                for (r, &target) in idx.iter().enumerate() {
-                    let mut acc = c64::ZERO;
-                    for (c, &o) in old.iter().enumerate() {
-                        acc += m[(r, c)] * o;
-                    }
-                    self.amps[target] = acc;
-                }
+        let mut mk = [c64::ZERO; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                mk[4 * r + c] = m[(r, c)];
             }
+        }
+        self.kernel_two(&mk, self.qubit_mask(qa), self.qubit_mask(qb));
+    }
+
+    /// Branch-free two-qubit kernel: iterates exactly the `2^(n-2)`
+    /// four-amplitude groups split by the masks `ba` (most significant gate
+    /// factor) and `bb`, expanding each group index by inserting zero bits
+    /// at the two mask positions (row-major 4×4 `m`).
+    pub(crate) fn kernel_two(&mut self, m: &[c64; 16], ba: usize, bb: usize) {
+        let (lo, hi) = if ba < bb { (ba, bb) } else { (bb, ba) };
+        let quarter = self.amps.len() >> 2;
+        for k in 0..quarter {
+            let t = (k & (lo - 1)) | ((k & !(lo - 1)) << 1);
+            let base = (t & (hi - 1)) | ((t & !(hi - 1)) << 1);
+            let (i1, i2, i3) = (base | bb, base | ba, base | ba | bb);
+            let (a0, a1, a2, a3) = (self.amps[base], self.amps[i1], self.amps[i2], self.amps[i3]);
+            self.amps[base] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+            self.amps[i1] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+            self.amps[i2] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+            self.amps[i3] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+        }
+    }
+
+    /// Multiplies the state pointwise by a precomputed diagonal operator —
+    /// the fused-phase fast path of [`crate::program`], which collapses a
+    /// layer's worth of commuting ZZ/Rz phases into one `O(2^n)` sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diag` does not have exactly `2^n` entries.
+    pub fn apply_diagonal(&mut self, diag: &[c64]) {
+        assert_eq!(
+            diag.len(),
+            self.amps.len(),
+            "diagonal length must match the amplitude count"
+        );
+        for (a, d) in self.amps.iter_mut().zip(diag) {
+            *a *= *d;
         }
     }
 
@@ -237,13 +283,17 @@ impl StateVector {
 
     /// Probability that qubit `q` is `|1⟩`.
     pub fn excited_population(&self, q: usize) -> f64 {
-        let mask = 1usize << self.bit(q);
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & mask != 0)
-            .map(|(_, a)| a.abs_sq())
-            .sum()
+        let mask = self.qubit_mask(q);
+        let block = mask << 1;
+        let mut total = 0.0;
+        let mut base = mask;
+        while base < self.amps.len() {
+            for i in base..base + mask {
+                total += self.amps[i].abs_sq();
+            }
+            base += block;
+        }
+        total
     }
 }
 
@@ -301,6 +351,48 @@ mod tests {
         sv.apply_single(&gates::x(), 1);
         assert!((sv.excited_population(1) - 1.0).abs() < 1e-12);
         assert!(sv.excited_population(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matches_sequential_phases() {
+        // One fused diagonal must equal the per-operator phase passes.
+        let n = 3;
+        let mut reference = StateVector::zero(n);
+        for q in 0..n {
+            reference.apply_single(&gates::h(), q);
+        }
+        let mut fused = reference.clone();
+        reference.apply_rz(0.7, 1);
+        reference.apply_zz_phase(0.31, 0, 2);
+        let diag: Vec<c64> = (0..1usize << n)
+            .map(|i| {
+                let rz = if i & reference.qubit_mask(1) != 0 {
+                    0.7 / 2.0
+                } else {
+                    -0.7 / 2.0
+                };
+                let same = (i & reference.qubit_mask(0) == 0) == (i & reference.qubit_mask(2) == 0);
+                let zz = if same { -0.31 } else { 0.31 };
+                c64::cis(rz + zz)
+            })
+            .collect();
+        fused.apply_diagonal(&diag);
+        assert!(fused.fidelity(&reference) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn two_qubit_kernel_handles_adjacent_and_distant_masks() {
+        for (qa, qb) in [(0, 1), (1, 0), (0, 3), (3, 1)] {
+            let mut sv = StateVector::zero(4);
+            for q in 0..4 {
+                sv.apply_single(&gates::h(), q);
+                sv.apply_single(&gates::t(), q);
+            }
+            let direct = embed(&gates::zx90(), &[qa, qb], 4).mul_vec(&sv.to_vector());
+            sv.apply_two(&gates::zx90(), qa, qb);
+            let f = sv.to_vector().fidelity(&direct.normalized());
+            assert!(f > 1.0 - 1e-12, "({qa},{qb}): fidelity {f}");
+        }
     }
 
     #[test]
