@@ -5,28 +5,33 @@
 //! * the suppression requirement `R` (strict / paper / loose).
 //!
 //! For each setting: mean NQ/NC over layers, relative execution time, and
-//! end-to-end fidelity on a representative benchmark. All settings compile
-//! as ONE batch through the [`zz_core::BatchCompiler`]: the QAOA-9 circuit
-//! is routed once and shared by every sweep point, and calibration runs
-//! once for the whole process.
+//! end-to-end fidelity on a representative benchmark. All settings go
+//! through ONE [`Session`] queue: the QAOA-9 circuit is routed once and
+//! shared by every sweep point (the session's routing memo), and
+//! calibration runs once for the whole process.
 
-use zz_bench::{banner, fixed, parallel_map, row};
+use std::sync::Arc;
+
+use zz_bench::{banner, fixed, parallel_map, row, CIRCUIT_SEED};
 use zz_circuit::bench::{generate, BenchmarkKind};
-use zz_core::batch::{BatchJob, JobOutcome};
-use zz_core::evaluate::EvalConfig;
-use zz_core::{calib, BatchCompiler, Compiled, PulseMethod, SchedulerKind};
+use zz_core::calib;
 use zz_sched::zzx::Requirement;
+use zz_service::{
+    CompileOptions, CompileRequest, CompileResponse, Compiled, PulseMethod, Session, Target,
+};
 use zz_sim::executor::{fidelity_under_zz, ZzErrorModel};
 
-fn evaluate(compiled: &Compiled, cfg: &EvalConfig, residual: f64) -> f64 {
+fn evaluate(compiled: &Compiled, target: &Target, residual: f64) -> f64 {
     let topo = &compiled.topology;
+    // The same disorder ensemble every fig* binary averages over.
+    let seeds = zz_service::EvalSpec::paper_default().crosstalk_seeds;
     let mut total = 0.0;
-    for &seed in &cfg.crosstalk_seeds {
-        let model = ZzErrorModel::sampled(topo, cfg.lambda_mean, cfg.lambda_std, seed)
+    for &seed in &seeds {
+        let model = ZzErrorModel::sampled(topo, target.lambda_mean(), target.lambda_std(), seed)
             .with_residual(residual);
         total += fidelity_under_zz(&compiled.plan, topo, &model, &compiled.durations);
     }
-    total / cfg.crosstalk_seeds.len() as f64
+    total / seeds.len() as f64
 }
 
 fn stats_row(label: &str, compiled: &Compiled, fidelity: f64) {
@@ -46,14 +51,18 @@ fn main() {
         "Ablations",
         "scheduler design choices (QAOA-9 on the 3x4 grid)",
     );
-    let cfg = EvalConfig::paper_default();
     let residual = calib::residual_factor(PulseMethod::Pert);
-    let circuit = std::sync::Arc::new(generate(BenchmarkKind::Qaoa, 9, 7));
+    let circuit = Arc::new(generate(BenchmarkKind::Qaoa, 9, CIRCUIT_SEED));
+    let target = Target::builder()
+        .store_from_env()
+        .build()
+        .expect("the environment-opt-in store never fails the build");
+    let session = Session::new(target);
 
     let alphas = [0.0, 0.25, 0.5, 1.0, 2.0];
     let ks = [1usize, 2, 3, 5, 8];
-    // `None` = the compiler's default, which is the paper requirement
-    // derived from the device.
+    // `None` = the engine default, which is the paper requirement derived
+    // from the device.
     let reqs: [(&str, Option<Requirement>); 3] = [
         (
             "strict (NQ<3,NC<=4)",
@@ -72,49 +81,52 @@ fn main() {
         ),
     ];
 
-    // One batch for all three sweeps — every sweep point shares the one
-    // Arc'ed circuit, which routes once for the whole batch.
-    let mut jobs: Vec<BatchJob> = Vec::new();
-    let job = |label: String| {
-        BatchJob::shared(
-            std::sync::Arc::clone(&circuit),
-            PulseMethod::Pert,
-            SchedulerKind::ZzxSched,
-        )
-        .with_label(label)
+    // One session batch for all three sweeps — every sweep point shares
+    // the one Arc'ed circuit, which routes once for the whole batch.
+    let request = |label: String, options: CompileOptions| {
+        CompileRequest::shared(Arc::clone(&circuit))
+            .with_options(options)
+            .with_label(label)
     };
     for alpha in alphas {
-        jobs.push(job(format!("{alpha:4.2}")).with_alpha(alpha));
+        session.submit(request(
+            format!("{alpha:4.2}"),
+            CompileOptions::default().with_alpha(alpha),
+        ));
     }
     for k in ks {
-        jobs.push(job(format!("{k}")).with_k(k));
+        session.submit(request(format!("{k}"), CompileOptions::default().with_k(k)));
     }
     for (name, req) in &reqs {
-        let mut j = job(name.to_string());
+        let mut options = CompileOptions::default();
         if let Some(req) = req {
-            j = j.with_requirement(*req);
+            options = options.with_requirement(*req);
         }
-        jobs.push(j);
+        session.submit(request(name.to_string(), options));
     }
-    let report = BatchCompiler::builder().store_from_env().build().run(jobs);
-    eprintln!("[batch] {report}");
+    let report = session.drain();
+    eprintln!("[service] {report}");
+    let responses: Vec<&CompileResponse> = report
+        .outcomes
+        .iter()
+        .map(|o| match o {
+            Ok(response) => response,
+            Err(e) => panic!("QAOA-9 fits the 3x4 grid: {e}"),
+        })
+        .collect();
 
     let threads = zz_core::batch::default_threads();
-    let fidelities = parallel_map(report.outcomes.len(), threads, |i| {
-        let compiled = report.outcomes[i]
-            .result
-            .as_ref()
-            .expect("QAOA-9 fits the 3x4 grid");
-        evaluate(compiled, &cfg, residual)
+    let fidelities = parallel_map(responses.len(), threads, |i| {
+        evaluate(&responses[i].compiled, session.target(), residual)
     });
-    // Recover each sweep's rows by slicing the flat outcome/fidelity lists
-    // in the same order the jobs were pushed.
-    let print_sweep = |outcomes: &[JobOutcome], fidelities: &[f64]| {
-        for (o, &f) in outcomes.iter().zip(fidelities) {
-            stats_row(&o.label, o.result.as_ref().expect("fits"), f);
+    // Recover each sweep's rows by slicing the flat response/fidelity
+    // lists in the same order the requests were submitted.
+    let print_sweep = |responses: &[&CompileResponse], fidelities: &[f64]| {
+        for (r, &f) in responses.iter().zip(fidelities) {
+            stats_row(&r.label, &r.compiled, f);
         }
     };
-    let (alpha_out, rest) = report.outcomes.split_at(alphas.len());
+    let (alpha_out, rest) = responses.split_at(alphas.len());
     let (k_out, req_out) = rest.split_at(ks.len());
     let (alpha_fid, rest) = fidelities.split_at(alphas.len());
     let (k_fid, req_fid) = rest.split_at(ks.len());

@@ -1,57 +1,91 @@
 //! Per-stage pipeline timing snapshot — the perf-trajectory probe run by
 //! CI.
 //!
-//! Compiles a representative benchmark suite twice through the pass-based
-//! pipeline against one scratch artifact store:
+//! Compiles a representative benchmark suite twice through the service
+//! layer against one scratch artifact store:
 //!
 //! * **cold** — fresh cache directory, fresh calibration: every stage
 //!   runs;
-//! * **warm** — a new compiler and reset calibration over the same
+//! * **warm** — a new session and reset calibration over the same
 //!   directory, exactly like a new process: route/lower and the
 //!   whole-plan artifacts serve from disk, calibration loads instead of
 //!   measuring.
 //!
-//! The aggregated [`BatchReport::stage_stats`] of both passes is written
-//! as `BENCH_pipeline.json` (override the path with the
-//! `BENCH_PIPELINE_OUT` environment variable), so the CI workflow can
-//! record how per-stage timings evolve across PRs.
+//! A third probe measures the *cost of the service facade itself*: the
+//! same suite, on one worker, submitted through [`Session::submit`] /
+//! [`Session::drain`] versus compiled synchronously (a direct
+//! `PassManager::run` on the caller thread). The difference is the queue
+//! overhead a request pays for non-blocking submission.
+//!
+//! The aggregated per-stage statistics of the cold/warm passes and the
+//! queue-overhead probe are written as `BENCH_pipeline.json` (override
+//! the path with the `BENCH_PIPELINE_OUT` environment variable), so the
+//! CI workflow can record how both evolve across PRs.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use zz_bench::demo_suite;
-use zz_core::batch::BatchCompiler;
+use zz_bench::demo_requests;
 use zz_core::calib::CalibCache;
-use zz_core::BatchReport;
-use zz_persist::ArtifactStore;
+use zz_service::{ServiceReport, Session, Target};
 use zz_topology::Topology;
 
-fn run_pass(dir: &std::path::Path) -> BatchReport {
-    // A fresh compiler and a fresh calibration cache per pass: nothing
+fn session_at(dir: &std::path::Path, threads: Option<usize>) -> Session {
+    // A fresh session and a fresh calibration cache per pass: nothing
     // carries over in memory, exactly like a new process.
-    BatchCompiler::builder()
+    let target = Target::builder()
         .topology(Topology::grid(3, 3))
-        .store(ArtifactStore::at(dir))
+        .store_dir(dir)
         .calib_cache(Arc::new(CalibCache::new()))
         .build()
-        .run(demo_suite())
+        .expect("scratch cache directory is writable");
+    match threads {
+        Some(threads) => Session::with_threads(target, threads),
+        None => Session::new(target),
+    }
+}
+
+fn run_pass(dir: &std::path::Path) -> ServiceReport {
+    session_at(dir, None).run(demo_requests())
 }
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Times the facade two ways on one worker: non-blocking submit/drain
+/// (queued) vs synchronous compiles (direct `PassManager::run` on the
+/// caller thread). Returns `(direct, queued)` wall times.
+fn queue_probe(dir: &std::path::Path) -> (Duration, Duration) {
+    let direct_session = session_at(&dir.join("direct"), Some(1));
+    let t0 = Instant::now();
+    for request in demo_requests() {
+        direct_session
+            .compile(&request)
+            .expect("the demo suite compiles");
+    }
+    let direct = t0.elapsed();
+
+    let queued_session = session_at(&dir.join("queued"), Some(1));
+    let t0 = Instant::now();
+    let report = queued_session.run(demo_requests());
+    let queued = t0.elapsed();
+    assert_eq!(report.error_count(), 0, "queued probe must compile");
+    (direct, queued)
+}
+
 /// Serializes one pass's report as a JSON object (hand-rolled: the
 /// workspace builds without external crates).
-fn pass_json(report: &BatchReport) -> String {
+fn pass_json(report: &ServiceReport) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"jobs\": {}, \"wall_ms\": {:.3}, \"cpu_ms\": {:.3}, \"calibration_runs\": {}, \"disk_hits\": {}, \"stages\": [",
+        "{{\"jobs\": {}, \"wall_ms\": {:.3}, \"cpu_ms\": {:.3}, \"queue_wait_ms\": {:.3}, \"calibration_runs\": {}, \"disk_hits\": {}, \"stages\": [",
         report.outcomes.len(),
         ms(report.wall_time),
         ms(report.cpu_time()),
+        ms(report.queue_wait()),
         report.calibration_runs,
         report.disk_hits,
     );
@@ -76,17 +110,32 @@ fn main() {
     println!("[cold] {cold}");
     let warm = run_pass(&dir);
     println!("[warm] {warm}");
-    let _ = std::fs::remove_dir_all(&dir);
 
     assert_eq!(cold.error_count(), 0, "cold pass must compile everything");
     assert_eq!(warm.error_count(), 0, "warm pass must compile everything");
     assert_eq!(warm.calibration_runs, 0, "warm pass must not calibrate");
     assert_eq!(warm.route_misses, 0, "warm pass must not route");
 
+    let (direct, queued) = queue_probe(&dir);
+    let jobs = demo_requests().len();
+    let overhead = queued.saturating_sub(direct);
+    println!(
+        "[queue] {jobs} jobs on 1 worker: direct {:.1?}, queued {:.1?}, overhead {:.1?} ({:.1}µs/job)",
+        direct,
+        queued,
+        overhead,
+        overhead.as_secs_f64() * 1e6 / jobs as f64,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
     let json = format!(
-        "{{\n  \"schema\": 1,\n  \"cold\": {},\n  \"warm\": {}\n}}\n",
+        "{{\n  \"schema\": 2,\n  \"cold\": {},\n  \"warm\": {},\n  \"queue_probe\": {{\"jobs\": {}, \"direct_ms\": {:.3}, \"queued_ms\": {:.3}, \"overhead_ms\": {:.3}}}\n}}\n",
         pass_json(&cold),
         pass_json(&warm),
+        jobs,
+        ms(direct),
+        ms(queued),
+        ms(overhead),
     );
     let out = std::env::var("BENCH_PIPELINE_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
     std::fs::write(&out, &json).expect("snapshot file writable");

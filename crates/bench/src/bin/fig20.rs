@@ -5,23 +5,22 @@
 //! plus the improvement factor `Pert+ZZXSched / Gau+ParSched`.
 
 use zz_bench::{banner, core_cases, fidelity_table, fixed, row};
-use zz_core::evaluate::EvalConfig;
-use zz_core::{PulseMethod, SchedulerKind};
+use zz_service::{EvalSpec, PulseMethod, SchedulerKind};
 
 fn main() {
     banner(
         "Figure 20",
         "overall fidelity improvements under ZZ crosstalk",
     );
-    let cfg = EvalConfig::paper_default();
+    let eval = EvalSpec::paper_default();
     let cases = core_cases();
     let configs = [
         (PulseMethod::Gaussian, SchedulerKind::ParSched),
         (PulseMethod::OptCtrl, SchedulerKind::ZzxSched),
         (PulseMethod::Pert, SchedulerKind::ZzxSched),
     ];
-    let (table, report) = fidelity_table(&cases, &configs, &cfg);
-    eprintln!("[batch] {report}");
+    let (table, report) = fidelity_table(&cases, &configs, &eval);
+    eprintln!("[service] {report}");
 
     row(
         "benchmark",

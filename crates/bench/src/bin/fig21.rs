@@ -3,23 +3,22 @@
 //! (`Pert+ZZXSched`).
 
 use zz_bench::{banner, core_cases, fidelity_table, fixed, row};
-use zz_core::evaluate::EvalConfig;
-use zz_core::{PulseMethod, SchedulerKind};
+use zz_service::{EvalSpec, PulseMethod, SchedulerKind};
 
 fn main() {
     banner(
         "Figure 21",
         "pulses alone vs scheduling alone vs co-optimization",
     );
-    let cfg = EvalConfig::paper_default();
+    let eval = EvalSpec::paper_default();
     let cases = core_cases();
     let configs = [
         (PulseMethod::Pert, SchedulerKind::ParSched),
         (PulseMethod::Gaussian, SchedulerKind::ZzxSched),
         (PulseMethod::Pert, SchedulerKind::ZzxSched),
     ];
-    let (table, report) = fidelity_table(&cases, &configs, &cfg);
-    eprintln!("[batch] {report}");
+    let (table, report) = fidelity_table(&cases, &configs, &eval);
+    eprintln!("[service] {report}");
 
     row(
         "benchmark",

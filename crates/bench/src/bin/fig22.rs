@@ -6,23 +6,22 @@
 //! overall improvement; scheduling gets the remainder.
 
 use zz_bench::{banner, core_cases, fidelity_table, row};
-use zz_core::evaluate::EvalConfig;
-use zz_core::{PulseMethod, SchedulerKind};
+use zz_service::{EvalSpec, PulseMethod, SchedulerKind};
 
 fn main() {
     banner(
         "Figure 22",
         "contribution of pulse optimization vs scheduling",
     );
-    let cfg = EvalConfig::paper_default();
+    let eval = EvalSpec::paper_default();
     let cases = core_cases();
     let configs = [
         (PulseMethod::Gaussian, SchedulerKind::ParSched),
         (PulseMethod::Pert, SchedulerKind::ParSched),
         (PulseMethod::Pert, SchedulerKind::ZzxSched),
     ];
-    let (table, report) = fidelity_table(&cases, &configs, &cfg);
-    eprintln!("[batch] {report}");
+    let (table, report) = fidelity_table(&cases, &configs, &eval);
+    eprintln!("[service] {report}");
 
     row("benchmark", &["pulse %".into(), "sched %".into()]);
     let (mut sum_pulse, mut count) = (0.0, 0usize);

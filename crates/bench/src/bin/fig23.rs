@@ -2,12 +2,18 @@
 //! `T1 = T2 ∈ {100, 200, 500, 1000}` µs.
 //!
 //! Decoherence is simulated by Monte-Carlo trajectory unraveling (validated
-//! against exact density-matrix evolution in `zz-sim`'s tests).
+//! against exact density-matrix evolution in `zz-sim`'s tests). The whole
+//! benchmark × T1 × configuration grid goes through one [`Session`] queue:
+//! workers compile *and* evaluate, and the session caches route each
+//! benchmark once and calibrate each pulse method once.
 
-use zz_bench::{banner, fixed, parallel_map, row};
-use zz_circuit::bench::BenchmarkKind;
-use zz_core::evaluate::{benchmark_fidelity, EvalConfig};
-use zz_core::{PulseMethod, SchedulerKind};
+use std::sync::Arc;
+
+use zz_bench::{banner, fixed, row, CIRCUIT_SEED};
+use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_service::{
+    CompileOptions, CompileRequest, EvalSpec, PulseMethod, SchedulerKind, Session, Target,
+};
 
 fn main() {
     banner(
@@ -22,24 +28,28 @@ fn main() {
         (PulseMethod::Pert, SchedulerKind::ZzxSched),
     ];
 
-    let mut jobs: Vec<(BenchmarkKind, f64, PulseMethod, SchedulerKind)> = Vec::new();
+    let session = Session::new(Target::for_qubits(6).expect("6 qubits fit the paper devices"));
     for kind in BenchmarkKind::CORE {
+        let circuit = Arc::new(generate(kind, 6, CIRCUIT_SEED));
         for &t in &times_us {
             for &(m, s) in &configs {
-                jobs.push((kind, t, m, s));
+                let eval = EvalSpec::paper_default()
+                    .with_seeds(vec![11, 23])
+                    .with_decoherence_us(t, trajectories);
+                session.submit(
+                    CompileRequest::shared(Arc::clone(&circuit))
+                        .with_options(CompileOptions::new(m, s))
+                        .with_eval(eval)
+                        .with_label(format!("{kind}-6/T{t}/{m}+{s}")),
+                );
             }
         }
     }
-    let threads = zz_core::batch::default_threads();
-    let fidelities = parallel_map(jobs.len(), threads, |i| {
-        let (kind, t, m, s) = jobs[i];
-        let cfg = EvalConfig {
-            crosstalk_seeds: vec![11, 23],
-            ..EvalConfig::paper_default()
-        }
-        .with_decoherence_us(t, trajectories);
-        benchmark_fidelity(kind, 6, m, s, &cfg)
-    });
+    let report = session.drain();
+    eprintln!("[service] {report}");
+    let fidelities = report
+        .fidelities()
+        .unwrap_or_else(|e| panic!("suite evaluation aborted: {e}"));
 
     for (bi, kind) in BenchmarkKind::CORE.iter().enumerate() {
         println!("\n-- {kind}-6 --");

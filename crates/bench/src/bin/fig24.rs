@@ -2,36 +2,33 @@
 //! ParSched (the parallelism cost of suppression; the paper reports
 //! typically < 2×, independent of the pulse method).
 
-use zz_bench::{banner, core_cases, row};
-use zz_core::evaluate::{compile_suite, EvalConfig, SuiteCase};
-use zz_core::{PulseMethod, SchedulerKind};
+use zz_bench::{banner, core_cases, paper_session, row, suite_requests};
+use zz_service::{CompileResponse, PulseMethod, SchedulerKind};
 
 fn main() {
     banner(
         "Figure 24",
         "execution time of ZZXSched relative to ParSched",
     );
-    let cfg = EvalConfig::paper_default();
     let cases = core_cases();
 
-    // Both schedulers per benchmark, compiled as one batch: each benchmark
-    // instance is routed once and shared by its ParSched and ZZXSched jobs.
-    let suite: Vec<SuiteCase> = cases
+    // Both schedulers per benchmark, submitted as one session batch: each
+    // benchmark instance is routed once and shared by its ParSched and
+    // ZZXSched requests.
+    let configs = [
+        (PulseMethod::Pert, SchedulerKind::ParSched),
+        (PulseMethod::Pert, SchedulerKind::ZzxSched),
+    ];
+    let report = paper_session().run(suite_requests(&cases, &configs, None));
+    eprintln!("[service] {report}");
+    let compiled: Vec<&CompileResponse> = report
+        .outcomes
         .iter()
-        .flat_map(|&(kind, n)| {
-            [SchedulerKind::ParSched, SchedulerKind::ZzxSched]
-                .into_iter()
-                .map(move |s| (kind, n, PulseMethod::Pert, s))
+        .map(|o| match o {
+            Ok(response) => response,
+            Err(e) => panic!("benchmarks are sized to their devices: {e}"),
         })
         .collect();
-    let report = compile_suite(&suite, &cfg);
-    eprintln!("[batch] {report}");
-    let compiled: Vec<_> = report.successes().collect();
-    assert_eq!(
-        compiled.len(),
-        suite.len(),
-        "benchmarks are sized to their devices"
-    );
 
     row(
         "benchmark",
@@ -40,8 +37,8 @@ fn main() {
     let mut ratios = Vec::new();
     for (ci, &(kind, n)) in cases.iter().enumerate() {
         let (tp, tz) = (
-            compiled[2 * ci].execution_time(),
-            compiled[2 * ci + 1].execution_time(),
+            compiled[2 * ci].compiled.execution_time(),
+            compiled[2 * ci + 1].compiled.execution_time(),
         );
         ratios.push(tz / tp);
         row(

@@ -6,17 +6,15 @@
 //! (`NC`) remain. The paper reports a 10–20× reduction. Includes the QV
 //! benchmark in addition to the core six.
 
-use zz_bench::{banner, row};
+use zz_bench::{banner, paper_session, row, suite_requests};
 use zz_circuit::bench::BenchmarkKind;
-use zz_core::evaluate::{compile_suite, EvalConfig, SuiteCase};
-use zz_core::{PulseMethod, SchedulerKind};
+use zz_service::{CompileResponse, PulseMethod, SchedulerKind};
 
 fn main() {
     banner(
         "Figure 25",
         "#couplings to turn off (tunable-coupler devices)",
     );
-    let cfg = EvalConfig::paper_default();
 
     let cases: Vec<(BenchmarkKind, usize)> = BenchmarkKind::CORE
         .iter()
@@ -24,18 +22,17 @@ fn main() {
         .chain([BenchmarkKind::Qv])
         .flat_map(|kind| kind.paper_sizes().iter().map(move |&n| (kind, n)))
         .collect();
-    let suite: Vec<SuiteCase> = cases
+    let configs = [(PulseMethod::Pert, SchedulerKind::ZzxSched)];
+    let report = paper_session().run(suite_requests(&cases, &configs, None));
+    eprintln!("[service] {report}");
+    let compiled: Vec<&CompileResponse> = report
+        .outcomes
         .iter()
-        .map(|&(kind, n)| (kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched))
+        .map(|o| match o {
+            Ok(response) => response,
+            Err(e) => panic!("benchmarks are sized to their devices: {e}"),
+        })
         .collect();
-    let report = compile_suite(&suite, &cfg);
-    eprintln!("[batch] {report}");
-    let compiled: Vec<_> = report.successes().collect();
-    assert_eq!(
-        compiled.len(),
-        suite.len(),
-        "benchmarks are sized to their devices"
-    );
 
     row(
         "benchmark",
@@ -44,8 +41,8 @@ fn main() {
     let mut improvements = Vec::new();
     for (&(kind, n), zzx) in cases.iter().zip(compiled) {
         // Baseline: every coupling of the benchmark's device, every layer.
-        let all_couplings = zzx.topology.coupling_count() as f64;
-        let ours = zzx.plan.mean_nc();
+        let all_couplings = zzx.compiled.topology.coupling_count() as f64;
+        let ours = zzx.compiled.plan.mean_nc();
         let improvement = if ours > 1e-9 {
             all_couplings / ours
         } else {

@@ -14,11 +14,17 @@
 #![warn(missing_docs)]
 
 use zz_circuit::bench::BenchmarkKind;
-use zz_core::evaluate::{compile_suite, suite_fidelities, EvalConfig, SuiteCase};
-use zz_core::{BatchReport, PulseMethod, SchedulerKind};
+use zz_service::{
+    CompileOptions, CompileRequest, EvalSpec, PulseMethod, SchedulerKind, ServiceReport, Session,
+    Target,
+};
 
 pub mod reference;
 pub mod timing;
+
+/// The benchmark-circuit generation seed shared by every figure binary
+/// (the legacy `EvalConfig::paper_default().circuit_seed`).
+pub const CIRCUIT_SEED: u64 = 7;
 
 /// Prints a figure banner.
 pub fn banner(figure: &str, description: &str) {
@@ -64,10 +70,9 @@ pub use zz_core::batch::parallel_map;
 /// shared by `examples/warm_cache.rs` and the `bench_pipeline` CI probe
 /// so the documented warm-start demo and the recorded perf trajectory
 /// measure the *same* workload.
-pub fn demo_suite() -> Vec<zz_core::BatchJob> {
+pub fn demo_requests() -> Vec<CompileRequest> {
     use std::sync::Arc;
     use zz_circuit::bench::generate;
-    use zz_core::BatchJob;
 
     let configs = [
         (PulseMethod::Gaussian, SchedulerKind::ParSched),
@@ -82,9 +87,11 @@ pub fn demo_suite() -> Vec<zz_core::BatchJob> {
     ]
     .iter()
     .flat_map(|&(kind, n)| {
-        let circuit = Arc::new(generate(kind, n, 7));
+        let circuit = Arc::new(generate(kind, n, CIRCUIT_SEED));
         configs.iter().map(move |&(m, s)| {
-            BatchJob::shared(Arc::clone(&circuit), m, s).with_label(format!("{kind}-{n}/{m}+{s}"))
+            CompileRequest::shared(Arc::clone(&circuit))
+                .with_options(CompileOptions::new(m, s))
+                .with_label(format!("{kind}-{n}/{m}+{s}"))
         })
     })
     .collect()
@@ -99,35 +106,97 @@ pub fn core_cases() -> Vec<(BenchmarkKind, usize)> {
         .collect()
 }
 
-/// Fidelity of every `case × config` cell, compiled through one shared
-/// [`zz_core::BatchCompiler`] running the pass pipeline (one calibration
-/// pass per pulse method, one routing pass per benchmark instance;
-/// persistent across runs when `ZZ_CACHE_DIR` is set) and evaluated in
-/// parallel.
-///
-/// Returns one row per case, one column per config — the table shape the
-/// figure binaries print — plus the compile-stage [`BatchReport`], which
-/// the binaries show via its `Display` impl (summary line + per-stage
-/// timing breakdown aggregated from the jobs' pipeline traces).
+/// A session over the paper's full 3×4 evaluation device, backed by the
+/// `ZZ_CACHE_DIR` on-disk store when that variable is set — the service
+/// front the figure binaries share. Per-request device overrides
+/// ([`CompileRequest::on_device`]) place smaller benchmarks on their
+/// paper sub-grids.
+pub fn paper_session() -> Session {
+    let target = Target::builder()
+        .store_from_env()
+        .build()
+        .expect("the environment-opt-in store never fails the build");
+    Session::new(target)
+}
+
+/// The smallest paper evaluation sub-grid holding `n` qubits, through
+/// the service layer's typed lookup.
 ///
 /// # Panics
 ///
-/// Panics with the failing jobs' labels if any compile job errored
+/// Panics if `n` exceeds the paper's largest device (the harness's
+/// benchmark sizes are static).
+pub fn eval_device(n: usize) -> zz_topology::Topology {
+    Target::for_qubits(n)
+        .expect("paper benchmark sizes fit the evaluation devices")
+        .topology()
+        .clone()
+}
+
+/// Fidelity of every `case × config` cell, compiled *and evaluated*
+/// through one shared [`Session`] queue (one calibration pass per pulse
+/// method, one routing pass per benchmark instance; persistent across
+/// runs when `ZZ_CACHE_DIR` is set).
+///
+/// Returns one row per case, one column per config — the table shape the
+/// figure binaries print — plus the [`ServiceReport`], which the
+/// binaries show via its `Display` impl (summary line + per-stage
+/// timing breakdown aggregated from the responses' pipeline traces).
+///
+/// # Panics
+///
+/// Panics with the failing jobs' labels if any request errored
 /// (failed jobs used to fold in silently as fidelity 0.0, skewing every
 /// figure built from the table).
 pub fn fidelity_table(
     cases: &[(BenchmarkKind, usize)],
     configs: &[(PulseMethod, SchedulerKind)],
-    cfg: &EvalConfig,
-) -> (Vec<Vec<f64>>, BatchReport) {
-    let suite: Vec<SuiteCase> = cases
-        .iter()
-        .flat_map(|&(kind, n)| configs.iter().map(move |&(m, s)| (kind, n, m, s)))
-        .collect();
-    let report = compile_suite(&suite, cfg);
-    let flat = suite_fidelities(&report, cfg);
+    eval: &EvalSpec,
+) -> (Vec<Vec<f64>>, ServiceReport) {
+    let session = paper_session();
+    let report = session.run(suite_requests(cases, configs, Some(eval)));
+    let flat = report
+        .fidelities()
+        .unwrap_or_else(|e| panic!("suite evaluation aborted: {e}"));
     let table = flat.chunks(configs.len()).map(<[f64]>::to_vec).collect();
     (table, report)
+}
+
+/// The request list of a `cases × configs` suite: each benchmark
+/// instance is generated once and shared, every request targets its
+/// paper sub-grid, labels follow the `kind-n/method+scheduler` figure
+/// convention.
+pub fn suite_requests(
+    cases: &[(BenchmarkKind, usize)],
+    configs: &[(PulseMethod, SchedulerKind)],
+    eval: Option<&EvalSpec>,
+) -> Vec<CompileRequest> {
+    use std::sync::Arc;
+    use zz_circuit::bench::generate;
+
+    let mut instances: std::collections::HashMap<(BenchmarkKind, usize), Arc<zz_circuit::Circuit>> =
+        std::collections::HashMap::new();
+    cases
+        .iter()
+        .flat_map(|&(kind, n)| {
+            let circuit = Arc::clone(
+                instances
+                    .entry((kind, n))
+                    .or_insert_with(|| Arc::new(generate(kind, n, CIRCUIT_SEED))),
+            );
+            let device = eval_device(n);
+            configs.iter().map(move |&(m, s)| {
+                let mut request = CompileRequest::shared(Arc::clone(&circuit))
+                    .with_options(CompileOptions::new(m, s))
+                    .on_device(device.clone())
+                    .with_label(format!("{kind}-{n}/{m}+{s}"));
+                if let Some(eval) = eval {
+                    request = request.with_eval(eval.clone());
+                }
+                request
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -68,6 +68,7 @@ use zz_sched::zzx::Requirement;
 use zz_topology::Topology;
 
 use crate::calib::CalibCache;
+use crate::options::CompileOptions;
 use crate::pipeline::{CacheDisposition, PassManager, PipelineTrace, RouteMemo, Stage};
 use crate::{CoOptError, Compiled, SchedulerKind};
 
@@ -75,24 +76,21 @@ pub use crate::pipeline::shape_key;
 
 /// One compilation request: a circuit plus the pulse/scheduling
 /// configuration to compile it under.
+///
+/// The configuration is one shared [`CompileOptions`] value — the same
+/// struct [`crate::CoOptimizerBuilder`] and the service layer's
+/// `CompileRequest` carry — so a job's unset α/k/requirement knobs
+/// (`None`) inherit the compiler's batch-wide settings.
 #[derive(Clone, Debug)]
 pub struct BatchJob {
     /// The logical circuit (shared, so many jobs can reference one circuit
     /// without copying it).
     pub circuit: Arc<Circuit>,
-    /// The pulse method to calibrate for.
-    pub method: PulseMethod,
-    /// The scheduling policy.
-    pub scheduler: SchedulerKind,
+    /// The pulse/scheduling configuration; unset knobs inherit the
+    /// compiler's batch-wide settings.
+    pub options: CompileOptions,
     /// Per-job device override; `None` uses the compiler's base topology.
     pub topology: Option<Topology>,
-    /// Per-job α override for Algorithm 1; `None` uses the compiler's.
-    pub alpha: Option<f64>,
-    /// Per-job top-k budget override; `None` uses the compiler's.
-    pub k: Option<usize>,
-    /// Per-job suppression-requirement override; `None` uses the
-    /// compiler's (which itself defaults to the paper requirement).
-    pub requirement: Option<Requirement>,
     /// Human-readable label carried into the [`JobOutcome`].
     pub label: String,
 }
@@ -106,16 +104,27 @@ impl BatchJob {
     /// Shares an already-`Arc`ed circuit (avoids a deep copy when many jobs
     /// reuse one circuit).
     pub fn shared(circuit: Arc<Circuit>, method: PulseMethod, scheduler: SchedulerKind) -> Self {
+        Self::with_options(circuit, CompileOptions::new(method, scheduler))
+    }
+
+    /// Creates a job from a full [`CompileOptions`] value.
+    pub fn with_options(circuit: Arc<Circuit>, options: CompileOptions) -> Self {
         BatchJob {
             circuit,
-            method,
-            scheduler,
+            label: options.default_label(),
+            options,
             topology: None,
-            alpha: None,
-            k: None,
-            requirement: None,
-            label: format!("{method}+{scheduler}"),
         }
+    }
+
+    /// The pulse method this job calibrates for.
+    pub fn method(&self) -> PulseMethod {
+        self.options.method
+    }
+
+    /// The scheduling policy of this job.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.options.scheduler
     }
 
     /// Overrides the device this job compiles onto.
@@ -126,19 +135,19 @@ impl BatchJob {
 
     /// Overrides the NQ-vs-NC weight α for this job only.
     pub fn with_alpha(mut self, alpha: f64) -> Self {
-        self.alpha = Some(alpha);
+        self.options.alpha = Some(alpha);
         self
     }
 
     /// Overrides the top-k path-relaxing budget for this job only.
     pub fn with_k(mut self, k: usize) -> Self {
-        self.k = Some(k);
+        self.options.k = Some(k);
         self
     }
 
     /// Overrides the suppression requirement for this job only.
     pub fn with_requirement(mut self, requirement: Requirement) -> Self {
-        self.requirement = Some(requirement);
+        self.options.requirement = Some(requirement);
         self
     }
 
@@ -314,6 +323,13 @@ impl fmt::Display for BatchReport {
 /// stage-granular caching (and the per-pass instrumentation) of
 /// [`crate::pipeline`] applies batch-wide. See the [module docs](self)
 /// for an example.
+///
+/// **Legacy adapter.** This engine predates the service layer and is
+/// kept as a thin, bit-identical adapter over the same per-job pass
+/// managers a `zz_service::Session` runs (the `tests/service.rs`
+/// equivalence matrix pins the two together). New code should submit
+/// `CompileRequest`s to a long-lived `Session`, which adds non-blocking
+/// job handles, optional in-queue fidelity evaluation and typed errors.
 #[derive(Debug)]
 pub struct BatchCompiler {
     topology: Topology,
@@ -357,12 +373,12 @@ impl BatchCompiler {
         let topo = job.topology.as_ref().unwrap_or(&self.topology);
         let mut builder = PassManager::builder()
             .topology(topo.clone())
-            .pulse_method(job.method)
-            .scheduler(job.scheduler)
-            .alpha(job.alpha.unwrap_or(self.alpha))
-            .k(job.k.unwrap_or(self.k))
+            .pulse_method(job.options.method)
+            .scheduler(job.options.scheduler)
+            .alpha(job.options.alpha_or(self.alpha))
+            .k(job.options.k_or(self.k))
             .route_memo(Arc::clone(&self.route_memo));
-        if let Some(req) = job.requirement.or(self.requirement) {
+        if let Some(req) = job.options.requirement_or(self.requirement) {
             builder = builder.requirement(req);
         }
         if let Some(store) = &self.store {
@@ -469,8 +485,8 @@ impl Default for BatchCompilerBuilder {
     fn default() -> Self {
         BatchCompilerBuilder {
             topology: Topology::grid(3, 4),
-            alpha: 0.5,
-            k: 3,
+            alpha: crate::options::DEFAULT_ALPHA,
+            k: crate::options::DEFAULT_K,
             requirement: None,
             threads: default_threads(),
             store: None,

@@ -6,6 +6,8 @@
 //! 4 → 2×2, 6 → 2×3, 9 → 3×3, 12 → 3×4 — visible in Figure 25, whose
 //! baseline (#couplings of the device) grows with benchmark size.
 
+use std::fmt;
+
 use zz_circuit::bench::{generate, BenchmarkKind};
 use zz_sim::density::{Decoherence, EXACT_MAX_QUBITS};
 use zz_sim::executor::{run_density, ZzErrorModel};
@@ -13,9 +15,26 @@ use zz_sim::program::{PlanProgram, TrajectoryProgram};
 use zz_topology::Topology;
 
 use crate::batch::{parallel_map, BatchCompiler, BatchJob, BatchReport};
-use crate::{CoOptimizer, Compiled, PulseMethod, SchedulerKind};
+use crate::{CoOptError, CoOptimizer, Compiled, PulseMethod, SchedulerKind};
 
-/// The smallest evaluation sub-grid holding `n` qubits.
+/// The largest evaluation device of the paper (the 3×4 grid).
+pub const MAX_EVAL_QUBITS: usize = 12;
+
+/// The smallest evaluation sub-grid holding `n` qubits, or `None` when
+/// `n` exceeds the paper's largest device ([`MAX_EVAL_QUBITS`]).
+///
+/// The service layer's `Target::for_qubits` is the typed-error front for
+/// this lookup.
+pub fn try_device_for(n: usize) -> Option<Topology> {
+    [(2, 2), (2, 3), (3, 3), (3, 4)]
+        .into_iter()
+        .find(|(rows, cols)| rows * cols >= n)
+        .map(|(rows, cols)| Topology::grid(rows, cols))
+}
+
+/// The smallest evaluation sub-grid holding `n` qubits — the
+/// abort-on-failure shim over [`try_device_for`] for harness code whose
+/// sizes are static.
 ///
 /// # Panics
 ///
@@ -29,14 +48,34 @@ use crate::{CoOptimizer, Compiled, PulseMethod, SchedulerKind};
 /// assert_eq!(device_for(7).qubit_count(), 9);   // 3×3
 /// ```
 pub fn device_for(n: usize) -> Topology {
-    assert!(n <= 12, "the evaluation devices top out at 3x4 = 12 qubits");
-    for (rows, cols) in [(2, 2), (2, 3), (3, 3), (3, 4)] {
-        if rows * cols >= n {
-            return Topology::grid(rows, cols);
-        }
-    }
-    unreachable!("n <= 12 always fits one of the grids")
+    try_device_for(n).expect("the evaluation devices top out at 3x4 = 12 qubits")
 }
+
+/// The typed failure set of a suite evaluation: every compile job that
+/// errored, with its label. Carried by [`try_suite_fidelities`] (and
+/// wrapped into the service layer's `Error::Eval`) instead of silently
+/// folding failed jobs in as fidelity 0.0.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SuiteError {
+    /// `(job label, compile error)` for every failed job, in submission
+    /// order.
+    pub failures: Vec<(String, CoOptError)>,
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} compile job(s) failed: [", self.failures.len())?;
+        for (i, (label, err)) in self.failures.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{label}: {err}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl std::error::Error for SuiteError {}
 
 /// Configuration of a fidelity evaluation run.
 #[derive(Clone, Debug)]
@@ -79,21 +118,30 @@ impl EvalConfig {
 
 /// Compiles benchmark `kind`-`n` under `(method, scheduler)` on the
 /// benchmark's evaluation device.
+///
+/// # Errors
+///
+/// Returns [`CoOptError::CircuitTooLarge`] when `n` exceeds
+/// [`MAX_EVAL_QUBITS`] (paper benchmarks are otherwise sized to their
+/// devices, so the error path only fires for out-of-range sizes).
 pub fn compile_benchmark(
     kind: BenchmarkKind,
     n: usize,
     method: PulseMethod,
     scheduler: SchedulerKind,
     cfg: &EvalConfig,
-) -> Compiled {
+) -> Result<Compiled, CoOptError> {
+    let device = try_device_for(n).ok_or(CoOptError::CircuitTooLarge {
+        needed: n,
+        available: MAX_EVAL_QUBITS,
+    })?;
     let circuit = generate(kind, n, cfg.circuit_seed);
     CoOptimizer::builder()
-        .topology(device_for(n))
+        .topology(device)
         .pulse_method(method)
         .scheduler(scheduler)
         .build()
         .compile(&circuit)
-        .expect("benchmarks are sized to the device")
 }
 
 /// Mean output-state fidelity of a compiled plan over the config's
@@ -104,7 +152,8 @@ pub fn compile_benchmark(
 /// precompiled programs of [`zz_sim::program`].
 ///
 /// Monte-Carlo trajectories run sequentially here: every in-repo caller
-/// ([`suite_fidelities`], the `fig23` binary) already fans evaluations
+/// ([`try_suite_fidelities`], the service layer's workers) already fans
+/// evaluations
 /// over a full-width [`parallel_map`] at the job level, and nesting a
 /// second full-width pool per seed would oversubscribe the machine
 /// quadratically. For a standalone parallel fan, call
@@ -145,15 +194,19 @@ pub fn fidelity_of(compiled: &Compiled, cfg: &EvalConfig) -> f64 {
 
 /// Convenience: compile and evaluate in one call — the quantity plotted in
 /// Figures 20, 21 and 23.
+///
+/// # Errors
+///
+/// Propagates [`compile_benchmark`]'s [`CoOptError`].
 pub fn benchmark_fidelity(
     kind: BenchmarkKind,
     n: usize,
     method: PulseMethod,
     scheduler: SchedulerKind,
     cfg: &EvalConfig,
-) -> f64 {
-    let compiled = compile_benchmark(kind, n, method, scheduler, cfg);
-    fidelity_of(&compiled, cfg)
+) -> Result<f64, CoOptError> {
+    let compiled = compile_benchmark(kind, n, method, scheduler, cfg)?;
+    Ok(fidelity_of(&compiled, cfg))
 }
 
 /// One benchmark-suite case: a benchmark instance × compile configuration.
@@ -172,7 +225,7 @@ pub type SuiteCase = (BenchmarkKind, usize, PulseMethod, SchedulerKind);
 /// a new process — skips calibration and routing entirely.
 ///
 /// This is the compile stage behind Figures 20–25; the figure binaries
-/// feed the report into [`suite_fidelities`] and print its [`Display`]
+/// feed the report into [`try_suite_fidelities`] and print its [`Display`]
 /// form (one summary line plus the per-stage timing breakdown aggregated
 /// from the jobs' pipeline traces).
 ///
@@ -186,8 +239,13 @@ pub fn compile_suite(cases: &[SuiteCase], cfg: &EvalConfig) -> BatchReport {
             let circuit = instances
                 .entry((kind, n))
                 .or_insert_with(|| std::sync::Arc::new(generate(kind, n, cfg.circuit_seed)));
+            // An out-of-range size gets the largest paper device: the job
+            // then fails validation with a typed CircuitTooLarge in the
+            // report (surfaced by try_suite_fidelities) instead of
+            // panicking the whole suite here.
+            let device = try_device_for(n).unwrap_or_else(|| device_for(MAX_EVAL_QUBITS));
             BatchJob::shared(std::sync::Arc::clone(circuit), method, scheduler)
-                .with_topology(device_for(n))
+                .with_topology(device)
                 .with_label(format!("{kind}-{n}/{method}+{scheduler}"))
         })
         .collect();
@@ -200,21 +258,29 @@ pub fn compile_suite(cases: &[SuiteCase], cfg: &EvalConfig) -> BatchReport {
 /// Failed compile jobs are an error, not a data point: they used to map to
 /// fidelity 0.0, which silently dragged suite averages (and the figure
 /// tables built from them) down with no signal that anything went wrong.
-/// Now every failed job is reported with its label — as an `Err` listing
-/// all failures, so callers can decide whether to abort or re-slice the
-/// suite.
-pub fn try_suite_fidelities(report: &BatchReport, cfg: &EvalConfig) -> Result<Vec<f64>, String> {
-    let failures: Vec<String> = report
+/// Now every failed job is reported with its label — as a typed
+/// [`SuiteError`] listing all failures, so callers can decide whether to
+/// abort or re-slice the suite.
+///
+/// # Errors
+///
+/// Returns [`SuiteError`] when any job in the report failed to compile.
+pub fn try_suite_fidelities(
+    report: &BatchReport,
+    cfg: &EvalConfig,
+) -> Result<Vec<f64>, SuiteError> {
+    let failures: Vec<(String, CoOptError)> = report
         .outcomes
         .iter()
-        .filter_map(|o| o.result.as_ref().err().map(|e| format!("{}: {e}", o.label)))
+        .filter_map(|o| {
+            o.result
+                .as_ref()
+                .err()
+                .map(|e| (o.label.clone(), e.clone()))
+        })
         .collect();
     if !failures.is_empty() {
-        return Err(format!(
-            "{} compile job(s) failed: [{}]",
-            failures.len(),
-            failures.join("; ")
-        ));
+        return Err(SuiteError { failures });
     }
     let threads = crate::batch::default_threads();
     Ok(parallel_map(report.outcomes.len(), threads, |i| {
@@ -226,24 +292,36 @@ pub fn try_suite_fidelities(report: &BatchReport, cfg: &EvalConfig) -> Result<Ve
     }))
 }
 
-/// [`try_suite_fidelities`] for suites that must be fully compilable —
-/// the figure binaries, whose benchmarks are sized to their devices.
+/// [`try_suite_fidelities`] for harness code that genuinely wants
+/// abort-on-failure — suites whose benchmarks are statically sized to
+/// their devices.
 ///
 /// # Panics
 ///
 /// Panics with the failing jobs' labels if any compile job errored
 /// (instead of silently folding them in as fidelity 0.0).
-pub fn suite_fidelities(report: &BatchReport, cfg: &EvalConfig) -> Vec<f64> {
+pub fn suite_fidelities_or_panic(report: &BatchReport, cfg: &EvalConfig) -> Vec<f64> {
     try_suite_fidelities(report, cfg)
         .unwrap_or_else(|failures| panic!("suite evaluation aborted: {failures}"))
 }
 
 /// Compile-and-evaluate for a whole suite: [`compile_suite`] followed by
-/// [`suite_fidelities`]. Equivalent to mapping [`benchmark_fidelity`] over
-/// `cases`, but compiles on a worker pool with shared calibration/routing
-/// caches.
-pub fn benchmark_suite_fidelities(cases: &[SuiteCase], cfg: &EvalConfig) -> Vec<f64> {
-    suite_fidelities(&compile_suite(cases, cfg), cfg)
+/// [`try_suite_fidelities`]. Equivalent to mapping [`benchmark_fidelity`]
+/// over `cases`, but compiles on a worker pool with shared
+/// calibration/routing caches.
+///
+/// **Legacy adapter.** The service layer expresses the same workload as
+/// `CompileRequest`s with an eval spec submitted to a `Session`
+/// (`tests/service.rs` pins the two bit-identical).
+///
+/// # Errors
+///
+/// Returns [`SuiteError`] when any case failed to compile.
+pub fn benchmark_suite_fidelities(
+    cases: &[SuiteCase],
+    cfg: &EvalConfig,
+) -> Result<Vec<f64>, SuiteError> {
+    try_suite_fidelities(&compile_suite(cases, cfg), cfg)
 }
 
 #[cfg(test)]
@@ -274,14 +352,16 @@ mod tests {
             PulseMethod::Gaussian,
             SchedulerKind::ParSched,
             &cfg,
-        );
+        )
+        .expect("fits");
         let ours = benchmark_fidelity(
             BenchmarkKind::Qft,
             4,
             PulseMethod::Pert,
             SchedulerKind::ZzxSched,
             &cfg,
-        );
+        )
+        .expect("fits");
         assert!(
             ours > base,
             "co-optimization ({ours}) must beat the baseline ({base})"
@@ -293,7 +373,8 @@ mod tests {
         let cfg = small_cfg();
         for method in [PulseMethod::Gaussian, PulseMethod::Pert] {
             for sched in [SchedulerKind::ParSched, SchedulerKind::ZzxSched] {
-                let f = benchmark_fidelity(BenchmarkKind::HiddenShift, 4, method, sched, &cfg);
+                let f = benchmark_fidelity(BenchmarkKind::HiddenShift, 4, method, sched, &cfg)
+                    .expect("fits");
                 assert!((0.0..=1.0 + 1e-9).contains(&f), "{method}+{sched}: {f}");
             }
         }
@@ -317,8 +398,11 @@ mod tests {
             .run(jobs);
         assert_eq!(report.error_count(), 1);
         let err = try_suite_fidelities(&report, &cfg).unwrap_err();
-        assert!(err.contains("qft-6-on-2x2"), "label missing from: {err}");
-        assert!(err.contains("6 qubits"), "cause missing from: {err}");
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].0, "qft-6-on-2x2");
+        let msg = err.to_string();
+        assert!(msg.contains("qft-6-on-2x2"), "label missing from: {msg}");
+        assert!(msg.contains("6 qubits"), "cause missing from: {msg}");
     }
 
     #[test]
@@ -334,7 +418,30 @@ mod tests {
             .topology(Topology::grid(2, 2))
             .build()
             .run(jobs);
-        let _ = suite_fidelities(&report, &small_cfg());
+        let _ = suite_fidelities_or_panic(&report, &small_cfg());
+    }
+
+    #[test]
+    fn oversized_suite_cases_error_typed_instead_of_panicking() {
+        let cfg = small_cfg();
+        let err = benchmark_suite_fidelities(
+            &[(
+                BenchmarkKind::Qft,
+                13,
+                PulseMethod::Gaussian,
+                SchedulerKind::ParSched,
+            )],
+            &cfg,
+        )
+        .unwrap_err();
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(
+            err.failures[0].1,
+            CoOptError::CircuitTooLarge {
+                needed: 13,
+                available: MAX_EVAL_QUBITS
+            }
+        );
     }
 
     #[test]
@@ -346,7 +453,8 @@ mod tests {
             PulseMethod::Pert,
             SchedulerKind::ZzxSched,
             &cfg,
-        );
+        )
+        .expect("fits");
         let noisy_cfg = small_cfg().with_decoherence_us(50.0, 80);
         let noisy = benchmark_fidelity(
             BenchmarkKind::Ising,
@@ -354,7 +462,8 @@ mod tests {
             PulseMethod::Pert,
             SchedulerKind::ZzxSched,
             &noisy_cfg,
-        );
+        )
+        .expect("fits");
         assert!(noisy < clean + 1e-9, "decoherence {noisy} vs clean {clean}");
     }
 }

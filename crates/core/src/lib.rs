@@ -61,10 +61,12 @@ pub mod batch;
 pub mod calib;
 pub mod evaluate;
 mod optimizer;
+pub mod options;
 pub mod persist;
 pub mod pipeline;
 
 pub use batch::{BatchCompiler, BatchCompilerBuilder, BatchJob, BatchReport, DiskStatus};
 pub use optimizer::{CoOptError, CoOptimizer, CoOptimizerBuilder, Compiled, SchedulerKind};
+pub use options::CompileOptions;
 pub use pipeline::{PassManager, PassManagerBuilder, PipelineOutcome, PipelineTrace, Stage};
 pub use zz_pulse::library::PulseMethod;

@@ -11,6 +11,7 @@ use zz_sched::zzx::Requirement;
 use zz_sched::{GateDurations, SchedulePlan};
 use zz_topology::Topology;
 
+use crate::options::CompileOptions;
 use crate::pipeline::{PassManager, PipelineOutcome};
 
 /// The scheduling policy half of the co-optimization.
@@ -92,14 +93,17 @@ impl Compiled {
 ///
 /// Construct with [`CoOptimizer::builder`]; see the [crate docs](crate) for
 /// a complete example.
+///
+/// **Legacy adapter.** This facade predates the service layer and is kept
+/// as a thin, bit-identical adapter over the same pass pipeline that
+/// `zz_service::Session` runs (the `tests/service.rs` equivalence matrix
+/// pins the two together). New code should build a `zz_service::Target`
+/// and compile through a `Session`, which adds a shared routing memo,
+/// job queueing and typed errors on top of the identical output.
 #[derive(Clone, Debug)]
 pub struct CoOptimizer {
     topology: Topology,
-    method: PulseMethod,
-    scheduler: SchedulerKind,
-    alpha: f64,
-    k: usize,
-    requirement: Option<Requirement>,
+    options: CompileOptions,
 }
 
 impl CoOptimizer {
@@ -116,12 +120,17 @@ impl CoOptimizer {
 
     /// The pulse method.
     pub fn method(&self) -> PulseMethod {
-        self.method
+        self.options.method
     }
 
     /// The scheduler.
     pub fn scheduler(&self) -> SchedulerKind {
-        self.scheduler
+        self.options.scheduler
+    }
+
+    /// The full request configuration this optimizer compiles under.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
     }
 
     /// The [`PassManager`] this optimizer's configuration denotes: the
@@ -131,11 +140,11 @@ impl CoOptimizer {
     pub fn pass_manager(&self) -> PassManager {
         let mut builder = PassManager::builder()
             .topology(self.topology.clone())
-            .pulse_method(self.method)
-            .scheduler(self.scheduler)
-            .alpha(self.alpha)
-            .k(self.k);
-        if let Some(req) = self.requirement {
+            .pulse_method(self.options.method)
+            .scheduler(self.options.scheduler)
+            .alpha(self.options.alpha_or_default())
+            .k(self.options.k_or_default());
+        if let Some(req) = self.options.requirement {
             builder = builder.requirement(req);
         }
         builder.build()
@@ -195,39 +204,33 @@ impl CoOptimizer {
         let mut builder = PassManager::builder()
             .topology(self.topology.clone())
             .pulse_pass(Box::new(crate::pipeline::FixedResiduals {
-                method: self.method,
+                method: self.options.method,
                 residuals,
             }))
-            .scheduler(self.scheduler)
-            .alpha(self.alpha)
-            .k(self.k);
-        if let Some(req) = self.requirement {
+            .scheduler(self.options.scheduler)
+            .alpha(self.options.alpha_or_default())
+            .k(self.options.k_or_default());
+        if let Some(req) = self.options.requirement {
             builder = builder.requirement(req);
         }
         Ok(builder.build().run_native(native)?.compiled)
     }
 }
 
-/// Builder for [`CoOptimizer`].
+/// Builder for [`CoOptimizer`]. The pulse/scheduling knobs are one
+/// [`CompileOptions`] value — settable wholesale through
+/// [`options`](Self::options) or knob-by-knob through the named setters.
 #[derive(Clone, Debug)]
 pub struct CoOptimizerBuilder {
     topology: Topology,
-    method: PulseMethod,
-    scheduler: SchedulerKind,
-    alpha: f64,
-    k: usize,
-    requirement: Option<Requirement>,
+    options: CompileOptions,
 }
 
 impl Default for CoOptimizerBuilder {
     fn default() -> Self {
         CoOptimizerBuilder {
             topology: Topology::grid(3, 4),
-            method: PulseMethod::Pert,
-            scheduler: SchedulerKind::ZzxSched,
-            alpha: 0.5,
-            k: 3,
-            requirement: None,
+            options: CompileOptions::default(),
         }
     }
 }
@@ -239,34 +242,43 @@ impl CoOptimizerBuilder {
         self
     }
 
+    /// Replaces the whole request configuration at once (the service
+    /// layer's `CompileRequest` carries the same struct).
+    pub fn options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
     /// Sets the pulse method (default: `Pert`).
     pub fn pulse_method(mut self, method: PulseMethod) -> Self {
-        self.method = method;
+        self.options.method = method;
         self
     }
 
     /// Sets the scheduler (default: `ZzxSched`).
     pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
-        self.scheduler = scheduler;
+        self.options.scheduler = scheduler;
         self
     }
 
-    /// Sets the NQ-vs-NC weight α of Algorithm 1 (default 0.5).
+    /// Sets the NQ-vs-NC weight α of Algorithm 1 (default
+    /// [`crate::options::DEFAULT_ALPHA`]).
     pub fn alpha(mut self, alpha: f64) -> Self {
-        self.alpha = alpha;
+        self.options.alpha = Some(alpha);
         self
     }
 
-    /// Sets the top-k path-relaxing budget of Algorithm 1 (default 3).
+    /// Sets the top-k path-relaxing budget of Algorithm 1 (default
+    /// [`crate::options::DEFAULT_K`]).
     pub fn k(mut self, k: usize) -> Self {
-        self.k = k;
+        self.options.k = Some(k);
         self
     }
 
     /// Overrides the suppression requirement `R` (default: the paper's
     /// `NQ < max_degree`, `NC ≤ |E|/2`).
     pub fn requirement(mut self, requirement: Requirement) -> Self {
-        self.requirement = Some(requirement);
+        self.options.requirement = Some(requirement);
         self
     }
 
@@ -274,11 +286,7 @@ impl CoOptimizerBuilder {
     pub fn build(self) -> CoOptimizer {
         CoOptimizer {
             topology: self.topology,
-            method: self.method,
-            scheduler: self.scheduler,
-            alpha: self.alpha,
-            k: self.k,
-            requirement: self.requirement,
+            options: self.options,
         }
     }
 }

@@ -1,0 +1,176 @@
+//! [`CompileOptions`]: the one request-configuration struct shared by
+//! every compile entry point.
+//!
+//! Before this module existed, the same five knobs — pulse method,
+//! scheduler, the α weight and top-k budget of Algorithm 1, and the
+//! suppression requirement `R` — were duplicated field-for-field across
+//! [`CoOptimizerBuilder`](crate::CoOptimizerBuilder),
+//! [`BatchJob`](crate::BatchJob) and the pass-manager builder, each with
+//! its own override semantics. Now all of them (and the service layer's
+//! `CompileRequest`) carry one [`CompileOptions`] value.
+//!
+//! The α/k/requirement knobs are *optional*: `None` means "use the
+//! engine default" ([`DEFAULT_ALPHA`], [`DEFAULT_K`], and the
+//! topology-derived paper requirement respectively). This is what lets a
+//! batch job inherit its compiler's sweep-wide setting while a single
+//! job overrides just one knob.
+
+use zz_pulse::library::PulseMethod;
+use zz_sched::zzx::Requirement;
+
+use crate::SchedulerKind;
+
+/// The default NQ-vs-NC weight α of Algorithm 1.
+pub const DEFAULT_ALPHA: f64 = 0.5;
+
+/// The default top-k path-relaxing budget of Algorithm 1.
+pub const DEFAULT_K: usize = 3;
+
+/// The pulse/scheduling configuration of one compile request, shared by
+/// [`CoOptimizerBuilder`](crate::CoOptimizerBuilder),
+/// [`BatchJob`](crate::BatchJob) and the service layer's
+/// `CompileRequest`.
+///
+/// # Example
+///
+/// ```
+/// use zz_core::{CompileOptions, PulseMethod, SchedulerKind};
+///
+/// let opts = CompileOptions::new(PulseMethod::Pert, SchedulerKind::ZzxSched)
+///     .with_alpha(0.25);
+/// assert_eq!(opts.alpha_or_default(), 0.25);
+/// assert_eq!(opts.k_or_default(), zz_core::options::DEFAULT_K);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompileOptions {
+    /// The pulse method to calibrate for.
+    pub method: PulseMethod,
+    /// The scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// The NQ-vs-NC weight α of Algorithm 1; `None` = the caller's base
+    /// setting (ultimately [`DEFAULT_ALPHA`]).
+    pub alpha: Option<f64>,
+    /// The top-k path-relaxing budget of Algorithm 1; `None` = the
+    /// caller's base setting (ultimately [`DEFAULT_K`]).
+    pub k: Option<usize>,
+    /// The suppression requirement `R`; `None` = the caller's base
+    /// setting (ultimately the paper requirement derived from the
+    /// device).
+    pub requirement: Option<Requirement>,
+}
+
+impl Default for CompileOptions {
+    /// The paper's co-optimization defaults: `Pert` pulses under
+    /// `ZZXSched`, engine-default α/k, paper requirement.
+    fn default() -> Self {
+        CompileOptions::new(PulseMethod::Pert, SchedulerKind::ZzxSched)
+    }
+}
+
+impl CompileOptions {
+    /// Options for a `(method, scheduler)` pair with every other knob at
+    /// its engine default.
+    pub fn new(method: PulseMethod, scheduler: SchedulerKind) -> Self {
+        CompileOptions {
+            method,
+            scheduler,
+            alpha: None,
+            k: None,
+            requirement: None,
+        }
+    }
+
+    /// Sets the pulse method.
+    pub fn with_method(mut self, method: PulseMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Overrides the NQ-vs-NC weight α.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Overrides the top-k path-relaxing budget.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Overrides the suppression requirement `R`.
+    pub fn with_requirement(mut self, requirement: Requirement) -> Self {
+        self.requirement = Some(requirement);
+        self
+    }
+
+    /// The effective α over a caller-supplied base setting.
+    pub fn alpha_or(&self, base: f64) -> f64 {
+        self.alpha.unwrap_or(base)
+    }
+
+    /// The effective top-k budget over a caller-supplied base setting.
+    pub fn k_or(&self, base: usize) -> usize {
+        self.k.unwrap_or(base)
+    }
+
+    /// The effective requirement over a caller-supplied base setting
+    /// (`None` = derive the paper requirement from the device).
+    pub fn requirement_or(&self, base: Option<Requirement>) -> Option<Requirement> {
+        self.requirement.or(base)
+    }
+
+    /// The effective α with no base setting ([`DEFAULT_ALPHA`]).
+    pub fn alpha_or_default(&self) -> f64 {
+        self.alpha_or(DEFAULT_ALPHA)
+    }
+
+    /// The effective top-k budget with no base setting ([`DEFAULT_K`]).
+    pub fn k_or_default(&self) -> usize {
+        self.k_or(DEFAULT_K)
+    }
+
+    /// The default label for a request with these options
+    /// (`"{method}+{scheduler}"` — the figure legend style).
+    pub fn default_label(&self) -> String {
+        format!("{}+{}", self.method, self.scheduler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overrides_win_over_bases() {
+        let opts = CompileOptions::default().with_alpha(2.0);
+        assert_eq!(opts.alpha_or(0.5), 2.0);
+        assert_eq!(opts.k_or(7), 7, "unset knobs defer to the base");
+        let req = Requirement {
+            nq_limit: 1,
+            nc_limit: 1,
+        };
+        assert_eq!(opts.requirement_or(Some(req)), Some(req));
+        assert_eq!(
+            opts.with_requirement(req).requirement_or(None),
+            Some(req),
+            "set knobs ignore the base"
+        );
+    }
+
+    #[test]
+    fn default_matches_the_paper_co_optimization() {
+        let opts = CompileOptions::default();
+        assert_eq!(opts.method, PulseMethod::Pert);
+        assert_eq!(opts.scheduler, SchedulerKind::ZzxSched);
+        assert_eq!(opts.alpha_or_default(), DEFAULT_ALPHA);
+        assert_eq!(opts.k_or_default(), DEFAULT_K);
+        assert_eq!(opts.default_label(), "Pert+ZZXSched");
+    }
+}

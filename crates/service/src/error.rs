@@ -1,0 +1,190 @@
+//! The unified error taxonomy of the service layer.
+//!
+//! Every failure a [`crate::Session`] (or [`crate::Target`] construction)
+//! can produce is one [`Error`] variant, labelled with the job it
+//! belongs to where one exists. No public path of the service panics on
+//! user input: oversized circuits come back as [`Error::Validate`],
+//! misconfigured cache directories as [`Error::Persist`], degenerate
+//! evaluation specs as [`Error::Eval`], and a worker dying mid-job as
+//! [`Error::Worker`] — all `std::error::Error + Display`, so they
+//! compose with `?` and `Box<dyn Error>` call sites.
+
+use std::fmt;
+
+use zz_core::evaluate::SuiteError;
+use zz_core::CoOptError;
+
+/// Any failure of the service layer, labelled with the job it belongs to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// The request was rejected before compilation: the circuit does not
+    /// fit the target device (wraps the engine's [`CoOptError`]).
+    Validate {
+        /// The label of the failing job (or `"target"` for failures
+        /// while constructing a [`crate::Target`]).
+        job: String,
+        /// The engine-level cause.
+        source: CoOptError,
+    },
+    /// Routing or native translation failed for this job. Reserved: the
+    /// in-tree router is total (it cannot fail once validation passed),
+    /// so no current path constructs this — pluggable routing backends
+    /// report through it.
+    Route {
+        /// The label of the failing job.
+        job: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Pulse calibration could not produce a residual table for this
+    /// job's method. Reserved like [`Route`](Self::Route): the in-tree
+    /// pulse-level measurement is total; hardware-backed calibration
+    /// sources report through it.
+    Calibration {
+        /// The label of the failing job.
+        job: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The persistence layer rejected its configuration — typically an
+    /// uncreatable or unwritable cache directory handed to
+    /// [`crate::TargetBuilder::store_dir`].
+    Persist {
+        /// What went wrong.
+        detail: String,
+    },
+    /// Fidelity evaluation failed (degenerate eval spec, or a failed
+    /// compile surfaced by a suite evaluation).
+    Eval {
+        /// The label of the failing job (or a suite description).
+        job: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A session worker died or the queue was torn down before this
+    /// job's result was produced.
+    Worker {
+        /// The label of the failing job.
+        job: String,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl Error {
+    /// The label of the job this error belongs to, when one exists
+    /// ([`Error::Persist`] predates any job).
+    pub fn job(&self) -> Option<&str> {
+        match self {
+            Error::Validate { job, .. }
+            | Error::Route { job, .. }
+            | Error::Calibration { job, .. }
+            | Error::Eval { job, .. }
+            | Error::Worker { job, .. } => Some(job),
+            Error::Persist { .. } => None,
+        }
+    }
+
+    /// Wraps an engine-level compile error for `job` (today every
+    /// [`CoOptError`] is a validation rejection).
+    pub fn from_compile(job: impl Into<String>, source: CoOptError) -> Self {
+        Error::Validate {
+            job: job.into(),
+            source,
+        }
+    }
+
+    /// Wraps a legacy suite-evaluation failure set.
+    pub fn from_suite(error: &SuiteError) -> Self {
+        Error::Eval {
+            job: error
+                .failures
+                .first()
+                .map(|(label, _)| label.clone())
+                .unwrap_or_else(|| "suite".into()),
+            detail: error.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Validate { job, source } => write!(f, "job {job}: validation failed: {source}"),
+            Error::Route { job, detail } => write!(f, "job {job}: routing failed: {detail}"),
+            Error::Calibration { job, detail } => {
+                write!(f, "job {job}: calibration failed: {detail}")
+            }
+            Error::Persist { detail } => write!(f, "persistence layer: {detail}"),
+            Error::Eval { job, detail } => write!(f, "job {job}: evaluation failed: {detail}"),
+            Error::Worker { job, detail } => write!(f, "job {job}: worker failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Validate { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_attaches_the_job_label() {
+        let err = Error::from_compile(
+            "qft-9",
+            CoOptError::CircuitTooLarge {
+                needed: 9,
+                available: 4,
+            },
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("qft-9"), "{msg}");
+        assert!(msg.contains("9 qubits"), "{msg}");
+        assert_eq!(err.job(), Some("qft-9"));
+    }
+
+    #[test]
+    fn suite_failures_wrap_into_eval_with_the_first_label() {
+        let suite = SuiteError {
+            failures: vec![(
+                "qft-13".into(),
+                CoOptError::CircuitTooLarge {
+                    needed: 13,
+                    available: 12,
+                },
+            )],
+        };
+        match Error::from_suite(&suite) {
+            Error::Eval { job, detail } => {
+                assert_eq!(job, "qft-13");
+                assert!(detail.contains("13 qubits"), "{detail}");
+            }
+            other => panic!("expected Eval, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_exposes_the_engine_cause_as_source() {
+        use std::error::Error as _;
+        let err = Error::from_compile(
+            "j",
+            CoOptError::CircuitTooLarge {
+                needed: 5,
+                available: 4,
+            },
+        );
+        assert!(err.source().is_some());
+        assert!(Error::Persist {
+            detail: "read-only".into()
+        }
+        .source()
+        .is_none());
+    }
+}

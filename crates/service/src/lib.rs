@@ -1,0 +1,77 @@
+//! `zz_service` — the session-based front door of the co-optimization
+//! stack.
+//!
+//! The engine crates under this one ([`zz_core`]'s pass pipeline, batch
+//! engine and calibration, `zz_persist`'s artifact store, `zz_sim`'s
+//! executors) each expose their own slice of device state. This crate
+//! bundles them behind two types:
+//!
+//! * **[`Target`]** — one value describing the machine: topology, ZZ
+//!   noise characterization, calibration source and optional on-disk
+//!   artifact store. Build the paper device with
+//!   [`Target::paper_default`], the smallest paper sub-grid for a
+//!   register with [`Target::for_qubits`], or anything else with
+//!   [`Target::builder`].
+//! * **[`Session`]** — a long-lived service over one target, owning the
+//!   worker pool, routing memo and caches. Submit typed
+//!   [`CompileRequest`]s synchronously ([`Session::compile`]) or as
+//!   non-blocking [`JobHandle`]s ([`Session::submit`] /
+//!   [`Session::drain`]); responses carry the compiled plan, pipeline
+//!   trace, cache dispositions and optional evaluated fidelity.
+//!
+//! Every failure is a typed [`Error`] with the job label attached — no
+//! public path panics on user input. The legacy facades
+//! (`zz_core::CoOptimizer`, `zz_core::BatchCompiler`, the
+//! `zz_core::evaluate` suite helpers) remain as thin adapters whose
+//! output is pinned bit-identical to a session's by the
+//! `tests/service.rs` equivalence matrix.
+//!
+//! # Example
+//!
+//! ```
+//! use zz_circuit::bench::{generate, BenchmarkKind};
+//! use zz_service::{CompileOptions, CompileRequest, EvalSpec, Session, Target};
+//! use zz_service::{PulseMethod, SchedulerKind};
+//!
+//! // One target, one session, for however many requests follow.
+//! let session = Session::new(Target::for_qubits(4)?);
+//!
+//! // Synchronous: compile + evaluate in one call.
+//! let request = CompileRequest::new(generate(BenchmarkKind::Qft, 4, 7))
+//!     .with_options(CompileOptions::new(PulseMethod::Pert, SchedulerKind::ZzxSched))
+//!     .with_eval(EvalSpec::paper_default());
+//! let response = session.compile(&request)?;
+//! assert!(response.fidelity.expect("eval requested") > 0.5);
+//!
+//! // Non-blocking: queue a sweep, then collect everything in order.
+//! for alpha in [0.0, 0.5, 1.0] {
+//!     let sweep = CompileRequest::new(generate(BenchmarkKind::Qft, 4, 7))
+//!         .with_options(CompileOptions::default().with_alpha(alpha))
+//!         .with_label(format!("alpha-{alpha}"));
+//!     session.submit(sweep);
+//! }
+//! let report = session.drain();
+//! assert_eq!(report.outcomes.len(), 3);
+//! assert_eq!(report.error_count(), 0);
+//! // The whole sweep replays the routing pass the synchronous compile
+//! // above already paid for — the session memo serves every job.
+//! assert_eq!(report.route_misses, 0);
+//! assert_eq!(report.route_hits, 3);
+//! # Ok::<(), zz_service::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod pool;
+mod session;
+mod target;
+
+pub use error::Error;
+pub use session::{CompileRequest, CompileResponse, EvalSpec, JobHandle, ServiceReport, Session};
+pub use target::{Target, TargetBuilder};
+
+// The request-configuration types a service caller needs, re-exported so
+// one `use zz_service::…` line covers the whole front door.
+pub use zz_core::batch::{DiskStatus, StageStats};
+pub use zz_core::{CompileOptions, Compiled, PipelineTrace, PulseMethod, SchedulerKind};

@@ -1,0 +1,101 @@
+//! The session's long-lived worker pool.
+//!
+//! Unlike the scoped per-call pools of `zz_core::batch::parallel_map`,
+//! these workers live as long as their [`crate::Session`]: submissions
+//! from any number of `submit` calls interleave on one queue, so a
+//! service can keep accepting jobs while earlier ones still compile.
+//! Tasks are plain boxed closures; result plumbing (handles, ordering)
+//! lives in [`crate::session`].
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of worker threads draining one shared task queue. Dropping
+/// the pool closes the queue and joins every worker (outstanding tasks
+/// finish first).
+#[derive(Debug)]
+pub(crate) struct WorkerPool {
+    sender: Option<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(threads: usize) -> Self {
+        let (sender, receiver) = channel::<Task>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("zz-service-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    pub(crate) fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a task; returns `false` when the queue is already torn
+    /// down (the pool is being dropped).
+    pub(crate) fn execute(&self, task: Task) -> bool {
+        match &self.sender {
+            Some(sender) => sender.send(task).is_ok(),
+            None => false,
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Task>>) {
+    loop {
+        // Hold the queue lock only for the dequeue, never while running.
+        let task = match receiver.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => break, // a sibling panicked holding the lock
+        };
+        match task {
+            Ok(task) => task(),
+            Err(_) => break, // queue closed: the session is shutting down
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.sender.take(); // close the queue: workers drain and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn drop_drains_outstanding_tasks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(3);
+            assert_eq!(pool.threads(), 3);
+            for _ in 0..64 {
+                let counter = Arc::clone(&counter);
+                assert!(pool.execute(Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })));
+            }
+        } // drop joins the workers
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+}

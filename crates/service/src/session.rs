@@ -1,0 +1,760 @@
+//! [`Session`]: the long-lived compile/evaluate front door.
+//!
+//! A session is built from one [`Target`] and owns, for its whole
+//! lifetime, the machinery every request shares: the worker pool, the
+//! routing/native-translation memo, the calibration cache and the
+//! optional on-disk artifact store. Callers hand it typed
+//! [`CompileRequest`]s — synchronously ([`Session::compile`]) or as
+//! non-blocking [`JobHandle`]s ([`Session::submit`] / [`Session::drain`])
+//! — and get back [`CompileResponse`]s carrying the compiled plan, the
+//! pipeline trace, cache dispositions and (when the request asked for
+//! it) the evaluated fidelity. Batch suites, parameter sweeps and figure
+//! workloads all go through this one queue.
+//!
+//! Every failure is a typed [`Error`]; no path panics on user input.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use zz_circuit::Circuit;
+use zz_core::batch::{default_threads, DiskStatus, StageStats};
+use zz_core::evaluate::{fidelity_of, EvalConfig};
+use zz_core::pipeline::{CacheDisposition, PassManager, RouteMemo, Stage};
+use zz_core::{CompileOptions, Compiled, PipelineTrace};
+use zz_sim::density::Decoherence;
+use zz_topology::Topology;
+
+use crate::error::Error;
+use crate::pool::WorkerPool;
+use crate::target::Target;
+
+/// What to evaluate after a successful compile: the disorder samples to
+/// average over and the optional decoherence channel. The crosstalk
+/// strength itself comes from the session's [`Target`].
+#[derive(Clone, Debug)]
+pub struct EvalSpec {
+    /// Seeds for the per-coupling crosstalk samples; the reported
+    /// fidelity is their mean.
+    pub crosstalk_seeds: Vec<u64>,
+    /// Optional decoherence: `(model, trajectories, rng seed)`.
+    pub decoherence: Option<(Decoherence, usize, u64)>,
+}
+
+impl Default for EvalSpec {
+    fn default() -> Self {
+        EvalSpec::paper_default()
+    }
+}
+
+impl EvalSpec {
+    /// The paper's evaluation: 3 disorder samples, no decoherence.
+    pub fn paper_default() -> Self {
+        EvalSpec {
+            crosstalk_seeds: vec![11, 23, 37],
+            decoherence: None,
+        }
+    }
+
+    /// Replaces the disorder seeds.
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.crosstalk_seeds = seeds;
+        self
+    }
+
+    /// Adds decoherence (`T1 = T2 = t` µs) with the given trajectory
+    /// count (trajectories are used only above the exact
+    /// density-matrix register size).
+    pub fn with_decoherence_us(mut self, t: f64, trajectories: usize) -> Self {
+        self.decoherence = Some((Decoherence::equal_us(t), trajectories, 97));
+        self
+    }
+
+    fn to_config(&self, target: &Target) -> EvalConfig {
+        EvalConfig {
+            lambda_mean: target.lambda_mean(),
+            lambda_std: target.lambda_std(),
+            crosstalk_seeds: self.crosstalk_seeds.clone(),
+            circuit_seed: 0, // generation happens before the request
+            decoherence: self.decoherence,
+        }
+    }
+}
+
+/// One typed request to a [`Session`]: the circuit plus everything about
+/// how to compile (and optionally evaluate) it.
+#[derive(Clone, Debug)]
+pub struct CompileRequest {
+    /// The logical circuit (shared, so sweeps reference one circuit
+    /// without copying it).
+    pub circuit: Arc<Circuit>,
+    /// The pulse/scheduling configuration — the same [`CompileOptions`]
+    /// struct the legacy builders carry.
+    pub options: CompileOptions,
+    /// Per-request device override; `None` compiles onto the session
+    /// target's topology.
+    pub device: Option<Topology>,
+    /// Label attached to the response and to any error.
+    pub label: String,
+    /// Whether to return the per-pass [`PipelineTrace`] (on by default;
+    /// the aggregate [`ServiceReport`] stage statistics need it).
+    pub trace: bool,
+    /// When set, the worker also evaluates the compiled plan under the
+    /// target's noise model and reports
+    /// [`CompileResponse::fidelity`].
+    pub eval: Option<EvalSpec>,
+}
+
+impl CompileRequest {
+    /// A request with default options (`Pert+ZZXSched`, engine α/k,
+    /// paper requirement, trace on, no evaluation).
+    pub fn new(circuit: Circuit) -> Self {
+        Self::shared(Arc::new(circuit))
+    }
+
+    /// Like [`new`](Self::new) for an already-shared circuit.
+    pub fn shared(circuit: Arc<Circuit>) -> Self {
+        let options = CompileOptions::default();
+        CompileRequest {
+            circuit,
+            label: options.default_label(),
+            options,
+            device: None,
+            trace: true,
+            eval: None,
+        }
+    }
+
+    /// Replaces the whole option set (also refreshes a label that was
+    /// never overridden).
+    pub fn with_options(mut self, options: CompileOptions) -> Self {
+        if self.label == self.options.default_label() {
+            self.label = options.default_label();
+        }
+        self.options = options;
+        self
+    }
+
+    /// Overrides the device this request compiles onto.
+    pub fn on_device(mut self, device: Topology) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Overrides the request label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Disables the per-pass trace on the response.
+    pub fn without_trace(mut self) -> Self {
+        self.trace = false;
+        self
+    }
+
+    /// Requests fidelity evaluation after the compile.
+    pub fn with_eval(mut self, eval: EvalSpec) -> Self {
+        self.eval = Some(eval);
+        self
+    }
+}
+
+/// The result of one [`CompileRequest`].
+#[derive(Clone, Debug)]
+pub struct CompileResponse {
+    /// The request's label.
+    pub label: String,
+    /// The compiled circuit.
+    pub compiled: Compiled,
+    /// Per-pass instrumentation (present unless the request disabled
+    /// it).
+    pub trace: Option<PipelineTrace>,
+    /// Whether routing/native translation was served from the session
+    /// memo or the disk store.
+    pub route_cache_hit: bool,
+    /// Whether the on-disk store served the whole compiled plan.
+    pub disk: DiskStatus,
+    /// Wall-clock time compiling (and evaluating, when requested) —
+    /// excluding queue wait.
+    pub compile_time: Duration,
+    /// Time the request waited in the queue before a worker picked it
+    /// up (zero for synchronous [`Session::compile`] calls).
+    pub queue_wait: Duration,
+    /// Mean output-state fidelity under the target's noise model, when
+    /// the request carried an [`EvalSpec`].
+    pub fidelity: Option<f64>,
+}
+
+/// A non-blocking handle to a submitted request. Obtain the result with
+/// [`wait`](JobHandle::wait), or collect every outstanding handle at
+/// once with [`Session::drain`].
+#[derive(Debug)]
+pub struct JobHandle {
+    label: String,
+    state: Arc<HandleState>,
+}
+
+#[derive(Debug)]
+struct HandleState {
+    slot: Mutex<Option<Result<CompileResponse, Error>>>,
+    ready: Condvar,
+}
+
+impl HandleState {
+    fn new() -> Self {
+        HandleState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, result: Result<CompileResponse, Error>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<CompileResponse, Error> {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        while slot.is_none() {
+            slot = self.ready.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+        slot.as_ref().expect("filled above").clone()
+    }
+
+    /// Like [`wait`](Self::wait), but *moves* the result out when this
+    /// state is uniquely owned — the drain path's no-copy fast path for
+    /// handles the caller dropped. The slot is refilled with a clone
+    /// only when a [`JobHandle`] still exists (so a post-drain `wait`
+    /// keeps working).
+    fn wait_take(self: &Arc<Self>) -> Result<CompileResponse, Error> {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        while slot.is_none() {
+            slot = self.ready.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+        // Handles are not cloneable, so the count is 1 exactly when the
+        // caller dropped its JobHandle: the compiled plan need not be
+        // deep-copied for the report.
+        if Arc::strong_count(self) == 1 {
+            slot.take().expect("filled above")
+        } else {
+            slot.as_ref().expect("filled above").clone()
+        }
+    }
+}
+
+impl JobHandle {
+    /// The label of the submitted request.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Blocks until the worker finishes this request and returns its
+    /// result. The result stays available to a later
+    /// [`Session::drain`], so waiting on individual handles does not
+    /// disturb the aggregate report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job's typed [`Error`] when it failed.
+    pub fn wait(&self) -> Result<CompileResponse, Error> {
+        self.state.wait()
+    }
+
+    /// The result, if the worker already finished (never blocks).
+    pub fn poll(&self) -> Option<Result<CompileResponse, Error>> {
+        self.state
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+/// Aggregate outcome of every request submitted since the previous
+/// [`Session::drain`], in submission order.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Per-request results, in submission order.
+    pub outcomes: Vec<Result<CompileResponse, Error>>,
+    /// Wall-clock time from the first submission of this batch until
+    /// every result was available.
+    pub wall_time: Duration,
+    /// Requests whose routing was served from the session memo or the
+    /// disk store.
+    pub route_hits: usize,
+    /// Requests that had to route.
+    pub route_misses: usize,
+    /// Requests whose whole compiled plan was served from disk.
+    pub disk_hits: usize,
+    /// Requests that consulted the disk store and missed.
+    pub disk_misses: usize,
+    /// Pulse-level calibration measurements that ran during this batch's
+    /// window (at most one per pulse method per calibration cache).
+    pub calibration_runs: usize,
+}
+
+impl ServiceReport {
+    /// The successful responses, in submission order.
+    pub fn successes(&self) -> impl Iterator<Item = &CompileResponse> {
+        self.outcomes.iter().filter_map(|o| o.as_ref().ok())
+    }
+
+    /// Number of failed requests.
+    pub fn error_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_err()).count()
+    }
+
+    /// Sum of per-request compile (and eval) times.
+    pub fn cpu_time(&self) -> Duration {
+        self.successes().map(|r| r.compile_time).sum()
+    }
+
+    /// Total time requests of this batch spent waiting in the queue.
+    pub fn queue_wait(&self) -> Duration {
+        self.successes().map(|r| r.queue_wait).sum()
+    }
+
+    /// The evaluated fidelities in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed request's [`Error`], or [`Error::Eval`]
+    /// for a success that carried no evaluation (the request had no
+    /// [`EvalSpec`]).
+    pub fn fidelities(&self) -> Result<Vec<f64>, Error> {
+        self.outcomes
+            .iter()
+            .map(|outcome| match outcome {
+                Ok(r) => r.fidelity.ok_or_else(|| Error::Eval {
+                    job: r.label.clone(),
+                    detail: "request carried no EvalSpec".into(),
+                }),
+                Err(e) => Err(e.clone()),
+            })
+            .collect()
+    }
+
+    /// Per-stage aggregation of the responses' pipeline traces (requests
+    /// that disabled tracing contribute nothing). Stages appear in
+    /// pipeline order.
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        Stage::ALL
+            .iter()
+            .map(|&stage| {
+                let mut stats = StageStats {
+                    stage,
+                    executed: 0,
+                    cache_hits: 0,
+                    wall: Duration::ZERO,
+                };
+                for response in self.successes() {
+                    let Some(trace) = &response.trace else {
+                        continue;
+                    };
+                    for pass in trace.passes.iter().filter(|p| p.stage == stage) {
+                        if pass.cache.is_hit() {
+                            stats.cache_hits += 1;
+                        } else {
+                            stats.executed += 1;
+                        }
+                        stats.wall += pass.wall;
+                    }
+                }
+                stats
+            })
+            .collect()
+    }
+}
+
+/// One summary line (jobs, wall/cpu/queue time, cache hit rates,
+/// calibration runs) plus the per-stage `runs/hits wall` breakdown — the
+/// format the figure binaries print after every suite.
+impl std::fmt::Display for ServiceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} jobs ({} failed) in {:.1?} wall / {:.1?} cpu (queue wait {:.1?}); routing memo {} hit / {} miss; ",
+            self.outcomes.len(),
+            self.error_count(),
+            self.wall_time,
+            self.cpu_time(),
+            self.queue_wait(),
+            self.route_hits,
+            self.route_misses,
+        )?;
+        if self.disk_hits + self.disk_misses > 0 {
+            write!(
+                f,
+                "disk {} hit / {} miss; ",
+                self.disk_hits, self.disk_misses
+            )?;
+        } else {
+            write!(f, "disk cache off; ")?;
+        }
+        write!(f, "{} calibration run(s)", self.calibration_runs)?;
+        write!(f, "\n  stages (runs/hits wall):")?;
+        for stats in self.stage_stats() {
+            write!(
+                f,
+                " {} {}/{} {:.1?}",
+                stats.stage, stats.executed, stats.cache_hits, stats.wall
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The state a session shares with its workers: the target plus the
+/// session-lifetime caches.
+#[derive(Debug)]
+struct SessionCore {
+    target: Target,
+    memo: Arc<RouteMemo>,
+}
+
+impl SessionCore {
+    /// Compiles (and optionally evaluates) one request. Runs on a worker
+    /// or, for [`Session::compile`], on the caller thread — both paths
+    /// share the session caches.
+    fn execute(&self, request: &CompileRequest) -> Result<CompileResponse, Error> {
+        let t0 = Instant::now();
+        let topology = request
+            .device
+            .clone()
+            .unwrap_or_else(|| self.target.topology().clone());
+        let mut builder = PassManager::builder()
+            .topology(topology)
+            .pulse_method(request.options.method)
+            .scheduler(request.options.scheduler)
+            .alpha(request.options.alpha_or_default())
+            .k(request.options.k_or_default())
+            .route_memo(Arc::clone(&self.memo));
+        if let Some(req) = request.options.requirement {
+            builder = builder.requirement(req);
+        }
+        if let Some(store) = self.target.store_arc() {
+            builder = builder.store(store);
+        }
+        if let Some(calib) = self.target.calib_arc() {
+            builder = builder.calib(calib);
+        }
+        let outcome = builder
+            .build()
+            .run(Arc::clone(&request.circuit))
+            .map_err(|e| Error::from_compile(&request.label, e))?;
+
+        let route_cache_hit = outcome.trace.compiled_cache == CacheDisposition::DiskHit
+            || outcome
+                .trace
+                .pass(Stage::Route)
+                .is_some_and(|p| p.cache.is_hit());
+        let disk = match outcome.trace.compiled_cache {
+            CacheDisposition::DiskHit => DiskStatus::Hit,
+            CacheDisposition::Miss => DiskStatus::Miss,
+            _ => DiskStatus::NotConsulted,
+        };
+
+        let mut compiled = outcome.compiled;
+        if let Some(durations) = self.target.durations() {
+            compiled.durations = *durations;
+        }
+
+        let fidelity = match &request.eval {
+            None => None,
+            Some(spec) => {
+                if spec.crosstalk_seeds.is_empty() {
+                    return Err(Error::Eval {
+                        job: request.label.clone(),
+                        detail: "eval spec has no crosstalk seeds to average over".into(),
+                    });
+                }
+                Some(fidelity_of(&compiled, &spec.to_config(&self.target)))
+            }
+        };
+
+        Ok(CompileResponse {
+            label: request.label.clone(),
+            compiled,
+            trace: request.trace.then_some(outcome.trace),
+            route_cache_hit,
+            disk,
+            compile_time: t0.elapsed(),
+            queue_wait: Duration::ZERO,
+            fidelity,
+        })
+    }
+}
+
+/// The one front door: a long-lived compile/evaluate service over one
+/// [`Target`]. See the [crate docs](crate) for the life cycle and a
+/// complete example.
+#[derive(Debug)]
+pub struct Session {
+    core: Arc<SessionCore>,
+    pool: WorkerPool,
+    pending: Mutex<PendingBatch>,
+    calib_mark: AtomicUsize,
+}
+
+/// The handles submitted since the last drain plus the batch's start
+/// instant — one mutex, so a concurrent `submit` can never land its
+/// handle in one batch and its timestamp in another.
+#[derive(Debug, Default)]
+struct PendingBatch {
+    jobs: Vec<Arc<HandleState>>,
+    started: Option<Instant>,
+}
+
+impl Session {
+    /// Opens a session over `target` with one worker per available core.
+    pub fn new(target: Target) -> Self {
+        Self::with_threads(target, default_threads())
+    }
+
+    /// Opens a session with an explicit worker count (clamped to ≥ 1).
+    pub fn with_threads(target: Target, threads: usize) -> Self {
+        let calib_runs = target.calib().calibration_runs();
+        Session {
+            core: Arc::new(SessionCore {
+                target,
+                memo: Arc::new(RouteMemo::new()),
+            }),
+            pool: WorkerPool::new(threads),
+            pending: Mutex::new(PendingBatch::default()),
+            calib_mark: AtomicUsize::new(calib_runs),
+        }
+    }
+
+    /// The target this session compiles for.
+    pub fn target(&self) -> &Target {
+        &self.core.target
+    }
+
+    /// The session's worker count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Compiles one request synchronously on the caller's thread, using
+    /// the session caches (workers keep serving submitted jobs in the
+    /// meantime). Synchronous calls are not tracked by
+    /// [`drain`](Self::drain).
+    ///
+    /// # Errors
+    ///
+    /// Returns the request's typed [`Error`] on failure.
+    pub fn compile(&self, request: &CompileRequest) -> Result<CompileResponse, Error> {
+        self.core.execute(request)
+    }
+
+    /// Enqueues a request on the worker pool and returns immediately.
+    /// The handle resolves when a worker finishes the job;
+    /// [`drain`](Self::drain) collects every outstanding handle in
+    /// submission order.
+    pub fn submit(&self, request: CompileRequest) -> JobHandle {
+        let state = Arc::new(HandleState::new());
+        let label = request.label.clone();
+        {
+            let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            pending.started.get_or_insert_with(Instant::now);
+            pending.jobs.push(Arc::clone(&state));
+        }
+
+        let core = Arc::clone(&self.core);
+        let task_state = Arc::clone(&state);
+        let queued_at = Instant::now();
+        let enqueued = self.pool.execute(Box::new(move || {
+            let queue_wait = queued_at.elapsed();
+            let result = catch_unwind(AssertUnwindSafe(|| core.execute(&request)));
+            task_state.fill(match result {
+                Ok(Ok(mut response)) => {
+                    response.queue_wait = queue_wait;
+                    Ok(response)
+                }
+                Ok(Err(error)) => Err(error),
+                Err(panic) => Err(Error::Worker {
+                    job: request.label.clone(),
+                    detail: panic_message(&panic),
+                }),
+            });
+        }));
+        if !enqueued {
+            state.fill(Err(Error::Worker {
+                job: label.clone(),
+                detail: "the session queue is shut down".into(),
+            }));
+        }
+        JobHandle { label, state }
+    }
+
+    /// Submits a whole batch, returning one handle per request in order.
+    pub fn submit_all(&self, requests: impl IntoIterator<Item = CompileRequest>) -> Vec<JobHandle> {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Blocks until every request submitted since the previous drain has
+    /// finished and returns their results (in submission order) with
+    /// aggregate cache statistics. The session stays open: submitting
+    /// after a drain starts the next batch.
+    pub fn drain(&self) -> ServiceReport {
+        let batch = {
+            let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *pending)
+        };
+        let outcomes: Vec<Result<CompileResponse, Error>> = batch
+            .jobs
+            .into_iter()
+            .map(|state| state.wait_take())
+            .collect();
+        let wall_time = batch.started.map(|t| t.elapsed()).unwrap_or(Duration::ZERO);
+
+        let route_hits = outcomes
+            .iter()
+            .filter(|o| o.as_ref().is_ok_and(|r| r.route_cache_hit))
+            .count();
+        let route_misses = outcomes
+            .iter()
+            .filter(|o| o.as_ref().is_ok_and(|r| !r.route_cache_hit))
+            .count();
+        let disk_hits = outcomes
+            .iter()
+            .filter(|o| o.as_ref().is_ok_and(|r| r.disk == DiskStatus::Hit))
+            .count();
+        let disk_misses = outcomes
+            .iter()
+            .filter(|o| o.as_ref().is_ok_and(|r| r.disk == DiskStatus::Miss))
+            .count();
+
+        // Publish every measured residual table so the next process
+        // starts warm (mirrors the batch engine's policy).
+        if let Some(store) = self.core.target.store() {
+            self.core.target.calib().save_to(store);
+        }
+        let calib_runs = self.core.target.calib().calibration_runs();
+        let calibration_runs = calib_runs - self.calib_mark.swap(calib_runs, Ordering::Relaxed);
+
+        ServiceReport {
+            outcomes,
+            wall_time,
+            route_hits,
+            route_misses,
+            disk_hits,
+            disk_misses,
+            calibration_runs,
+        }
+    }
+
+    /// Convenience: [`submit_all`](Self::submit_all) followed by
+    /// [`drain`](Self::drain) — the one-call shape suite workloads use.
+    pub fn run(&self, requests: impl IntoIterator<Item = CompileRequest>) -> ServiceReport {
+        self.submit_all(requests);
+        self.drain()
+    }
+
+    /// Number of distinct circuit × device shapes the session's routing
+    /// memo currently holds.
+    pub fn memoized_shapes(&self) -> usize {
+        self.core.memo.memoized_shapes()
+    }
+}
+
+/// Best-effort rendering of a worker panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zz_circuit::Gate;
+
+    fn small_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]).push(Gate::Cnot, &[0, 1]);
+        c
+    }
+
+    fn session() -> Session {
+        Session::with_threads(
+            Target::builder()
+                .topology(Topology::grid(2, 2))
+                .build()
+                .expect("no store"),
+            2,
+        )
+    }
+
+    #[test]
+    fn synchronous_compile_round_trips() {
+        let session = session();
+        let response = session
+            .compile(&CompileRequest::new(small_circuit()))
+            .expect("fits");
+        assert_eq!(response.label, "Pert+ZZXSched");
+        assert!(response.compiled.plan.layer_count() > 0);
+        assert!(response.trace.is_some());
+        assert!(response.fidelity.is_none());
+    }
+
+    #[test]
+    fn submit_and_drain_preserve_submission_order() {
+        let session = session();
+        for i in 0..6 {
+            session.submit(CompileRequest::new(small_circuit()).with_label(format!("job-{i}")));
+        }
+        let report = session.drain();
+        assert_eq!(report.error_count(), 0);
+        let labels: Vec<&str> = report
+            .outcomes
+            .iter()
+            .map(|o| o.as_ref().expect("compiled").label.as_str())
+            .collect();
+        assert_eq!(
+            labels,
+            ["job-0", "job-1", "job-2", "job-3", "job-4", "job-5"]
+        );
+        // Draining again without new submissions is an empty batch.
+        assert!(session.drain().outcomes.is_empty());
+    }
+
+    #[test]
+    fn oversized_requests_fail_typed_not_panicking() {
+        let session = session();
+        let request = CompileRequest::new(Circuit::new(9)).with_label("too-big");
+        match session.compile(&request) {
+            Err(Error::Validate { job, .. }) => assert_eq!(job, "too-big"),
+            other => panic!("expected Validate, got {other:?}"),
+        }
+        let handle = session.submit(request);
+        assert!(matches!(handle.wait(), Err(Error::Validate { .. })));
+        let report = session.drain();
+        assert_eq!(report.error_count(), 1);
+    }
+
+    #[test]
+    fn wait_then_drain_sees_the_same_result() {
+        let session = session();
+        let handle = session.submit(CompileRequest::new(small_circuit()));
+        let waited = handle.wait().expect("fits");
+        let report = session.drain();
+        let drained = report.outcomes[0].as_ref().expect("fits");
+        assert_eq!(waited.compiled, drained.compiled);
+    }
+
+    #[test]
+    fn empty_eval_spec_is_a_typed_error() {
+        let session = session();
+        let request = CompileRequest::new(small_circuit())
+            .with_eval(EvalSpec::paper_default().with_seeds(vec![]));
+        assert!(matches!(session.compile(&request), Err(Error::Eval { .. })));
+    }
+}

@@ -1,0 +1,293 @@
+//! [`Target`]: everything the service knows about one device, in one
+//! value.
+//!
+//! Before the service layer, device state was wired ad hoc at every
+//! entry point: the topology through `CoOptimizerBuilder::topology` (or
+//! `evaluate::device_for`), the crosstalk strength through `EvalConfig`,
+//! calibration through whichever `CalibCache` a caller happened to hold,
+//! and persistence through `BatchCompilerBuilder::store`. A [`Target`]
+//! bundles all four — topology, noise characterization, calibration
+//! source and on-disk artifact store — so a [`crate::Session`] (and
+//! every request it serves) draws from one coherent description of the
+//! machine.
+
+use std::sync::Arc;
+
+use zz_core::calib::CalibCache;
+use zz_core::evaluate::{try_device_for, MAX_EVAL_QUBITS};
+use zz_core::CoOptError;
+use zz_persist::ArtifactStore;
+use zz_sched::GateDurations;
+use zz_topology::Topology;
+
+use crate::error::Error;
+
+/// The device a [`crate::Session`] compiles for: topology, ZZ noise
+/// characterization, calibration source and optional artifact store.
+///
+/// # Example
+///
+/// ```
+/// use zz_service::Target;
+///
+/// let target = Target::paper_default();
+/// assert_eq!(target.topology().qubit_count(), 12); // the 3×4 grid
+///
+/// let small = Target::for_qubits(6)?; // absorbs evaluate::device_for
+/// assert_eq!(small.topology().qubit_count(), 6);   // 2×3
+/// assert!(Target::for_qubits(64).is_err());        // typed, no panic
+/// # Ok::<(), zz_service::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Target {
+    topology: Topology,
+    lambda_mean: f64,
+    lambda_std: f64,
+    durations: Option<GateDurations>,
+    calib: Option<Arc<CalibCache>>,
+    store: Option<Arc<ArtifactStore>>,
+}
+
+impl Target {
+    /// The paper's device: the 3×4 grid with
+    /// `λ ~ N(2π·200 kHz, (2π·50 kHz)²)` crosstalk, process-wide
+    /// calibration, no disk store.
+    pub fn paper_default() -> Self {
+        Target::builder()
+            .build()
+            .expect("the default target has no failure path")
+    }
+
+    /// The smallest paper evaluation sub-grid holding `n` qubits
+    /// (4 → 2×2, 6 → 2×3, 9 → 3×3, 12 → 3×4), with paper-default noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Validate`] when `n` exceeds the paper's largest
+    /// device (12 qubits) — the panic of the legacy
+    /// `evaluate::device_for`, made typed.
+    pub fn for_qubits(n: usize) -> Result<Self, Error> {
+        let topology = try_device_for(n).ok_or_else(|| Error::Validate {
+            job: "target".into(),
+            source: CoOptError::CircuitTooLarge {
+                needed: n,
+                available: MAX_EVAL_QUBITS,
+            },
+        })?;
+        Target::builder().topology(topology).build()
+    }
+
+    /// Starts building a target (defaults: the paper device of
+    /// [`Target::paper_default`]).
+    pub fn builder() -> TargetBuilder {
+        TargetBuilder::default()
+    }
+
+    /// The device topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mean ZZ crosstalk strength (rad/ns).
+    pub fn lambda_mean(&self) -> f64 {
+        self.lambda_mean
+    }
+
+    /// ZZ crosstalk standard deviation (rad/ns).
+    pub fn lambda_std(&self) -> f64 {
+        self.lambda_std
+    }
+
+    /// Device-measured gate-duration override; `None` = each pulse
+    /// method's library durations.
+    pub fn durations(&self) -> Option<&GateDurations> {
+        self.durations.as_ref()
+    }
+
+    /// The calibration cache serving this target's residual lookups (the
+    /// process-wide [`CalibCache::global`] unless the builder installed
+    /// a dedicated one).
+    pub fn calib(&self) -> &CalibCache {
+        match &self.calib {
+            Some(cache) => cache,
+            None => CalibCache::global(),
+        }
+    }
+
+    /// The dedicated calibration cache, when one was installed.
+    pub(crate) fn calib_arc(&self) -> Option<Arc<CalibCache>> {
+        self.calib.clone()
+    }
+
+    /// The on-disk artifact store backing this target, if any.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_deref()
+    }
+
+    pub(crate) fn store_arc(&self) -> Option<Arc<ArtifactStore>> {
+        self.store.clone()
+    }
+}
+
+/// Builder for [`Target`].
+#[derive(Debug, Default)]
+pub struct TargetBuilder {
+    topology: Option<Topology>,
+    lambda_mean: Option<f64>,
+    lambda_std: Option<f64>,
+    durations: Option<GateDurations>,
+    calib: Option<Arc<CalibCache>>,
+    store: Option<Arc<ArtifactStore>>,
+    store_dir: Option<std::path::PathBuf>,
+}
+
+impl TargetBuilder {
+    /// Sets the device topology (default: the paper's 3×4 grid).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the ZZ noise characterization (default: the paper's
+    /// `λ ~ N(2π·200 kHz, (2π·50 kHz)²)`).
+    pub fn noise(mut self, lambda_mean: f64, lambda_std: f64) -> Self {
+        self.lambda_mean = Some(lambda_mean);
+        self.lambda_std = Some(lambda_std);
+        self
+    }
+
+    /// Overrides the gate durations for every compile on this target
+    /// (default: each pulse method's library durations).
+    pub fn durations(mut self, durations: GateDurations) -> Self {
+        self.durations = Some(durations);
+        self
+    }
+
+    /// Serves calibration from a dedicated cache instead of the
+    /// process-wide [`CalibCache::global`] — multi-tenant services and
+    /// tests isolate per-target calibration state through this.
+    pub fn calib_cache(mut self, cache: Arc<CalibCache>) -> Self {
+        self.calib = Some(cache);
+        self
+    }
+
+    /// Backs the target with an already-open artifact store.
+    pub fn store(mut self, store: Arc<ArtifactStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Backs the target with an on-disk store rooted at `dir`. Unlike
+    /// the silently-degrading [`ArtifactStore::at`], the directory is
+    /// probed at [`build`](Self::build) time and an uncreatable or
+    /// unwritable root is a typed [`Error::Persist`].
+    pub fn store_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Backs the target with the store named by the `ZZ_CACHE_DIR`
+    /// environment variable; a no-op when the variable is unset or
+    /// empty. (The environment opt-in keeps the silent-degrade policy
+    /// of the legacy binaries: an unusable directory falls back to
+    /// in-memory caching rather than failing the build.)
+    pub fn store_from_env(mut self) -> Self {
+        if let Some(store) = ArtifactStore::from_env() {
+            self.store = Some(Arc::new(store));
+        }
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Persist`] when a [`store_dir`](Self::store_dir)
+    /// root cannot be created or written.
+    pub fn build(self) -> Result<Target, Error> {
+        let store = match self.store_dir {
+            Some(dir) => {
+                probe_writable(&dir)?;
+                Some(Arc::new(ArtifactStore::at(dir)))
+            }
+            None => self.store,
+        };
+        Ok(Target {
+            topology: self.topology.unwrap_or_else(|| Topology::grid(3, 4)),
+            lambda_mean: self.lambda_mean.unwrap_or_else(|| zz_sim::khz(200.0)),
+            lambda_std: self.lambda_std.unwrap_or_else(|| zz_sim::khz(50.0)),
+            durations: self.durations,
+            calib: self.calib,
+            store,
+        })
+    }
+}
+
+/// Verifies that `dir` exists (creating it if needed) and accepts a
+/// write, so a misconfigured cache root fails target construction with a
+/// typed error instead of silently degrading on every request.
+fn probe_writable(dir: &std::path::Path) -> Result<(), Error> {
+    std::fs::create_dir_all(dir).map_err(|e| Error::Persist {
+        detail: format!("cache root {} cannot be created: {e}", dir.display()),
+    })?;
+    let probe = dir.join(format!(".zz-probe-{}", std::process::id()));
+    std::fs::write(&probe, b"probe").map_err(|e| Error::Persist {
+        detail: format!("cache root {} is not writable: {e}", dir.display()),
+    })?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_qubits_matches_the_paper_devices() {
+        for (n, qubits) in [(1, 4), (4, 4), (6, 6), (7, 9), (9, 9), (10, 12), (12, 12)] {
+            assert_eq!(
+                Target::for_qubits(n)
+                    .expect("fits")
+                    .topology()
+                    .qubit_count(),
+                qubits,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_targets_are_typed_errors() {
+        match Target::for_qubits(13) {
+            Err(Error::Validate { job, source }) => {
+                assert_eq!(job, "target");
+                assert_eq!(
+                    source,
+                    CoOptError::CircuitTooLarge {
+                        needed: 13,
+                        available: 12
+                    }
+                );
+            }
+            other => panic!("expected Validate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unwritable_store_dir_is_a_persist_error() {
+        // A path *under a regular file* can never be created.
+        let file = std::env::temp_dir().join(format!("zz-target-probe-{}", std::process::id()));
+        std::fs::write(&file, b"occupied").expect("temp file");
+        let result = Target::builder().store_dir(file.join("sub")).build();
+        assert!(matches!(result, Err(Error::Persist { .. })), "{result:?}");
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn writable_store_dir_builds() {
+        let dir = std::env::temp_dir().join(format!("zz-target-store-{}", std::process::id()));
+        let target = Target::builder().store_dir(&dir).build().expect("writable");
+        assert!(target.store().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -2,21 +2,24 @@
 //! under the ZZ error model, and *sample measurement shots* — comparing how
 //! often the correct answer is read out with and without co-optimization.
 //!
+//! Compilation goes through the service layer (one [`Target`], one
+//! [`Session`]); the shot sampling below drives the simulator directly,
+//! as a readout experiment would.
+//!
 //! Run with: `cargo run --example hidden_shift_readout --release`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use zz_circuit::bench::{generate, hidden_shift_answer, BenchmarkKind};
-use zz_core::evaluate::{device_for, EvalConfig};
-use zz_core::{CoOptimizer, PulseMethod, SchedulerKind};
+use zz_service::{CompileOptions, CompileRequest, PulseMethod, SchedulerKind, Session, Target};
 use zz_sim::executor::{run_ideal, run_with_zz, ZzErrorModel};
 
-fn main() -> Result<(), zz_core::CoOptError> {
+fn main() -> Result<(), zz_service::Error> {
     let n = 6;
     let seed = 7;
     let circuit = generate(BenchmarkKind::HiddenShift, n, seed);
-    let device = device_for(n);
-    let cfg = EvalConfig::paper_default();
+    let session = Session::new(Target::for_qubits(n)?);
+    let device = session.target().topology().clone();
     let shift = hidden_shift_answer(n, seed);
     let shift_string: String = shift.iter().map(|b| char::from(b'0' + b)).collect();
     println!("hidden shift: |{shift_string}⟩, device {}\n", device.name());
@@ -34,14 +37,19 @@ fn main() -> Result<(), zz_core::CoOptError> {
             SchedulerKind::ZzxSched,
         ),
     ] {
-        let compiled = CoOptimizer::builder()
-            .topology(device.clone())
-            .pulse_method(method)
-            .scheduler(sched)
-            .build()
-            .compile(&circuit)?;
-        let model = ZzErrorModel::sampled(&device, cfg.lambda_mean, cfg.lambda_std, 11)
-            .with_residuals(compiled.residuals);
+        let response = session.compile(
+            &CompileRequest::new(circuit.clone())
+                .with_options(CompileOptions::new(method, sched))
+                .with_label(name),
+        )?;
+        let compiled = &response.compiled;
+        let model = ZzErrorModel::sampled(
+            &device,
+            session.target().lambda_mean(),
+            session.target().lambda_std(),
+            11,
+        )
+        .with_residuals(compiled.residuals);
         let noisy = run_with_zz(&compiled.plan, &device, &model, &compiled.durations);
 
         // The ideal output tells us which physical basis state encodes the

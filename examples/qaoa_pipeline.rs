@@ -4,21 +4,29 @@
 //! pulses nor ZZ-aware scheduling alone recovers the fidelity that the
 //! co-optimization reaches.
 //!
+//! The four configurations go through one non-blocking [`Session`] queue
+//! and come back in submission order with their fidelities evaluated by
+//! the workers.
+//!
 //! Run with: `cargo run --example qaoa_pipeline --release`
 
-use zz_circuit::bench::{generate, BenchmarkKind};
-use zz_core::evaluate::{device_for, fidelity_of, EvalConfig};
-use zz_core::{CoOptimizer, PulseMethod, SchedulerKind};
+use std::sync::Arc;
 
-fn main() -> Result<(), zz_core::CoOptError> {
+use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_service::{
+    CompileOptions, CompileRequest, EvalSpec, PulseMethod, SchedulerKind, Session, Target,
+};
+
+fn main() -> Result<(), zz_service::Error> {
     let n = 9;
-    let circuit = generate(BenchmarkKind::Qaoa, n, 7);
-    let device = device_for(n);
-    let cfg = EvalConfig::paper_default();
+    let circuit = Arc::new(generate(BenchmarkKind::Qaoa, n, 7));
+    // `for_qubits` picks the paper's smallest sub-grid holding the
+    // register (here the 3×3 grid).
+    let session = Session::new(Target::for_qubits(n)?);
 
     println!(
         "QAOA-{n} on {}: {} gates ({} two-qubit)\n",
-        device.name(),
+        session.target().topology().name(),
         circuit.gate_count(),
         circuit.two_qubit_gate_count()
     );
@@ -29,22 +37,23 @@ fn main() -> Result<(), zz_core::CoOptError> {
 
     for method in [PulseMethod::Gaussian, PulseMethod::Pert] {
         for sched in [SchedulerKind::ParSched, SchedulerKind::ZzxSched] {
-            let compiled = CoOptimizer::builder()
-                .topology(device.clone())
-                .pulse_method(method)
-                .scheduler(sched)
-                .build()
-                .compile(&circuit)?;
-            let fidelity = fidelity_of(&compiled, &cfg);
-            println!(
-                "{:<32} {:>8} {:>10.0} {:>10.4}",
-                format!("{method} + {sched}"),
-                compiled.plan.layer_count(),
-                compiled.execution_time(),
-                fidelity
+            session.submit(
+                CompileRequest::shared(Arc::clone(&circuit))
+                    .with_options(CompileOptions::new(method, sched))
+                    .with_eval(EvalSpec::paper_default()),
             );
         }
     }
-    println!("\nthe bottom-right cell (Pert + ZZXSched) is the paper's co-optimization");
+    for outcome in session.drain().outcomes {
+        let response = outcome?;
+        println!(
+            "{:<32} {:>8} {:>10.0} {:>10.4}",
+            response.label,
+            response.compiled.plan.layer_count(),
+            response.compiled.execution_time(),
+            response.fidelity.expect("eval requested")
+        );
+    }
+    println!("\nthe bottom row (Pert + ZZXSched) is the paper's co-optimization");
     Ok(())
 }

@@ -1,14 +1,15 @@
 //! Quickstart: compile a circuit with and without ZZ-aware co-optimization
-//! and compare the outcome.
+//! and compare the outcome — through the service layer's one front door.
 //!
 //! Run with: `cargo run --example quickstart --release`
 
 use zz_circuit::{Circuit, Gate};
-use zz_core::evaluate::{fidelity_of, EvalConfig};
-use zz_core::{CoOptimizer, PulseMethod, SchedulerKind};
+use zz_service::{
+    CompileOptions, CompileRequest, EvalSpec, PulseMethod, SchedulerKind, Session, Target,
+};
 use zz_topology::Topology;
 
-fn main() -> Result<(), zz_core::CoOptError> {
+fn main() -> Result<(), zz_service::Error> {
     // A 6-qubit GHZ-preparation circuit.
     let mut circuit = Circuit::new(6);
     circuit.push(Gate::H, &[0]);
@@ -16,15 +17,15 @@ fn main() -> Result<(), zz_core::CoOptError> {
         circuit.push(Gate::Cnot, &[i, i + 1]);
     }
 
-    let device = Topology::grid(2, 3);
-    let cfg = EvalConfig::paper_default();
-
+    // One target describes the device; one session serves every request.
+    let target = Target::builder().topology(Topology::grid(2, 3)).build()?;
     println!(
         "device: {} ({} qubits, {} couplings)\n",
-        device.name(),
-        device.qubit_count(),
-        device.coupling_count()
+        target.topology().name(),
+        target.topology().qubit_count(),
+        target.topology().coupling_count()
     );
+    let session = Session::new(target);
 
     for (name, method, sched) in [
         (
@@ -38,13 +39,12 @@ fn main() -> Result<(), zz_core::CoOptError> {
             SchedulerKind::ZzxSched,
         ),
     ] {
-        let compiled = CoOptimizer::builder()
-            .topology(device.clone())
-            .pulse_method(method)
-            .scheduler(sched)
-            .build()
-            .compile(&circuit)?;
-        let fidelity = fidelity_of(&compiled, &cfg);
+        let request = CompileRequest::new(circuit.clone())
+            .with_options(CompileOptions::new(method, sched))
+            .with_eval(EvalSpec::paper_default())
+            .with_label(name);
+        let response = session.compile(&request)?;
+        let compiled = &response.compiled;
         println!("{name}");
         println!("  layers            : {}", compiled.plan.layer_count());
         println!("  identity pulses   : {}", compiled.plan.identity_count());
@@ -58,7 +58,10 @@ fn main() -> Result<(), zz_core::CoOptError> {
             "  residual ZZ (x90/id): {:.4} / {:.4}",
             compiled.residuals.x90, compiled.residuals.id
         );
-        println!("  output fidelity   : {fidelity:.4}\n");
+        println!(
+            "  output fidelity   : {:.4}\n",
+            response.fidelity.expect("eval requested")
+        );
     }
     Ok(())
 }

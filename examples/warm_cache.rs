@@ -1,11 +1,11 @@
 //! Cold vs. warm compilation through the on-disk artifact store.
 //!
 //! Two passes compile the same benchmark suite against the same device.
-//! Each pass uses a *fresh* [`BatchCompiler`] and a *fresh* calibration
-//! cache — as a new process would — so the only state they share is the
-//! cache directory. The first pass pays for pulse-level calibration,
-//! routing and scheduling and publishes every artifact; the second pass
-//! serves everything from disk.
+//! Each pass uses a *fresh* [`Session`] and a *fresh* calibration cache —
+//! as a new process would — so the only state they share is the cache
+//! directory. The first pass pays for pulse-level calibration, routing
+//! and scheduling and publishes every artifact; the second pass serves
+//! everything from disk.
 //!
 //! ```text
 //! cargo run --release --example warm_cache
@@ -18,22 +18,24 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use zz_bench::demo_suite as suite;
-use zz_core::batch::{BatchCompiler, BatchReport};
+use zz_bench::demo_requests as suite;
 use zz_core::calib::CalibCache;
-use zz_persist::{ArtifactStore, CACHE_DIR_ENV};
+use zz_persist::CACHE_DIR_ENV;
+use zz_service::{ServiceReport, Session, Target};
 use zz_topology::Topology;
 
-fn run_pass(name: &str, dir: &std::path::Path) -> BatchReport {
-    // A fresh compiler *and* a fresh calibration cache: nothing carries
+fn run_pass(name: &str, dir: &std::path::Path) -> ServiceReport {
+    // A fresh session *and* a fresh calibration cache: nothing carries
     // over in memory, exactly like a new process.
-    let compiler = BatchCompiler::builder()
+    let target = Target::builder()
         .topology(Topology::grid(3, 3))
-        .store(ArtifactStore::at(dir))
+        .store_dir(dir)
         .calib_cache(Arc::new(CalibCache::new()))
-        .build();
+        .build()
+        .expect("cache directory is writable");
+    let session = Session::new(target);
     let t0 = Instant::now();
-    let report = compiler.run(suite());
+    let report = session.run(suite());
     println!("{name:>5} pass: {report}");
     println!("{:>11} {:.1?} end to end", "", t0.elapsed());
     report
@@ -55,9 +57,12 @@ fn main() {
     assert_eq!(warm.calibration_runs, 0, "warm pass must not calibrate");
     assert_eq!(warm.route_misses, 0, "warm pass must not route");
     for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        let (c, w) = (
+            c.as_ref().expect("cold compiled"),
+            w.as_ref().expect("warm compiled"),
+        );
         assert_eq!(
-            c.result.as_ref().expect("cold compiled"),
-            w.result.as_ref().expect("warm compiled"),
+            c.compiled, w.compiled,
             "{} must be bit-identical across passes",
             c.label
         );

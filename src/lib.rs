@@ -2,65 +2,67 @@
 //!
 //! This crate exists to host the runnable examples in `examples/` and the
 //! cross-crate integration tests in `tests/`. The actual library surface
-//! lives in the `zz-*` crates under `crates/`; the most convenient entry
-//! point is [`zz_core`], which re-exports the full co-optimization pipeline.
+//! lives in the `zz-*` crates under `crates/`; the front door is
+//! [`zz_service`]: build a [`Target`](zz_service::Target) describing the
+//! device, open a [`Session`](zz_service::Session) over it, and submit
+//! typed compile/evaluate requests.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use zz_core::{CoOptimizer, PulseMethod, SchedulerKind};
 //! use zz_circuit::bench::{BenchmarkKind, generate};
+//! use zz_service::{CompileRequest, Session, Target};
 //!
-//! let circuit = generate(BenchmarkKind::Qft, 4, 7);
-//! let opt = CoOptimizer::builder()
-//!     .pulse_method(PulseMethod::Pert)
-//!     .scheduler(SchedulerKind::ZzxSched)
-//!     .build();
-//! let compiled = opt.compile(&circuit)?;
-//! assert!(compiled.plan.layer_count() >= 1);
-//! # Ok::<(), zz_core::CoOptError>(())
+//! let session = Session::new(Target::for_qubits(4)?);
+//! let response = session.compile(&CompileRequest::new(generate(BenchmarkKind::Qft, 4, 7)))?;
+//! assert!(response.compiled.plan.layer_count() >= 1);
+//! # Ok::<(), zz_service::Error>(())
 //! ```
 //!
-//! For many circuits at once, [`zz_core::batch`] compiles whole suites on a
-//! worker pool with shared calibration and routing caches:
+//! For many circuits at once, submit non-blocking requests and collect
+//! them in order — the session's workers share one calibration cache and
+//! one routing memo:
 //!
 //! ```
-//! use zz_core::batch::{BatchCompiler, BatchJob};
-//! use zz_core::{PulseMethod, SchedulerKind};
 //! use zz_circuit::bench::{BenchmarkKind, generate};
+//! use zz_service::{CompileOptions, CompileRequest, PulseMethod, Session, Target};
 //!
-//! let jobs: Vec<BatchJob> = [PulseMethod::Gaussian, PulseMethod::Pert]
-//!     .into_iter()
-//!     .map(|m| BatchJob::new(generate(BenchmarkKind::Qft, 4, 7), m, SchedulerKind::ZzxSched))
-//!     .collect();
-//! let report = BatchCompiler::builder().build().run(jobs);
+//! let session = Session::new(Target::paper_default());
+//! for m in [PulseMethod::Gaussian, PulseMethod::Pert] {
+//!     session.submit(
+//!         CompileRequest::new(generate(BenchmarkKind::Qft, 4, 7))
+//!             .with_options(CompileOptions::default().with_method(m)),
+//!     );
+//! }
+//! let report = session.drain();
 //! assert_eq!(report.error_count(), 0);
 //! println!("{report}");
 //! ```
 //!
-//! Both sit on the typed pass pipeline of [`zz_core::pipeline`]
-//! (`Logical → Routed → Native → Scheduled → Compiled`), whose
-//! [`PassManager`](zz_core::pipeline::PassManager) times every pass and
-//! records stage-cache dispositions into a
-//! [`PipelineTrace`](zz_core::pipeline::PipelineTrace):
+//! Both paths run the typed pass pipeline of [`zz_core::pipeline`]
+//! (`Logical → Routed → Native → Scheduled → Compiled`); every response
+//! carries its per-pass [`PipelineTrace`](zz_core::pipeline::PipelineTrace):
 //!
 //! ```
-//! use zz_core::pipeline::PassManager;
 //! use zz_circuit::bench::{BenchmarkKind, generate};
-//! use std::sync::Arc;
+//! use zz_service::{CompileRequest, Session, Target};
 //!
-//! let outcome = PassManager::builder()
-//!     .build()
-//!     .run(Arc::new(generate(BenchmarkKind::Qft, 4, 7)))?;
-//! assert_eq!(outcome.trace.passes.len(), 5); // validate…pulse, all timed
-//! # Ok::<(), zz_core::CoOptError>(())
+//! let session = Session::new(Target::for_qubits(4)?);
+//! let response = session.compile(&CompileRequest::new(generate(BenchmarkKind::Qft, 4, 7)))?;
+//! let trace = response.trace.expect("tracing is on by default");
+//! assert_eq!(trace.passes.len(), 5); // validate…pulse, all timed
+//! # Ok::<(), zz_service::Error>(())
 //! ```
 //!
 //! To persist compiled artifacts across processes — warm starts for the
-//! figure binaries, tests and services — back the compiler with
-//! [`zz_persist::ArtifactStore`] (or set `ZZ_CACHE_DIR` and use
-//! `BatchCompiler::builder().store_from_env()`); see
-//! `examples/warm_cache.rs`.
+//! figure binaries, tests and services — give the target an on-disk
+//! store (`Target::builder().store_dir(…)`, or set `ZZ_CACHE_DIR` and use
+//! `.store_from_env()`); see `examples/warm_cache.rs`.
+//!
+//! The pre-service facades ([`zz_core::CoOptimizer`],
+//! [`zz_core::BatchCompiler`], the `zz_core::evaluate` suite helpers)
+//! remain as thin adapters over the same pipeline, pinned bit-identical
+//! to the session by `tests/service.rs`.
 
 #![warn(missing_docs)]
 
@@ -72,5 +74,6 @@ pub use zz_persist as persist;
 pub use zz_pulse as pulse;
 pub use zz_quantum as quantum;
 pub use zz_sched as sched;
+pub use zz_service as service;
 pub use zz_sim as sim;
 pub use zz_topology as topology;

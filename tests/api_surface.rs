@@ -1,0 +1,206 @@
+//! Public-API snapshot of the service crate — the same spirit as
+//! `tests/golden_keys.rs`, applied to the one front door instead of the
+//! on-disk key space.
+//!
+//! The test extracts every `pub` item declaration (functions with their
+//! signatures, structs, enums, traits, constants and re-exports) from
+//! `crates/service/src` and compares the sorted list against the
+//! checked-in snapshot `tests/api_surface.snapshot`. An unreviewed
+//! addition, removal or signature change of the service surface fails
+//! CI; an intentional one is recorded by regenerating the snapshot:
+//!
+//! ```text
+//! UPDATE_API_SNAPSHOT=1 cargo test --test api_surface
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Strips `//` line comments (doc comments included) so commented-out
+/// items never count as API.
+fn strip_line_comments(source: &str) -> String {
+    source
+        .lines()
+        .map(|line| match line.find("//") {
+            Some(idx) => &line[..idx],
+            None => line,
+        })
+        .fold(String::new(), |mut out, line| {
+            out.push_str(line);
+            out.push('\n');
+            out
+        })
+}
+
+/// Extracts every `pub <kind> …` declaration from one source file,
+/// normalized to single-space whitespace. A declaration runs from its
+/// `pub` keyword to the first top-level `{`, `;` or `=` — enough to pin
+/// names, function signatures and re-export lists.
+fn public_items(source: &str) -> Vec<String> {
+    const KINDS: [&str; 8] = [
+        "use", "fn", "struct", "enum", "trait", "const", "type", "mod",
+    ];
+    let source = strip_line_comments(source);
+    let mut items = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    while let Some(rel) = source[i..].find("pub ") {
+        let start = i + rel;
+        // `pub` must start a token ("pub(crate)" never matches "pub ").
+        if start > 0 && !bytes[start - 1].is_ascii_whitespace() {
+            i = start + 4;
+            continue;
+        }
+        let rest = &source[start + 4..];
+        let Some(kind) = KINDS
+            .iter()
+            .find(|k| rest.starts_with(&format!("{k} ")) || rest.starts_with(&format!("{k}\n")))
+        else {
+            i = start + 4;
+            continue;
+        };
+        // Scan to the declaration's end, ignoring nested (), <> and [].
+        // Re-exports (`pub use a::{A, B};`) end only at `;` — their brace
+        // group is part of the declaration.
+        let mut depth = 0i32;
+        let mut end = start;
+        let mut previous = ' ';
+        for (j, c) in source[start..].char_indices() {
+            match c {
+                ';' if depth <= 0 => {
+                    end = start + j;
+                    break;
+                }
+                '{' | '=' if depth <= 0 && *kind != "use" => {
+                    end = start + j;
+                    break;
+                }
+                '(' | '[' | '<' => depth += 1,
+                // A return arrow's `>` is punctuation, not a bracket.
+                '>' if previous != '-' => depth -= 1,
+                ')' | ']' => depth -= 1,
+                '{' if *kind == "use" => depth += 1,
+                '}' if *kind == "use" => depth -= 1,
+                _ => {}
+            }
+            previous = c;
+        }
+        let declaration: String = source[start..end]
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Private modules (`mod error`) are hidden wiring, not API.
+        if *kind != "mod" || declaration.contains("pub mod") {
+            items.push(declaration);
+        }
+        i = end.max(start + 4);
+    }
+    items
+}
+
+fn service_surface() -> String {
+    let src = repo_root().join("crates/service/src");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&src)
+        .expect("crates/service/src exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+        .collect();
+    files.sort();
+
+    let mut items = Vec::new();
+    for file in &files {
+        let name = file.file_name().expect("file name").to_string_lossy();
+        // `pool.rs` is private plumbing: nothing it declares is exported
+        // (the lib.rs `mod pool;` is not `pub`). Skip any file not
+        // reachable through a `pub` path.
+        if name == "pool.rs" {
+            continue;
+        }
+        let source = std::fs::read_to_string(file).expect("service source readable");
+        // Unit-test modules declare pub-free fns; the `pub` scan below is
+        // enough, but guard against future `pub` items inside cfg(test).
+        let source = source
+            .split("#[cfg(test)]")
+            .next()
+            .expect("split returns at least one piece");
+        for item in public_items(source) {
+            items.push(format!("{name}: {item}"));
+        }
+    }
+    items.sort();
+    items.dedup();
+    let mut out = String::new();
+    for item in items {
+        let _ = writeln!(out, "{item}");
+    }
+    out
+}
+
+#[test]
+fn service_public_api_matches_the_checked_in_snapshot() {
+    let snapshot_path = repo_root().join("tests/api_surface.snapshot");
+    let actual = service_surface();
+
+    if std::env::var("UPDATE_API_SNAPSHOT").is_ok_and(|v| !v.is_empty()) {
+        std::fs::write(&snapshot_path, &actual).expect("snapshot writable");
+        eprintln!("snapshot updated: {}", snapshot_path.display());
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&snapshot_path)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", snapshot_path.display()));
+    if expected != actual {
+        let diff = diff_lines(&expected, &actual);
+        panic!(
+            "the zz_service public API drifted from tests/api_surface.snapshot.\n\
+             Review the change, then regenerate with:\n\
+             UPDATE_API_SNAPSHOT=1 cargo test --test api_surface\n\n{diff}"
+        );
+    }
+}
+
+/// A minimal set-style diff: lines only in the snapshot (`-`) and lines
+/// only in the current surface (`+`).
+fn diff_lines(expected: &str, actual: &str) -> String {
+    let expected_set: std::collections::BTreeSet<&str> = expected.lines().collect();
+    let actual_set: std::collections::BTreeSet<&str> = actual.lines().collect();
+    let mut out = String::new();
+    for gone in expected_set.difference(&actual_set) {
+        let _ = writeln!(out, "- {gone}");
+    }
+    for new in actual_set.difference(&expected_set) {
+        let _ = writeln!(out, "+ {new}");
+    }
+    out
+}
+
+/// The extractor itself is pinned so snapshot diffs stay trustworthy.
+#[test]
+fn extractor_handles_the_declaration_shapes_in_use() {
+    let items = public_items(
+        "pub struct Foo { pub bar: usize }\n\
+         impl Foo {\n    pub fn new(x: usize) -> Self { Foo { bar: x } }\n}\n\
+         pub(crate) fn hidden() {}\n\
+         mod private;\n\
+         pub use other::{A, B};\n\
+         pub const N: usize = 3;\n",
+    );
+    assert_eq!(
+        items,
+        [
+            "pub struct Foo",
+            "pub fn new(x: usize) -> Self",
+            "pub use other::{A, B}",
+            "pub const N: usize",
+        ]
+    );
+}
+
+#[test]
+fn missing_path_points_at_the_service_crate() {
+    assert!(repo_root().join("crates/service/src/lib.rs").exists());
+}

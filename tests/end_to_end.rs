@@ -56,7 +56,8 @@ fn hidden_shift_survives_the_full_noisy_pipeline() {
         PulseMethod::Pert,
         SchedulerKind::ZzxSched,
         &quick_cfg(),
-    );
+    )
+    .expect("fits");
     let model = ZzErrorModel::uniform(&compiled.topology, zz_sim::khz(200.0))
         .with_residuals(compiled.residuals);
     let noisy = run_with_zz(
@@ -94,8 +95,10 @@ fn co_optimization_wins_on_every_core_benchmark() {
             PulseMethod::Gaussian,
             SchedulerKind::ParSched,
             &cfg,
-        );
-        let ours = benchmark_fidelity(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg);
+        )
+        .expect("fits");
+        let ours = benchmark_fidelity(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg)
+            .expect("fits");
         assert!(
             ours >= base,
             "{kind}-{n}: co-optimization {ours} lost to baseline {base}"
@@ -110,8 +113,10 @@ fn execution_time_cost_is_bounded() {
     let cfg = quick_cfg();
     for kind in BenchmarkKind::CORE {
         for &n in kind.paper_sizes() {
-            let par = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ParSched, &cfg);
-            let zzx = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg);
+            let par = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ParSched, &cfg)
+                .expect("fits");
+            let zzx = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg)
+                .expect("fits");
             let ratio = zzx.execution_time() / par.execution_time();
             assert!(
                 ratio < 3.0,
@@ -126,8 +131,10 @@ fn zzxsched_reduces_unsuppressed_couplings_everywhere() {
     let cfg = quick_cfg();
     for kind in BenchmarkKind::CORE {
         for &n in kind.paper_sizes() {
-            let par = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ParSched, &cfg);
-            let zzx = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg);
+            let par = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ParSched, &cfg)
+                .expect("fits");
+            let zzx = compile_benchmark(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg)
+                .expect("fits");
             assert!(
                 zzx.plan.mean_nc() <= par.plan.mean_nc(),
                 "{kind}-{n}: mean NC regressed"
@@ -148,7 +155,8 @@ fn compile_is_fast_enough() {
         PulseMethod::Pert,
         SchedulerKind::ZzxSched,
         &cfg,
-    );
+    )
+    .expect("fits");
     assert!(
         start.elapsed() < std::time::Duration::from_secs(2),
         "compilation too slow: {:?}",

@@ -83,9 +83,12 @@ fn claim_insensitive_to_pulse_method() {
         PulseMethod::Gaussian,
         SchedulerKind::ParSched,
         &cfg,
-    );
-    let opt = benchmark_fidelity(kind, n, PulseMethod::OptCtrl, SchedulerKind::ZzxSched, &cfg);
-    let pert = benchmark_fidelity(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg);
+    )
+    .expect("fits");
+    let opt = benchmark_fidelity(kind, n, PulseMethod::OptCtrl, SchedulerKind::ZzxSched, &cfg)
+        .expect("fits");
+    let pert = benchmark_fidelity(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg)
+        .expect("fits");
     assert!(
         (opt - pert).abs() < (pert - base).abs(),
         "methods should agree more with each other (opt {opt}, pert {pert}) than with the baseline ({base})"
@@ -98,15 +101,18 @@ fn claim_synergy_of_co_optimization() {
     let cfg = quick_cfg();
     for (kind, n) in [(BenchmarkKind::Grc, 6), (BenchmarkKind::Ising, 6)] {
         let pulses_only =
-            benchmark_fidelity(kind, n, PulseMethod::Pert, SchedulerKind::ParSched, &cfg);
+            benchmark_fidelity(kind, n, PulseMethod::Pert, SchedulerKind::ParSched, &cfg)
+                .expect("fits");
         let sched_only = benchmark_fidelity(
             kind,
             n,
             PulseMethod::Gaussian,
             SchedulerKind::ZzxSched,
             &cfg,
-        );
-        let both = benchmark_fidelity(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg);
+        )
+        .expect("fits");
+        let both = benchmark_fidelity(kind, n, PulseMethod::Pert, SchedulerKind::ZzxSched, &cfg)
+            .expect("fits");
         assert!(
             both + 1e-9 >= pulses_only && both + 1e-9 >= sched_only,
             "{kind}-{n}: both {both} vs pulses {pulses_only} / sched {sched_only}"
@@ -125,7 +131,8 @@ fn claim_fewer_couplings_to_turn_off() {
         PulseMethod::Pert,
         SchedulerKind::ZzxSched,
         &cfg,
-    );
+    )
+    .expect("fits");
     let baseline = compiled.topology.coupling_count() as f64;
     assert!(
         compiled.plan.mean_nc() < baseline / 3.0,

@@ -1,0 +1,258 @@
+//! Integration tests of the service layer (`zz_service`):
+//!
+//! * **Adapter equivalence matrix** — for every `(PulseMethod,
+//!   SchedulerKind)` combination, `Session::compile` output must be
+//!   bit-identical to the legacy `CoOptimizer::compile` and
+//!   `BatchCompiler::run` facades (which are kept as thin adapters over
+//!   the same pass pipeline), through both the synchronous and the
+//!   submit/drain paths.
+//! * **Typed error paths** — oversized circuits, unwritable cache
+//!   directories and failing jobs inside `drain` come back as typed
+//!   `zz_service::Error` variants, never as panics.
+//! * **Evaluation equivalence** — a request's in-queue fidelity matches
+//!   the legacy `evaluate::fidelity_of` exactly.
+
+use std::sync::Arc;
+
+use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_circuit::Circuit;
+use zz_core::batch::{BatchCompiler, BatchJob};
+use zz_core::evaluate::{fidelity_of, EvalConfig};
+use zz_core::{CoOptError, CoOptimizer, CompileOptions, PulseMethod, SchedulerKind};
+use zz_sched::zzx::Requirement;
+use zz_service::{CompileRequest, Error, EvalSpec, Session, Target};
+use zz_topology::Topology;
+
+/// Every `(PulseMethod, SchedulerKind)` combination.
+fn full_matrix() -> Vec<(PulseMethod, SchedulerKind)> {
+    PulseMethod::ALL
+        .iter()
+        .flat_map(|&m| {
+            [SchedulerKind::ParSched, SchedulerKind::ZzxSched]
+                .into_iter()
+                .map(move |s| (m, s))
+        })
+        .collect()
+}
+
+#[test]
+fn session_matches_the_legacy_facades_for_every_method_scheduler_pair() {
+    let topo = Topology::grid(2, 3);
+    let circuit = generate(BenchmarkKind::Qaoa, 6, 7);
+    let session = Session::new(
+        Target::builder()
+            .topology(topo.clone())
+            .build()
+            .expect("no store"),
+    );
+
+    for (method, scheduler) in full_matrix() {
+        let options = CompileOptions::new(method, scheduler);
+
+        // Legacy facade 1: the sequential optimizer.
+        let via_optimizer = CoOptimizer::builder()
+            .topology(topo.clone())
+            .options(options)
+            .build()
+            .compile(&circuit)
+            .expect("fits");
+
+        // Legacy facade 2: the batch engine.
+        let report = BatchCompiler::builder()
+            .topology(topo.clone())
+            .build()
+            .run(vec![BatchJob::with_options(
+                Arc::new(circuit.clone()),
+                options,
+            )]);
+        let via_batch = report.outcomes[0].result.as_ref().expect("fits");
+
+        // The service, synchronous path.
+        let via_session = session
+            .compile(&CompileRequest::new(circuit.clone()).with_options(options))
+            .expect("fits")
+            .compiled;
+
+        // The service, submit/drain path.
+        let handle = session.submit(CompileRequest::new(circuit.clone()).with_options(options));
+        let via_queue = handle.wait().expect("fits").compiled;
+        session.drain();
+
+        assert_eq!(
+            via_optimizer, via_session,
+            "{method}+{scheduler}: session drifted from CoOptimizer"
+        );
+        assert_eq!(
+            via_batch, &via_session,
+            "{method}+{scheduler}: session drifted from BatchCompiler"
+        );
+        assert_eq!(
+            via_session, via_queue,
+            "{method}+{scheduler}: queued path drifted from synchronous path"
+        );
+    }
+}
+
+#[test]
+fn session_matches_the_legacy_facades_for_non_default_parameters() {
+    let topo = Topology::grid(3, 3);
+    let circuit = generate(BenchmarkKind::Qft, 9, 7);
+    let req = Requirement {
+        nq_limit: 3,
+        nc_limit: 5,
+    };
+    let session = Session::new(
+        Target::builder()
+            .topology(topo.clone())
+            .build()
+            .expect("no store"),
+    );
+    for (alpha, k, requirement) in [(0.25, 1, None), (2.0, 8, Some(req))] {
+        let mut options = CompileOptions::default().with_alpha(alpha).with_k(k);
+        if let Some(r) = requirement {
+            options = options.with_requirement(r);
+        }
+        let legacy = CoOptimizer::builder()
+            .topology(topo.clone())
+            .options(options)
+            .build()
+            .compile(&circuit)
+            .expect("fits");
+        let via_session = session
+            .compile(&CompileRequest::new(circuit.clone()).with_options(options))
+            .expect("fits")
+            .compiled;
+        assert_eq!(legacy, via_session, "alpha={alpha} k={k}");
+    }
+}
+
+#[test]
+fn in_queue_evaluation_matches_the_legacy_eval_path() {
+    let session = Session::new(Target::for_qubits(4).expect("fits"));
+    let circuit = generate(BenchmarkKind::HiddenShift, 4, 7);
+    let spec = EvalSpec::paper_default().with_seeds(vec![11, 23]);
+
+    let response = session
+        .compile(
+            &CompileRequest::new(circuit.clone())
+                .with_options(CompileOptions::default())
+                .with_eval(spec),
+        )
+        .expect("fits");
+
+    let legacy_cfg = EvalConfig {
+        crosstalk_seeds: vec![11, 23],
+        ..EvalConfig::paper_default()
+    };
+    let legacy = fidelity_of(&response.compiled, &legacy_cfg);
+    assert_eq!(
+        response.fidelity.expect("eval requested"),
+        legacy,
+        "in-queue evaluation drifted from evaluate::fidelity_of"
+    );
+}
+
+#[test]
+fn oversized_circuits_are_typed_validate_errors_never_panics() {
+    let session = Session::new(
+        Target::builder()
+            .topology(Topology::grid(2, 2))
+            .build()
+            .expect("no store"),
+    );
+    let request = CompileRequest::new(Circuit::new(9)).with_label("nine-on-four");
+
+    // Synchronous path.
+    match session.compile(&request) {
+        Err(Error::Validate { job, source }) => {
+            assert_eq!(job, "nine-on-four");
+            assert_eq!(
+                source,
+                CoOptError::CircuitTooLarge {
+                    needed: 9,
+                    available: 4
+                }
+            );
+        }
+        other => panic!("expected Validate, got {other:?}"),
+    }
+
+    // Queued path: the same typed error through the handle.
+    let handle = session.submit(request);
+    assert!(matches!(handle.wait(), Err(Error::Validate { .. })));
+    session.drain();
+
+    // Target construction itself: absorbing device_for's panic.
+    assert!(matches!(
+        Target::for_qubits(13),
+        Err(Error::Validate { .. })
+    ));
+}
+
+#[test]
+fn unwritable_cache_dir_is_a_typed_persist_error() {
+    // A path under a regular file can never be created as a directory.
+    let file = std::env::temp_dir().join(format!("zz-service-it-probe-{}", std::process::id()));
+    std::fs::write(&file, b"occupied").expect("temp file");
+    let result = Target::builder().store_dir(file.join("cache")).build();
+    match result {
+        Err(Error::Persist { detail }) => {
+            assert!(detail.contains("cache"), "{detail}");
+        }
+        other => panic!("expected Persist, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&file);
+}
+
+#[test]
+fn failing_jobs_inside_drain_are_reported_in_order_not_panicking() {
+    let session = Session::new(
+        Target::builder()
+            .topology(Topology::grid(2, 2))
+            .build()
+            .expect("no store"),
+    );
+    session.submit(CompileRequest::new(generate(BenchmarkKind::Qft, 4, 7)).with_label("ok-1"));
+    session.submit(CompileRequest::new(Circuit::new(9)).with_label("too-big"));
+    session.submit(CompileRequest::new(generate(BenchmarkKind::Qft, 4, 7)).with_label("ok-2"));
+
+    let report = session.drain();
+    assert_eq!(report.outcomes.len(), 3);
+    assert_eq!(report.error_count(), 1);
+    assert!(report.outcomes[0].is_ok());
+    match &report.outcomes[1] {
+        Err(Error::Validate { job, .. }) => assert_eq!(job, "too-big"),
+        other => panic!("expected Validate, got {other:?}"),
+    }
+    assert!(report.outcomes[2].is_ok());
+
+    // The failure also surfaces through the typed fidelity accessor.
+    assert!(matches!(
+        report.fidelities(),
+        Err(Error::Eval { .. } | Error::Validate { .. })
+    ));
+}
+
+#[test]
+fn sweeps_share_one_routing_pass_through_the_session_memo() {
+    let session = Session::with_threads(
+        Target::builder()
+            .topology(Topology::grid(3, 3))
+            .build()
+            .expect("no store"),
+        1, // deterministic hit/miss split
+    );
+    let circuit = Arc::new(generate(BenchmarkKind::Qaoa, 9, 7));
+    for alpha in [0.0, 0.25, 0.5, 1.0] {
+        session.submit(
+            CompileRequest::shared(Arc::clone(&circuit))
+                .with_options(CompileOptions::default().with_alpha(alpha))
+                .with_label(format!("alpha-{alpha}")),
+        );
+    }
+    let report = session.drain();
+    assert_eq!(report.error_count(), 0, "{report}");
+    assert_eq!(report.route_misses, 1, "{report}");
+    assert_eq!(report.route_hits, 3, "{report}");
+    assert_eq!(session.memoized_shapes(), 1);
+}
