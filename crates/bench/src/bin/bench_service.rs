@@ -1,0 +1,249 @@
+//! Service load harness — the latency/throughput probe run by CI.
+//!
+//! Starts one in-process `zz_net` server per concurrency level (fresh
+//! session, fresh calibration cache, fresh scratch artifact store —
+//! nothing carries over between levels) and replays a **mixed workload**
+//! against it from N concurrent client connections:
+//!
+//! * **cold compiles** — the first appearance of each distinct circuit
+//!   pays routing, scheduling and (once per method) calibration;
+//! * **warm cache hits** — each circuit is replayed several times, so
+//!   later appearances serve from the session's routing memo, the disk
+//!   store, or coalesce onto an identical in-flight job;
+//! * **in-queue evals** — a slice of the requests also asks the server
+//!   for a fidelity evaluation over fixed crosstalk seeds.
+//!
+//! Per-request wall latency is measured client-side around the blocking
+//! round-trip. For each concurrency level (1, 4 and 16 clients) the
+//! p50/p95/p99 latency percentiles, the throughput, and the server-side
+//! coalescing/backpressure counters are written to `BENCH_service.json`
+//! (override the path with the `BENCH_SERVICE_OUT` environment
+//! variable), next to the `bench_pipeline`/`bench_sim` snapshots CI
+//! already records per commit.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_core::calib::CalibCache;
+use zz_net::{Client, ClientError, CompileEnvelope, Server, ServerConfig};
+use zz_service::{Session, Target};
+use zz_topology::Topology;
+
+/// Client fan-in widths the workload is replayed at.
+const CONCURRENCY_LEVELS: [usize; 3] = [1, 4, 16];
+
+/// How many times each distinct circuit appears in the workload: the
+/// first appearance is a cold compile, the rest are warm hits (or
+/// coalesce, when they race the first one).
+const REPLAYS: usize = 8;
+
+/// Crosstalk seeds for the eval slice of the workload.
+const EVAL_SEEDS: [u64; 2] = [11, 23];
+
+/// The mixed workload: every distinct circuit `REPLAYS` times, the QAOA
+/// instance additionally carrying an in-queue fidelity evaluation.
+/// Replays are interleaved (a b c, a b c, …) so warm traffic overlaps
+/// cold traffic instead of trailing it.
+fn workload() -> Vec<CompileEnvelope> {
+    let distinct = [
+        (BenchmarkKind::Qaoa, "qaoa"),
+        (BenchmarkKind::Ising, "ising"),
+        (BenchmarkKind::HiddenShift, "hs"),
+        (BenchmarkKind::Qft, "qft"),
+    ];
+    let mut requests = Vec::new();
+    for replay in 0..REPLAYS {
+        for (kind, name) in distinct {
+            let mut envelope =
+                CompileEnvelope::new(generate(kind, 4, 7)).with_label(format!("{name}-r{replay}"));
+            if kind == BenchmarkKind::Qaoa {
+                envelope = envelope.with_eval_seeds(EVAL_SEEDS.to_vec());
+            }
+            requests.push(envelope);
+        }
+    }
+    requests
+}
+
+/// Latency samples and server counters from one concurrency level.
+struct LevelResult {
+    concurrency: usize,
+    requests: usize,
+    wall: Duration,
+    /// Sorted per-request wall latencies.
+    latencies: Vec<Duration>,
+    /// Mean server-side queue wait across successful compiles.
+    queue_wait_mean: Duration,
+    coalesced: usize,
+    busy_retries: usize,
+}
+
+/// Nearest-rank percentile over the (sorted) samples.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Replays the workload from `concurrency` client connections against a
+/// fresh server and returns the measured distribution.
+fn run_level(concurrency: usize) -> LevelResult {
+    let dir = std::env::temp_dir().join(format!(
+        "zz-bench-service-{}-{concurrency}",
+        std::process::id()
+    ));
+    let target = Target::builder()
+        .topology(Topology::grid(2, 2))
+        .store_dir(&dir)
+        .calib_cache(Arc::new(CalibCache::new()))
+        .build()
+        .expect("scratch cache directory is writable");
+    let session = Arc::new(Session::new(target));
+    let server = Server::bind_with("127.0.0.1:0", Arc::clone(&session), ServerConfig::default())
+        .expect("ephemeral port");
+    let addr = server.local_addr().expect("bound socket has an address");
+    let control = server.control();
+    let serving = std::thread::spawn(move || server.serve());
+
+    let requests = workload();
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    // Each worker owns one connection and pulls the next request off the
+    // shared workload until it is exhausted — the same fan-in shape a
+    // fleet of remote callers produces.
+    let samples: Vec<(Vec<Duration>, Duration, usize)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..concurrency)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = Client::connect(addr).expect("connects");
+                    let mut latencies = Vec::new();
+                    let mut queue_wait = Duration::ZERO;
+                    let mut busy_retries = 0usize;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(envelope) = requests.get(i) else {
+                            break;
+                        };
+                        let sent = Instant::now();
+                        let compiled = loop {
+                            match client.compile(envelope.clone()) {
+                                Ok(compiled) => break compiled,
+                                Err(ClientError::Busy) => {
+                                    busy_retries += 1;
+                                    std::thread::sleep(Duration::from_millis(1));
+                                }
+                                Err(e) => panic!("workload request failed: {e}"),
+                            }
+                        };
+                        latencies.push(sent.elapsed());
+                        queue_wait += Duration::from_micros(compiled.queue_micros);
+                        if envelope.eval_seeds.is_some() {
+                            assert!(compiled.fidelity.is_some(), "eval requests carry fidelity");
+                        }
+                    }
+                    (latencies, queue_wait, busy_retries)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client worker does not panic"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+
+    control.shutdown();
+    serving
+        .join()
+        .expect("acceptor does not panic")
+        .expect("serve exits cleanly");
+
+    let mut latencies = Vec::new();
+    let mut queue_wait = Duration::ZERO;
+    let mut busy_retries = 0;
+    for (lat, qw, busy) in samples {
+        latencies.extend(lat);
+        queue_wait += qw;
+        busy_retries += busy;
+    }
+    assert_eq!(latencies.len(), requests.len(), "every request answered");
+    latencies.sort();
+
+    let report = session.drain();
+    assert_eq!(report.error_count(), 0, "workload must compile cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    LevelResult {
+        concurrency,
+        requests: requests.len(),
+        wall,
+        queue_wait_mean: queue_wait / latencies.len() as u32,
+        latencies,
+        coalesced: session.coalesced_jobs(),
+        busy_retries,
+    }
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn level_json(level: &LevelResult) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"concurrency\": {}, \"requests\": {}, \"wall_ms\": {:.3}, \"throughput_rps\": {:.1}, \
+         \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"queue_wait_us_mean\": {:.1}, \
+         \"coalesced\": {}, \"busy_retries\": {}}}",
+        level.concurrency,
+        level.requests,
+        level.wall.as_secs_f64() * 1e3,
+        level.requests as f64 / level.wall.as_secs_f64(),
+        us(percentile(&level.latencies, 50.0)),
+        us(percentile(&level.latencies, 95.0)),
+        us(percentile(&level.latencies, 99.0)),
+        us(level.queue_wait_mean),
+        level.coalesced,
+        level.busy_retries,
+    );
+    out
+}
+
+fn main() {
+    let mut levels = Vec::new();
+    for concurrency in CONCURRENCY_LEVELS {
+        let level = run_level(concurrency);
+        println!(
+            "[c={:>2}] {} requests in {:.1?}: {:.1} req/s, p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs, \
+             {} coalesced, {} busy retries",
+            level.concurrency,
+            level.requests,
+            level.wall,
+            level.requests as f64 / level.wall.as_secs_f64(),
+            us(percentile(&level.latencies, 50.0)),
+            us(percentile(&level.latencies, 95.0)),
+            us(percentile(&level.latencies, 99.0)),
+            level.coalesced,
+            level.busy_retries,
+        );
+        levels.push(level);
+    }
+
+    let mut json =
+        String::from("{\n  \"schema\": 1,\n  \"device\": \"grid-2x2\",\n  \"levels\": [\n");
+    for (i, level) in levels.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {}{}",
+            level_json(level),
+            if i + 1 < levels.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let out = std::env::var("BENCH_SERVICE_OUT").unwrap_or_else(|_| "BENCH_service.json".into());
+    std::fs::write(&out, &json).expect("snapshot file writable");
+    println!("wrote {out}");
+}

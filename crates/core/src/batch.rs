@@ -57,8 +57,7 @@
 //! ```
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use zz_circuit::Circuit;
@@ -577,44 +576,11 @@ impl BatchCompilerBuilder {
     }
 }
 
-/// The default worker count: one per available core (4 when the core count
-/// is unavailable). Shared by the batch engine, the evaluation helpers and
-/// the figure binaries.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(4)
-}
-
-/// Runs `f(0..count)` on up to `threads` OS threads, preserving input order
-/// in the output. The workspace's shared work-stealing primitive — the
+/// The workspace's shared fan-out primitive and default worker count — the
 /// batch engine, the evaluation helpers and the figure binaries all
-/// schedule through it.
-pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(
-    count: usize,
-    threads: usize,
-    f: F,
-) -> Vec<T> {
-    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<&mut Option<T>>> = results.iter_mut().map(Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let value = f(i);
-                **slots[i].lock().expect("no poisoned slots") = Some(value);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every index computed"))
-        .collect()
-}
+/// schedule through the one pool crate (re-exported here so existing
+/// `zz_core::batch::parallel_map` call sites keep their path).
+pub use zz_pool::{default_threads, parallel_map};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,248 @@
+//! The wire frame: one `zz_persist` artifact container per message.
+//!
+//! Every frame on a `zz_net` connection is exactly the byte layout the
+//! on-disk artifact store already uses — magic, schema version, kind tag,
+//! payload length, FNV-1a checksum, payload (see `zz_persist::codec`) —
+//! so the damage-handling guarantees of the persistence layer carry over
+//! verbatim: truncated frames, corrupted checksums, wrong magic and
+//! stale schema versions all decode to a typed [`FrameError`], never a
+//! panic or an unbounded allocation.
+//!
+//! Reading is stream-oriented: the fixed 28-byte header is read first,
+//! validated *before* the payload is allocated (an adversarial length
+//! prefix larger than [`MAX_FRAME_PAYLOAD`] is rejected without
+//! reserving a byte), then the payload is read and checksummed. A peer
+//! that disconnects cleanly *between* frames yields
+//! [`FrameError::Disconnected`]; one that dies *mid-frame* yields a
+//! decode error — the distinction lets a server tell a finished client
+//! from a broken one.
+
+use std::io::{ErrorKind, Read, Write};
+
+use zz_persist::{encode_artifact, fnv1a, ArtifactKind, Decode, DecodeError, Decoder, Encode};
+
+/// Upper bound on a frame payload (16 MiB) — far above any real
+/// envelope, far below an allocation that could hurt the server.
+pub const MAX_FRAME_PAYLOAD: u64 = 16 << 20;
+
+/// Size of the fixed frame header (the artifact container header).
+pub const FRAME_HEADER_LEN: usize = 28;
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames (no header
+    /// byte had arrived). The normal end of a connection, not damage.
+    Disconnected,
+    /// The read timed out before any header byte arrived (only with a
+    /// read timeout configured on the stream). Idle, not damage: the
+    /// caller decides whether to poll again or tear down.
+    IdleTimeout,
+    /// The underlying transport failed (reset, broken pipe, …).
+    Io(std::io::Error),
+    /// The header's length prefix exceeds [`MAX_FRAME_PAYLOAD`]; nothing
+    /// was allocated.
+    Oversized {
+        /// The length the header claimed.
+        declared: u64,
+    },
+    /// The frame bytes are damaged or not ours: bad magic, stale schema
+    /// version, wrong kind, checksum mismatch, a truncating mid-frame
+    /// disconnect, or a payload that violates a type invariant.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Disconnected => write!(f, "peer disconnected between frames"),
+            FrameError::IdleTimeout => write!(f, "read timed out waiting for a frame"),
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Oversized { declared } => write!(
+                f,
+                "frame claims {declared} payload bytes (limit {MAX_FRAME_PAYLOAD})"
+            ),
+            FrameError::Decode(e) => write!(f, "frame failed to decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            FrameError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for FrameError {
+    fn from(e: DecodeError) -> Self {
+        FrameError::Decode(e)
+    }
+}
+
+/// Reads exactly `buf.len()` bytes. `start_of_frame` selects how a clean
+/// EOF or an idle timeout before the first byte is classified.
+fn read_exactly(
+    stream: &mut impl Read,
+    buf: &mut [u8],
+    start_of_frame: bool,
+) -> Result<(), FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if start_of_frame && got == 0 {
+                    FrameError::Disconnected
+                } else {
+                    FrameError::Decode(DecodeError::UnexpectedEof)
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // A timeout with nothing consumed is an idle poll tick;
+                // mid-frame it just means a slow peer — keep reading.
+                if start_of_frame && got == 0 {
+                    return Err(FrameError::IdleTimeout);
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one value as a framed container of the given kind.
+///
+/// # Errors
+///
+/// Returns the transport error if the stream rejects the bytes.
+pub fn write_frame<T: Encode + ?Sized>(
+    stream: &mut impl Write,
+    kind: ArtifactKind,
+    value: &T,
+) -> std::io::Result<()> {
+    let bytes = encode_artifact(kind, value);
+    stream.write_all(&bytes)?;
+    stream.flush()
+}
+
+/// Reads and validates one frame of the given kind, decoding its payload
+/// as `T`.
+///
+/// # Errors
+///
+/// Every failure is a typed [`FrameError`]; malformed input never panics
+/// and an adversarial length prefix never allocates.
+pub fn read_frame<T: Decode>(stream: &mut impl Read, kind: ArtifactKind) -> Result<T, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    read_exactly(stream, &mut header, true)?;
+
+    if header[0..4] != zz_persist::codec::MAGIC {
+        return Err(DecodeError::BadMagic.into());
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != zz_persist::SCHEMA_VERSION {
+        return Err(DecodeError::VersionMismatch { found: version }.into());
+    }
+    let tag = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if tag != kind.tag() {
+        return Err(DecodeError::KindMismatch { found: tag }.into());
+    }
+    let declared = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    if declared > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversized { declared });
+    }
+    let checksum = u64::from_le_bytes(header[20..28].try_into().expect("8 bytes"));
+
+    let mut payload = vec![0u8; declared as usize];
+    read_exactly(stream, &mut payload, false)?;
+    if fnv1a(&payload) != checksum {
+        return Err(DecodeError::ChecksumMismatch.into());
+    }
+
+    let mut dec = Decoder::new(&payload);
+    let value = T::decode(&mut dec)?;
+    dec.finish()?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_of(v: u64) -> Vec<u8> {
+        encode_artifact(ArtifactKind::NetRequest, &v)
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let bytes = frame_of(42);
+        let mut cursor = Cursor::new(bytes);
+        let back: u64 = read_frame(&mut cursor, ArtifactKind::NetRequest).expect("intact frame");
+        assert_eq!(back, 42);
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_disconnected() {
+        let mut empty = Cursor::new(Vec::<u8>::new());
+        assert!(matches!(
+            read_frame::<u64>(&mut empty, ArtifactKind::NetRequest),
+            Err(FrameError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_a_decode_error_not_a_hang() {
+        let bytes = frame_of(42);
+        for cut in 1..bytes.len() {
+            let mut cursor = Cursor::new(bytes[..cut].to_vec());
+            assert!(
+                matches!(
+                    read_frame::<u64>(&mut cursor, ArtifactKind::NetRequest),
+                    Err(FrameError::Decode(DecodeError::UnexpectedEof))
+                ),
+                "truncation at {cut} must be UnexpectedEof"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut bytes = frame_of(42);
+        bytes[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut cursor = Cursor::new(bytes);
+        assert!(matches!(
+            read_frame::<u64>(&mut cursor, ArtifactKind::NetRequest),
+            Err(FrameError::Oversized { declared: u64::MAX })
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_and_magic_and_checksum_fail_typed() {
+        let good = frame_of(42);
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            read_frame::<u64>(&mut Cursor::new(bad), ArtifactKind::NetRequest),
+            Err(FrameError::Decode(DecodeError::BadMagic))
+        ));
+
+        assert!(matches!(
+            read_frame::<u64>(&mut Cursor::new(good.clone()), ArtifactKind::NetResponse),
+            Err(FrameError::Decode(DecodeError::KindMismatch { .. }))
+        ));
+
+        let mut bad = good;
+        *bad.last_mut().expect("non-empty") ^= 1;
+        assert!(matches!(
+            read_frame::<u64>(&mut Cursor::new(bad), ArtifactKind::NetRequest),
+            Err(FrameError::Decode(DecodeError::ChecksumMismatch))
+        ));
+    }
+}

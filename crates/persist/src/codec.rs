@@ -47,6 +47,13 @@ pub enum ArtifactKind {
     Compiled,
     /// A calibration-cache snapshot (`Vec<(PulseMethod, ResidualTable)>`).
     CalibSnapshot,
+    /// A `zz_net` request envelope (one frame of the wire protocol; never
+    /// stored on disk, but stamped with the same magic/version/checksum
+    /// container so damaged frames fail typed).
+    NetRequest,
+    /// A `zz_net` response envelope (the reply frame of the wire
+    /// protocol).
+    NetResponse,
 }
 
 impl ArtifactKind {
@@ -57,6 +64,8 @@ impl ArtifactKind {
             ArtifactKind::Native => 2,
             ArtifactKind::Compiled => 3,
             ArtifactKind::CalibSnapshot => 4,
+            ArtifactKind::NetRequest => 5,
+            ArtifactKind::NetResponse => 6,
         }
     }
 
@@ -67,6 +76,8 @@ impl ArtifactKind {
             ArtifactKind::Native => "native",
             ArtifactKind::Compiled => "compiled",
             ArtifactKind::CalibSnapshot => "calib-snapshot",
+            ArtifactKind::NetRequest => "net-request",
+            ArtifactKind::NetResponse => "net-response",
         }
     }
 }

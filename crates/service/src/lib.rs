@@ -63,7 +63,6 @@
 #![warn(missing_docs)]
 
 mod error;
-mod pool;
 mod session;
 mod target;
 

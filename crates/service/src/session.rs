@@ -13,6 +13,7 @@
 //!
 //! Every failure is a typed [`Error`]; no path panics on user input.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -21,13 +22,14 @@ use std::time::{Duration, Instant};
 use zz_circuit::Circuit;
 use zz_core::batch::{default_threads, DiskStatus, StageStats};
 use zz_core::evaluate::{fidelity_of, EvalConfig};
-use zz_core::pipeline::{CacheDisposition, PassManager, RouteMemo, Stage};
+use zz_core::pipeline::{shape_key, CacheDisposition, PassManager, RouteMemo, Stage};
 use zz_core::{CompileOptions, Compiled, PipelineTrace};
+use zz_persist::{fnv1a, fnv1a_mix, Encode, Encoder};
+use zz_pool::TaskPool;
 use zz_sim::density::Decoherence;
 use zz_topology::Topology;
 
 use crate::error::Error;
-use crate::pool::WorkerPool;
 use crate::target::Target;
 
 /// What to evaluate after a successful compile: the disorder samples to
@@ -494,9 +496,56 @@ impl SessionCore {
 #[derive(Debug)]
 pub struct Session {
     core: Arc<SessionCore>,
-    pool: WorkerPool,
+    pool: TaskPool,
     pending: Mutex<PendingBatch>,
     calib_mark: AtomicUsize,
+    inflight: Arc<Inflight>,
+    coalesced: AtomicUsize,
+}
+
+/// The in-flight job index behind request coalescing: one entry per
+/// distinct coalescing key currently compiling. Shared with the worker
+/// task (which removes its entry on completion), so it lives behind its
+/// own `Arc` rather than inside the session.
+#[derive(Debug, Default)]
+struct Inflight {
+    map: Mutex<HashMap<u64, Arc<HandleState>>>,
+}
+
+/// The identity of a request for coalescing purposes: everything that
+/// determines the bits of its [`CompileResponse`] *except* the label —
+/// circuit content, device shape, the full option set, the trace flag and
+/// the evaluation spec. Two concurrent requests with equal keys would
+/// compute identical responses, so they may share one compile job.
+fn coalesce_key(request: &CompileRequest, topology: &Topology) -> u64 {
+    let mut enc = Encoder::new();
+    request.options.method.encode(&mut enc);
+    request.options.scheduler.encode(&mut enc);
+    request.options.alpha.encode(&mut enc);
+    request.options.k.encode(&mut enc);
+    request.options.requirement.encode(&mut enc);
+    enc.bool(request.trace);
+    match &request.eval {
+        None => enc.bool(false),
+        Some(spec) => {
+            enc.bool(true);
+            spec.crosstalk_seeds.encode(&mut enc);
+            match &spec.decoherence {
+                None => enc.bool(false),
+                Some((deco, trajectories, seed)) => {
+                    enc.bool(true);
+                    enc.f64(deco.t1);
+                    enc.f64(deco.t2);
+                    enc.usize(*trajectories);
+                    enc.u64(*seed);
+                }
+            }
+        }
+    }
+    let mut h = fnv1a(&enc.finish());
+    h = fnv1a_mix(h, request.circuit.content_digest());
+    h = fnv1a_mix(h, shape_key(&request.circuit, topology));
+    h
 }
 
 /// The handles submitted since the last drain plus the batch's start
@@ -522,9 +571,11 @@ impl Session {
                 target,
                 memo: Arc::new(RouteMemo::new()),
             }),
-            pool: WorkerPool::new(threads),
+            pool: TaskPool::new(threads),
             pending: Mutex::new(PendingBatch::default()),
             calib_mark: AtomicUsize::new(calib_runs),
+            inflight: Arc::new(Inflight::default()),
+            coalesced: AtomicUsize::new(0),
         }
     }
 
@@ -557,18 +608,85 @@ impl Session {
     pub fn submit(&self, request: CompileRequest) -> JobHandle {
         let state = Arc::new(HandleState::new());
         let label = request.label.clone();
-        {
-            let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
-            pending.started.get_or_insert_with(Instant::now);
-            pending.jobs.push(Arc::clone(&state));
-        }
+        self.track(&state);
+        self.enqueue(request, Arc::clone(&state), None);
+        JobHandle { label, state }
+    }
 
+    /// Like [`submit`](Self::submit), with **request coalescing**:
+    /// requests submitted while an identical one (same circuit content,
+    /// device shape, options, trace flag and eval spec — the label is
+    /// deliberately excluded) is still in flight share that job instead
+    /// of compiling again, and every caller gets its own [`JobHandle`]
+    /// resolving to the shared [`CompileResponse`]. This is the shape
+    /// network front ends want: a thundering herd of identical
+    /// content-addressed compiles costs one pipeline execution.
+    ///
+    /// Coalesced followers adopt the leader's response verbatim —
+    /// including its `label` and `queue_wait` — and appear in
+    /// [`drain`](Self::drain) like any other submission. Requests
+    /// submitted *after* the leader finished start a fresh job (which the
+    /// session caches then serve).
+    pub fn submit_shared(&self, request: CompileRequest) -> JobHandle {
+        let topology = request
+            .device
+            .as_ref()
+            .unwrap_or_else(|| self.core.target.topology());
+        let key = coalesce_key(&request, topology);
+        let label = request.label.clone();
+
+        // Decide leader-vs-follower and (for a leader) publish the slot
+        // under one lock, so two identical concurrent submissions can
+        // never both become leaders.
+        let state = {
+            let mut map = self.inflight.map.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(existing) = map.get(&key) {
+                let state = Arc::clone(existing);
+                drop(map);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.track(&state);
+                return JobHandle { label, state };
+            }
+            let state = Arc::new(HandleState::new());
+            map.insert(key, Arc::clone(&state));
+            state
+        };
+        self.track(&state);
+        self.enqueue(request, Arc::clone(&state), Some(key));
+        JobHandle { label, state }
+    }
+
+    /// Number of requests that were coalesced onto another job's compile
+    /// (followers only — the job itself is not counted) since the session
+    /// opened.
+    pub fn coalesced_jobs(&self) -> usize {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Registers a handle in the current drain batch.
+    fn track(&self, state: &Arc<HandleState>) {
+        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        pending.started.get_or_insert_with(Instant::now);
+        pending.jobs.push(Arc::clone(state));
+    }
+
+    /// Hands a request to the worker pool. `retire` carries the coalescing
+    /// key to drop from the in-flight index once the job completes (so
+    /// later identical requests start fresh instead of adopting a stale
+    /// slot).
+    fn enqueue(&self, request: CompileRequest, state: Arc<HandleState>, retire: Option<u64>) {
+        let label = request.label.clone();
         let core = Arc::clone(&self.core);
+        let inflight = Arc::clone(&self.inflight);
         let task_state = Arc::clone(&state);
         let queued_at = Instant::now();
         let enqueued = self.pool.execute(Box::new(move || {
             let queue_wait = queued_at.elapsed();
             let result = catch_unwind(AssertUnwindSafe(|| core.execute(&request)));
+            if let Some(key) = retire {
+                let mut map = inflight.map.lock().unwrap_or_else(|e| e.into_inner());
+                map.remove(&key);
+            }
             task_state.fill(match result {
                 Ok(Ok(mut response)) => {
                     response.queue_wait = queue_wait;
@@ -582,12 +700,15 @@ impl Session {
             });
         }));
         if !enqueued {
+            if let Some(key) = retire {
+                let mut map = self.inflight.map.lock().unwrap_or_else(|e| e.into_inner());
+                map.remove(&key);
+            }
             state.fill(Err(Error::Worker {
-                job: label.clone(),
+                job: label,
                 detail: "the session queue is shut down".into(),
             }));
         }
-        JobHandle { label, state }
     }
 
     /// Submits a whole batch, returning one handle per request in order.
@@ -748,6 +869,54 @@ mod tests {
         let report = session.drain();
         let drained = report.outcomes[0].as_ref().expect("fits");
         assert_eq!(waited.compiled, drained.compiled);
+    }
+
+    #[test]
+    fn identical_concurrent_requests_coalesce_onto_one_job() {
+        // One worker, stuffed with an unrelated job: the leader cannot
+        // start (let alone finish) before the follower is submitted, so
+        // the follower deterministically finds the leader in flight.
+        let session = Session::with_threads(
+            Target::builder()
+                .topology(Topology::grid(2, 2))
+                .build()
+                .expect("no store"),
+            1,
+        );
+        session.submit(CompileRequest::new(small_circuit()).with_label("stuffer"));
+        let leader = session.submit_shared(CompileRequest::new(small_circuit()));
+        let follower = session.submit_shared(CompileRequest::new(small_circuit()));
+        assert_eq!(session.coalesced_jobs(), 1);
+
+        let a = leader.wait().expect("fits");
+        let b = follower.wait().expect("fits");
+        assert_eq!(a.compiled, b.compiled);
+        assert_eq!(a.compile_time, b.compile_time, "one execution, one clock");
+
+        // Both appear in the drain batch — coalescing drops no request.
+        let report = session.drain();
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.error_count(), 0);
+
+        // The slot retired with the job: a later identical request is a
+        // fresh (cache-served) job, not a stale adoption.
+        session
+            .submit_shared(CompileRequest::new(small_circuit()))
+            .wait()
+            .expect("fits");
+        assert_eq!(session.coalesced_jobs(), 1);
+    }
+
+    #[test]
+    fn different_requests_never_coalesce() {
+        let session = session();
+        let mut other = small_circuit();
+        other.push(Gate::X, &[1]);
+        let a = session.submit_shared(CompileRequest::new(small_circuit()));
+        let b = session.submit_shared(CompileRequest::new(other));
+        let (a, b) = (a.wait().expect("fits"), b.wait().expect("fits"));
+        assert_ne!(a.compiled.plan, b.compiled.plan);
+        assert_eq!(session.coalesced_jobs(), 0);
     }
 
     #[test]

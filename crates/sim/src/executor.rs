@@ -214,7 +214,7 @@ pub fn fidelity_with_decoherence(
         durations,
         trajectories,
         seed,
-        crate::pool::default_threads(),
+        zz_pool::default_threads(),
     )
 }
 

@@ -45,7 +45,6 @@
 
 pub mod density;
 pub mod executor;
-mod pool;
 pub mod program;
 pub mod statevector;
 

@@ -57,8 +57,8 @@ use zz_topology::Topology;
 
 use crate::density::Decoherence;
 use crate::executor::{coupling_residual, driven_couplings, ZzErrorModel};
-use crate::pool::parallel_map;
 use crate::StateVector;
+use zz_pool::parallel_map;
 
 /// Largest register whose fused layer diagonals are tabulated as dense
 /// `2^n` complex tables (16 qubits = 1 MiB per layer). Larger registers

@@ -1,12 +1,13 @@
-//! Public-API snapshot of the service crate — the same spirit as
-//! `tests/golden_keys.rs`, applied to the one front door instead of the
+//! Public-API snapshot of the front-door crates — the same spirit as
+//! `tests/golden_keys.rs`, applied to the public surface instead of the
 //! on-disk key space.
 //!
 //! The test extracts every `pub` item declaration (functions with their
 //! signatures, structs, enums, traits, constants and re-exports) from
-//! `crates/service/src` and compares the sorted list against the
-//! checked-in snapshot `tests/api_surface.snapshot`. An unreviewed
-//! addition, removal or signature change of the service surface fails
+//! `crates/service/src` and `crates/net/src` — the in-process front door
+//! and the wire protocol over it — and compares the sorted list against
+//! the checked-in snapshot `tests/api_surface.snapshot`. An unreviewed
+//! addition, removal or signature change of either surface fails
 //! CI; an intentional one is recorded by regenerating the snapshot:
 //!
 //! ```text
@@ -102,33 +103,34 @@ fn public_items(source: &str) -> Vec<String> {
     items
 }
 
-fn service_surface() -> String {
-    let src = repo_root().join("crates/service/src");
-    let mut files: Vec<PathBuf> = std::fs::read_dir(&src)
-        .expect("crates/service/src exists")
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
-        .collect();
-    files.sort();
+/// The crates whose public surface the snapshot pins: the in-process
+/// service front door and the network layer over it.
+const SNAPSHOT_CRATES: [&str; 2] = ["service", "net"];
 
+fn public_surface() -> String {
     let mut items = Vec::new();
-    for file in &files {
-        let name = file.file_name().expect("file name").to_string_lossy();
-        // `pool.rs` is private plumbing: nothing it declares is exported
-        // (the lib.rs `mod pool;` is not `pub`). Skip any file not
-        // reachable through a `pub` path.
-        if name == "pool.rs" {
-            continue;
-        }
-        let source = std::fs::read_to_string(file).expect("service source readable");
-        // Unit-test modules declare pub-free fns; the `pub` scan below is
-        // enough, but guard against future `pub` items inside cfg(test).
-        let source = source
-            .split("#[cfg(test)]")
-            .next()
-            .expect("split returns at least one piece");
-        for item in public_items(source) {
-            items.push(format!("{name}: {item}"));
+    for crate_dir in SNAPSHOT_CRATES {
+        let src = repo_root().join("crates").join(crate_dir).join("src");
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&src)
+            .unwrap_or_else(|e| panic!("crates/{crate_dir}/src exists: {e}"))
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+            .collect();
+        files.sort();
+
+        for file in &files {
+            let name = file.file_name().expect("file name").to_string_lossy();
+            let source = std::fs::read_to_string(file).expect("crate source readable");
+            // Unit-test modules declare pub-free fns; the `pub` scan below
+            // is enough, but guard against future `pub` items inside
+            // cfg(test).
+            let source = source
+                .split("#[cfg(test)]")
+                .next()
+                .expect("split returns at least one piece");
+            for item in public_items(source) {
+                items.push(format!("{crate_dir}/{name}: {item}"));
+            }
         }
     }
     items.sort();
@@ -141,9 +143,9 @@ fn service_surface() -> String {
 }
 
 #[test]
-fn service_public_api_matches_the_checked_in_snapshot() {
+fn public_api_matches_the_checked_in_snapshot() {
     let snapshot_path = repo_root().join("tests/api_surface.snapshot");
-    let actual = service_surface();
+    let actual = public_surface();
 
     if std::env::var("UPDATE_API_SNAPSHOT").is_ok_and(|v| !v.is_empty()) {
         std::fs::write(&snapshot_path, &actual).expect("snapshot writable");
@@ -156,7 +158,7 @@ fn service_public_api_matches_the_checked_in_snapshot() {
     if expected != actual {
         let diff = diff_lines(&expected, &actual);
         panic!(
-            "the zz_service public API drifted from tests/api_surface.snapshot.\n\
+            "the zz_service/zz_net public API drifted from tests/api_surface.snapshot.\n\
              Review the change, then regenerate with:\n\
              UPDATE_API_SNAPSHOT=1 cargo test --test api_surface\n\n{diff}"
         );
@@ -201,6 +203,12 @@ fn extractor_handles_the_declaration_shapes_in_use() {
 }
 
 #[test]
-fn missing_path_points_at_the_service_crate() {
-    assert!(repo_root().join("crates/service/src/lib.rs").exists());
+fn missing_path_points_at_the_snapshotted_crates() {
+    for crate_dir in SNAPSHOT_CRATES {
+        assert!(repo_root()
+            .join("crates")
+            .join(crate_dir)
+            .join("src/lib.rs")
+            .exists());
+    }
 }
