@@ -14,12 +14,18 @@
 //!   for a fidelity evaluation over fixed crosstalk seeds.
 //!
 //! Per-request wall latency is measured client-side around the blocking
-//! round-trip. For each concurrency level (1, 4 and 16 clients) the
-//! p50/p95/p99 latency percentiles, the throughput, and the server-side
-//! coalescing/backpressure counters are written to `BENCH_service.json`
-//! (override the path with the `BENCH_SERVICE_OUT` environment
-//! variable), next to the `bench_pipeline`/`bench_sim` snapshots CI
-//! already records per commit.
+//! round-trip; everything server-side — queue waits, coalescing splits,
+//! busy rejections, per-stage pipeline timings — comes from one
+//! `Client::stats()` scrape of the live server at the end of each level,
+//! the same snapshot any monitoring agent would pull. For each
+//! concurrency level (1, 4 and 16 clients) the p50/p95/p99 latency
+//! percentiles, the throughput, and the embedded stats scrape are
+//! written to `BENCH_service.json` (override the path with the
+//! `BENCH_SERVICE_OUT` environment variable), next to the
+//! `bench_pipeline`/`bench_sim` snapshots CI already records per commit.
+//! The final level's scrape is also dumped as Prometheus-style text
+//! exposition to `METRICS_snapshot.txt` (override with
+//! `METRICS_SNAPSHOT_OUT`).
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -28,7 +34,7 @@ use std::time::{Duration, Instant};
 
 use zz_circuit::bench::{generate, BenchmarkKind};
 use zz_core::calib::CalibCache;
-use zz_net::{Client, ClientError, CompileEnvelope, Server, ServerConfig};
+use zz_net::{Client, ClientError, CompileEnvelope, MetricsSnapshot, Server, ServerConfig};
 use zz_service::{Session, Target};
 use zz_topology::Topology;
 
@@ -68,17 +74,23 @@ fn workload() -> Vec<CompileEnvelope> {
     requests
 }
 
-/// Latency samples and server counters from one concurrency level.
+/// Latency samples and the server's own stats scrape from one
+/// concurrency level.
 struct LevelResult {
     concurrency: usize,
     requests: usize,
     wall: Duration,
     /// Sorted per-request wall latencies.
     latencies: Vec<Duration>,
-    /// Mean server-side queue wait across successful compiles.
-    queue_wait_mean: Duration,
-    coalesced: usize,
-    busy_retries: usize,
+    /// The server's live metrics registry, scraped over the wire after
+    /// the last response and before shutdown.
+    stats: MetricsSnapshot,
+}
+
+impl LevelResult {
+    fn counter(&self, name: &str) -> u64 {
+        self.stats.counter(name).unwrap_or(0)
+    }
 }
 
 /// Nearest-rank percentile over the (sorted) samples.
@@ -114,14 +126,12 @@ fn run_level(concurrency: usize) -> LevelResult {
     // Each worker owns one connection and pulls the next request off the
     // shared workload until it is exhausted — the same fan-in shape a
     // fleet of remote callers produces.
-    let samples: Vec<(Vec<Duration>, Duration, usize)> = std::thread::scope(|scope| {
+    let samples: Vec<Vec<Duration>> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..concurrency)
             .map(|_| {
                 scope.spawn(|| {
                     let mut client = Client::connect(addr).expect("connects");
                     let mut latencies = Vec::new();
-                    let mut queue_wait = Duration::ZERO;
-                    let mut busy_retries = 0usize;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(envelope) = requests.get(i) else {
@@ -132,19 +142,21 @@ fn run_level(concurrency: usize) -> LevelResult {
                             match client.compile(envelope.clone()) {
                                 Ok(compiled) => break compiled,
                                 Err(ClientError::Busy) => {
-                                    busy_retries += 1;
                                     std::thread::sleep(Duration::from_millis(1));
                                 }
                                 Err(e) => panic!("workload request failed: {e}"),
                             }
                         };
                         latencies.push(sent.elapsed());
-                        queue_wait += Duration::from_micros(compiled.queue_micros);
+                        assert!(
+                            compiled.request_id.as_u64() != 0,
+                            "every answer carries its server-side request id"
+                        );
                         if envelope.eval_seeds.is_some() {
                             assert!(compiled.fidelity.is_some(), "eval requests carry fidelity");
                         }
                     }
-                    (latencies, queue_wait, busy_retries)
+                    latencies
                 })
             })
             .collect();
@@ -155,35 +167,39 @@ fn run_level(concurrency: usize) -> LevelResult {
     });
     let wall = t0.elapsed();
 
+    // One live scrape before shutdown: this is where every server-side
+    // number in the snapshot JSON comes from.
+    let stats = Client::connect(addr)
+        .expect("connects")
+        .stats()
+        .expect("live server answers Stats");
+
     control.shutdown();
     serving
         .join()
         .expect("acceptor does not panic")
         .expect("serve exits cleanly");
 
-    let mut latencies = Vec::new();
-    let mut queue_wait = Duration::ZERO;
-    let mut busy_retries = 0;
-    for (lat, qw, busy) in samples {
-        latencies.extend(lat);
-        queue_wait += qw;
-        busy_retries += busy;
-    }
+    let mut latencies: Vec<Duration> = samples.into_iter().flatten().collect();
     assert_eq!(latencies.len(), requests.len(), "every request answered");
     latencies.sort();
 
     let report = session.drain();
     assert_eq!(report.error_count(), 0, "workload must compile cleanly");
+    // The scrape and the in-process view agree on the coalescing split.
+    assert_eq!(
+        stats.counter("session.coalesce.follower").unwrap_or(0),
+        session.coalesced_jobs() as u64,
+        "scraped follower count matches the session's own"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 
     LevelResult {
         concurrency,
         requests: requests.len(),
         wall,
-        queue_wait_mean: queue_wait / latencies.len() as u32,
         latencies,
-        coalesced: session.coalesced_jobs(),
-        busy_retries,
+        stats,
     }
 }
 
@@ -191,13 +207,36 @@ fn us(d: Duration) -> f64 {
     d.as_secs_f64() * 1e6
 }
 
+/// The embedded per-level scrape: every counter and gauge verbatim, and
+/// a `{count, mean, p50, p95, p99}` summary per histogram.
+fn stats_json(stats: &MetricsSnapshot) -> String {
+    let mut parts = Vec::new();
+    for (name, value) in &stats.counters {
+        parts.push(format!("\"{name}\": {value}"));
+    }
+    for (name, value) in &stats.gauges {
+        parts.push(format!("\"{name}\": {value}"));
+    }
+    for h in &stats.histograms {
+        parts.push(format!(
+            "\"{}\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            h.name,
+            h.count,
+            h.mean(),
+            h.percentile(50.0).unwrap_or(0),
+            h.percentile(95.0).unwrap_or(0),
+            h.percentile(99.0).unwrap_or(0),
+        ));
+    }
+    format!("{{{}}}", parts.join(", "))
+}
+
 fn level_json(level: &LevelResult) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
         "{{\"concurrency\": {}, \"requests\": {}, \"wall_ms\": {:.3}, \"throughput_rps\": {:.1}, \
-         \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"queue_wait_us_mean\": {:.1}, \
-         \"coalesced\": {}, \"busy_retries\": {}}}",
+         \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"stats\": {}}}",
         level.concurrency,
         level.requests,
         level.wall.as_secs_f64() * 1e3,
@@ -205,9 +244,7 @@ fn level_json(level: &LevelResult) -> String {
         us(percentile(&level.latencies, 50.0)),
         us(percentile(&level.latencies, 95.0)),
         us(percentile(&level.latencies, 99.0)),
-        us(level.queue_wait_mean),
-        level.coalesced,
-        level.busy_retries,
+        stats_json(&level.stats),
     );
     out
 }
@@ -218,7 +255,7 @@ fn main() {
         let level = run_level(concurrency);
         println!(
             "[c={:>2}] {} requests in {:.1?}: {:.1} req/s, p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs, \
-             {} coalesced, {} busy retries",
+             {} coalesced, {} busy",
             level.concurrency,
             level.requests,
             level.wall,
@@ -226,14 +263,14 @@ fn main() {
             us(percentile(&level.latencies, 50.0)),
             us(percentile(&level.latencies, 95.0)),
             us(percentile(&level.latencies, 99.0)),
-            level.coalesced,
-            level.busy_retries,
+            level.counter("session.coalesce.follower"),
+            level.counter("net.busy"),
         );
         levels.push(level);
     }
 
     let mut json =
-        String::from("{\n  \"schema\": 1,\n  \"device\": \"grid-2x2\",\n  \"levels\": [\n");
+        String::from("{\n  \"schema\": 2,\n  \"device\": \"grid-2x2\",\n  \"levels\": [\n");
     for (i, level) in levels.iter().enumerate() {
         let _ = writeln!(
             json,
@@ -246,4 +283,16 @@ fn main() {
     let out = std::env::var("BENCH_SERVICE_OUT").unwrap_or_else(|_| "BENCH_service.json".into());
     std::fs::write(&out, &json).expect("snapshot file writable");
     println!("wrote {out}");
+
+    // The highest-fan-in level's scrape, as the text exposition any
+    // Prometheus-compatible agent would see.
+    let exposition = levels
+        .last()
+        .expect("at least one level ran")
+        .stats
+        .render_prometheus();
+    let metrics_out =
+        std::env::var("METRICS_SNAPSHOT_OUT").unwrap_or_else(|_| "METRICS_snapshot.txt".into());
+    std::fs::write(&metrics_out, exposition).expect("metrics exposition file writable");
+    println!("wrote {metrics_out}");
 }

@@ -59,6 +59,7 @@ use std::time::{Duration, Instant};
 
 use zz_circuit::native::{compile_to_native, NativeCircuit};
 use zz_circuit::{route, Circuit};
+use zz_obs::Registry;
 use zz_persist::{ArtifactKind, ArtifactStore};
 use zz_pulse::library::PulseMethod;
 use zz_sched::zzx::{zzx_schedule, Requirement, ZzxConfig};
@@ -135,6 +136,17 @@ impl CacheDisposition {
             self,
             CacheDisposition::MemoryHit | CacheDisposition::DiskHit
         )
+    }
+
+    /// The disposition's metric-name segment (`pipeline.route.disk_hit`):
+    /// lowercase snake, stable across releases.
+    pub fn metric_label(self) -> &'static str {
+        match self {
+            CacheDisposition::NotCached => "uncached",
+            CacheDisposition::MemoryHit => "memory_hit",
+            CacheDisposition::DiskHit => "disk_hit",
+            CacheDisposition::Miss => "miss",
+        }
     }
 }
 
@@ -718,6 +730,7 @@ pub struct PassManager {
     calib: Option<Arc<CalibCache>>,
     memo: Arc<RouteMemo>,
     request: Option<RequestSpec>,
+    metrics: Option<Arc<Registry>>,
 }
 
 impl PassManager {
@@ -828,6 +841,7 @@ impl PassManager {
                 ) {
                     trace.compiled_cache = CacheDisposition::DiskHit;
                     trace.total_wall = total.elapsed();
+                    self.publish_trace(&trace);
                     return Ok(PipelineOutcome {
                         compiled: artifact.compiled,
                         trace,
@@ -854,6 +868,7 @@ impl PassManager {
         }
 
         trace.total_wall = total.elapsed();
+        self.publish_trace(&trace);
         Ok(PipelineOutcome { compiled, trace })
     }
 
@@ -882,7 +897,45 @@ impl PassManager {
 
         let compiled = self.schedule_and_pulse(native, &mut trace);
         trace.total_wall = total.elapsed();
+        self.publish_trace(&trace);
         Ok(PipelineOutcome { compiled, trace })
+    }
+
+    /// Rolls one finished run's [`PipelineTrace`] into the metrics
+    /// registry, if one is attached: per-stage wall-time histograms
+    /// (`pipeline.<stage>.wall_us`) and cache-disposition counters
+    /// (`pipeline.<stage>.<disposition>`), plus `pipeline.runs`,
+    /// `pipeline.wall_us` and the whole-plan `pipeline.compiled.<disp>`
+    /// counters. The trace stays the per-request view; the registry is
+    /// the cross-request aggregate of the same records.
+    fn publish_trace(&self, trace: &PipelineTrace) {
+        let Some(registry) = &self.metrics else {
+            return;
+        };
+        registry.counter("pipeline.runs").inc();
+        registry
+            .histogram("pipeline.wall_us")
+            .observe_micros(trace.total_wall);
+        for pass in &trace.passes {
+            registry
+                .histogram(&format!("pipeline.{}.wall_us", pass.stage))
+                .observe_micros(pass.wall);
+            registry
+                .counter(&format!(
+                    "pipeline.{}.{}",
+                    pass.stage,
+                    pass.cache.metric_label()
+                ))
+                .inc();
+        }
+        if trace.compiled_cache != CacheDisposition::NotCached {
+            registry
+                .counter(&format!(
+                    "pipeline.compiled.{}",
+                    trace.compiled_cache.metric_label()
+                ))
+                .inc();
+        }
     }
 
     /// The route + lower stages, behind the two stage caches: the shared
@@ -1065,6 +1118,7 @@ pub struct PassManagerBuilder {
     store: Option<Arc<ArtifactStore>>,
     calib: Option<Arc<CalibCache>>,
     memo: Option<Arc<RouteMemo>>,
+    metrics: Option<Arc<Registry>>,
 }
 
 impl Default for PassManagerBuilder {
@@ -1081,6 +1135,7 @@ impl Default for PassManagerBuilder {
             store: None,
             calib: None,
             memo: None,
+            metrics: None,
         }
     }
 }
@@ -1161,6 +1216,14 @@ impl PassManagerBuilder {
         self
     }
 
+    /// Publishes per-stage wall times and cache-disposition counts into
+    /// a `zz_obs` [`Registry`] after every run (default: no metrics; the
+    /// per-request [`PipelineTrace`] is always produced either way).
+    pub fn metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> PassManager {
         // A manager configured purely from the standard enums carries a
@@ -1192,6 +1255,7 @@ impl PassManagerBuilder {
             calib: self.calib,
             memo: self.memo.unwrap_or_default(),
             request,
+            metrics: self.metrics,
         }
     }
 }

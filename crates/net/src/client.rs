@@ -3,6 +3,7 @@
 
 use std::net::{TcpStream, ToSocketAddrs};
 
+use zz_obs::MetricsSnapshot;
 use zz_persist::ArtifactKind;
 use zz_service::Error as ServiceError;
 
@@ -129,6 +130,23 @@ impl Client {
         }
     }
 
+    /// Scrapes the server's live metrics: pipeline stage timings, queue
+    /// and coalescing counters, wire-level frame statistics — everything
+    /// the server's session registry holds, as one consistent snapshot.
+    /// Never subject to compile admission, so it works against a
+    /// saturated server.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClientError`] if the transport fails or the server
+    /// answers with anything but a stats snapshot.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Asks the server to shut down gracefully (drain, then exit).
     ///
     /// # Errors
@@ -151,5 +169,6 @@ fn unexpected(response: Response) -> ClientError {
         Response::Error(_) => "service error",
         Response::ShuttingDown => "shutdown acknowledgement",
         Response::Malformed { .. } => "malformed-frame report",
+        Response::Stats(_) => "stats snapshot",
     })
 }

@@ -16,14 +16,20 @@ use std::sync::Arc;
 use zz_circuit::Circuit;
 use zz_core::batch::DiskStatus;
 use zz_core::{CoOptError, CompileOptions, Compiled};
+use zz_obs::{saturating_micros, MetricsSnapshot, RequestId};
 use zz_persist::{Decode, DecodeError, Decoder, Encode, Encoder};
 use zz_service::{CompileRequest, CompileResponse, Error, EvalSpec};
 
 /// Version stamp of the envelope schema — the *meaning* of the fields
 /// below. Bump when fields are added, removed or reinterpreted; the
 /// decoder rejects other versions with a typed error, so old clients
-/// fail fast instead of misreading.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// fail fast instead of misreading. (New request/response *variants*
+/// ride the open tag space without a bump — the `Stats` pair did — but
+/// v2 also added [`CompiledEnvelope::request_id`], a field change.)
+///
+/// History: v1 — initial protocol; v2 — `CompiledEnvelope` gained
+/// `request_id`, and the `Stats` request/response pair was added.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 fn check_protocol(r: &mut Decoder<'_>) -> Result<(), DecodeError> {
     let found = r.u32()?;
@@ -141,6 +147,10 @@ pub enum Request {
     /// Ask the server to shut down gracefully: stop accepting, drain
     /// in-flight jobs, answer buffered requests, then exit.
     Shutdown,
+    /// Scrape the server's live metrics registry; answered with
+    /// [`Response::Stats`]. Never subject to compile admission — a
+    /// saturated server still answers its monitoring.
+    Stats,
 }
 
 impl Encode for Request {
@@ -153,6 +163,7 @@ impl Encode for Request {
                 envelope.encode(out);
             }
             Request::Shutdown => out.u8(2),
+            Request::Stats => out.u8(3),
         }
     }
 }
@@ -164,6 +175,7 @@ impl Decode for Request {
             0 => Request::Ping,
             1 => Request::Compile(CompileEnvelope::decode(r)?),
             2 => Request::Shutdown,
+            3 => Request::Stats,
             _ => return Err(DecodeError::Invalid("request tag")),
         })
     }
@@ -173,6 +185,11 @@ impl Decode for Request {
 /// minus the (unserialized) per-pass trace.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CompiledEnvelope {
+    /// The id the server's session minted for this execution — quote it
+    /// to correlate with the server's event log and metrics, or to join
+    /// a client-side span onto the server-side trace. Coalesced requests
+    /// report their leader's id.
+    pub request_id: RequestId,
     /// The label the job ran under (a coalesced request reports its
     /// leader's label — see `Session::submit_shared`).
     pub label: String,
@@ -194,12 +211,15 @@ impl CompiledEnvelope {
     /// Wraps a service response for the wire.
     pub fn from_response(response: &CompileResponse) -> Self {
         CompiledEnvelope {
+            request_id: response.request_id,
             label: response.label.clone(),
             compiled: response.compiled.clone(),
             route_cache_hit: response.route_cache_hit,
             disk: response.disk,
-            compile_micros: response.compile_time.as_micros() as u64,
-            queue_micros: response.queue_wait.as_micros() as u64,
+            // Saturate, never `as`-truncate: a pathological wait must
+            // read as "huge", not wrap to a small number.
+            compile_micros: saturating_micros(response.compile_time),
+            queue_micros: saturating_micros(response.queue_wait),
             fidelity: response.fidelity,
         }
     }
@@ -224,6 +244,7 @@ fn disk_from_tag(tag: u8) -> Result<DiskStatus, DecodeError> {
 
 impl Encode for CompiledEnvelope {
     fn encode(&self, out: &mut Encoder) {
+        self.request_id.encode(out);
         out.str(&self.label);
         self.compiled.encode(out);
         out.bool(self.route_cache_hit);
@@ -237,6 +258,7 @@ impl Encode for CompiledEnvelope {
 impl Decode for CompiledEnvelope {
     fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok(CompiledEnvelope {
+            request_id: RequestId::decode(r)?,
             label: r.str()?,
             compiled: Compiled::decode(r)?,
             route_cache_hit: r.bool()?,
@@ -447,6 +469,9 @@ pub enum Response {
         /// What the frame reader reported.
         detail: String,
     },
+    /// Answer to [`Request::Stats`]: a consistent snapshot of the
+    /// server's metrics registry at scrape time.
+    Stats(MetricsSnapshot),
 }
 
 impl Encode for Response {
@@ -468,6 +493,10 @@ impl Encode for Response {
                 out.u8(5);
                 out.str(detail);
             }
+            Response::Stats(snapshot) => {
+                out.u8(6);
+                snapshot.encode(out);
+            }
         }
     }
 }
@@ -482,6 +511,7 @@ impl Decode for Response {
             3 => Response::Error(WireError::decode(r)?),
             4 => Response::ShuttingDown,
             5 => Response::Malformed { detail: r.str()? },
+            6 => Response::Stats(MetricsSnapshot::decode(r)?),
             _ => return Err(DecodeError::Invalid("response tag")),
         })
     }
@@ -511,9 +541,20 @@ mod tests {
             Request::Ping,
             Request::Compile(envelope()),
             Request::Shutdown,
+            Request::Stats,
         ] {
             assert_eq!(roundtrip(&request).expect("round trips"), request);
         }
+    }
+
+    #[test]
+    fn stats_responses_round_trip() {
+        let registry = zz_obs::Registry::new();
+        registry.counter("net.frames").add(3);
+        registry.gauge("net.inflight").set(-1);
+        registry.histogram("session.queue.wait_us").observe(42);
+        let response = Response::Stats(registry.snapshot());
+        assert_eq!(roundtrip(&response).expect("round trips"), response);
     }
 
     #[test]

@@ -58,3 +58,7 @@ pub use envelope::{
 };
 pub use frame::{read_frame, write_frame, FrameError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
 pub use server::{Server, ServerConfig, ServerControl};
+
+// What `Client::stats` returns and `CompiledEnvelope::request_id`
+// carries, re-exported so wire callers need no direct `zz_obs` import.
+pub use zz_obs::{MetricsSnapshot, RequestId};

@@ -22,8 +22,9 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use zz_obs::{Counter, Gauge, Histogram};
 use zz_persist::ArtifactKind;
 use zz_service::Session;
 
@@ -51,6 +52,42 @@ impl Default for ServerConfig {
     }
 }
 
+/// The server's standing handles into the session's metrics registry —
+/// registered once at bind, updated with plain atomic ops per frame.
+/// Scrape them with `Request::Stats` or `Session::metrics().snapshot()`.
+#[derive(Debug)]
+struct NetMetrics {
+    /// `net.connections` — connections accepted.
+    connections: Arc<Counter>,
+    /// `net.frames` — well-formed request frames served.
+    frames: Arc<Counter>,
+    /// `net.malformed` — damaged frames answered (and connections closed).
+    malformed: Arc<Counter>,
+    /// `net.admitted` — compiles admitted past the backpressure gate.
+    admitted: Arc<Counter>,
+    /// `net.busy` — compiles answered [`Response::Busy`].
+    busy: Arc<Counter>,
+    /// `net.inflight` — compiles admitted and not yet answered.
+    inflight: Arc<Gauge>,
+    /// `net.admission_wait_us` — frame decode → admission decision.
+    admission_wait: Arc<Histogram>,
+}
+
+impl NetMetrics {
+    fn new(session: &Session) -> Self {
+        let registry = session.metrics();
+        NetMetrics {
+            connections: registry.counter("net.connections"),
+            frames: registry.counter("net.frames"),
+            malformed: registry.counter("net.malformed"),
+            admitted: registry.counter("net.admitted"),
+            busy: registry.counter("net.busy"),
+            inflight: registry.gauge("net.inflight"),
+            admission_wait: registry.histogram("net.admission_wait_us"),
+        }
+    }
+}
+
 /// State shared by the acceptor, every handler thread and every
 /// [`ServerControl`].
 #[derive(Debug)]
@@ -64,6 +101,9 @@ struct Shared {
     admitted: AtomicUsize,
     /// Cumulative compiles answered [`Response::Busy`].
     busy: AtomicUsize,
+    /// Published twins of the counters above (plus per-frame ones) in
+    /// the session's registry, for the `Stats` endpoint.
+    metrics: NetMetrics,
 }
 
 impl Shared {
@@ -77,14 +117,18 @@ impl Shared {
             .is_ok();
         if admitted {
             self.admitted.fetch_add(1, Ordering::Relaxed);
+            self.metrics.admitted.inc();
+            self.metrics.inflight.inc();
         } else {
             self.busy.fetch_add(1, Ordering::Relaxed);
+            self.metrics.busy.inc();
         }
         admitted
     }
 
     fn release(&self) {
         self.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.metrics.inflight.dec();
     }
 
     /// Flips the shutdown flag and nudges the acceptor awake with a
@@ -165,6 +209,7 @@ impl Server {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let metrics = NetMetrics::new(&session);
         Ok(Server {
             listener,
             session,
@@ -175,6 +220,7 @@ impl Server {
                 inflight: AtomicUsize::new(0),
                 admitted: AtomicUsize::new(0),
                 busy: AtomicUsize::new(0),
+                metrics,
             }),
         })
     }
@@ -232,6 +278,7 @@ fn handle_connection(mut stream: TcpStream, session: &Session, shared: &Shared) 
     if stream.set_read_timeout(Some(shared.config.poll)).is_err() {
         return;
     }
+    shared.metrics.connections.inc();
     loop {
         let request = match read_frame::<Request>(&mut stream, ArtifactKind::NetRequest) {
             Ok(request) => request,
@@ -245,6 +292,7 @@ fn handle_connection(mut stream: TcpStream, session: &Session, shared: &Shared) 
             Err(error @ (FrameError::Decode(_) | FrameError::Oversized { .. })) => {
                 // A damaged frame poisons the stream (framing is lost),
                 // so answer once and drop the connection.
+                shared.metrics.malformed.inc();
                 let reply = Response::Malformed {
                     detail: error.to_string(),
                 };
@@ -252,6 +300,7 @@ fn handle_connection(mut stream: TcpStream, session: &Session, shared: &Shared) 
                 return;
             }
         };
+        shared.metrics.frames.inc();
         let response = respond(request, session, shared);
         if write_frame(&mut stream, ArtifactKind::NetResponse, &response).is_err() {
             return;
@@ -272,9 +321,14 @@ fn respond(request: Request, session: &Session, shared: &Shared) -> Response {
             if shared.is_shutting_down() {
                 return Response::ShuttingDown;
             }
+            let arrived = Instant::now();
             if !shared.try_admit() {
                 return Response::Busy;
             }
+            shared
+                .metrics
+                .admission_wait
+                .observe_micros(arrived.elapsed());
             let handle = session.submit_shared(envelope.into_compile_request());
             let outcome = handle.wait();
             shared.release();
@@ -285,5 +339,8 @@ fn respond(request: Request, session: &Session, shared: &Shared) -> Response {
                 Err(error) => Response::Error(WireError::from(&error)),
             }
         }
+        // Monitoring is never subject to compile admission: a saturated
+        // (or draining) server still answers its scrapes.
+        Request::Stats => Response::Stats(session.metrics().snapshot()),
     }
 }

@@ -1,0 +1,89 @@
+//! Request identity: the id the service mints per submission and carries
+//! through `CompileResponse`, the event log and the wire envelopes, so a
+//! client-side trace joins the server-side one.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use zz_persist::{Decode, DecodeError, Decoder, Encode, Encoder};
+
+/// Identity of one service submission.
+///
+/// Ids are unique within a service process (minted from one [`IdSource`]),
+/// never zero, and displayed as `req-<hex>`. Coalesced duplicate
+/// submissions share their leader's id — the id names the *execution*,
+/// not the socket that asked for it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Rebuilds an id from its wire value.
+    pub fn from_raw(raw: u64) -> Self {
+        RequestId(raw)
+    }
+
+    /// The wire value (what the envelopes carry).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req-{:08x}", self.0)
+    }
+}
+
+impl Encode for RequestId {
+    fn encode(&self, out: &mut Encoder) {
+        out.u64(self.0);
+    }
+}
+
+impl Decode for RequestId {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(RequestId(r.u64()?))
+    }
+}
+
+/// Mints [`RequestId`]s: an atomic counter starting at 1 (so an id is
+/// never zero and an all-zero wire field is visibly "unassigned").
+///
+/// ```
+/// let ids = zz_obs::IdSource::new();
+/// let a = ids.next_id();
+/// let b = ids.next_id();
+/// assert_ne!(a, b);
+/// assert_eq!(a.to_string(), "req-00000001");
+/// ```
+#[derive(Debug, Default)]
+pub struct IdSource {
+    next: AtomicU64,
+}
+
+impl IdSource {
+    /// A source whose first id is `req-00000001`.
+    pub fn new() -> Self {
+        IdSource::default()
+    }
+
+    /// Mints the next id.
+    pub fn next_id(&self) -> RequestId {
+        RequestId(self.next.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential_nonzero_and_roundtrip() {
+        let source = IdSource::new();
+        let first = source.next_id();
+        assert_eq!(first.as_u64(), 1);
+        assert_eq!(source.next_id().as_u64(), 2);
+        assert_eq!(RequestId::from_raw(first.as_u64()), first);
+        assert_eq!(zz_persist::roundtrip(&first).unwrap(), first);
+    }
+}

@@ -1,0 +1,52 @@
+//! `zz_obs` — unified observability for the compile-service stack:
+//! a sharded metrics registry, a structured event log and per-request
+//! identity, with zero external dependencies.
+//!
+//! Three pieces, designed to be threaded through every layer (pipeline,
+//! session, TCP server) without coupling them to each other:
+//!
+//! * **[`Registry`]** — named [`Counter`]s, [`Gauge`]s and log-scale
+//!   [`Histogram`]s behind a sharded name table. Registration locks one
+//!   shard once; updates through the returned [`Arc`](std::sync::Arc)
+//!   handles are plain atomic ops, so hot paths pay nanoseconds.
+//!   [`Registry::snapshot`] produces a name-sorted [`MetricsSnapshot`]
+//!   that round-trips through the `zz_persist` codec (so it can travel
+//!   as a wire artifact — the `Stats` endpoint) and renders as
+//!   Prometheus-style text exposition.
+//! * **[`EventLog`]** — `ZZ_LOG=off|summary|json` gated NDJSON records
+//!   ([`Event`]) on stderr or `ZZ_LOG_FILE`, one JSON object per line.
+//! * **[`RequestId`] / [`IdSource`]** — the identity the service mints
+//!   per submission and carries through responses, events and wire
+//!   envelopes, so a client-side trace joins the server-side one.
+//!
+//! ```
+//! use zz_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let frames = registry.counter("net.frames");
+//! let wait = registry.histogram("session.queue.wait_us");
+//! frames.inc();
+//! wait.observe(250);
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("net.frames"), Some(1));
+//! assert_eq!(snap.histogram("session.queue.wait_us").unwrap().count, 1);
+//!
+//! // The snapshot is a codec artifact and a Prometheus page.
+//! let again = zz_persist::roundtrip(&snap).unwrap();
+//! assert_eq!(again, snap);
+//! assert!(snap.render_prometheus().contains("zz_net_frames 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod id;
+mod log;
+mod registry;
+
+pub use id::{IdSource, RequestId};
+pub use log::{Event, EventLog, FieldValue, LogLevel, LOG_ENV, LOG_FILE_ENV};
+pub use registry::{
+    bucket_index, bucket_upper_bound, saturating_micros, Counter, Gauge, Histogram,
+    HistogramSnapshot, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
+};

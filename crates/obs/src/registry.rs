@@ -1,0 +1,615 @@
+//! The metrics registry: named counters, gauges and log-scale
+//! histograms behind one sharded name table.
+//!
+//! Registration (name → metric) takes a per-shard lock once; after that,
+//! every update is a handful of relaxed atomic operations on an
+//! [`Arc`]-shared metric — the fast path never locks, so instrumented
+//! hot paths (per-frame counters, per-request latency observations) cost
+//! nanoseconds, not contention. [`Registry::snapshot`] walks every shard
+//! and returns a [`MetricsSnapshot`] sorted by metric name, so two
+//! snapshots of the same quiescent registry are byte-identical however
+//! many threads wrote to it.
+//!
+//! Naming convention (`layer.subject.unit`, lowercase, dot-separated):
+//! `pipeline.route.wall_us`, `session.queue.depth`, `net.malformed`.
+//! The Prometheus exposition ([`MetricsSnapshot::render_prometheus`])
+//! prefixes `zz_` and rewrites the separators to underscores.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use zz_persist::{fnv1a, Decode, DecodeError, Decoder, Encode, Encoder};
+
+/// Number of power-of-two histogram buckets: bucket 0 holds the value 0,
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`. 65 buckets cover the
+/// whole `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A metric that can go up and down (queue depths, in-flight counts).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log-scale (power-of-two) histogram over `u64` samples.
+///
+/// Observations land in the bucket whose range covers them (`bucket 0` =
+/// the value 0, `bucket i` = `[2^(i-1), 2^i)`), so percentile estimates
+/// carry at most one octave of quantization error:
+/// `exact ≤ estimate < 2 · max(exact, 1)` (pinned by the crate's
+/// exact-reference test). The sum and count are tracked exactly, so
+/// [`HistogramSnapshot::mean`] has no bucket error at all.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index covering `v`.
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// A duration in microseconds, saturating at `u64::MAX` instead of
+/// silently truncating the `u128` — the one conversion every duration
+/// metric and wire field in the workspace goes through.
+pub fn saturating_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The largest value of bucket `i` (its inclusive upper bound) — what
+/// [`HistogramSnapshot::percentile`] reports for a rank landing in `i`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds (saturating — a 584-millennium
+    /// wait records as `u64::MAX` µs rather than wrapping).
+    pub fn observe_micros(&self, d: Duration) {
+        self.observe(saturating_micros(d));
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric (the shard table's value type).
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// The sharded name → metric table. See the [crate docs](crate) for the
+/// locking model and naming convention.
+#[derive(Debug)]
+pub struct Registry {
+    shards: [Mutex<HashMap<String, Metric>>; SHARDS],
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Metric>> {
+        &self.shards[(fnv1a(name.as_bytes()) as usize) % SHARDS]
+    }
+
+    /// The counter named `name`, registering it on first use. Hold the
+    /// returned handle on hot paths — updates through it never touch the
+    /// registry lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type
+    /// (a programming error, like two subsystems fighting over one name).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut shard = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
+        let metric = shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
+        match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric '{name}' is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut shard = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
+        let metric = shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())));
+        match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric '{name}' is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut shard = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
+        let metric = shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())));
+        match metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// A consistent, name-sorted snapshot of every registered metric.
+    /// Concurrent writers may land between two metric reads (each metric
+    /// is read atomically; the set is not a global transaction), but the
+    /// snapshot's *structure* is deterministic: same registered names in
+    /// the same order, whatever the thread interleaving was.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (name, metric) in shard.iter() {
+                match metric {
+                    Metric::Counter(c) => counters.push((name.clone(), c.get())),
+                    Metric::Gauge(g) => gauges.push((name.clone(), g.get())),
+                    Metric::Histogram(h) => {
+                        let buckets: Vec<(u64, u64)> = h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, b)| {
+                                let n = b.load(Ordering::Relaxed);
+                                (n > 0).then_some((i as u64, n))
+                            })
+                            .collect();
+                        histograms.push(HistogramSnapshot {
+                            name: name.clone(),
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: h.sum.load(Ordering::Relaxed),
+                            buckets,
+                        });
+                    }
+                }
+            }
+        }
+        counters.sort();
+        gauges.sort();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram: exact count and sum plus the
+/// sparse non-empty bucket list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// The histogram's registered name.
+    pub name: String,
+    /// Total number of samples.
+    pub count: u64,
+    /// Exact sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// `(bucket index, sample count)` for every non-empty bucket, in
+    /// ascending index order. Indices are < [`HISTOGRAM_BUCKETS`].
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Exact mean of the samples (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Nearest-rank percentile estimate: the upper bound of the bucket
+    /// holding the `⌈p/100 · count⌉`-th smallest sample. Because buckets
+    /// are power-of-two wide, `exact ≤ estimate < 2 · max(exact, 1)`.
+    /// Returns `None` for an empty histogram or `p` outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=100.0).contains(&p) || p <= 0.0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for &(index, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_upper_bound(index as usize));
+            }
+        }
+        // Counts and buckets are read without a global lock, so a racing
+        // writer can leave `count` ahead of the bucket sum; clamp to the
+        // top non-empty bucket.
+        self.buckets
+            .last()
+            .map(|&(index, _)| bucket_upper_bound(index as usize))
+    }
+}
+
+impl Encode for HistogramSnapshot {
+    fn encode(&self, out: &mut Encoder) {
+        out.str(&self.name);
+        out.u64(self.count);
+        out.u64(self.sum);
+        self.buckets.encode(out);
+    }
+}
+
+impl Decode for HistogramSnapshot {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let name = r.str()?;
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let buckets: Vec<(u64, u64)> = Decode::decode(r)?;
+        let mut previous = None;
+        for &(index, n) in &buckets {
+            if index >= HISTOGRAM_BUCKETS as u64 {
+                return Err(DecodeError::Invalid("histogram bucket index"));
+            }
+            if previous.is_some_and(|p| index <= p) {
+                return Err(DecodeError::Invalid("histogram bucket order"));
+            }
+            if n == 0 {
+                return Err(DecodeError::Invalid("empty histogram bucket"));
+            }
+            previous = Some(index);
+        }
+        Ok(HistogramSnapshot {
+            name,
+            count,
+            sum,
+            buckets,
+        })
+    }
+}
+
+/// A consistent, name-sorted copy of a whole [`Registry`] — the value
+/// the `Stats` wire endpoint ships and the codec persists.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Every histogram, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// The gauge named `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.gauges[i].1)
+    }
+
+    /// The histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .binary_search_by(|h| h.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i])
+    }
+
+    /// Whether no metric was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` lines, `zz_`-prefixed
+    /// underscore names, histograms as cumulative `_bucket{le="…"}`
+    /// series plus `_sum`/`_count`.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for hist in &self.histograms {
+            let name = prometheus_name(&hist.name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for &(index, n) in &hist.buckets {
+                cumulative += n;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    bucket_upper_bound(index as usize)
+                );
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+            let _ = writeln!(out, "{name}_sum {}", hist.sum);
+            let _ = writeln!(out, "{name}_count {}", hist.count);
+        }
+        out
+    }
+}
+
+/// Rewrites a dotted metric name to the Prometheus charset with the
+/// workspace prefix: `session.queue.wait_us` → `zz_session_queue_wait_us`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("zz_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+impl Encode for MetricsSnapshot {
+    fn encode(&self, out: &mut Encoder) {
+        self.counters.encode(out);
+        out.usize(self.gauges.len());
+        for (name, value) in &self.gauges {
+            out.str(name);
+            out.u64(*value as u64); // exact bit pattern; sign restored on decode
+        }
+        self.histograms.encode(out);
+    }
+}
+
+impl Decode for MetricsSnapshot {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let counters: Vec<(String, u64)> = Decode::decode(r)?;
+        let len = r.seq_len(9)?;
+        let mut gauges = Vec::with_capacity(len);
+        for _ in 0..len {
+            let name = r.str()?;
+            gauges.push((name, r.u64()? as i64));
+        }
+        let histograms: Vec<HistogramSnapshot> = Decode::decode(r)?;
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_the_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_register_once() {
+        let registry = Registry::new();
+        let a = registry.counter("x.hits");
+        let b = registry.counter("x.hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.counter("x.hits").get(), 3);
+
+        let g = registry.gauge("x.depth");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(registry.gauge("x.depth").get(), 1);
+        g.set(-5);
+        assert_eq!(g.get(), -5);
+
+        let h = registry.histogram("x.wall_us");
+        h.observe(3);
+        assert_eq!(registry.histogram("x.wall_us").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn type_confusion_panics_with_the_name() {
+        let registry = Registry::new();
+        registry.counter("same.name");
+        registry.gauge("same.name");
+    }
+
+    #[test]
+    fn snapshot_lookup_matches_linear_scan() {
+        let registry = Registry::new();
+        for name in ["b.two", "a.one", "c.three"] {
+            registry.counter(name).add(name.len() as u64);
+        }
+        registry.gauge("z.depth").set(7);
+        registry.histogram("m.wall").observe(100);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("a.one"), Some(5));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("z.depth"), Some(7));
+        assert_eq!(snap.histogram("m.wall").unwrap().count, 1);
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.one", "b.two", "c.three"], "sorted by name");
+    }
+
+    #[test]
+    fn negative_gauges_round_trip_through_the_codec() {
+        let registry = Registry::new();
+        registry.gauge("g.neg").set(i64::MIN);
+        registry.gauge("g.pos").set(i64::MAX);
+        let snap = registry.snapshot();
+        let back = zz_persist::roundtrip(&snap).expect("round trips");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_bucket_lists() {
+        let mut hist = HistogramSnapshot {
+            name: "h".into(),
+            count: 2,
+            sum: 3,
+            buckets: vec![(1, 1), (1, 1)], // duplicate index
+        };
+        let mut enc = Encoder::new();
+        hist.encode(&mut enc);
+        let bytes = enc.finish();
+        assert!(HistogramSnapshot::decode(&mut Decoder::new(&bytes)).is_err());
+
+        hist.buckets = vec![(HISTOGRAM_BUCKETS as u64, 1)]; // out of range
+        let mut enc = Encoder::new();
+        hist.encode(&mut enc);
+        let bytes = enc.finish();
+        assert!(HistogramSnapshot::decode(&mut Decoder::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative() {
+        let registry = Registry::new();
+        registry.counter("net.frames").add(9);
+        let h = registry.histogram("session.queue.wait_us");
+        h.observe(1);
+        h.observe(1);
+        h.observe(100);
+        let text = registry.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE zz_net_frames counter"), "{text}");
+        assert!(text.contains("zz_net_frames 9"), "{text}");
+        assert!(
+            text.contains("zz_session_queue_wait_us_bucket{le=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("zz_session_queue_wait_us_bucket{le=\"127\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("zz_session_queue_wait_us_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("zz_session_queue_wait_us_count 3"), "{text}");
+        assert!(text.contains("zz_session_queue_wait_us_sum 102"), "{text}");
+    }
+}

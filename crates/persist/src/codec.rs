@@ -54,6 +54,9 @@ pub enum ArtifactKind {
     /// A `zz_net` response envelope (the reply frame of the wire
     /// protocol).
     NetResponse,
+    /// A `zz_obs` metrics snapshot (the `Stats` endpoint's payload, also
+    /// persistable for offline diffing of two scrapes).
+    Metrics,
 }
 
 impl ArtifactKind {
@@ -66,6 +69,7 @@ impl ArtifactKind {
             ArtifactKind::CalibSnapshot => 4,
             ArtifactKind::NetRequest => 5,
             ArtifactKind::NetResponse => 6,
+            ArtifactKind::Metrics => 7,
         }
     }
 
@@ -78,6 +82,7 @@ impl ArtifactKind {
             ArtifactKind::CalibSnapshot => "calib-snapshot",
             ArtifactKind::NetRequest => "net-request",
             ArtifactKind::NetResponse => "net-response",
+            ArtifactKind::Metrics => "metrics",
         }
     }
 }

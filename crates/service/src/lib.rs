@@ -74,3 +74,4 @@ pub use target::{Target, TargetBuilder};
 // one `use zz_service::…` line covers the whole front door.
 pub use zz_core::batch::{DiskStatus, StageStats};
 pub use zz_core::{CompileOptions, Compiled, PipelineTrace, PulseMethod, SchedulerKind};
+pub use zz_obs::{MetricsSnapshot, Registry, RequestId};

@@ -24,6 +24,9 @@ use zz_core::batch::{default_threads, DiskStatus, StageStats};
 use zz_core::evaluate::{fidelity_of, EvalConfig};
 use zz_core::pipeline::{shape_key, CacheDisposition, PassManager, RouteMemo, Stage};
 use zz_core::{CompileOptions, Compiled, PipelineTrace};
+use zz_obs::{
+    saturating_micros, Counter, Event, EventLog, Gauge, Histogram, IdSource, Registry, RequestId,
+};
 use zz_persist::{fnv1a, fnv1a_mix, Encode, Encoder};
 use zz_pool::TaskPool;
 use zz_sim::density::Decoherence;
@@ -166,6 +169,11 @@ impl CompileRequest {
 /// The result of one [`CompileRequest`].
 #[derive(Clone, Debug)]
 pub struct CompileResponse {
+    /// The id the session minted for this request — the join key between
+    /// client-side spans, the server's event log and the wire envelope.
+    /// Coalesced followers share their leader's id (the id names the
+    /// execution, not the submission).
+    pub request_id: RequestId,
     /// The request's label.
     pub label: String,
     /// The compiled circuit.
@@ -409,19 +417,62 @@ impl std::fmt::Display for ServiceReport {
     }
 }
 
+/// The session's standing metric handles (registered once at session
+/// construction; updates are plain atomic ops on the hot path).
+#[derive(Debug)]
+struct SessionMetrics {
+    registry: Arc<Registry>,
+    /// `session.requests` — every submission (sync, async and coalesced).
+    requests: Arc<Counter>,
+    /// `session.errors` — requests that resolved to a typed [`Error`].
+    errors: Arc<Counter>,
+    /// `session.coalesce.leader` — `submit_shared` calls that started a job.
+    coalesce_leader: Arc<Counter>,
+    /// `session.coalesce.follower` — `submit_shared` calls that adopted one.
+    coalesce_follower: Arc<Counter>,
+    /// `session.queue.depth` — jobs enqueued but not yet picked up.
+    queue_depth: Arc<Gauge>,
+    /// `session.workers.busy` — workers currently executing a request.
+    workers_busy: Arc<Gauge>,
+    /// `session.queue.wait_us` — time from enqueue to worker pickup.
+    queue_wait: Arc<Histogram>,
+    /// `session.compile.wall_us` — per-request compile (+eval) time.
+    compile_wall: Arc<Histogram>,
+}
+
+impl SessionMetrics {
+    fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        SessionMetrics {
+            requests: registry.counter("session.requests"),
+            errors: registry.counter("session.errors"),
+            coalesce_leader: registry.counter("session.coalesce.leader"),
+            coalesce_follower: registry.counter("session.coalesce.follower"),
+            queue_depth: registry.gauge("session.queue.depth"),
+            workers_busy: registry.gauge("session.workers.busy"),
+            queue_wait: registry.histogram("session.queue.wait_us"),
+            compile_wall: registry.histogram("session.compile.wall_us"),
+            registry,
+        }
+    }
+}
+
 /// The state a session shares with its workers: the target plus the
-/// session-lifetime caches.
+/// session-lifetime caches and observability.
 #[derive(Debug)]
 struct SessionCore {
     target: Target,
     memo: Arc<RouteMemo>,
+    metrics: SessionMetrics,
+    events: EventLog,
+    ids: IdSource,
 }
 
 impl SessionCore {
     /// Compiles (and optionally evaluates) one request. Runs on a worker
     /// or, for [`Session::compile`], on the caller thread — both paths
     /// share the session caches.
-    fn execute(&self, request: &CompileRequest) -> Result<CompileResponse, Error> {
+    fn execute(&self, request: &CompileRequest, id: RequestId) -> Result<CompileResponse, Error> {
         let t0 = Instant::now();
         let topology = request
             .device
@@ -433,7 +484,8 @@ impl SessionCore {
             .scheduler(request.options.scheduler)
             .alpha(request.options.alpha_or_default())
             .k(request.options.k_or_default())
-            .route_memo(Arc::clone(&self.memo));
+            .route_memo(Arc::clone(&self.memo))
+            .metrics(Arc::clone(&self.metrics.registry));
         if let Some(req) = request.options.requirement {
             builder = builder.requirement(req);
         }
@@ -478,6 +530,7 @@ impl SessionCore {
         };
 
         Ok(CompileResponse {
+            request_id: id,
             label: request.label.clone(),
             compiled,
             trace: request.trace.then_some(outcome.trace),
@@ -487,6 +540,41 @@ impl SessionCore {
             queue_wait: Duration::ZERO,
             fidelity,
         })
+    }
+
+    /// Rolls one finished request into the registry and the event log:
+    /// wall/queue histograms and the error counter, plus a summary-level
+    /// `compile.done` / `compile.failed` event carrying the request id.
+    fn observe_outcome(
+        &self,
+        id: RequestId,
+        result: &Result<CompileResponse, Error>,
+        queue_wait: Duration,
+    ) {
+        self.metrics.queue_wait.observe_micros(queue_wait);
+        match result {
+            Ok(response) => {
+                self.metrics
+                    .compile_wall
+                    .observe_micros(response.compile_time);
+                self.events.emit(
+                    &Event::summary("compile.done")
+                        .request(id)
+                        .field("label", response.label.as_str())
+                        .field("compile_us", saturating_micros(response.compile_time))
+                        .field("queue_us", saturating_micros(queue_wait))
+                        .field("route_cache_hit", response.route_cache_hit),
+                );
+            }
+            Err(error) => {
+                self.metrics.errors.inc();
+                self.events.emit(
+                    &Event::summary("compile.failed")
+                        .request(id)
+                        .field("error", error.to_string()),
+                );
+            }
+        }
     }
 }
 
@@ -570,6 +658,9 @@ impl Session {
             core: Arc::new(SessionCore {
                 target,
                 memo: Arc::new(RouteMemo::new()),
+                metrics: SessionMetrics::new(),
+                events: EventLog::from_env(),
+                ids: IdSource::new(),
             }),
             pool: TaskPool::new(threads),
             pending: Mutex::new(PendingBatch::default()),
@@ -589,6 +680,14 @@ impl Session {
         self.pool.threads()
     }
 
+    /// The session's metrics registry: every layer below (pipeline
+    /// stages, queue, coalescing — and, when a `zz_net` server fronts
+    /// this session, the wire counters) publishes here. Snapshot it for
+    /// the `Stats` endpoint or the Prometheus exposition.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.core.metrics.registry
+    }
+
     /// Compiles one request synchronously on the caller's thread, using
     /// the session caches (workers keep serving submitted jobs in the
     /// meantime). Synchronous calls are not tracked by
@@ -598,7 +697,10 @@ impl Session {
     ///
     /// Returns the request's typed [`Error`] on failure.
     pub fn compile(&self, request: &CompileRequest) -> Result<CompileResponse, Error> {
-        self.core.execute(request)
+        let id = self.admit();
+        let result = self.core.execute(request, id);
+        self.core.observe_outcome(id, &result, Duration::ZERO);
+        result
     }
 
     /// Enqueues a request on the worker pool and returns immediately.
@@ -606,11 +708,19 @@ impl Session {
     /// [`drain`](Self::drain) collects every outstanding handle in
     /// submission order.
     pub fn submit(&self, request: CompileRequest) -> JobHandle {
+        let id = self.admit();
         let state = Arc::new(HandleState::new());
         let label = request.label.clone();
         self.track(&state);
-        self.enqueue(request, Arc::clone(&state), None);
+        self.enqueue(request, id, Arc::clone(&state), None);
         JobHandle { label, state }
+    }
+
+    /// Mints an id and counts the submission (every submission path
+    /// funnels through here so `session.requests` can never drift).
+    fn admit(&self) -> RequestId {
+        self.core.metrics.requests.inc();
+        self.core.ids.next_id()
     }
 
     /// Like [`submit`](Self::submit), with **request coalescing**:
@@ -644,6 +754,11 @@ impl Session {
                 let state = Arc::clone(existing);
                 drop(map);
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.core.metrics.requests.inc();
+                self.core.metrics.coalesce_follower.inc();
+                self.core
+                    .events
+                    .emit(&Event::new("session.coalesced").field("label", label.as_str()));
                 self.track(&state);
                 return JobHandle { label, state };
             }
@@ -651,8 +766,10 @@ impl Session {
             map.insert(key, Arc::clone(&state));
             state
         };
+        let id = self.admit();
+        self.core.metrics.coalesce_leader.inc();
         self.track(&state);
-        self.enqueue(request, Arc::clone(&state), Some(key));
+        self.enqueue(request, id, Arc::clone(&state), Some(key));
         JobHandle { label, state }
     }
 
@@ -674,20 +791,30 @@ impl Session {
     /// key to drop from the in-flight index once the job completes (so
     /// later identical requests start fresh instead of adopting a stale
     /// slot).
-    fn enqueue(&self, request: CompileRequest, state: Arc<HandleState>, retire: Option<u64>) {
+    fn enqueue(
+        &self,
+        request: CompileRequest,
+        id: RequestId,
+        state: Arc<HandleState>,
+        retire: Option<u64>,
+    ) {
         let label = request.label.clone();
         let core = Arc::clone(&self.core);
         let inflight = Arc::clone(&self.inflight);
         let task_state = Arc::clone(&state);
         let queued_at = Instant::now();
+        core.metrics.queue_depth.inc();
         let enqueued = self.pool.execute(Box::new(move || {
             let queue_wait = queued_at.elapsed();
-            let result = catch_unwind(AssertUnwindSafe(|| core.execute(&request)));
+            core.metrics.queue_depth.dec();
+            core.metrics.workers_busy.inc();
+            let result = catch_unwind(AssertUnwindSafe(|| core.execute(&request, id)));
+            core.metrics.workers_busy.dec();
             if let Some(key) = retire {
                 let mut map = inflight.map.lock().unwrap_or_else(|e| e.into_inner());
                 map.remove(&key);
             }
-            task_state.fill(match result {
+            let result = match result {
                 Ok(Ok(mut response)) => {
                     response.queue_wait = queue_wait;
                     Ok(response)
@@ -697,17 +824,22 @@ impl Session {
                     job: request.label.clone(),
                     detail: panic_message(&panic),
                 }),
-            });
+            };
+            core.observe_outcome(id, &result, queue_wait);
+            task_state.fill(result);
         }));
         if !enqueued {
+            self.core.metrics.queue_depth.dec();
             if let Some(key) = retire {
                 let mut map = self.inflight.map.lock().unwrap_or_else(|e| e.into_inner());
                 map.remove(&key);
             }
-            state.fill(Err(Error::Worker {
+            let result = Err(Error::Worker {
                 job: label,
                 detail: "the session queue is shut down".into(),
-            }));
+            });
+            self.core.observe_outcome(id, &result, Duration::ZERO);
+            state.fill(result);
         }
     }
 

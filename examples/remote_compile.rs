@@ -49,12 +49,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_eval_seeds(vec![11, 23, 37]),
     )?;
     println!(
-        "remote compile '{}': {} layers in {:.1?} ({} µs server-side), fidelity {:.6}",
+        "remote compile '{}' [{}]: {} layers in {:.1?} ({} µs server-side), fidelity {:.6}",
         remote.label,
+        remote.request_id,
         remote.compiled.plan.layer_count(),
         t0.elapsed(),
         remote.compile_micros,
         remote.fidelity.expect("eval seeds were sent"),
+    );
+
+    // The server-assigned request id joins this client-side span to the
+    // server's own records: scrape the live registry and pull the
+    // matching aggregates in one line.
+    let stats = client.stats()?;
+    println!(
+        "server stats: {} requests, {} pipeline runs, compile p95 {} µs",
+        stats.counter("session.requests").unwrap_or(0),
+        stats.counter("pipeline.runs").unwrap_or(0),
+        stats
+            .histogram("session.compile.wall_us")
+            .and_then(|h| h.percentile(95.0))
+            .unwrap_or(0),
     );
 
     // The wire adds transport, not drift: the same circuit compiled

@@ -70,6 +70,7 @@ pub use zz_circuit as circuit;
 pub use zz_core as framework;
 pub use zz_graph as graph;
 pub use zz_linalg as linalg;
+pub use zz_obs as obs;
 pub use zz_persist as persist;
 pub use zz_pulse as pulse;
 pub use zz_quantum as quantum;

@@ -4,8 +4,9 @@
 //!
 //! The test extracts every `pub` item declaration (functions with their
 //! signatures, structs, enums, traits, constants and re-exports) from
-//! `crates/service/src` and `crates/net/src` — the in-process front door
-//! and the wire protocol over it — and compares the sorted list against
+//! `crates/service/src`, `crates/net/src` and `crates/obs/src` — the
+//! in-process front door, the wire protocol over it and the metrics
+//! surface both publish into — and compares the sorted list against
 //! the checked-in snapshot `tests/api_surface.snapshot`. An unreviewed
 //! addition, removal or signature change of either surface fails
 //! CI; an intentional one is recorded by regenerating the snapshot:
@@ -104,8 +105,9 @@ fn public_items(source: &str) -> Vec<String> {
 }
 
 /// The crates whose public surface the snapshot pins: the in-process
-/// service front door and the network layer over it.
-const SNAPSHOT_CRATES: [&str; 2] = ["service", "net"];
+/// service front door, the network layer over it, and the
+/// observability layer both of them publish into.
+const SNAPSHOT_CRATES: [&str; 3] = ["service", "net", "obs"];
 
 fn public_surface() -> String {
     let mut items = Vec::new();

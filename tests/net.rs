@@ -227,6 +227,88 @@ fn mid_frame_disconnect_leaks_nothing() {
     fixture.stop();
 }
 
+// ------------------------------------------------------- the Stats endpoint
+
+/// One scrape of a live server reflects exactly the traffic it served:
+/// request ids on every answer, per-layer counters matching the known
+/// request/adversarial-frame sequence, and wall-time histograms with one
+/// sample per compile.
+#[test]
+fn stats_scrape_reflects_known_traffic() {
+    let fixture = Fixture::start(fast_config());
+    let mut client = Client::connect(fixture.addr).expect("connects");
+    client.ping().expect("pong");
+
+    // Three sequential compiles: cold bell, warm bell, cold QFT.
+    let first = client
+        .compile(CompileEnvelope::new(bell()))
+        .expect("compiles");
+    let second = client
+        .compile(CompileEnvelope::new(bell()))
+        .expect("compiles");
+    let third = client
+        .compile(CompileEnvelope::new(bench::generate(
+            bench::BenchmarkKind::Qft,
+            4,
+            7,
+        )))
+        .expect("compiles");
+
+    // Every answer names its server-side execution, and sequential
+    // requests never share one.
+    for compiled in [&first, &second, &third] {
+        assert!(compiled.request_id.as_u64() != 0, "request id present");
+    }
+    assert_ne!(first.request_id, second.request_id);
+    assert_ne!(second.request_id, third.request_id);
+
+    // Two adversarial connections, each killed by one garbage header.
+    for _ in 0..2 {
+        let mut stream = TcpStream::connect(fixture.addr).expect("connects");
+        stream.write_all(&[0xde; 28]).expect("writes");
+        drain_to_eof(&mut stream);
+    }
+
+    let stats = Client::connect(fixture.addr)
+        .expect("connects")
+        .stats()
+        .expect("live server answers Stats");
+
+    // Wire layer: ping + 3 compiles + this stats request = 5 well-formed
+    // frames; the 2 garbage headers count as malformed, not frames; the
+    // compile client + 2 adversaries + the scraper = 4 connections.
+    assert_eq!(stats.counter("net.frames"), Some(5));
+    assert_eq!(stats.counter("net.malformed"), Some(2));
+    assert_eq!(stats.counter("net.connections"), Some(4));
+    assert_eq!(stats.counter("net.admitted"), Some(3));
+    assert_eq!(
+        stats.counter("net.busy"),
+        Some(0),
+        "no busy rejection happened"
+    );
+    assert_eq!(
+        stats.gauge("net.inflight"),
+        Some(0),
+        "all compiles answered"
+    );
+
+    // Session layer: three submissions, all leaders (sequential traffic
+    // cannot coalesce), no errors, one wall-time sample per compile.
+    assert_eq!(stats.counter("session.requests"), Some(3));
+    assert_eq!(stats.counter("session.coalesce.leader"), Some(3));
+    assert_eq!(stats.counter("session.coalesce.follower"), Some(0));
+    assert_eq!(stats.counter("session.errors"), Some(0));
+    let wall = stats
+        .histogram("session.compile.wall_us")
+        .expect("compiles were timed");
+    assert_eq!(wall.count, 3);
+
+    // Pipeline layer: one full pass-pipeline execution per compile.
+    assert_eq!(stats.counter("pipeline.runs"), Some(3));
+
+    fixture.stop();
+}
+
 // ---------------------------------------------------- coalescing over TCP
 
 #[test]
@@ -280,6 +362,25 @@ fn identical_concurrent_compiles_share_work_and_answers() {
         report.route_misses
     );
     assert_eq!(report.route_hits + report.route_misses, M);
+
+    // The registry tells the same story: M submissions split into
+    // leaders + followers, and every follower adopted its leader's
+    // request id (an id names one pipeline execution, so the answers
+    // carry exactly M − coalesced distinct ids).
+    let stats = fixture.session.metrics().snapshot();
+    assert_eq!(stats.counter("session.requests"), Some(M as u64));
+    assert_eq!(
+        stats.counter("session.coalesce.follower"),
+        Some(coalesced as u64)
+    );
+    assert_eq!(
+        stats.counter("session.coalesce.leader"),
+        Some((M - coalesced) as u64)
+    );
+    let mut ids: Vec<u64> = compiled.iter().map(|c| c.request_id.as_u64()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), M - coalesced, "followers share the leader's id");
     fixture.stop();
 }
 
@@ -305,8 +406,14 @@ fn admission_beyond_the_bound_is_busy_not_a_hang() {
     assert_eq!(fixture.control.busy_rejections(), 1);
     assert_eq!(fixture.control.admitted(), 0, "nothing was enqueued");
 
-    // Pings are not subject to compile admission.
+    // Pings are not subject to compile admission — and neither are
+    // stats scrapes, so the rejection is observable on the saturated
+    // server itself.
     client.ping().expect("control traffic still flows");
+    let stats = client.stats().expect("a saturated server still scrapes");
+    assert_eq!(stats.counter("net.busy"), Some(1));
+    assert_eq!(stats.counter("net.admitted"), Some(0));
+    assert_eq!(stats.counter("session.requests"), Some(0), "never enqueued");
     fixture.stop();
 }
 

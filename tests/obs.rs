@@ -1,0 +1,173 @@
+//! Cross-crate tests for the observability layer: histogram accuracy
+//! against an exact reference, snapshot consistency under concurrent
+//! writers, and the `MetricsSnapshot` ↔ artifact-container round trip
+//! the `Stats` wire endpoint and offline diffing both rely on.
+
+use std::sync::Arc;
+use std::thread;
+
+use zz_obs::{MetricsSnapshot, Registry};
+use zz_persist::{decode_artifact, encode_artifact, ArtifactKind};
+
+/// Deterministic pseudo-random stream (splitmix64) — no external crates,
+/// no process-global state.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Exact nearest-rank percentile: the smallest element such that at
+/// least `⌈p/100 · n⌉` elements are ≤ it.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+// ------------------------------------------------------ histogram accuracy
+
+/// The power-of-two bucket histogram guarantees `exact ≤ estimate <
+/// 2 · max(exact, 1)` for every percentile: the estimate is the upper
+/// bound of the bucket holding the nearest-rank element, and buckets
+/// span at most one doubling.
+#[test]
+fn histogram_percentiles_bound_the_exact_nearest_rank() {
+    let registry = Registry::new();
+    let histogram = registry.histogram("test.latency_us");
+
+    // A hostile mix: zeros, tight clusters, a heavy tail across twelve
+    // orders of magnitude (bounded so the exact sum stays in u64).
+    let mut state = 0x5eed_u64;
+    let mut values: Vec<u64> = (0..10_000)
+        .map(|i| match i % 5 {
+            0 => 0,
+            1 => 40 + splitmix(&mut state) % 10,
+            2 => splitmix(&mut state) % 1_000,
+            3 => splitmix(&mut state) % 1_000_000,
+            _ => splitmix(&mut state) % 1_000_000_000_000,
+        })
+        .collect();
+    for &v in &values {
+        histogram.observe(v);
+    }
+    values.sort_unstable();
+
+    let snapshot = registry.snapshot();
+    let h = snapshot.histogram("test.latency_us").expect("registered");
+    assert_eq!(h.count, values.len() as u64);
+
+    for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+        let exact = exact_percentile(&values, p);
+        let estimate = h.percentile(p).expect("non-empty histogram");
+        assert!(
+            exact <= estimate,
+            "p{p}: estimate {estimate} must not undershoot exact {exact}"
+        );
+        assert!(
+            (estimate as u128) < 2 * (exact.max(1) as u128),
+            "p{p}: estimate {estimate} must stay within one doubling of exact {exact}"
+        );
+    }
+
+    // The exact-sum mean has no bucket error at all.
+    let exact_mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+    assert!((h.mean() - exact_mean).abs() < 1e-6 * exact_mean.max(1.0));
+}
+
+// ----------------------------------------------- concurrent snapshot sanity
+
+/// N threads hammer shared counters/gauges/histograms; after they join,
+/// a snapshot holds exactly the totals, and two snapshots of a quiescent
+/// registry are identical (snapshotting is deterministic, not sampled).
+#[test]
+fn snapshot_is_exact_and_deterministic_after_concurrent_writers() {
+    const WRITERS: usize = 8;
+    const ROUNDS: u64 = 5_000;
+
+    let registry = Arc::new(Registry::new());
+    thread::scope(|scope| {
+        for t in 0..WRITERS {
+            let registry = Arc::clone(&registry);
+            scope.spawn(move || {
+                // Half the names are shared across all writers, half are
+                // per-writer — both shard paths get contended.
+                let shared = registry.counter("writers.shared");
+                let own = registry.counter(&format!("writers.own.{t}"));
+                let gauge = registry.gauge("writers.level");
+                let histogram = registry.histogram("writers.values");
+                for i in 0..ROUNDS {
+                    shared.inc();
+                    own.inc();
+                    gauge.inc();
+                    gauge.dec();
+                    histogram.observe(t as u64 * ROUNDS + i);
+                }
+            });
+        }
+    });
+
+    let first = registry.snapshot();
+    assert_eq!(
+        first.counter("writers.shared"),
+        Some(WRITERS as u64 * ROUNDS)
+    );
+    for t in 0..WRITERS {
+        assert_eq!(first.counter(&format!("writers.own.{t}")), Some(ROUNDS));
+    }
+    assert_eq!(first.gauge("writers.level"), Some(0), "inc/dec balanced");
+    let h = first.histogram("writers.values").expect("registered");
+    assert_eq!(h.count, WRITERS as u64 * ROUNDS);
+    let expected_sum: u64 = (0..WRITERS as u64 * ROUNDS).sum();
+    assert_eq!(h.sum, expected_sum, "every observation landed exactly once");
+
+    // Quiescent registry → byte-identical snapshots, names sorted.
+    let second = registry.snapshot();
+    assert_eq!(first, second);
+    let names: Vec<&str> = first.counters.iter().map(|(n, _)| n.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "counters come out name-sorted");
+}
+
+// ------------------------------------------------------- codec round trip
+
+/// A populated snapshot survives the full artifact container (magic,
+/// schema version, kind tag, checksum) — the same path `Response::Stats`
+/// uses on the wire and `ArtifactKind::Metrics` uses on disk.
+#[test]
+fn metrics_snapshot_round_trips_through_the_artifact_container() {
+    let registry = Registry::new();
+    registry.counter("net.frames").add(17);
+    registry.counter("session.requests").add(5);
+    registry.gauge("net.inflight").set(-3);
+    registry.gauge("session.queue.depth").set(2);
+    let h = registry.histogram("session.queue.wait_us");
+    for v in [0, 1, 7, 800, 65_000, u64::MAX] {
+        h.observe(v);
+    }
+
+    let snapshot = registry.snapshot();
+    let bytes = encode_artifact(ArtifactKind::Metrics, &snapshot);
+    let decoded: MetricsSnapshot =
+        decode_artifact(ArtifactKind::Metrics, &bytes).expect("well-formed container decodes");
+    assert_eq!(decoded, snapshot);
+
+    // Corruption is detected by the container, not silently decoded.
+    let mut flipped = bytes.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 1;
+    assert!(
+        decode_artifact::<MetricsSnapshot>(ArtifactKind::Metrics, &flipped).is_err(),
+        "a flipped payload byte must fail the checksum"
+    );
+
+    // And the empty snapshot round-trips too (a fresh server's scrape).
+    let empty = Registry::new().snapshot();
+    assert!(empty.is_empty());
+    let bytes = encode_artifact(ArtifactKind::Metrics, &empty);
+    let decoded: MetricsSnapshot =
+        decode_artifact(ArtifactKind::Metrics, &bytes).expect("empty snapshot decodes");
+    assert_eq!(decoded, empty);
+}
