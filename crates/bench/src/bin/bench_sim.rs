@@ -13,6 +13,13 @@
 //! algorithmic gain, independent of the machine's core count. The
 //! all-cores time is reported separately (`engine_parallel_ms`).
 //!
+//! Alongside the end-to-end times, the snapshot records per-kernel
+//! microbenchmarks of the batched engine (`zz_sim::batch::BatchedState`
+//! at the default batch width): nanoseconds per amplitude-lane for the
+//! single-qubit, two-qubit and diagonal sweeps at 8, 12 and 16 qubits —
+//! so a kernel regression is attributable before it shows up in the
+//! end-to-end number.
+//!
 //! The result is written as `BENCH_sim.json` (override the path with the
 //! `BENCH_SIM_OUT` environment variable) and uploaded next to
 //! `BENCH_pipeline.json` by the CI workflow, so the simulation-speed
@@ -24,12 +31,14 @@ use zz_bench::reference;
 use zz_circuit::bench::{generate, BenchmarkKind};
 use zz_circuit::native::compile_to_native;
 use zz_circuit::route;
+use zz_linalg::c64;
 use zz_sched::{zzx::ZzxConfig, zzx_schedule, GateDurations, SchedulePlan};
+use zz_sim::batch::BatchedState;
 use zz_sim::density::Decoherence;
 use zz_sim::executor::{
     fidelity_with_decoherence, fidelity_with_decoherence_threads, ZzErrorModel,
 };
-use zz_sim::program::PlanProgram;
+use zz_sim::program::{PlanProgram, DEFAULT_BATCH_LANES};
 use zz_topology::Topology;
 
 fn qaoa9_plan(topo: &Topology) -> SchedulePlan {
@@ -40,6 +49,67 @@ fn qaoa9_plan(topo: &Topology) -> SchedulePlan {
 
 fn ms(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
+}
+
+/// ns per amplitude-lane of one batched kernel sweep, measured over
+/// enough repetitions to amortize timer noise.
+struct KernelRow {
+    qubits: usize,
+    single_ns: f64,
+    two_ns: f64,
+    diag_ns: f64,
+}
+
+fn kernel_row(n: usize) -> KernelRow {
+    let lanes = DEFAULT_BATCH_LANES;
+    let mut batch = BatchedState::zero(n, lanes);
+    // ≈2^22 amplitude visits per kernel, regardless of register size.
+    let reps = usize::max(1, (1usize << 22) >> n);
+    let amp_lanes = (reps * (1 << n) * lanes) as f64;
+
+    let single = {
+        let m = zz_quantum::gates::x90();
+        let s = m.as_slice();
+        [s[0], s[1], s[2], s[3]]
+    };
+    let two = {
+        let m = zz_quantum::gates::zx90();
+        let mut out = [c64::ZERO; 16];
+        out.copy_from_slice(m.as_slice());
+        out
+    };
+    let diag: Vec<c64> = (0..1usize << n)
+        .map(|i| c64::cis(1e-3 * i as f64))
+        .collect();
+    let (ma, mb) = (1usize << (n - 2), 1usize << 1);
+
+    batch.kernel_single(&single, 1 << (n / 2));
+    let t = Instant::now();
+    for _ in 0..reps {
+        batch.kernel_single(&single, 1 << (n / 2));
+    }
+    let single_ns = t.elapsed().as_secs_f64() * 1e9 / amp_lanes;
+
+    batch.kernel_two(&two, ma, mb);
+    let t = Instant::now();
+    for _ in 0..reps {
+        batch.kernel_two(&two, ma, mb);
+    }
+    let two_ns = t.elapsed().as_secs_f64() * 1e9 / amp_lanes;
+
+    batch.apply_diagonal(&diag);
+    let t = Instant::now();
+    for _ in 0..reps {
+        batch.apply_diagonal(&diag);
+    }
+    let diag_ns = t.elapsed().as_secs_f64() * 1e9 / amp_lanes;
+
+    KernelRow {
+        qubits: n,
+        single_ns,
+        two_ns,
+        diag_ns,
+    }
 }
 
 fn main() {
@@ -55,7 +125,7 @@ fn main() {
     let d = GateDurations::standard();
 
     println!(
-        "bench_sim: QAOA-9 on {}, {} layers, {TRAJECTORIES} trajectories",
+        "bench_sim: QAOA-9 on {}, {} layers, {TRAJECTORIES} trajectories, batch width {DEFAULT_BATCH_LANES}",
         topo.name(),
         plan.layer_count()
     );
@@ -122,6 +192,15 @@ fn main() {
         "disorder sweep x{ZZ_REPS}: legacy {zz_legacy_ms:.1} ms  engine {zz_engine_ms:.1} ms  speedup {zz_speedup:.2}x"
     );
 
+    // Per-kernel microbenchmarks of the batched hot path.
+    let kernels: Vec<KernelRow> = [8usize, 12, 16].iter().map(|&n| kernel_row(n)).collect();
+    for k in &kernels {
+        println!(
+            "kernels n={:2}: single {:.2} ns/amp  two {:.2} ns/amp  diag {:.2} ns/amp",
+            k.qubits, k.single_ns, k.two_ns, k.diag_ns
+        );
+    }
+
     // Sanity: the engines simulate the same physics. The deterministic
     // path must agree to numerical noise; the Monte-Carlo estimates use
     // different (both deterministic) random streams, so they agree only
@@ -141,15 +220,25 @@ fn main() {
         "thread count leaked into the Monte-Carlo mean"
     );
     assert!(
-        mc_speedup >= 3.0,
-        "acceptance bar: >= 3x single-threaded on fidelity_with_decoherence, got {mc_speedup:.2}x"
+        mc_speedup >= 10.0,
+        "acceptance bar: >= 10x single-threaded on fidelity_with_decoherence, got {mc_speedup:.2}x"
     );
 
+    let kernel_json: Vec<String> = kernels
+        .iter()
+        .map(|k| {
+            format!(
+                "{{\"qubits\": {}, \"single_ns_per_amp\": {:.4}, \"two_ns_per_amp\": {:.4}, \"diag_ns_per_amp\": {:.4}}}",
+                k.qubits, k.single_ns, k.two_ns, k.diag_ns
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"schema\": 2,\n  \"workload\": {{\"benchmark\": \"qaoa-9\", \"device\": \"{}\", \"layers\": {}, \"trajectories\": {TRAJECTORIES}}},\n  \"monte_carlo\": {{\"legacy_ms\": {mc_legacy_ms:.3}, \"engine_ms\": {mc_engine_ms:.3}, \"engine_parallel_ms\": {mc_parallel_ms:.3}, \"speedup\": {mc_speedup:.3}, \"fidelity_legacy\": {f_legacy:.6}, \"fidelity_engine\": {f_engine:.6}}},\n  \"disorder_sweep\": {{\"reps\": {ZZ_REPS}, \"samples\": {}, \"legacy_ms\": {zz_legacy_ms:.3}, \"engine_ms\": {zz_engine_ms:.3}, \"speedup\": {zz_speedup:.3}}}\n}}\n",
+        "{{\n  \"schema\": 3,\n  \"workload\": {{\"benchmark\": \"qaoa-9\", \"device\": \"{}\", \"layers\": {}, \"trajectories\": {TRAJECTORIES}, \"batch_lanes\": {DEFAULT_BATCH_LANES}}},\n  \"monte_carlo\": {{\"legacy_ms\": {mc_legacy_ms:.3}, \"engine_ms\": {mc_engine_ms:.3}, \"engine_parallel_ms\": {mc_parallel_ms:.3}, \"speedup\": {mc_speedup:.3}, \"fidelity_legacy\": {f_legacy:.6}, \"fidelity_engine\": {f_engine:.6}}},\n  \"disorder_sweep\": {{\"reps\": {ZZ_REPS}, \"samples\": {}, \"legacy_ms\": {zz_legacy_ms:.3}, \"engine_ms\": {zz_engine_ms:.3}, \"speedup\": {zz_speedup:.3}}},\n  \"kernels\": [\n    {}\n  ]\n}}\n",
         topo.name(),
         plan.layer_count(),
         seeds.len(),
+        kernel_json.join(",\n    "),
     );
     let out = std::env::var("BENCH_SIM_OUT").unwrap_or_else(|_| "BENCH_sim.json".into());
     std::fs::write(&out, &json).expect("snapshot file writable");

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 use zz_circuit::Circuit;
@@ -443,6 +443,7 @@ struct SessionMetrics {
 impl SessionMetrics {
     fn new() -> Self {
         let registry = Arc::new(Registry::new());
+        EngineBridge::install(&registry);
         SessionMetrics {
             requests: registry.counter("session.requests"),
             errors: registry.counter("session.errors"),
@@ -453,6 +454,62 @@ impl SessionMetrics {
             queue_wait: registry.histogram("session.queue.wait_us"),
             compile_wall: registry.histogram("session.compile.wall_us"),
             registry,
+        }
+    }
+}
+
+/// Bridges engine-level events ([`zz_sim::metrics`]) into a session's
+/// registry: trajectory/sweep/fusion counters plus the per-batch run-time
+/// histogram, all under `engine.*` and therefore visible through
+/// [`Session::metrics`] snapshots and the `zz_net` Stats endpoint.
+///
+/// The bridge holds only *weak* handles. The registry keeps the metrics
+/// alive; once the session (and with it the registry) is dropped, the
+/// next engine event fails to upgrade and the engine prunes the sink —
+/// dead sessions cost nothing. Note the engine counters are
+/// process-wide: a session sees engine activity from every live session,
+/// not just its own queue.
+#[derive(Debug)]
+struct EngineBridge {
+    trajectories: Weak<Counter>,
+    kernel_sweeps: Weak<Counter>,
+    fused_diags: Weak<Counter>,
+    batch_run: Weak<Histogram>,
+}
+
+impl EngineBridge {
+    fn install(registry: &Arc<Registry>) {
+        zz_sim::metrics::register_sink(Arc::new(EngineBridge {
+            trajectories: Arc::downgrade(&registry.counter("engine.trajectories")),
+            kernel_sweeps: Arc::downgrade(&registry.counter("engine.kernel_sweeps")),
+            fused_diags: Arc::downgrade(&registry.counter("engine.diag.fused")),
+            batch_run: Arc::downgrade(&registry.histogram("engine.batch.run_us")),
+        }));
+    }
+}
+
+impl zz_sim::metrics::EngineSink for EngineBridge {
+    fn batch(&self, trajectories: u64, kernel_sweeps: u64, elapsed: Duration) -> bool {
+        let (Some(t), Some(k), Some(h)) = (
+            self.trajectories.upgrade(),
+            self.kernel_sweeps.upgrade(),
+            self.batch_run.upgrade(),
+        ) else {
+            return false;
+        };
+        t.add(trajectories);
+        k.add(kernel_sweeps);
+        h.observe_micros(elapsed);
+        true
+    }
+
+    fn fused_diags(&self, merges: u64) -> bool {
+        match self.fused_diags.upgrade() {
+            Some(c) => {
+                c.add(merges);
+                true
+            }
+            None => false,
         }
     }
 }

@@ -21,8 +21,11 @@
 //! resolved once into fused phase diagonals and branch-free gate kernels,
 //! then replayed — deterministically ([`program::PlanProgram`]) or as
 //! parallel Monte-Carlo trajectories with thread-count-independent
-//! results ([`program::TrajectoryProgram`]). The [`executor`] functions
-//! are one-shot wrappers over those programs.
+//! results ([`program::TrajectoryProgram`]). Trajectory fans run through
+//! the structure-of-arrays [`batch`] store, which sweeps a whole batch of
+//! trajectories per amplitude visit; [`metrics`] exposes engine counters
+//! without depending on the observability stack. The [`executor`]
+//! functions are one-shot wrappers over those programs.
 //!
 //! # Example
 //!
@@ -43,8 +46,10 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod density;
 pub mod executor;
+pub mod metrics;
 pub mod program;
 pub mod statevector;
 

@@ -152,6 +152,49 @@ fn in_queue_evaluation_matches_the_legacy_eval_path() {
     );
 }
 
+/// A Monte-Carlo in-queue evaluation (9 qubits forces the trajectory
+/// path) must surface the batched engine's counters — trajectories,
+/// kernel sweeps, per-batch run-time histogram — in the session registry
+/// that `Client::stats()` ships.
+#[test]
+fn engine_metrics_surface_in_the_session_registry() {
+    let session = Session::new(Target::for_qubits(9).expect("fits"));
+    let circuit = generate(BenchmarkKind::Qaoa, 9, 7);
+    let trajectories = 24;
+    let spec = EvalSpec::paper_default()
+        .with_seeds(vec![11])
+        .with_decoherence_us(200.0, trajectories);
+
+    let response = session
+        .compile(
+            &CompileRequest::new(circuit)
+                .with_options(CompileOptions::default())
+                .with_eval(spec),
+        )
+        .expect("fits");
+    assert!(response.fidelity.is_some(), "eval was requested");
+
+    let snapshot = session.metrics().snapshot();
+    let simulated = snapshot.counter("engine.trajectories").unwrap_or(0);
+    assert!(
+        simulated >= trajectories as u64,
+        "expected ≥{trajectories} trajectories in the registry, saw {simulated}"
+    );
+    assert!(
+        snapshot.counter("engine.kernel_sweeps").unwrap_or(0) > 0,
+        "kernel sweep counter never moved"
+    );
+    let hist = snapshot
+        .histogram("engine.batch.run_us")
+        .expect("batch run-time histogram registered");
+    // 24 trajectories at the default batch width of 16 is two batches.
+    assert!(hist.count >= 2, "expected ≥2 batches, saw {}", hist.count);
+    assert!(
+        snapshot.counter("engine.diag.fused").is_some(),
+        "fused-diagonal counter registered"
+    );
+}
+
 #[test]
 fn oversized_circuits_are_typed_validate_errors_never_panics() {
     let session = Session::new(

@@ -11,6 +11,7 @@
 
 use zz_bench::reference;
 use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_circuit::{Circuit, Gate};
 use zz_core::evaluate::device_for;
 use zz_core::{CoOptimizer, Compiled, PulseMethod, SchedulerKind};
 use zz_sched::GateDurations;
@@ -19,7 +20,7 @@ use zz_sim::executor::{
     fidelity_under_zz, fidelity_with_decoherence, fidelity_with_decoherence_threads, run_ideal,
     run_with_zz, ZzErrorModel,
 };
-use zz_sim::program::PlanProgram;
+use zz_sim::program::{PlanProgram, TrajectoryProgram, DIAG_TABLE_MAX_QUBITS};
 use zz_sim::StateVector;
 use zz_topology::Topology;
 
@@ -119,4 +120,98 @@ fn monte_carlo_fidelity_is_bit_identical_across_thread_counts() {
     let f_default = fidelity_with_decoherence(&plan, &topo, &model, &deco, &d, 48, 17);
     assert_eq!(f1.to_bits(), f_default.to_bits());
     assert!(f1 > 0.0 && f1 <= 1.0 + 1e-9, "fidelity {f1}");
+}
+
+/// The batched Monte-Carlo fan must be bit-identical across every batch
+/// width × thread count combination on the 9-qubit workload: each lane's
+/// arithmetic never mixes with its neighbours and the reduction stays in
+/// trajectory order, so neither knob can leak into the result.
+#[test]
+fn monte_carlo_fidelity_is_bit_identical_across_batch_widths() {
+    let topo = Topology::grid(3, 3);
+    let circuit = generate(BenchmarkKind::Qaoa, 9, 7);
+    let native = zz_circuit::native::compile_to_native(&zz_circuit::route(&circuit, &topo));
+    let plan = zz_sched::par_schedule(&topo, &native);
+    let model =
+        ZzErrorModel::sampled(&topo, zz_sim::khz(200.0), zz_sim::khz(50.0), 5).with_residual(0.05);
+    let deco = Decoherence::equal_us(200.0);
+    let trajectories = 48;
+    let program =
+        TrajectoryProgram::compile(&plan, &topo, &model, &deco, &GateDurations::standard());
+    let ideal = PlanProgram::ideal(&plan).run();
+
+    let reference = program.mean_fidelity_batched(&ideal, trajectories, 17, 1, 1);
+    for lanes in [1, 3, 8, trajectories] {
+        for threads in [1, 2, 8] {
+            let f = program.mean_fidelity_batched(&ideal, trajectories, 17, threads, lanes);
+            assert_eq!(
+                reference.to_bits(),
+                f.to_bits(),
+                "lanes={lanes} threads={threads}: {reference} vs {f}"
+            );
+        }
+    }
+    assert!(reference > 0.0 && reference <= 1.0 + 1e-9);
+}
+
+/// Every `(PulseMethod, SchedulerKind)` cell through the **batched**
+/// trajectory path: with decoherence switched off, every trajectory is
+/// the deterministic evolution, so the batched mean must agree with the
+/// reference executor's fidelity to ≤1e-12.
+#[test]
+fn batched_trajectories_match_reference_across_the_compile_matrix() {
+    for method in [
+        PulseMethod::Gaussian,
+        PulseMethod::OptCtrl,
+        PulseMethod::Pert,
+        PulseMethod::Dcg,
+    ] {
+        for scheduler in [SchedulerKind::ParSched, SchedulerKind::ZzxSched] {
+            let compiled = compile_case(method, scheduler);
+            let topo = &compiled.topology;
+            let model = ZzErrorModel::sampled(topo, zz_sim::khz(200.0), zz_sim::khz(50.0), 11)
+                .with_residuals(compiled.residuals);
+            let deco = Decoherence::new(f64::INFINITY, f64::INFINITY);
+            let program = TrajectoryProgram::compile(
+                &compiled.plan,
+                topo,
+                &model,
+                &deco,
+                &compiled.durations,
+            );
+            let ideal_ref = reference::run_ideal(&compiled.plan);
+            let noisy_ref =
+                reference::run_with_zz(&compiled.plan, topo, &model, &compiled.durations);
+            let f_ref = ideal_ref.fidelity(&noisy_ref);
+            let f_batched = program.mean_fidelity_batched(&ideal_ref, 6, 3, 1, 4);
+            assert!(
+                (f_batched - f_ref).abs() <= 1e-12,
+                "{method}+{scheduler}: batched {f_batched} vs reference {f_ref}"
+            );
+        }
+    }
+}
+
+/// A 17-qubit GHZ plan crosses the `DIAG_TABLE_MAX_QUBITS` boundary, so
+/// every fused diagonal runs through the per-term fallback — which must
+/// still match the reference executor amplitude-for-amplitude.
+#[test]
+fn seventeen_qubit_ghz_exercises_the_diag_fallback_against_reference() {
+    let n = DIAG_TABLE_MAX_QUBITS + 1;
+    let topo = Topology::line(n);
+    let mut circuit = Circuit::new(n);
+    circuit.push(Gate::H, &[0]);
+    for q in 1..n {
+        circuit.push(Gate::Cnot, &[q - 1, q]);
+    }
+    let native = zz_circuit::native::compile_to_native(&zz_circuit::route(&circuit, &topo));
+    let plan = zz_sched::par_schedule(&topo, &native);
+    let model =
+        ZzErrorModel::sampled(&topo, zz_sim::khz(200.0), zz_sim::khz(50.0), 13).with_residual(0.05);
+    let d = GateDurations::standard();
+
+    let noisy_new = run_with_zz(&plan, &topo, &model, &d);
+    let noisy_ref = reference::run_with_zz(&plan, &topo, &model, &d);
+    let diff = max_amp_diff(&noisy_new, &noisy_ref);
+    assert!(diff <= 1e-12, "17-qubit fallback Δ={diff}");
 }
