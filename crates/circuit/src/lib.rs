@@ -37,4 +37,4 @@ mod route;
 
 pub use circuit::{Circuit, Op};
 pub use gate::Gate;
-pub use route::route;
+pub use route::{route, try_route, try_route_with, RouteError};

@@ -1,9 +1,37 @@
 //! Greedy SWAP routing onto a device topology.
 
-use zz_graph::{shortest_path, MultiGraph};
+use std::fmt;
+
+use zz_graph::{shortest_path_with, BfsScratch, MultiGraph};
 use zz_topology::Topology;
 
 use crate::{Circuit, Gate};
+
+/// A routing failure: no coupling path exists between two physical qubits.
+///
+/// [`Topology`] validates connectivity at construction, so this cannot occur
+/// for in-tree devices — it exists so a violated invariant (e.g. a buggy
+/// pluggable routing backend handing over a disconnected graph) surfaces as
+/// a typed error instead of panicking a service worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteError {
+    /// The physical qubit the two-qubit gate starts from.
+    pub from: usize,
+    /// The physical qubit that could not be reached.
+    pub to: usize,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no coupling path between physical qubits {} and {} (disconnected device graph)",
+            self.from, self.to
+        )
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// Routes a logical circuit onto a device: the result acts on the device's
 /// physical qubits and every two-qubit gate touches a coupled pair, with
@@ -40,6 +68,36 @@ use crate::{Circuit, Gate};
 /// }
 /// ```
 pub fn route(circuit: &Circuit, topo: &Topology) -> Circuit {
+    try_route(circuit, topo).expect("device topologies are connected")
+}
+
+/// Fallible variant of [`route`]: returns a [`RouteError`] instead of
+/// panicking when two physical qubits have no coupling path.
+///
+/// # Panics
+///
+/// Panics if the circuit has more qubits than the device (a size mismatch
+/// is a validation error, not a routing outcome; the pipeline's validate
+/// pass rejects it before routing).
+pub fn try_route(circuit: &Circuit, topo: &Topology) -> Result<Circuit, RouteError> {
+    try_route_with(circuit, topo, &topo.to_multigraph())
+}
+
+/// [`try_route`] against a caller-supplied coupling graph of `topo`.
+///
+/// Building the [`MultiGraph`] is `O(V + E)`; callers routing many circuits
+/// onto the same device (the service pipeline) build it once and pass it
+/// here, instead of once per call.
+///
+/// # Panics
+///
+/// Panics if the circuit has more qubits than the device, or if `graph`
+/// does not have one vertex per device qubit.
+pub fn try_route_with(
+    circuit: &Circuit,
+    topo: &Topology,
+    graph: &MultiGraph,
+) -> Result<Circuit, RouteError> {
     assert!(
         circuit.qubit_count() <= topo.qubit_count(),
         "circuit needs {} qubits but device has {}",
@@ -47,11 +105,21 @@ pub fn route(circuit: &Circuit, topo: &Topology) -> Circuit {
         topo.qubit_count()
     );
     let n = topo.qubit_count();
-    let graph: MultiGraph = topo.to_multigraph();
+    assert_eq!(
+        graph.vertex_count(),
+        n,
+        "coupling graph does not match the device"
+    );
 
-    // layout[logical] = physical, starting from the snake order.
+    // layout[logical] = physical, starting from the snake order; the inverse
+    // map makes each SWAP an O(1) update instead of an O(n) scan.
     let snake = snake_order(topo);
     let mut layout: Vec<usize> = snake[..circuit.qubit_count()].to_vec();
+    let mut phys_to_logical: Vec<Option<usize>> = vec![None; n];
+    for (l, &p) in layout.iter().enumerate() {
+        phys_to_logical[p] = Some(l);
+    }
+    let mut scratch = BfsScratch::new();
     let mut out = Circuit::new(n);
 
     for op in circuit.ops() {
@@ -62,21 +130,23 @@ pub fn route(circuit: &Circuit, topo: &Topology) -> Circuit {
             &[a, b] => {
                 let (mut pa, pb) = (layout[a], layout[b]);
                 if topo.coupling_between(pa, pb).is_none() {
-                    let path =
-                        shortest_path(&graph, pa, pb).expect("device topologies are connected");
+                    let path = shortest_path_with(graph, pa, pb, &mut scratch)
+                        .ok_or(RouteError { from: pa, to: pb })?;
                     // Walk `a` toward `b`, swapping along the path until
                     // adjacent.
                     for &w in &path.vertices[1..path.vertices.len() - 1] {
                         out.push(Gate::Swap, &[pa, w]);
-                        // Update the mapping: whichever logical qubits sit on
-                        // pa and w exchange places.
-                        for l in layout.iter_mut() {
-                            if *l == pa {
-                                *l = w;
-                            } else if *l == w {
-                                *l = pa;
-                            }
+                        // Whichever logical qubits sit on pa and w exchange
+                        // places.
+                        let (la, lw) = (phys_to_logical[pa], phys_to_logical[w]);
+                        if let Some(l) = la {
+                            layout[l] = w;
                         }
+                        if let Some(l) = lw {
+                            layout[l] = pa;
+                        }
+                        phys_to_logical[pa] = lw;
+                        phys_to_logical[w] = la;
                         pa = w;
                     }
                 }
@@ -85,7 +155,7 @@ pub fn route(circuit: &Circuit, topo: &Topology) -> Circuit {
             other => unreachable!("gates act on 1 or 2 qubits, got {other:?}"),
         }
     }
-    out
+    Ok(out)
 }
 
 /// Device qubits ordered along a "snake": ascending by the y coordinate,

@@ -43,6 +43,18 @@ pub enum CoOptError {
         /// Qubits available on the device.
         available: usize,
     },
+    /// Routing found no coupling path between two physical qubits.
+    ///
+    /// [`Topology`] validates connectivity at construction, so this cannot
+    /// occur for in-tree devices — it surfaces a violated invariant (e.g. a
+    /// corrupted coupling graph) as a typed error instead of panicking a
+    /// service worker.
+    RouteUnreachable {
+        /// The physical qubit the two-qubit gate starts from.
+        from: usize,
+        /// The physical qubit that could not be reached.
+        to: usize,
+    },
 }
 
 impl fmt::Display for CoOptError {
@@ -51,6 +63,11 @@ impl fmt::Display for CoOptError {
             CoOptError::CircuitTooLarge { needed, available } => write!(
                 f,
                 "circuit needs {needed} qubits but the device has {available}"
+            ),
+            CoOptError::RouteUnreachable { from, to } => write!(
+                f,
+                "no coupling path between physical qubits {from} and {to} \
+                 (disconnected device graph)"
             ),
         }
     }

@@ -58,7 +58,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use zz_circuit::native::{compile_to_native, NativeCircuit};
-use zz_circuit::{route, Circuit};
+use zz_circuit::{try_route, try_route_with, Circuit};
+use zz_graph::MultiGraph;
 use zz_obs::Registry;
 use zz_persist::{ArtifactKind, ArtifactStore};
 use zz_pulse::library::PulseMethod;
@@ -338,6 +339,13 @@ pub struct PassCx<'a> {
     pub store: Option<&'a ArtifactStore>,
     /// The calibration cache serving residual lookups.
     pub calib: &'a CalibCache,
+    /// The routing memo, when the pass runs under a manager. [`RoutePass`]
+    /// pulls the device's cached coupling graph from it instead of
+    /// rebuilding the graph per compilation.
+    pub memo: Option<&'a RouteMemo>,
+    /// The metrics registry, when attached (for cache-effectiveness
+    /// counters like `route.graph_reuse`).
+    pub metrics: Option<&'a Registry>,
 }
 
 /// One compilation pass: consumes a typed stage artifact, produces the
@@ -359,9 +367,11 @@ pub trait Pass {
     ///
     /// # Errors
     ///
-    /// Returns a [`CoOptError`] when the input cannot be compiled (today:
-    /// only [`ValidatePass`] rejects, with
-    /// [`CoOptError::CircuitTooLarge`]).
+    /// Returns a [`CoOptError`] when the input cannot be compiled:
+    /// [`ValidatePass`] rejects oversized circuits with
+    /// [`CoOptError::CircuitTooLarge`], [`RoutePass`] surfaces a
+    /// disconnected coupling graph as
+    /// [`CoOptError::RouteUnreachable`].
     fn run(&self, input: Self::Input, cx: &PassCx<'_>) -> Result<Self::Output, CoOptError>;
 }
 
@@ -421,7 +431,22 @@ impl Pass for RoutePass {
     }
 
     fn run(&self, input: Logical, cx: &PassCx<'_>) -> Result<Routed, CoOptError> {
-        let circuit = route(&input.circuit, cx.topology);
+        let circuit = match cx.memo {
+            Some(memo) => {
+                let (graph, reused) = memo.coupling_graph(cx.topology);
+                if reused {
+                    if let Some(metrics) = cx.metrics {
+                        metrics.counter("route.graph_reuse").inc();
+                    }
+                }
+                try_route_with(&input.circuit, cx.topology, &graph)
+            }
+            None => try_route(&input.circuit, cx.topology),
+        }
+        .map_err(|e| CoOptError::RouteUnreachable {
+            from: e.from,
+            to: e.to,
+        })?;
         Ok(Routed {
             source: input.circuit,
             circuit,
@@ -611,24 +636,55 @@ pub fn durations_for(method: PulseMethod) -> GateDurations {
 #[derive(Debug, Default)]
 pub struct RouteMemo {
     shapes: Mutex<HashMap<u64, Vec<Arc<MemoEntry>>>>,
+    /// Recently used device coupling graphs, most recent last. Routing is
+    /// per-job but devices repeat across jobs, so the `O(V + E)` graph
+    /// build is hoisted here (see [`coupling_graph`](Self::coupling_graph)).
+    graphs: Mutex<Vec<(Topology, Arc<MultiGraph>)>>,
 }
+
+/// Device coupling graphs kept in the memo's recency cache. A service
+/// process compiles onto a handful of devices at a time; the cap only
+/// exists to bound memory if topologies churn.
+const MAX_CACHED_DEVICE_GRAPHS: usize = 8;
 
 /// One memo slot: the exact shape it was created for plus the
 /// lazily-computed translation. Exactly one thread routes a given shape
 /// (concurrent requesters for the *same* shape wait on its `OnceLock`;
 /// *different* shapes never serialize — the outer map lock is only held
-/// for the entry lookup).
+/// for the entry lookup). Routing errors are memoized too: routing is
+/// deterministic, so a shape that failed once fails identically for every
+/// requester.
 #[derive(Debug)]
 struct MemoEntry {
     circuit: Arc<Circuit>,
     topology: Topology,
-    native: OnceLock<Arc<NativeCircuit>>,
+    native: OnceLock<Result<Arc<NativeCircuit>, CoOptError>>,
 }
 
 impl RouteMemo {
     /// Creates an empty memo.
     pub fn new() -> Self {
         RouteMemo::default()
+    }
+
+    /// The coupling [`MultiGraph`] of `topo`, built once and shared by
+    /// every job compiling onto the same device. Returns the graph and
+    /// whether it was served from cache (`true` = reused).
+    pub fn coupling_graph(&self, topo: &Topology) -> (Arc<MultiGraph>, bool) {
+        let mut graphs = self.graphs.lock().expect("memo poisoned");
+        if let Some(pos) = graphs.iter().position(|(t, _)| t == topo) {
+            // Move to the most-recently-used end.
+            let entry = graphs.remove(pos);
+            let graph = Arc::clone(&entry.1);
+            graphs.push(entry);
+            return (graph, true);
+        }
+        let graph = Arc::new(topo.to_multigraph());
+        if graphs.len() >= MAX_CACHED_DEVICE_GRAPHS {
+            graphs.remove(0);
+        }
+        graphs.push((topo.clone(), Arc::clone(&graph)));
+        (graph, false)
     }
 
     /// The slot for this circuit × device shape, creating it if absent.
@@ -652,14 +708,15 @@ impl RouteMemo {
         }
     }
 
-    /// Number of distinct circuit × device shapes currently memoized.
+    /// Number of distinct circuit × device shapes currently memoized
+    /// (successfully — failed routes do not count).
     pub fn memoized_shapes(&self) -> usize {
         self.shapes
             .lock()
             .expect("memo poisoned")
             .values()
             .flatten()
-            .filter(|entry| entry.native.get().is_some())
+            .filter(|entry| matches!(entry.native.get(), Some(Ok(_))))
             .count()
     }
 }
@@ -765,6 +822,8 @@ impl PassManager {
             topology: &self.topology,
             store: self.store.as_deref(),
             calib: self.calib(),
+            memo: Some(&self.memo),
+            metrics: self.metrics.as_deref(),
         }
     }
 
@@ -801,7 +860,9 @@ impl PassManager {
     /// # Errors
     ///
     /// Returns [`CoOptError::CircuitTooLarge`] from the validation pass
-    /// if the circuit does not fit the device.
+    /// if the circuit does not fit the device, or
+    /// [`CoOptError::RouteUnreachable`] from the routing pass if the
+    /// device's coupling graph violates the connectivity invariant.
     pub fn run(&self, circuit: Arc<Circuit>) -> Result<PipelineOutcome, CoOptError> {
         let total = Instant::now();
         let mut trace = PipelineTrace::new();
@@ -949,10 +1010,11 @@ impl PassManager {
         let slot = self.memo.slot(key, &logical.circuit, &self.topology);
 
         // Fast path: the slot is already filled — a pure-lookup memory
-        // hit, timed without touching the `OnceLock` wait path.
+        // hit, timed without touching the `OnceLock` wait path. Memoized
+        // routing errors replay the same way successes do.
         let t0 = Instant::now();
-        if let Some(native) = slot.native.get() {
-            let native = Arc::clone(native);
+        if let Some(result) = slot.native.get() {
+            let native = Arc::clone(result.as_ref().map_err(Clone::clone)?);
             trace.passes.extend(hit_traces(
                 CacheDisposition::MemoryHit,
                 t0.elapsed(),
@@ -969,7 +1031,7 @@ impl PassManager {
         // stays `None` a concurrent thread routed this shape while we
         // blocked on its slot (memory hit).
         let mut computed: Option<Vec<PassTrace>> = None;
-        let native = Arc::clone(slot.native.get_or_init(|| {
+        let result = slot.native.get_or_init(|| {
             let disk_key = native_artifact_key(key);
             if let Some(store) = self.store.as_deref() {
                 let lookup = Instant::now();
@@ -985,7 +1047,7 @@ impl PassManager {
                             logical.circuit.gate_count(),
                             native.ops().len(),
                         ));
-                        return native;
+                        return Ok(native);
                     }
                 }
             }
@@ -995,10 +1057,8 @@ impl PassManager {
             };
             let mut inner = PipelineTrace::new();
             // The closure runs the real passes; validation already passed,
-            // so neither can fail.
-            let routed = self
-                .apply(&RoutePass, logical.clone(), disposition, &mut inner)
-                .expect("route is infallible");
+            // but routing can still reject a disconnected coupling graph.
+            let routed = self.apply(&RoutePass, logical.clone(), disposition, &mut inner)?;
             let native = self
                 .apply(&LowerPass, routed, disposition, &mut inner)
                 .expect("lower is infallible");
@@ -1010,8 +1070,9 @@ impl PassManager {
                 );
             }
             computed = Some(inner.passes);
-            native.circuit
-        }));
+            Ok(native.circuit)
+        });
+        let native = Arc::clone(result.as_ref().map_err(Clone::clone)?);
 
         let passes = computed.unwrap_or_else(|| {
             // We blocked while a concurrent worker routed this shape; the
@@ -1281,7 +1342,7 @@ pub fn scheduler_pass_for(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use zz_circuit::Gate;
+    use zz_circuit::{route, Gate};
 
     fn small_circuit() -> Arc<Circuit> {
         let mut c = Circuit::new(4);
@@ -1330,6 +1391,51 @@ mod tests {
         assert!(warm.trace.executed(Stage::Schedule));
         assert_eq!(cold.compiled, warm.compiled);
         assert_eq!(manager.memo().memoized_shapes(), 1);
+    }
+
+    #[test]
+    fn memo_reuses_device_coupling_graphs() {
+        let memo = RouteMemo::new();
+        let topo = Topology::grid(3, 4);
+        let (g1, reused1) = memo.coupling_graph(&topo);
+        assert!(!reused1, "first build is a miss");
+        let (g2, reused2) = memo.coupling_graph(&topo);
+        assert!(reused2, "same device must reuse the graph");
+        assert!(Arc::ptr_eq(&g1, &g2));
+        let (_, reused3) = memo.coupling_graph(&Topology::line(3));
+        assert!(!reused3, "a different device is a fresh build");
+    }
+
+    #[test]
+    fn graph_reuse_counter_increments_across_jobs() {
+        let registry = Arc::new(Registry::new());
+        let memo = Arc::new(RouteMemo::new());
+        let run_one = || {
+            PassManager::builder()
+                .topology(Topology::grid(2, 2))
+                .route_memo(Arc::clone(&memo))
+                .metrics(Arc::clone(&registry))
+                .build()
+                .run(small_circuit())
+                .expect("fits")
+        };
+        run_one();
+        let after_first = registry.counter("route.graph_reuse").get();
+        // A distinct circuit on the same device routes again and reuses
+        // the cached coupling graph.
+        let mut c2 = Circuit::new(4);
+        c2.push(Gate::Cnot, &[0, 3]);
+        PassManager::builder()
+            .topology(Topology::grid(2, 2))
+            .route_memo(Arc::clone(&memo))
+            .metrics(Arc::clone(&registry))
+            .build()
+            .run(Arc::new(c2))
+            .expect("fits");
+        assert!(
+            registry.counter("route.graph_reuse").get() > after_first,
+            "second job on the same device must reuse the graph"
+        );
     }
 
     #[test]

@@ -18,22 +18,57 @@ use crate::UnionFind;
 /// assert_eq!(comp[3], comp[4]);
 /// ```
 pub fn components(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
-    let mut uf = UnionFind::new(n);
-    for &(u, v) in edges {
-        uf.union(u, v);
+    let mut scratch = ComponentScratch::new();
+    components_with(n, edges, &mut scratch).to_vec()
+}
+
+/// Reusable working state for repeated component queries.
+///
+/// Per-layer scheduling metrics recompute components once per layer; on
+/// large devices reusing this scratch avoids re-allocating the union-find
+/// forest each time.
+#[derive(Clone, Debug, Default)]
+pub struct ComponentScratch {
+    uf: UnionFind,
+    ids: Vec<usize>,
+    out: Vec<usize>,
+    sizes: Vec<usize>,
+}
+
+impl ComponentScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        ComponentScratch::default()
     }
-    let mut ids = vec![usize::MAX; n];
+}
+
+/// Allocation-free variant of [`components`] reusing `scratch`.
+///
+/// The returned slice has one component id per vertex and is valid until
+/// the next query through the same scratch.
+pub fn components_with<'s>(
+    n: usize,
+    edges: &[(usize, usize)],
+    scratch: &'s mut ComponentScratch,
+) -> &'s [usize] {
+    scratch.uf.reset(n);
+    for &(u, v) in edges {
+        scratch.uf.union(u, v);
+    }
+    scratch.ids.clear();
+    scratch.ids.resize(n, usize::MAX);
+    scratch.out.clear();
+    scratch.out.resize(n, 0);
     let mut next = 0;
-    let mut out = vec![0; n];
-    for (v, slot) in out.iter_mut().enumerate() {
-        let root = uf.find(v);
-        if ids[root] == usize::MAX {
-            ids[root] = next;
+    for v in 0..n {
+        let root = scratch.uf.find(v);
+        if scratch.ids[root] == usize::MAX {
+            scratch.ids[root] = next;
             next += 1;
         }
-        *slot = ids[root];
+        scratch.out[v] = scratch.ids[root];
     }
-    out
+    &scratch.out[..n]
 }
 
 /// Size of the largest connected component — the paper's `NQ` metric when
@@ -42,16 +77,27 @@ pub fn components(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
 /// Isolated vertices count as components of size 1, matching the paper's
 /// definition (`NQ` of a fully suppressed layer is 1, not 0).
 pub fn largest_component_size(n: usize, edges: &[(usize, usize)]) -> usize {
+    let mut scratch = ComponentScratch::new();
+    largest_component_size_with(n, edges, &mut scratch)
+}
+
+/// Allocation-free variant of [`largest_component_size`] reusing `scratch`.
+pub fn largest_component_size_with(
+    n: usize,
+    edges: &[(usize, usize)],
+    scratch: &mut ComponentScratch,
+) -> usize {
     if n == 0 {
         return 0;
     }
-    let comp = components(n, edges);
-    let count = comp.iter().max().map(|&m| m + 1).unwrap_or(0);
-    let mut sizes = vec![0usize; count];
-    for &c in &comp {
-        sizes[c] += 1;
+    components_with(n, edges, scratch);
+    let count = scratch.out.iter().max().map(|&m| m + 1).unwrap_or(0);
+    scratch.sizes.clear();
+    scratch.sizes.resize(count, 0);
+    for &c in &scratch.out {
+        scratch.sizes[c] += 1;
     }
-    sizes.into_iter().max().unwrap_or(0)
+    scratch.sizes.iter().copied().max().unwrap_or(0)
 }
 
 #[cfg(test)]

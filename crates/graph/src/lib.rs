@@ -25,7 +25,12 @@ mod paths;
 mod union_find;
 
 pub use coloring::{two_color, ColorConstraint};
-pub use components::{components, largest_component_size};
-pub use multigraph::{EdgeId, MultiGraph};
-pub use paths::{bfs_distances, shortest_path, yen, Path};
+pub use components::{
+    components, components_with, largest_component_size, largest_component_size_with,
+    ComponentScratch,
+};
+pub use multigraph::{EdgeId, MultiGraph, MAX_INDEX};
+pub use paths::{
+    bfs_distances, bfs_distances_with, shortest_path, shortest_path_with, yen, BfsScratch, Path,
+};
 pub use union_find::UnionFind;

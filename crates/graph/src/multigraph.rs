@@ -8,7 +8,23 @@
 /// algorithm needs when it maps dual edges back to primal couplings.
 pub type EdgeId = usize;
 
+/// Largest vertex or edge count a [`MultiGraph`] accepts.
+///
+/// Adjacency is stored with `u32` indices (see the struct docs); the public
+/// API stays `usize`.
+pub const MAX_INDEX: usize = u32::MAX as usize - 1;
+
 /// An undirected multigraph: parallel edges and self-loops are allowed.
+///
+/// Internally the adjacency is a flat CSR (compressed sparse row) layout:
+/// a `Vec<u32>` of per-vertex offsets into one packed `(neighbor, edge id)`
+/// incidence array, with `u32` indices throughout. Compared to the earlier
+/// nested `Vec<Vec<...>>` representation this halves memory per incidence
+/// and removes one pointer chase per traversal step, which is what lets
+/// BFS-heavy routing run on 1000-qubit device graphs. Per-vertex incidences
+/// are ordered by ascending edge id (a self-loop contributes two
+/// consecutive entries), exactly matching insertion order — algorithms that
+/// tie-break on adjacency order behave identically to the old layout.
 ///
 /// # Example
 ///
@@ -27,19 +43,98 @@ pub type EdgeId = usize;
 #[derive(Clone, Debug, Default)]
 pub struct MultiGraph {
     vertex_count: usize,
-    endpoints: Vec<(usize, usize)>,
-    /// adjacency: per vertex, list of (neighbor, edge id).
-    adj: Vec<Vec<(usize, EdgeId)>>,
+    endpoints: Vec<(u32, u32)>,
+    /// CSR offsets: incidences of vertex `v` live at
+    /// `packed[offsets[v] as usize..offsets[v + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// Packed incidences as `(neighbor, edge id)`, grouped by vertex and
+    /// ordered by ascending edge id within each group.
+    packed: Vec<(u32, u32)>,
 }
 
 impl MultiGraph {
     /// Creates a graph with `vertex_count` vertices and no edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertex_count` exceeds [`MAX_INDEX`].
     pub fn new(vertex_count: usize) -> Self {
+        assert!(vertex_count <= MAX_INDEX, "vertex count exceeds u32 range");
         MultiGraph {
             vertex_count,
             endpoints: Vec::new(),
-            adj: vec![Vec::new(); vertex_count],
+            offsets: vec![0; vertex_count + 1],
+            packed: Vec::new(),
         }
+    }
+
+    /// Builds a graph from an edge list in one `O(V + E)` pass.
+    ///
+    /// Edge ids are assigned in list order, so the result is identical to
+    /// calling [`MultiGraph::add_edge`] for each pair — but without the
+    /// per-edge insertion cost. This is the constructor the compile path
+    /// uses for device coupling graphs and duals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range, or if `vertex_count` or the
+    /// edge count exceeds [`MAX_INDEX`].
+    pub fn from_edges(vertex_count: usize, edges: &[(usize, usize)]) -> Self {
+        assert!(vertex_count <= MAX_INDEX, "vertex count exceeds u32 range");
+        assert!(edges.len() <= MAX_INDEX, "edge count exceeds u32 range");
+        let mut endpoints = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            assert!(
+                u < vertex_count && v < vertex_count,
+                "endpoint out of range"
+            );
+            endpoints.push((u as u32, v as u32));
+        }
+        let mut g = MultiGraph {
+            vertex_count,
+            endpoints,
+            offsets: Vec::new(),
+            packed: Vec::new(),
+        };
+        g.rebuild_adjacency(None);
+        g
+    }
+
+    /// Rebuilds `offsets`/`packed` from `endpoints` with a counting sort,
+    /// skipping edges masked out in `removed`. Incidences land in edge-id
+    /// order per vertex (u-side and v-side of the same edge share an id, so
+    /// their relative order across vertices is immaterial; a self-loop's two
+    /// entries are consecutive), which reproduces insertion order.
+    fn rebuild_adjacency(&mut self, removed: Option<&[bool]>) {
+        let is_removed = |id: usize| removed.is_some_and(|m| m[id]);
+        let mut counts = vec![0u32; self.vertex_count + 1];
+        for (id, &(u, v)) in self.endpoints.iter().enumerate() {
+            if is_removed(id) {
+                continue;
+            }
+            counts[u as usize + 1] += 1;
+            counts[v as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let total = counts[self.vertex_count] as usize;
+        let mut packed = vec![(0u32, 0u32); total];
+        let mut cursor: Vec<u32> = counts[..self.vertex_count].to_vec();
+        for (id, &(u, v)) in self.endpoints.iter().enumerate() {
+            if is_removed(id) {
+                continue;
+            }
+            let e = id as u32;
+            packed[cursor[u as usize] as usize] = (v, e);
+            cursor[u as usize] += 1;
+            // A self-loop appears twice in its endpoint's adjacency so the
+            // degree convention deg += 2 holds.
+            packed[cursor[v as usize] as usize] = (u, e);
+            cursor[v as usize] += 1;
+        }
+        self.offsets = counts;
+        self.packed = packed;
     }
 
     /// Number of vertices.
@@ -55,23 +150,47 @@ impl MultiGraph {
     /// Adds an undirected edge and returns its id. `u == v` creates a
     /// self-loop.
     ///
+    /// Incremental insertion shifts the packed incidence array, so it costs
+    /// `O(V + E)` per call; bulk construction should use
+    /// [`MultiGraph::from_edges`] instead.
+    ///
     /// # Panics
     ///
-    /// Panics if either endpoint is out of range.
+    /// Panics if either endpoint is out of range, or if the edge count would
+    /// exceed [`MAX_INDEX`].
     pub fn add_edge(&mut self, u: usize, v: usize) -> EdgeId {
         assert!(
             u < self.vertex_count && v < self.vertex_count,
             "endpoint out of range"
         );
+        assert!(
+            self.endpoints.len() < MAX_INDEX,
+            "edge count exceeds u32 range"
+        );
         let id = self.endpoints.len();
-        self.endpoints.push((u, v));
-        self.adj[u].push((v, id));
+        self.endpoints.push((u as u32, v as u32));
+        let e = id as u32;
+        // Insert at the end of each endpoint's segment (the new id is the
+        // largest, preserving per-vertex edge-id order). Inserting into the
+        // higher-indexed segment first keeps the lower position valid.
+        let (hi, lo) = if u <= v { (v, u) } else { (u, v) };
+        let pos_hi = self.offsets[hi + 1] as usize;
+        self.packed.insert(pos_hi, (lo as u32, e));
         if u != v {
-            self.adj[v].push((u, id));
+            let pos_lo = self.offsets[lo + 1] as usize;
+            self.packed.insert(pos_lo, (hi as u32, e));
+            for off in &mut self.offsets[lo + 1..=hi] {
+                *off += 1;
+            }
+            for off in &mut self.offsets[hi + 1..] {
+                *off += 2;
+            }
         } else {
-            // A self-loop appears twice in its endpoint's adjacency so the
-            // degree convention deg += 2 holds.
-            self.adj[u].push((v, id));
+            // The self-loop's second entry sits right next to the first.
+            self.packed.insert(pos_hi, (u as u32, e));
+            for off in &mut self.offsets[u + 1..] {
+                *off += 2;
+            }
         }
         id
     }
@@ -82,18 +201,28 @@ impl MultiGraph {
     ///
     /// Panics if `e` is not a valid edge id.
     pub fn endpoints(&self, e: EdgeId) -> (usize, usize) {
-        self.endpoints[e]
+        let (u, v) = self.endpoints[e];
+        (u as usize, v as usize)
     }
 
     /// Degree of vertex `v` (self-loops count twice).
     pub fn degree(&self, v: usize) -> usize {
-        self.adj[v].len()
+        (self.offsets[v + 1] - self.offsets[v]) as usize
     }
 
     /// Neighbors of `v` as `(neighbor, edge id)` pairs; parallel edges and
-    /// self-loops appear once per incidence.
-    pub fn neighbors(&self, v: usize) -> &[(usize, EdgeId)] {
-        &self.adj[v]
+    /// self-loops appear once per incidence, in ascending edge-id order.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, EdgeId)> + '_ {
+        self.incidences(v)
+            .iter()
+            .map(|&(n, e)| (n as usize, e as usize))
+    }
+
+    /// Raw CSR incidence slice of `v` — the allocation-free view used by the
+    /// hot BFS loops.
+    #[inline]
+    pub(crate) fn incidences(&self, v: usize) -> &[(u32, u32)] {
+        &self.packed[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
     /// Vertices with odd degree.
@@ -111,28 +240,19 @@ impl MultiGraph {
     /// A copy of this graph with the given edges removed (ids preserved for
     /// the remaining edges).
     pub fn without_edges(&self, removed: &[EdgeId]) -> MultiGraph {
-        let mut g = MultiGraph {
-            vertex_count: self.vertex_count,
-            endpoints: self.endpoints.clone(),
-            adj: vec![Vec::new(); self.vertex_count],
-        };
         let mut mask = vec![false; self.endpoints.len()];
         for &e in removed {
             mask[e] = true;
         }
-        // Rebuild adjacency, skipping masked edges. Endpoint records are kept
-        // so edge ids remain valid.
-        for (id, &(u, v)) in self.endpoints.iter().enumerate() {
-            if mask[id] {
-                continue;
-            }
-            g.adj[u].push((v, id));
-            if u != v {
-                g.adj[v].push((u, id));
-            } else {
-                g.adj[u].push((v, id));
-            }
-        }
+        // Endpoint records are kept so edge ids remain valid; only the
+        // adjacency skips masked edges.
+        let mut g = MultiGraph {
+            vertex_count: self.vertex_count,
+            endpoints: self.endpoints.clone(),
+            offsets: Vec::new(),
+            packed: Vec::new(),
+        };
+        g.rebuild_adjacency(Some(&mask));
         g
     }
 }
@@ -182,5 +302,31 @@ mod tests {
             g.add_edge(u, v);
         }
         assert_eq!(g.odd_vertices().len() % 2, 0);
+    }
+
+    #[test]
+    fn from_edges_matches_incremental_insertion() {
+        let edges = [(0, 1), (1, 2), (2, 2), (0, 1), (3, 0)];
+        let bulk = MultiGraph::from_edges(4, &edges);
+        let mut inc = MultiGraph::new(4);
+        for &(u, v) in &edges {
+            inc.add_edge(u, v);
+        }
+        assert_eq!(bulk.edge_count(), inc.edge_count());
+        for v in 0..4 {
+            let a: Vec<_> = bulk.neighbors(v).collect();
+            let b: Vec<_> = inc.neighbors(v).collect();
+            assert_eq!(a, b, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn neighbors_follow_insertion_order() {
+        let mut g = MultiGraph::new(3);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2);
+        g.add_edge(0, 1);
+        let order: Vec<_> = g.neighbors(1).collect();
+        assert_eq!(order, vec![(0, 0), (2, 1), (0, 2)]);
     }
 }

@@ -5,6 +5,13 @@
 //! subroutine. Paths are recorded as **edge-id sequences**: on a multigraph,
 //! two parallel edges form genuinely different paths — and genuinely
 //! different odd-vertex pairings.
+//!
+//! The query functions come in two flavors: plain ([`bfs_distances`],
+//! [`shortest_path`]) which allocate their working state per call, and
+//! `_with` variants ([`bfs_distances_with`], [`shortest_path_with`]) which
+//! reuse a caller-held [`BfsScratch`]. Per-gate routing issues one BFS per
+//! two-qubit gate, so on 1000-qubit devices the scratch variants are the
+//! difference between zero and millions of transient allocations.
 
 use std::collections::VecDeque;
 
@@ -12,7 +19,7 @@ use crate::{EdgeId, MultiGraph};
 
 /// A simple path through a [`MultiGraph`], stored as the traversed edge ids
 /// plus the visited vertices (`vertices.len() == edges.len() + 1`).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Path {
     /// Edge ids in traversal order.
     pub edges: Vec<EdgeId>,
@@ -32,88 +39,190 @@ impl Path {
     }
 }
 
+/// Reusable working state for BFS queries.
+///
+/// Buffers grow to the largest graph queried and are then reused; visited
+/// marks are epoch-stamped so repeated queries do not re-clear them.
+///
+/// # Example
+///
+/// ```
+/// use zz_graph::{BfsScratch, MultiGraph, shortest_path_with};
+///
+/// let g = MultiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let mut scratch = BfsScratch::new();
+/// for target in 1..4 {
+///     let p = shortest_path_with(&g, 0, target, &mut scratch).expect("connected");
+///     assert_eq!(p.len(), target);
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BfsScratch {
+    seen: Vec<u32>,
+    epoch: u32,
+    prev: Vec<(u32, u32)>,
+    queue: VecDeque<u32>,
+    path: Path,
+    dist: Vec<usize>,
+}
+
+impl BfsScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        BfsScratch {
+            seen: Vec::new(),
+            epoch: 0,
+            prev: Vec::new(),
+            queue: VecDeque::new(),
+            path: Path {
+                edges: Vec::new(),
+                vertices: Vec::new(),
+            },
+            dist: Vec::new(),
+        }
+    }
+
+    /// Sizes the buffers for an `n`-vertex graph and opens a new epoch.
+    fn begin(&mut self, n: usize) {
+        if self.seen.len() < n {
+            self.seen.resize(n, 0);
+            self.prev.resize(n, (0, 0));
+        }
+        if self.epoch == u32::MAX {
+            self.seen.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.queue.clear();
+    }
+
+    #[inline]
+    fn mark(&mut self, v: usize) {
+        self.seen[v] = self.epoch;
+    }
+
+    #[inline]
+    fn visited(&self, v: usize) -> bool {
+        self.seen[v] == self.epoch
+    }
+}
+
 /// BFS distances from `source` to every vertex (`usize::MAX` if unreachable).
 ///
 /// Self-loops never shorten a path and are skipped.
 pub fn bfs_distances(g: &MultiGraph, source: usize) -> Vec<usize> {
-    let mut dist = vec![usize::MAX; g.vertex_count()];
-    dist[source] = 0;
-    let mut queue = VecDeque::from([source]);
-    while let Some(u) = queue.pop_front() {
-        for &(v, _) in g.neighbors(u) {
-            if v != u && dist[v] == usize::MAX {
-                dist[v] = dist[u] + 1;
-                queue.push_back(v);
+    let mut scratch = BfsScratch::new();
+    bfs_distances_with(g, source, &mut scratch).to_vec()
+}
+
+/// Allocation-free variant of [`bfs_distances`] reusing `scratch`.
+///
+/// The returned slice has one entry per vertex and is valid until the next
+/// query through the same scratch.
+pub fn bfs_distances_with<'s>(
+    g: &MultiGraph,
+    source: usize,
+    scratch: &'s mut BfsScratch,
+) -> &'s [usize] {
+    let n = g.vertex_count();
+    scratch.begin(n);
+    scratch.dist.clear();
+    scratch.dist.resize(n, usize::MAX);
+    scratch.dist[source] = 0;
+    scratch.mark(source);
+    scratch.queue.push_back(source as u32);
+    while let Some(u) = scratch.queue.pop_front() {
+        let u = u as usize;
+        let du = scratch.dist[u];
+        for &(v, _) in g.incidences(u) {
+            let v = v as usize;
+            if v != u && !scratch.visited(v) {
+                scratch.mark(v);
+                scratch.dist[v] = du + 1;
+                scratch.queue.push_back(v as u32);
             }
         }
     }
-    dist
+    &scratch.dist[..n]
 }
 
 /// Shortest path from `source` to `target` by BFS, avoiding `banned_edges`
-/// and `banned_vertices`. Returns `None` if no path exists.
+/// and `banned_vertices` (either may be `None` for "nothing banned").
+/// Fills `scratch.path` and returns `true` if a path exists.
 fn bfs_path(
     g: &MultiGraph,
     source: usize,
     target: usize,
-    banned_edges: &[bool],
-    banned_vertices: &[bool],
-) -> Option<Path> {
-    if banned_vertices[source] || banned_vertices[target] {
-        return None;
+    banned_edges: Option<&[bool]>,
+    banned_vertices: Option<&[bool]>,
+    scratch: &mut BfsScratch,
+) -> bool {
+    let vertex_banned = |v: usize| banned_vertices.is_some_and(|b| b[v]);
+    let edge_banned = |e: usize| banned_edges.is_some_and(|b| b.get(e).copied().unwrap_or(false));
+    if vertex_banned(source) || vertex_banned(target) {
+        return false;
     }
+    scratch.path.edges.clear();
+    scratch.path.vertices.clear();
     if source == target {
-        return Some(Path {
-            edges: vec![],
-            vertices: vec![source],
-        });
+        scratch.path.vertices.push(source);
+        return true;
     }
-    let n = g.vertex_count();
-    let mut prev: Vec<Option<(usize, EdgeId)>> = vec![None; n];
-    let mut seen = vec![false; n];
-    seen[source] = true;
-    let mut queue = VecDeque::from([source]);
-    while let Some(u) = queue.pop_front() {
-        for &(v, e) in g.neighbors(u) {
-            if v == u
-                || seen[v]
-                || banned_vertices[v]
-                || banned_edges.get(e).copied().unwrap_or(false)
-            {
+    scratch.begin(g.vertex_count());
+    scratch.mark(source);
+    scratch.queue.push_back(source as u32);
+    while let Some(u) = scratch.queue.pop_front() {
+        let u = u as usize;
+        for &(v, e) in g.incidences(u) {
+            let v = v as usize;
+            if v == u || scratch.visited(v) || vertex_banned(v) || edge_banned(e as usize) {
                 continue;
             }
-            seen[v] = true;
-            prev[v] = Some((u, e));
+            scratch.mark(v);
+            scratch.prev[v] = (u as u32, e);
             if v == target {
                 // Reconstruct.
-                let mut edges = Vec::new();
-                let mut vertices = vec![target];
+                let path = &mut scratch.path;
+                path.vertices.push(target);
                 let mut cur = target;
-                while let Some((p, pe)) = prev[cur] {
-                    edges.push(pe);
-                    vertices.push(p);
-                    cur = p;
+                while cur != source {
+                    let (p, pe) = scratch.prev[cur];
+                    path.edges.push(pe as usize);
+                    path.vertices.push(p as usize);
+                    cur = p as usize;
                 }
-                edges.reverse();
-                vertices.reverse();
-                return Some(Path { edges, vertices });
+                path.edges.reverse();
+                path.vertices.reverse();
+                return true;
             }
-            queue.push_back(v);
+            scratch.queue.push_back(v as u32);
         }
     }
-    None
+    false
 }
 
 /// Shortest simple path from `source` to `target` (unit weights), or `None`
 /// if disconnected.
 pub fn shortest_path(g: &MultiGraph, source: usize, target: usize) -> Option<Path> {
-    bfs_path(
-        g,
-        source,
-        target,
-        &vec![false; g.edge_count()],
-        &vec![false; g.vertex_count()],
-    )
+    let mut scratch = BfsScratch::new();
+    shortest_path_with(g, source, target, &mut scratch).cloned()
+}
+
+/// Allocation-free variant of [`shortest_path`] reusing `scratch`.
+///
+/// The returned path borrows the scratch and is valid until the next query
+/// through it.
+pub fn shortest_path_with<'s>(
+    g: &MultiGraph,
+    source: usize,
+    target: usize,
+    scratch: &'s mut BfsScratch,
+) -> Option<&'s Path> {
+    if bfs_path(g, source, target, None, None, scratch) {
+        Some(&scratch.path)
+    } else {
+        None
+    }
 }
 
 /// Yen's algorithm: the top-`k` shortest **simple** paths from `source` to
@@ -142,14 +251,17 @@ pub fn shortest_path(g: &MultiGraph, source: usize, target: usize) -> Option<Pat
 /// assert_eq!(paths[1].len(), 2);
 /// ```
 pub fn yen(g: &MultiGraph, source: usize, target: usize, k: usize) -> Vec<Path> {
+    let mut scratch = BfsScratch::new();
     let mut found: Vec<Path> = Vec::new();
-    let Some(first) = shortest_path(g, source, target) else {
+    if !bfs_path(g, source, target, None, None, &mut scratch) {
         return found;
-    };
-    found.push(first);
+    }
+    found.push(scratch.path.clone());
 
     // Candidate pool (kept sorted by length on extraction).
     let mut candidates: Vec<Path> = Vec::new();
+    let mut banned_edges = vec![false; g.edge_count()];
+    let mut banned_vertices = vec![false; g.vertex_count()];
 
     while found.len() < k {
         let last = found.last().expect("found is non-empty").clone();
@@ -158,7 +270,8 @@ pub fn yen(g: &MultiGraph, source: usize, target: usize, k: usize) -> Vec<Path> 
             let spur_node = last.vertices[i];
             let root_edges = &last.edges[..i];
 
-            let mut banned_edges = vec![false; g.edge_count()];
+            banned_edges.iter_mut().for_each(|b| *b = false);
+            banned_vertices.iter_mut().for_each(|b| *b = false);
             // Ban the next edge of every found/candidate path sharing this root.
             for p in found.iter().chain(candidates.iter()) {
                 if p.edges.len() > i && p.edges[..i] == *root_edges {
@@ -166,12 +279,19 @@ pub fn yen(g: &MultiGraph, source: usize, target: usize, k: usize) -> Vec<Path> 
                 }
             }
             // Ban root vertices (all but the spur node) to keep paths simple.
-            let mut banned_vertices = vec![false; g.vertex_count()];
             for &v in &last.vertices[..i] {
                 banned_vertices[v] = true;
             }
 
-            if let Some(spur) = bfs_path(g, spur_node, target, &banned_edges, &banned_vertices) {
+            if bfs_path(
+                g,
+                spur_node,
+                target,
+                Some(&banned_edges),
+                Some(&banned_vertices),
+                &mut scratch,
+            ) {
+                let spur = &scratch.path;
                 let mut edges = root_edges.to_vec();
                 edges.extend_from_slice(&spur.edges);
                 let mut vertices = last.vertices[..i].to_vec();
@@ -226,6 +346,28 @@ mod tests {
         let p = shortest_path(&g, 0, 2).expect("connected");
         assert_eq!(p.len(), 1);
         assert_eq!(p.edges, vec![4]);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_queries() {
+        let g = square_with_diagonal();
+        let mut scratch = BfsScratch::new();
+        let d = bfs_distances_with(&g, 0, &mut scratch).to_vec();
+        assert_eq!(d, vec![0, 1, 1, 1]);
+        let p = shortest_path_with(&g, 1, 3, &mut scratch).expect("connected");
+        assert_eq!(p.len(), 2);
+        // A second distance query through the same scratch matches a fresh one.
+        let again = bfs_distances_with(&g, 2, &mut scratch).to_vec();
+        assert_eq!(again, bfs_distances(&g, 2));
+    }
+
+    #[test]
+    fn scratch_handles_growing_graphs() {
+        let mut scratch = BfsScratch::new();
+        let small = MultiGraph::from_edges(2, &[(0, 1)]);
+        assert_eq!(bfs_distances_with(&small, 0, &mut scratch), &[0, 1]);
+        let big = MultiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(bfs_distances_with(&big, 0, &mut scratch), &[0, 1, 2, 3, 4]);
     }
 
     #[test]

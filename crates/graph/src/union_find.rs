@@ -18,7 +18,7 @@
 /// assert!(!uf.connected(1, 2));
 /// assert_eq!(uf.set_count(), 2);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct UnionFind {
     parent: Vec<usize>,
     rank: Vec<u32>,
@@ -33,6 +33,15 @@ impl UnionFind {
             rank: vec![0; n],
             sets: n,
         }
+    }
+
+    /// Resets to `n` singleton sets, reusing the existing allocations.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.sets = n;
     }
 
     /// Representative of the set containing `x`.

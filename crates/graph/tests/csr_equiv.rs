@@ -1,0 +1,236 @@
+//! Behavioral equivalence of the CSR [`MultiGraph`] against the
+//! original nested-`Vec` adjacency representation.
+//!
+//! The CSR refactor promised "same observable behavior, flat storage":
+//! every incidence list in ascending edge-id order, self-loops counted
+//! twice, edge ids stable under masking. These seeded property tests
+//! hold the new representation to that promise by rebuilding the old
+//! one — [`NaiveGraph`] below is the pre-refactor implementation,
+//! nested `Vec<Vec<(usize, EdgeId)>>` and all — and comparing the two
+//! on random multigraphs (parallel edges and self-loops included):
+//! degrees, neighbor iteration order, odd-vertex sets, BFS distances,
+//! shortest paths, Yen's k-shortest path sets, and `without_edges`
+//! masking. Identical neighbor order is what makes the BFS
+//! predecessor choice — and with it every SWAP the router inserts —
+//! bit-identical, so these tests are the scale refactor's
+//! compiled-output-unchanged guarantee at the graph layer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zz_graph::{bfs_distances, shortest_path, yen, EdgeId, MultiGraph};
+
+/// The pre-refactor adjacency representation, reproduced verbatim as a
+/// reference model: per-vertex `Vec`s of `(neighbor, edge id)` pairs,
+/// appended in insertion order, self-loops pushed twice.
+struct NaiveGraph {
+    vertex_count: usize,
+    endpoints: Vec<(usize, usize)>,
+    adj: Vec<Vec<(usize, EdgeId)>>,
+}
+
+impl NaiveGraph {
+    fn new(vertex_count: usize) -> Self {
+        NaiveGraph {
+            vertex_count,
+            endpoints: Vec::new(),
+            adj: vec![Vec::new(); vertex_count],
+        }
+    }
+
+    fn add_edge(&mut self, u: usize, v: usize) -> EdgeId {
+        let id = self.endpoints.len();
+        self.endpoints.push((u, v));
+        self.adj[u].push((v, id));
+        if u != v {
+            self.adj[v].push((u, id));
+        } else {
+            self.adj[u].push((v, id));
+        }
+        id
+    }
+
+    fn without_edges(&self, removed: &[EdgeId]) -> NaiveGraph {
+        let mut g = NaiveGraph {
+            vertex_count: self.vertex_count,
+            endpoints: self.endpoints.clone(),
+            adj: vec![Vec::new(); self.vertex_count],
+        };
+        let mut mask = vec![false; self.endpoints.len()];
+        for &e in removed {
+            mask[e] = true;
+        }
+        for (id, &(u, v)) in self.endpoints.iter().enumerate() {
+            if mask[id] {
+                continue;
+            }
+            g.adj[u].push((v, id));
+            if u != v {
+                g.adj[v].push((u, id));
+            } else {
+                g.adj[u].push((v, id));
+            }
+        }
+        g
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    fn odd_vertices(&self) -> Vec<usize> {
+        (0..self.vertex_count)
+            .filter(|&v| self.degree(v) % 2 == 1)
+            .collect()
+    }
+
+    /// Reference BFS over the nested adjacency, scanning each incidence
+    /// list in insertion order (== ascending edge id, the order the CSR
+    /// layout guarantees).
+    fn bfs_distances(&self, source: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.vertex_count];
+        dist[source] = 0;
+        let mut queue = std::collections::VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in &self.adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Builds the same random multigraph in both representations.
+fn random_pair(seed: u64) -> (MultiGraph, NaiveGraph) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = rng.gen_range(1..=12);
+    let mut csr = MultiGraph::new(n);
+    let mut naive = NaiveGraph::new(n);
+    let edges: usize = rng.gen_range(0..=30);
+    for _ in 0..edges {
+        let u = rng.gen_range(0..n);
+        // One in five edges is a self-loop; the rest may still collide
+        // into parallels.
+        let v = if rng.gen_bool(0.2) {
+            u
+        } else {
+            rng.gen_range(0..n)
+        };
+        assert_eq!(csr.add_edge(u, v), naive.add_edge(u, v));
+    }
+    (csr, naive)
+}
+
+fn assert_same_shape(csr: &MultiGraph, naive: &NaiveGraph, ctx: &str) {
+    assert_eq!(csr.vertex_count(), naive.vertex_count, "{ctx}: vertices");
+    for v in 0..naive.vertex_count {
+        assert_eq!(csr.degree(v), naive.degree(v), "{ctx}: degree({v})");
+        let csr_inc: Vec<(usize, EdgeId)> = csr.neighbors(v).collect();
+        assert_eq!(csr_inc, naive.adj[v], "{ctx}: incidence order at {v}");
+    }
+    assert_eq!(csr.odd_vertices(), naive.odd_vertices(), "{ctx}: odd set");
+}
+
+#[test]
+fn random_multigraphs_match_the_nested_vec_model() {
+    for seed in 0..200 {
+        let (csr, naive) = random_pair(seed);
+        assert_eq!(csr.edge_count(), naive.endpoints.len(), "seed {seed}");
+        for e in csr.edge_ids() {
+            assert_eq!(csr.endpoints(e), naive.endpoints[e], "seed {seed}");
+        }
+        assert_same_shape(&csr, &naive, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn bfs_distances_match_from_every_source() {
+    for seed in 0..100 {
+        let (csr, naive) = random_pair(seed);
+        for source in 0..csr.vertex_count() {
+            assert_eq!(
+                bfs_distances(&csr, source),
+                naive.bfs_distances(source),
+                "seed {seed}, source {source}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shortest_paths_are_identical_not_just_equal_length() {
+    // Identical neighbor order must pin down the exact path (vertices
+    // AND traversed edge ids), not merely its length — the router's
+    // SWAP chain rides on this.
+    for seed in 0..100 {
+        let (csr, naive) = random_pair(seed);
+        let n = csr.vertex_count();
+        for s in 0..n {
+            let dist = naive.bfs_distances(s);
+            for (t, &expected) in dist.iter().enumerate() {
+                let path = shortest_path(&csr, s, t);
+                match path {
+                    Some(p) => {
+                        assert_eq!(p.len(), expected, "seed {seed}: {s}->{t} length");
+                        assert_eq!(p.vertices.first(), Some(&s), "seed {seed}");
+                        assert_eq!(p.vertices.last(), Some(&t), "seed {seed}");
+                        for (i, &e) in p.edges.iter().enumerate() {
+                            let (a, b) = csr.endpoints(e);
+                            let (x, y) = (p.vertices[i], p.vertices[i + 1]);
+                            assert!(
+                                (a, b) == (x, y) || (a, b) == (y, x),
+                                "seed {seed}: edge {e} does not join {x}-{y}"
+                            );
+                        }
+                    }
+                    None => assert_eq!(expected, usize::MAX, "seed {seed}: {s}->{t}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn masking_preserves_ids_and_incidence_order() {
+    for seed in 0..100 {
+        let (csr, naive) = random_pair(seed);
+        if csr.edge_count() == 0 {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let removed: Vec<EdgeId> = csr.edge_ids().filter(|_| rng.gen_bool(0.3)).collect();
+        let csr_masked = csr.without_edges(&removed);
+        let naive_masked = naive.without_edges(&removed);
+        assert_same_shape(&csr_masked, &naive_masked, &format!("seed {seed} masked"));
+        // Ids survive masking: surviving edges keep their endpoints.
+        for e in csr_masked.edge_ids() {
+            assert_eq!(csr_masked.endpoints(e), naive.endpoints[e]);
+        }
+    }
+}
+
+#[test]
+fn yen_path_sets_match_a_masked_reference_enumeration() {
+    // Yen's algorithm is deterministic given neighbor order, so the CSR
+    // graph must return the same k-shortest paths (same vertices, same
+    // edge ids, same order) as a naive re-run over an equivalent graph
+    // rebuilt from the endpoint list.
+    for seed in 0..60 {
+        let (csr, naive) = random_pair(seed);
+        let rebuilt = MultiGraph::from_edges(naive.vertex_count, &naive.endpoints);
+        let n = csr.vertex_count();
+        for s in 0..n.min(4) {
+            for t in 0..n {
+                let a = yen(&csr, s, t, 3);
+                let b = yen(&rebuilt, s, t, 3);
+                assert_eq!(a, b, "seed {seed}: yen({s}, {t})");
+                // Paths come back sorted by length.
+                for w in a.windows(2) {
+                    assert!(w[0].len() <= w[1].len(), "seed {seed}: unsorted yen");
+                }
+            }
+        }
+    }
+}

@@ -284,8 +284,8 @@ pub enum WireError {
         /// Qubits the device has.
         available: u64,
     },
-    /// Routing failed (pluggable backends only; the in-tree router is
-    /// total).
+    /// Routing failed (a disconnected coupling graph surfaced as
+    /// `CoOptError::RouteUnreachable`, or a pluggable backend failure).
     Route {
         /// The failing job's label.
         job: String,
@@ -323,14 +323,21 @@ pub enum WireError {
 impl From<&Error> for WireError {
     fn from(e: &Error) -> Self {
         match e {
-            Error::Validate { job, source } => {
-                let CoOptError::CircuitTooLarge { needed, available } = source;
-                WireError::Validate {
+            Error::Validate { job, source } => match source {
+                CoOptError::CircuitTooLarge { needed, available } => WireError::Validate {
                     job: job.clone(),
                     needed: *needed as u64,
                     available: *available as u64,
-                }
-            }
+                },
+                // The service maps RouteUnreachable to Error::Route before
+                // it ever reaches the wire; if a future variant lands in
+                // Validate anyway, degrade to the routing detail string
+                // rather than failing to serialize.
+                other => WireError::Route {
+                    job: job.clone(),
+                    detail: other.to_string(),
+                },
+            },
             Error::Route { job, detail } => WireError::Route {
                 job: job.clone(),
                 detail: detail.clone(),

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod obs;
 pub mod parsched;
 pub mod plan;
 pub mod render;
@@ -42,7 +43,8 @@ pub mod suppression;
 pub mod zzx;
 
 pub use metrics::{cut_metrics, CutMetrics};
-pub use plan::{GateDurations, Layer, SchedulePlan};
+pub use obs::{register_sink, sched_totals, SchedSink, SchedTotals};
+pub use plan::{GateDurations, Layer, PlanSummary, SchedulePlan};
 pub use render::{render_plan, summarize_plan};
 pub use suppression::{alpha_optimal_suppression, SuppressionPlan};
 pub use zzx::{zzx_schedule, Requirement, ZzxConfig};

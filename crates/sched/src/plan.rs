@@ -93,6 +93,34 @@ impl Layer {
     }
 }
 
+/// Aggregate scheduler metrics of a plan — the at-scale fidelity proxy.
+///
+/// Full-density fidelity evaluation is exponential in qubit count, so
+/// beyond simulable device sizes the pipeline reports these instead:
+/// crosstalk accumulates per layer in proportion to the number of
+/// unsuppressed couplings times the time they stay unsuppressed, which is
+/// exactly [`residual_zz_weight`](Self::residual_zz_weight). Lower is
+/// better; zero means complete suppression throughout.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanSummary {
+    /// Number of scheduled layers.
+    pub layers: usize,
+    /// Total execution time (ns) under the duration table given to
+    /// [`SchedulePlan::summary`].
+    pub duration_ns: f64,
+    /// Mean `NC` over layers (the paper's Figure 25 quantity).
+    pub mean_nc: f64,
+    /// Mean `NQ` over layers.
+    pub mean_nq: f64,
+    /// Worst per-layer `NQ`.
+    pub max_nq: usize,
+    /// Identity pulses inserted for suppression.
+    pub identity_count: usize,
+    /// `Σ_layers NC · duration` (coupling-nanoseconds of unsuppressed ZZ):
+    /// the first-order residual-crosstalk cost of executing the plan.
+    pub residual_zz_weight: f64,
+}
+
 /// A complete schedule: an ordered list of layers plus trailing virtual
 /// rotations.
 #[derive(Clone, Debug, PartialEq)]
@@ -163,6 +191,25 @@ impl SchedulePlan {
     /// Total identity pulses inserted across all layers.
     pub fn identity_count(&self) -> usize {
         self.layers.iter().map(Layer::identity_count).sum()
+    }
+
+    /// Aggregate metrics of this plan under a duration table — see
+    /// [`PlanSummary`]. Cheap (`O(layers)`) at any device size.
+    pub fn summary(&self, durations: &GateDurations) -> PlanSummary {
+        let residual_zz_weight = self
+            .layers
+            .iter()
+            .map(|l| l.metrics.nc as f64 * l.duration(durations))
+            .sum();
+        PlanSummary {
+            layers: self.layer_count(),
+            duration_ns: self.duration(durations),
+            mean_nc: self.mean_nc(),
+            mean_nq: self.mean_nq(),
+            max_nq: self.layers.iter().map(|l| l.metrics.nq).max().unwrap_or(0),
+            identity_count: self.identity_count(),
+            residual_zz_weight,
+        }
     }
 
     /// The exact unitary this plan implements (identity pulses are true

@@ -21,6 +21,57 @@ use crate::metrics::cut_metrics;
 use crate::plan::{DependencyTracker, Layer, SchedulePlan};
 use crate::suppression::{alpha_optimal_suppression, SuppressionPlan};
 
+/// Lazily computed single-source BFS distance rows.
+///
+/// The distance heuristic of Case 2 only ever queries distances between
+/// qubits touched by simultaneously-ready two-qubit gates, so materializing
+/// the full `O(n²)` matrix up front (as the scheduler previously did) is
+/// wasted work and memory on large devices. Rows are computed on first use
+/// via [`Topology::distances_from`] and cached for the rest of the schedule.
+struct DistanceOracle<'t> {
+    topo: &'t Topology,
+    /// Cached rows; an empty row means "not yet computed" (a computed row
+    /// always has `qubit_count ≥ 1` entries).
+    rows: Vec<Vec<usize>>,
+    /// Number of `distance` lookups served (reported via [`crate::obs`]).
+    queries: u64,
+}
+
+impl<'t> DistanceOracle<'t> {
+    fn new(topo: &'t Topology) -> Self {
+        DistanceOracle {
+            topo,
+            rows: vec![Vec::new(); topo.qubit_count()],
+            queries: 0,
+        }
+    }
+
+    fn distance(&mut self, a: usize, b: usize) -> usize {
+        self.queries += 1;
+        if self.rows[a].is_empty() {
+            self.rows[a] = self.topo.distances_from(a);
+        }
+        self.rows[a][b]
+    }
+
+    /// The paper's inter-gate distance: the sum of qubit-pair distances.
+    fn gate_distance(&mut self, ops: &[NativeOp], a: usize, b: usize) -> usize {
+        let (qa, qb) = (ops[a].qubits(), ops[b].qubits());
+        qa.iter()
+            .map(|&x| qb.iter().map(|&y| self.distance(x, y)).sum::<usize>())
+            .sum()
+    }
+
+    /// Distance from gate `g` to the nearest member of `group`.
+    fn group_distance(&mut self, ops: &[NativeOp], g: usize, group: &[usize]) -> usize {
+        group
+            .iter()
+            .map(|&m| self.gate_distance(ops, g, m))
+            .min()
+            .unwrap_or(usize::MAX)
+    }
+}
+
 /// The suppression requirement `R` (paper Sec 6, Setup in Sec 7.3): a cut is
 /// acceptable when `NQ < nq_limit` and `NC ≤ nc_limit`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,7 +148,7 @@ pub fn zzx_schedule(topo: &Topology, circuit: &NativeCircuit, config: &ZzxConfig
         "circuit does not fit on the device"
     );
     let n = topo.qubit_count();
-    let dist = topo.distance_matrix();
+    let mut oracle = DistanceOracle::new(topo);
     let mut plan = SchedulePlan::new(n);
     let mut tracker = DependencyTracker::new(circuit);
 
@@ -117,7 +168,7 @@ pub fn zzx_schedule(topo: &Topology, circuit: &NativeCircuit, config: &ZzxConfig
         let (suppression, selected) = if two_q.is_empty() {
             schedule_case1(topo, config, &ops)
         } else {
-            schedule_case2(topo, config, &ops, &two_q, &dist)
+            schedule_case2(topo, config, &ops, &two_q, &mut oracle)
         };
 
         // Identity supplementation (paper: qubits in S not involved in any
@@ -161,6 +212,7 @@ pub fn zzx_schedule(topo: &Topology, circuit: &NativeCircuit, config: &ZzxConfig
     }
     debug_assert_eq!(tracker.remaining(), 0, "all ops scheduled");
     debug_assert!(plan.validate().is_ok());
+    crate::obs::record_distance_queries(oracle.queries);
     plan
 }
 
@@ -197,7 +249,7 @@ fn schedule_case2(
     config: &ZzxConfig,
     ops: &[NativeOp],
     two_q: &[usize],
-    dist: &[Vec<usize>],
+    oracle: &mut DistanceOracle<'_>,
 ) -> (SuppressionPlan, Vec<usize>) {
     let qubits_of = |group: &[usize]| -> Vec<usize> {
         let mut v: Vec<usize> = group.iter().flat_map(|&j| ops[j].qubits()).collect();
@@ -216,16 +268,10 @@ fn schedule_case2(
     } else {
         // Distance heuristic: separate the two closest gates, grow greedily
         // by largest distance while the requirement holds.
-        let gate_distance = |a: usize, b: usize| -> usize {
-            let (qa, qb) = (ops[a].qubits(), ops[b].qubits());
-            qa.iter()
-                .map(|&x| qb.iter().map(|&y| dist[x][y]).sum::<usize>())
-                .sum()
-        };
         let (mut seed_a, mut seed_b, mut best_d) = (two_q[0], two_q[1], usize::MAX);
         for (i, &a) in two_q.iter().enumerate() {
             for &b in &two_q[i + 1..] {
-                let d = gate_distance(a, b);
+                let d = oracle.gate_distance(ops, a, b);
                 if d < best_d {
                     best_d = d;
                     seed_a = a;
@@ -240,19 +286,12 @@ fn schedule_case2(
             .copied()
             .filter(|&g| g != seed_a && g != seed_b)
             .collect();
-        let group_distance = |g: usize, group: &[usize]| -> usize {
-            group
-                .iter()
-                .map(|&m| gate_distance(g, m))
-                .min()
-                .unwrap_or(usize::MAX)
-        };
         while !pool.is_empty() {
             // The (gate, group) pair with the maximum distance.
             let mut best: Option<(usize, bool, usize)> = None; // (pool idx, to_a, d)
             for (pi, &g) in pool.iter().enumerate() {
                 for to_a in [true, false] {
-                    let d = group_distance(g, if to_a { &group_a } else { &group_b });
+                    let d = oracle.group_distance(ops, g, if to_a { &group_a } else { &group_b });
                     if best.map(|(_, _, bd)| d > bd).unwrap_or(true) {
                         best = Some((pi, to_a, d));
                     }

@@ -26,10 +26,10 @@ pub enum Error {
         /// The engine-level cause.
         source: CoOptError,
     },
-    /// Routing or native translation failed for this job. Reserved: the
-    /// in-tree router is total (it cannot fail once validation passed),
-    /// so no current path constructs this — pluggable routing backends
-    /// report through it.
+    /// Routing or native translation failed for this job — the engine's
+    /// [`CoOptError::RouteUnreachable`] (a disconnected coupling graph,
+    /// which in-tree [`zz_topology::Topology`] construction forbids), or
+    /// a pluggable routing backend reporting its own failure.
     Route {
         /// The label of the failing job.
         job: String,
@@ -85,12 +85,18 @@ impl Error {
         }
     }
 
-    /// Wraps an engine-level compile error for `job` (today every
-    /// [`CoOptError`] is a validation rejection).
+    /// Wraps an engine-level compile error for `job`: size rejections map
+    /// to [`Error::Validate`], routing failures to [`Error::Route`].
     pub fn from_compile(job: impl Into<String>, source: CoOptError) -> Self {
-        Error::Validate {
-            job: job.into(),
-            source,
+        match source {
+            CoOptError::CircuitTooLarge { .. } => Error::Validate {
+                job: job.into(),
+                source,
+            },
+            CoOptError::RouteUnreachable { .. } => Error::Route {
+                job: job.into(),
+                detail: source.to_string(),
+            },
         }
     }
 
@@ -148,6 +154,18 @@ mod tests {
         assert!(msg.contains("qft-9"), "{msg}");
         assert!(msg.contains("9 qubits"), "{msg}");
         assert_eq!(err.job(), Some("qft-9"));
+    }
+
+    #[test]
+    fn route_failures_map_to_the_route_variant() {
+        let err = Error::from_compile("j", CoOptError::RouteUnreachable { from: 3, to: 7 });
+        match &err {
+            Error::Route { job, detail } => {
+                assert_eq!(job, "j");
+                assert!(detail.contains("qubits 3 and 7"), "{detail}");
+            }
+            other => panic!("expected Route, got {other:?}"),
+        }
     }
 
     #[test]

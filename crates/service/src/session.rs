@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use zz_circuit::Circuit;
 use zz_core::batch::{default_threads, DiskStatus, StageStats};
-use zz_core::evaluate::{fidelity_of, EvalConfig};
+use zz_core::evaluate::{fidelity_of, EvalConfig, MAX_EVAL_QUBITS};
 use zz_core::pipeline::{shape_key, CacheDisposition, PassManager, RouteMemo, Stage};
 use zz_core::{CompileOptions, Compiled, PipelineTrace};
 use zz_obs::{
@@ -195,6 +195,18 @@ pub struct CompileResponse {
     /// Mean output-state fidelity under the target's noise model, when
     /// the request carried an [`EvalSpec`].
     pub fidelity: Option<f64>,
+}
+
+impl CompileResponse {
+    /// Aggregate scheduler metrics of the compiled plan under its
+    /// durations — layer count, total duration, mean/max `NQ`/`NC` and
+    /// the residual-ZZ weight. This is the fidelity proxy for devices
+    /// above the density-matrix evaluation ceiling (where requesting an
+    /// [`EvalSpec`] is an [`Error::Eval`]): it is `O(layers)` at any
+    /// device size and needs nothing beyond the already-computed plan.
+    pub fn plan_metrics(&self) -> zz_sched::PlanSummary {
+        self.compiled.plan.summary(&self.compiled.durations)
+    }
 }
 
 /// A non-blocking handle to a submitted request. Obtain the result with
@@ -444,6 +456,7 @@ impl SessionMetrics {
     fn new() -> Self {
         let registry = Arc::new(Registry::new());
         EngineBridge::install(&registry);
+        SchedBridge::install(&registry);
         SessionMetrics {
             requests: registry.counter("session.requests"),
             errors: registry.counter("session.errors"),
@@ -514,6 +527,38 @@ impl zz_sim::metrics::EngineSink for EngineBridge {
     }
 }
 
+/// Bridges scheduler-level events ([`zz_sched::obs`]) into a session's
+/// registry: the lazy distance oracle's query counter, under
+/// `sched.distance_queries` / `sched.schedules` and therefore visible
+/// through [`Session::metrics`] snapshots and the `zz_net` Stats
+/// endpoint. Same weak-handle lifecycle as [`EngineBridge`], and the
+/// counters are likewise process-wide.
+#[derive(Debug)]
+struct SchedBridge {
+    distance_queries: Weak<Counter>,
+    schedules: Weak<Counter>,
+}
+
+impl SchedBridge {
+    fn install(registry: &Arc<Registry>) {
+        zz_sched::obs::register_sink(Arc::new(SchedBridge {
+            distance_queries: Arc::downgrade(&registry.counter("sched.distance_queries")),
+            schedules: Arc::downgrade(&registry.counter("sched.schedules")),
+        }));
+    }
+}
+
+impl zz_sched::obs::SchedSink for SchedBridge {
+    fn distance_queries(&self, queries: u64) -> bool {
+        let (Some(q), Some(s)) = (self.distance_queries.upgrade(), self.schedules.upgrade()) else {
+            return false;
+        };
+        q.add(queries);
+        s.inc();
+        true
+    }
+}
+
 /// The state a session shares with its workers: the target plus the
 /// session-lifetime caches and observability.
 #[derive(Debug)]
@@ -580,6 +625,21 @@ impl SessionCore {
                     return Err(Error::Eval {
                         job: request.label.clone(),
                         detail: "eval spec has no crosstalk seeds to average over".into(),
+                    });
+                }
+                // Compilation scales to any device; density-matrix
+                // evaluation is exponential and stays capped. The check
+                // sits here — at evaluation time, not validation — so
+                // large devices compile freely without an EvalSpec.
+                let device_qubits = compiled.topology.qubit_count();
+                if device_qubits > MAX_EVAL_QUBITS {
+                    return Err(Error::Eval {
+                        job: request.label.clone(),
+                        detail: format!(
+                            "device has {device_qubits} qubits but density-matrix evaluation \
+                             tops out at {MAX_EVAL_QUBITS}; use CompileResponse::plan_metrics \
+                             as the at-scale fidelity proxy"
+                        ),
                     });
                 }
                 Some(fidelity_of(&compiled, &spec.to_config(&self.target)))

@@ -14,8 +14,7 @@
 use std::sync::Arc;
 
 use zz_core::calib::CalibCache;
-use zz_core::evaluate::{try_device_for, MAX_EVAL_QUBITS};
-use zz_core::CoOptError;
+use zz_core::evaluate::try_device_for;
 use zz_persist::ArtifactStore;
 use zz_sched::GateDurations;
 use zz_topology::Topology;
@@ -24,6 +23,16 @@ use crate::error::Error;
 
 /// The device a [`crate::Session`] compiles for: topology, ZZ noise
 /// characterization, calibration source and optional artifact store.
+///
+/// **Compile size vs evaluation size.** A target's device may be as large
+/// as topology construction allows (hundreds to thousands of qubits):
+/// routing and scheduling are polynomial, so compilation through a
+/// session works at any of these sizes, and the schedule's
+/// [`zz_sched::PlanSummary`] metrics serve as the at-scale fidelity
+/// proxy. Only *density-matrix evaluation* is exponential and stays
+/// capped at [`zz_core::evaluate::MAX_EVAL_QUBITS`] — a request carrying
+/// an `EvalSpec` on a larger device fails at evaluation time with a
+/// typed `Error::Eval`, never at target construction.
 ///
 /// # Example
 ///
@@ -35,7 +44,15 @@ use crate::error::Error;
 ///
 /// let small = Target::for_qubits(6)?; // absorbs evaluate::device_for
 /// assert_eq!(small.topology().qubit_count(), 6);   // 2×3
-/// assert!(Target::for_qubits(64).is_err());        // typed, no panic
+///
+/// // Beyond the paper's 12-qubit evaluation ceiling, targets scale to
+/// // near-square grids (compile-only; evaluation would be rejected).
+/// let large = Target::for_qubits(100)?;
+/// assert_eq!(large.topology().qubit_count(), 100); // 10×10
+///
+/// // 1000-qubit-class heavy-hex devices build directly.
+/// let hex = Target::heavy_hex(21)?;
+/// assert!(hex.topology().qubit_count() > 1000);
 /// # Ok::<(), zz_service::Error>(())
 /// ```
 #[derive(Clone, Debug)]
@@ -58,23 +75,36 @@ impl Target {
             .expect("the default target has no failure path")
     }
 
-    /// The smallest paper evaluation sub-grid holding `n` qubits
-    /// (4 → 2×2, 6 → 2×3, 9 → 3×3, 12 → 3×4), with paper-default noise.
+    /// The smallest grid device holding `n` qubits, with paper-default
+    /// noise. Up to 12 qubits this is the paper's evaluation sub-grid
+    /// (4 → 2×2, 6 → 2×3, 9 → 3×3, 12 → 3×4); beyond that it is the
+    /// smallest near-square grid with at least `n` qubits — compile-only
+    /// territory, where fidelity evaluation is replaced by the schedule's
+    /// [`zz_sched::PlanSummary`] metrics (see the type-level docs).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Validate`] when `n` exceeds the paper's largest
-    /// device (12 qubits) — the panic of the legacy
-    /// `evaluate::device_for`, made typed.
+    /// Never fails today (kept fallible for API stability — earlier
+    /// releases rejected `n > 12` here, and future builders may attach
+    /// failing stores).
     pub fn for_qubits(n: usize) -> Result<Self, Error> {
-        let topology = try_device_for(n).ok_or_else(|| Error::Validate {
-            job: "target".into(),
-            source: CoOptError::CircuitTooLarge {
-                needed: n,
-                available: MAX_EVAL_QUBITS,
-            },
-        })?;
+        let topology = try_device_for(n).unwrap_or_else(|| large_grid_for(n));
         Target::builder().topology(topology).build()
+    }
+
+    /// A heavy-hex lattice target of the given distance (IBM-style
+    /// large-device topology; `d = 21` exceeds 1000 qubits), with
+    /// paper-default noise. Compile-only above
+    /// [`zz_core::evaluate::MAX_EVAL_QUBITS`].
+    ///
+    /// # Errors
+    ///
+    /// Never fails today (fallible for the same API-stability reason as
+    /// [`for_qubits`](Self::for_qubits)).
+    pub fn heavy_hex(distance: usize) -> Result<Self, Error> {
+        Target::builder()
+            .topology(Topology::heavy_hex(distance))
+            .build()
     }
 
     /// Starts building a target (defaults: the paper device of
@@ -223,6 +253,16 @@ impl TargetBuilder {
     }
 }
 
+/// The smallest near-square grid with at least `n` qubits: rows is the
+/// integer square root of `n`, columns whatever covers the remainder
+/// (100 → 10×10, 1000 → 31×33).
+fn large_grid_for(n: usize) -> Topology {
+    let n = n.max(1);
+    let rows = ((n as f64).sqrt().floor() as usize).max(1);
+    let cols = n.div_ceil(rows);
+    Topology::grid(rows, cols)
+}
+
 /// Verifies that `dir` exists (creating it if needed) and accepts a
 /// write, so a misconfigured cache root fails target construction with a
 /// typed error instead of silently degrading on every request.
@@ -257,20 +297,23 @@ mod tests {
     }
 
     #[test]
-    fn oversized_targets_are_typed_errors() {
-        match Target::for_qubits(13) {
-            Err(Error::Validate { job, source }) => {
-                assert_eq!(job, "target");
-                assert_eq!(
-                    source,
-                    CoOptError::CircuitTooLarge {
-                        needed: 13,
-                        available: 12
-                    }
-                );
-            }
-            other => panic!("expected Validate, got {other:?}"),
+    fn large_targets_build_near_square_grids() {
+        for (n, qubits) in [(13, 15), (100, 100), (500, 506), (1000, 1023)] {
+            let target = Target::for_qubits(n).expect("grids always build");
+            assert!(
+                target.topology().qubit_count() >= n,
+                "n = {n}: got {}",
+                target.topology().qubit_count()
+            );
+            assert_eq!(target.topology().qubit_count(), qubits, "n = {n}");
         }
+    }
+
+    #[test]
+    fn heavy_hex_targets_reach_a_thousand_qubits() {
+        let target = Target::heavy_hex(21).expect("builds");
+        assert!(target.topology().qubit_count() >= 1000);
+        assert!(target.topology().name().starts_with("heavy-hex"));
     }
 
     #[test]

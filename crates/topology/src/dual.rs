@@ -36,24 +36,30 @@ impl Dual {
     /// Constructs the dual of `topo`.
     pub(crate) fn of(topo: &Topology) -> Self {
         let face_count = topo.faces().len();
-        // Collect the (up to two) incident faces of each primal edge.
-        let mut incidence: Vec<Vec<usize>> = vec![Vec::new(); topo.coupling_count()];
+        // Collect the exactly-two incident face slots of each primal edge
+        // (a flat pair array — every dart belongs to one face).
+        const EMPTY: usize = usize::MAX;
+        let mut incident_faces = vec![(EMPTY, EMPTY); topo.coupling_count()];
         for (fid, face) in topo.faces().iter().enumerate() {
-            for &e in &face.edges {
-                incidence[e].push(fid);
+            for e in face.edges() {
+                let slot = &mut incident_faces[e];
+                if slot.0 == EMPTY {
+                    slot.0 = fid;
+                } else {
+                    debug_assert_eq!(slot.1, EMPTY, "edge {e} incident to >2 face slots");
+                    slot.1 = fid;
+                }
             }
         }
-        let mut graph = MultiGraph::new(face_count);
-        let mut incident_faces = Vec::with_capacity(topo.coupling_count());
-        for (e, faces) in incidence.iter().enumerate() {
-            let (f1, f2) = match faces.as_slice() {
-                [a, b] => (*a, *b),
-                other => unreachable!("edge {e} incident to {} face slots", other.len()),
-            };
-            let id = graph.add_edge(f1, f2);
-            debug_assert_eq!(id, e, "dual edge ids must mirror primal edge ids");
-            incident_faces.push((f1, f2));
-        }
+        debug_assert!(
+            incident_faces
+                .iter()
+                .all(|&(a, b)| a != EMPTY && b != EMPTY),
+            "every edge borders exactly two face slots"
+        );
+        // Dual edge ids mirror primal edge ids because the pair list is in
+        // primal edge-id order.
+        let graph = MultiGraph::from_edges(face_count, &incident_faces);
         Dual {
             graph,
             incident_faces,
@@ -123,7 +129,7 @@ mod tests {
         let topo = Topology::grid(3, 4);
         let dual = topo.dual();
         for (fid, face) in topo.faces().iter().enumerate() {
-            assert_eq!(dual.graph().degree(fid), face.edges.len());
+            assert_eq!(dual.graph().degree(fid), face.edge_count());
         }
     }
 }

@@ -17,6 +17,103 @@ pub struct Face {
     pub edges: Vec<usize>,
 }
 
+/// Flat storage for all faces of an embedding.
+///
+/// Boundary vertices and edges of every face live in two shared `u32`
+/// arrays indexed by per-face offsets, replacing the earlier
+/// one-`Vec`-per-face layout — on a 1000-qubit device that is two
+/// allocations instead of two thousand. Faces are read through [`FaceRef`]
+/// views.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaceStore {
+    /// Offsets into `vertices`; face `i` owns `v_offsets[i]..v_offsets[i+1]`.
+    v_offsets: Vec<u32>,
+    /// Offsets into `edges` (kept separately: a zero-edge isolated-vertex
+    /// face still records one boundary vertex).
+    e_offsets: Vec<u32>,
+    vertices: Vec<u32>,
+    edges: Vec<u32>,
+}
+
+impl FaceStore {
+    pub(crate) fn from_faces(faces: &[Face]) -> Self {
+        let mut store = FaceStore {
+            v_offsets: Vec::with_capacity(faces.len() + 1),
+            e_offsets: Vec::with_capacity(faces.len() + 1),
+            vertices: Vec::new(),
+            edges: Vec::new(),
+        };
+        store.v_offsets.push(0);
+        store.e_offsets.push(0);
+        for face in faces {
+            store
+                .vertices
+                .extend(face.vertices.iter().map(|&v| v as u32));
+            store.edges.extend(face.edges.iter().map(|&e| e as u32));
+            store.v_offsets.push(store.vertices.len() as u32);
+            store.e_offsets.push(store.edges.len() as u32);
+        }
+        store
+    }
+
+    /// Number of faces (the outer face included).
+    pub fn len(&self) -> usize {
+        self.v_offsets.len() - 1
+    }
+
+    /// Returns `true` if the store holds no faces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A view of face `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn face(&self, i: usize) -> FaceRef<'_> {
+        FaceRef {
+            vertices: &self.vertices[self.v_offsets[i] as usize..self.v_offsets[i + 1] as usize],
+            edges: &self.edges[self.e_offsets[i] as usize..self.e_offsets[i + 1] as usize],
+        }
+    }
+
+    /// Iterates over all faces in index order.
+    pub fn iter(&self) -> impl Iterator<Item = FaceRef<'_>> + '_ {
+        (0..self.len()).map(|i| self.face(i))
+    }
+}
+
+/// A borrowed view of one face in a [`FaceStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct FaceRef<'a> {
+    vertices: &'a [u32],
+    edges: &'a [u32],
+}
+
+impl FaceRef<'_> {
+    /// The boundary vertices in traversal order. For a bridge (tree edge)
+    /// the same vertex may appear multiple times.
+    pub fn vertices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.vertices.iter().map(|&v| v as usize)
+    }
+
+    /// The boundary edge ids in traversal order; a bridge appears twice.
+    pub fn edges(&self) -> impl Iterator<Item = usize> + '_ {
+        self.edges.iter().map(|&e| e as usize)
+    }
+
+    /// Number of boundary vertex slots.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of boundary edge slots (the face's boundary length).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
 /// Traces all faces of the embedding given the CCW rotation system and the
 /// edge list.
 ///

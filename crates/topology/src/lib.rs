@@ -34,5 +34,5 @@ mod faces;
 mod topology;
 
 pub use dual::Dual;
-pub use faces::Face;
+pub use faces::{Face, FaceRef, FaceStore};
 pub use topology::{Topology, TopologyError};

@@ -6,7 +6,7 @@ use std::fmt;
 use zz_graph::MultiGraph;
 
 use crate::dual::Dual;
-use crate::faces::{trace_faces, Face};
+use crate::faces::{trace_faces, Face, FaceStore};
 
 /// Errors produced when constructing a [`Topology`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -66,15 +66,24 @@ impl std::error::Error for TopologyError {}
 /// See the [crate-level docs](crate) for the role this plays in the
 /// suppression algorithm; constructors for the devices used in the paper's
 /// evaluation are provided ([`Topology::grid`], [`Topology::line`],
-/// [`Topology::ibmq_vigo`]).
+/// [`Topology::ibmq_vigo`]), plus scale-oriented ones for the 100–1000+
+/// qubit regime ([`Topology::heavy_hex`], and [`Topology::grid`] with large
+/// dimensions).
+///
+/// The rotation system and faces are stored flat ([`u32`] CSR arrays, same
+/// policy as `zz_graph::MultiGraph`), so a 1000-qubit topology costs a
+/// handful of allocations rather than thousands.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Topology {
     name: String,
     coords: Vec<(f64, f64)>,
     edges: Vec<(usize, usize)>,
-    /// Neighbors of each vertex in counter-clockwise order: `(neighbor, edge id)`.
-    rotation: Vec<Vec<(usize, usize)>>,
-    faces: Vec<Face>,
+    /// CSR offsets into `rot_packed`: the CCW neighbor list of qubit `q` is
+    /// `rot_packed[rot_offsets[q]..rot_offsets[q + 1]]`.
+    rot_offsets: Vec<u32>,
+    /// Neighbors in counter-clockwise order as `(neighbor, edge id)`.
+    rot_packed: Vec<(u32, u32)>,
+    faces: FaceStore,
     outer_face: usize,
 }
 
@@ -96,6 +105,10 @@ impl Topology {
         edges: Vec<(usize, usize)>,
     ) -> Result<Self, TopologyError> {
         let n = coords.len();
+        assert!(
+            n < u32::MAX as usize && edges.len() < u32::MAX as usize,
+            "qubit and coupling counts must fit in u32 indices"
+        );
         let mut seen = std::collections::HashSet::new();
         for &(u, v) in &edges {
             if u >= n {
@@ -111,11 +124,21 @@ impl Topology {
                 return Err(TopologyError::DuplicateCoupling { u, v });
             }
         }
-        for a in 0..n {
-            for b in (a + 1)..n {
-                if coords[a] == coords[b] {
-                    return Err(TopologyError::CoincidentCoordinates { a, b });
-                }
+        // Coincidence check via sort (the earlier all-pairs scan was O(n²),
+        // noticeable at 1000 qubits). `total_cmp` gives a total order; actual
+        // equality is still decided by `==` on adjacent entries, so -0.0 and
+        // 0.0 compare coincident exactly as before.
+        let mut by_coord: Vec<usize> = (0..n).collect();
+        by_coord.sort_by(|&a, &b| {
+            coords[a]
+                .0
+                .total_cmp(&coords[b].0)
+                .then(coords[a].1.total_cmp(&coords[b].1))
+        });
+        for w in by_coord.windows(2) {
+            let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
+            if coords[a] == coords[b] {
+                return Err(TopologyError::CoincidentCoordinates { a, b });
             }
         }
 
@@ -159,12 +182,24 @@ impl Topology {
 
         let faces = trace_faces(&rotation, &edges);
         let outer_face = find_outer_face(&faces, &coords);
+
+        // Flatten the rotation system into CSR form; the nested Vecs above
+        // are construction-time scaffolding only.
+        let mut rot_offsets = Vec::with_capacity(n + 1);
+        let mut rot_packed = Vec::with_capacity(2 * edges.len());
+        rot_offsets.push(0u32);
+        for nbrs in &rotation {
+            rot_packed.extend(nbrs.iter().map(|&(v, e)| (v as u32, e as u32)));
+            rot_offsets.push(rot_packed.len() as u32);
+        }
+
         Ok(Topology {
             name: name.into(),
             coords,
             edges,
-            rotation,
-            faces,
+            rot_offsets,
+            rot_packed,
+            faces: FaceStore::from_faces(&faces),
             outer_face,
         })
     }
@@ -250,6 +285,50 @@ impl Topology {
         Topology::new("heavy-hex-cell", coords, edges).expect("construction is always valid")
     }
 
+    /// A distance-`d` heavy-hex lattice — the topology family of large IBM
+    /// Quantum devices, and the scale target of this repository's compile
+    /// path (route + schedule run on it; statevector evaluation does not).
+    ///
+    /// `d` qubit rows of `2d − 1` qubits each are joined by bridge qubits:
+    /// even gaps bridge at columns `x ≡ 0 (mod 4)`, odd gaps at
+    /// `x ≡ 2 (mod 4)`, producing the hexagonal 12-coupling cells of the
+    /// heavy-hex lattice. The result is planar, bipartite (so the paper's
+    /// complete-suppression theorem applies), and max-degree 3.
+    /// `heavy_hex(21)` has 1071 qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn heavy_hex(d: usize) -> Self {
+        assert!(d > 0, "heavy-hex distance must be positive");
+        let width = 2 * d - 1;
+        let mut coords = Vec::new();
+        let mut edges = Vec::new();
+        // Row qubits: row r occupies ids r·width .. (r+1)·width at y = 2r.
+        for r in 0..d {
+            for x in 0..width {
+                coords.push((x as f64, (2 * r) as f64));
+            }
+        }
+        for r in 0..d {
+            for x in 1..width {
+                edges.push((r * width + x - 1, r * width + x));
+            }
+        }
+        // Bridge qubits, numbered after all row qubits, gap by gap.
+        for r in 0..d - 1 {
+            let phase = if r % 2 == 0 { 0 } else { 2 };
+            for x in (phase..width).step_by(4) {
+                let b = coords.len();
+                coords.push((x as f64, (2 * r + 1) as f64));
+                edges.push((r * width + x, b));
+                edges.push((b, (r + 1) * width + x));
+            }
+        }
+        Topology::new(format!("heavy-hex-{d}"), coords, edges)
+            .expect("heavy-hex construction is always valid")
+    }
+
     /// A 3×3 grid with one diagonal coupling added — a small non-bipartite
     /// device exhibiting the NQ/NC trade-off of the paper's Figure 10.
     pub fn grid_with_diagonal() -> Self {
@@ -311,8 +390,16 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if `q` is out of range.
-    pub fn neighbors(&self, q: usize) -> &[(usize, usize)] {
-        &self.rotation[q]
+    pub fn neighbors(&self, q: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.rotation(q)
+            .iter()
+            .map(|&(v, e)| (v as usize, e as usize))
+    }
+
+    /// The CCW incidence slice of qubit `q` in the flat rotation system.
+    #[inline]
+    fn rotation(&self, q: usize) -> &[(u32, u32)] {
+        &self.rot_packed[self.rot_offsets[q] as usize..self.rot_offsets[q + 1] as usize]
     }
 
     /// Degree of qubit `q`.
@@ -321,7 +408,7 @@ impl Topology {
     ///
     /// Panics if `q` is out of range.
     pub fn degree(&self, q: usize) -> usize {
-        self.rotation[q].len()
+        (self.rot_offsets[q + 1] - self.rot_offsets[q]) as usize
     }
 
     /// Maximum degree over all qubits (used by the paper's suppression
@@ -334,13 +421,21 @@ impl Topology {
     }
 
     /// The edge id of the coupling between `u` and `v`, if present.
+    ///
+    /// `O(deg)` via the rotation system (the earlier linear scan over all
+    /// couplings was a hot spot when lowering large circuits).
     pub fn coupling_between(&self, u: usize, v: usize) -> Option<usize> {
-        let key = (u.min(v), u.max(v));
-        self.edges.iter().position(|&e| e == key)
+        if u >= self.qubit_count() || v >= self.qubit_count() || u == v {
+            return None;
+        }
+        self.rotation(u)
+            .iter()
+            .find(|&&(w, _)| w as usize == v)
+            .map(|&(_, e)| e as usize)
     }
 
     /// The faces of the planar embedding (the outer face included).
-    pub fn faces(&self) -> &[Face] {
+    pub fn faces(&self) -> &FaceStore {
         &self.faces
     }
 
@@ -356,18 +451,45 @@ impl Topology {
 
     /// The primal graph as a [`MultiGraph`] (edge ids preserved).
     pub fn to_multigraph(&self) -> MultiGraph {
-        let mut g = MultiGraph::new(self.qubit_count());
-        for &(u, v) in &self.edges {
-            g.add_edge(u, v);
+        MultiGraph::from_edges(self.qubit_count(), &self.edges)
+    }
+
+    /// BFS distances from qubit `q` to every qubit, computed directly on the
+    /// rotation system (no intermediate graph build).
+    ///
+    /// This is the at-scale replacement for [`Topology::distance_matrix`]:
+    /// schedulers query distance rows on demand instead of materializing the
+    /// full `O(n²)` matrix up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn distances_from(&self, q: usize) -> Vec<usize> {
+        let n = self.qubit_count();
+        assert!(q < n, "qubit out of range");
+        let mut dist = vec![usize::MAX; n];
+        dist[q] = 0;
+        let mut queue = VecDeque::with_capacity(n);
+        queue.push_back(q as u32);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for &(v, _) in self.rotation(u as usize) {
+                if dist[v as usize] == usize::MAX {
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
         }
-        g
+        dist
     }
 
     /// All-pairs BFS distances between qubits.
+    ///
+    /// `O(n²)` memory — fine for paper-scale devices; large-device callers
+    /// should use [`Topology::distances_from`] on demand instead.
     pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
-        let g = self.to_multigraph();
         (0..self.qubit_count())
-            .map(|q| zz_graph::bfs_distances(&g, q))
+            .map(|q| self.distances_from(q))
             .collect()
     }
 
@@ -451,14 +573,14 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|(i, _)| *i != g.outer_face())
-            .map(|(_, f)| f.edges.len())
+            .map(|(_, f)| f.edge_count())
             .collect();
         assert_eq!(interior.len(), 6);
         assert!(
             interior.iter().all(|&l| l == 4),
             "interior faces are 4-cycles: {interior:?}"
         );
-        assert_eq!(g.faces()[g.outer_face()].edges.len(), 10); // boundary length
+        assert_eq!(g.faces().face(g.outer_face()).edge_count(), 10); // boundary length
     }
 
     #[test]
@@ -468,7 +590,7 @@ mod tests {
             .faces()
             .iter()
             .enumerate()
-            .filter(|(i, f)| *i != t.outer_face() && f.edges.len() == 3)
+            .filter(|(i, f)| *i != t.outer_face() && f.edge_count() == 3)
             .count();
         assert_eq!(tri_count, 2);
         assert!(!t.is_bipartite());
@@ -487,6 +609,46 @@ mod tests {
         // The middle-column junctions are the degree-3 qubits.
         assert_eq!(h.degree(2), 3);
         assert_eq!(h.degree(10), 3);
+    }
+
+    #[test]
+    fn heavy_hex_lattice_properties() {
+        let h = Topology::heavy_hex(3);
+        // 3 rows × 5 qubits + 3 bridges (gap 0 at x = 0, 4; gap 1 at x = 2).
+        assert_eq!(h.qubit_count(), 18);
+        assert_eq!(h.coupling_count(), 18);
+        assert!(h.is_bipartite());
+        assert_eq!(h.max_degree(), 3);
+        // Euler: one hexagonal interior cell + the outer face.
+        assert_eq!(h.faces().len(), 2);
+        assert_eq!(h.qubit_count() + h.faces().len(), h.coupling_count() + 2);
+    }
+
+    #[test]
+    fn heavy_hex_reaches_1000_qubits() {
+        let h = Topology::heavy_hex(21);
+        assert_eq!(h.qubit_count(), 1071);
+        assert!(h.is_bipartite());
+        assert_eq!(h.max_degree(), 3);
+        // Spot-check the on-demand distance query against the geometry:
+        // opposite corners of a 41-wide, 21-row lattice.
+        let d = h.distances_from(0);
+        assert_eq!(d[40], 40);
+        assert!(d.iter().all(|&x| x != usize::MAX), "lattice is connected");
+    }
+
+    #[test]
+    fn distances_from_matches_matrix() {
+        for t in [
+            Topology::grid(3, 4),
+            Topology::heavy_hex(2),
+            Topology::ibmq_vigo(),
+        ] {
+            let m = t.distance_matrix();
+            for (q, row) in m.iter().enumerate() {
+                assert_eq!(t.distances_from(q), *row, "row {q} of {}", t.name());
+            }
+        }
     }
 
     #[test]
@@ -536,8 +698,8 @@ mod tests {
     fn each_coupling_borders_two_face_slots() {
         let g = Topology::grid(3, 3);
         let mut incidence = vec![0usize; g.coupling_count()];
-        for f in g.faces() {
-            for &e in &f.edges {
+        for f in g.faces().iter() {
+            for e in f.edges() {
                 incidence[e] += 1;
             }
         }

@@ -68,6 +68,13 @@ fn shape_key_is_pinned() {
         shape_key(&rotations(), &Topology::line(2)),
         0x44471d4ef01894eau64
     );
+    // The at-scale lattice added by the compile-path scaling work: its
+    // shape keys join the on-disk format the moment large-device
+    // artifacts are cached, so they are pinned like the paper grids.
+    assert_eq!(
+        shape_key(&bell_plus(), &Topology::heavy_hex(3)),
+        0x712055fcf0b62175u64
+    );
 }
 
 #[test]
@@ -101,5 +108,9 @@ fn print_current_keys() {
     println!(
         "rot@line2  shape:  {:#018x}",
         shape_key(&rotations(), &Topology::line(2))
+    );
+    println!(
+        "bell@hhd3  shape:  {:#018x}",
+        shape_key(&bell_plus(), &Topology::heavy_hex(3))
     );
 }
