@@ -1,0 +1,261 @@
+//! Fleet dispatch probe — the multi-backend benchmark run by CI.
+//!
+//! Drives a [`Fleet`] of the three shipped device profiles (paper grid,
+//! tunable coupler, always-on heavy-hex) through a mixed job stream
+//! interleaved with calibration-drift epochs, and measures the three
+//! numbers that matter for predictive dispatch:
+//!
+//! - **dispatch latency** — wall time of [`Fleet::submit`], which
+//!   compiles and scores the job on every eligible backend;
+//! - **predicted-vs-simulated gap** — for jobs won by a small device,
+//!   the distance between the dispatch score (simulated at the
+//!   *calibrated* λ) and [`Fleet::ground_truth_fidelity`] (simulated at
+//!   the drifted ground-truth λ): the fidelity cost of stale
+//!   calibration;
+//! - **invalidation counts** — how many devices each drift epoch pushed
+//!   past the re-characterization threshold.
+//!
+//! Results are written as `BENCH_fleet.json` (override the path with
+//! the `BENCH_FLEET_OUT` environment variable) so the CI workflow can
+//! track dispatch behaviour across PRs. The probe fails (non-zero
+//! exit) unless every job dispatched, both scoring paths were
+//! exercised, and drift invalidated at least one device.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_fleet::{Fleet, FleetConfig, ScoreKind};
+use zz_service::CompileOptions;
+
+/// The mixed job stream replayed at every epoch: two sizes all three
+/// backends hold, and one 16-qubit job only the heavy-hex lattice fits
+/// (a forced plan-metrics dispatch).
+fn job_stream() -> Vec<(BenchmarkKind, usize)> {
+    vec![
+        (BenchmarkKind::Qft, 4),
+        (BenchmarkKind::HiddenShift, 6),
+        (BenchmarkKind::Qft, 16),
+        (BenchmarkKind::Qaoa, 5),
+    ]
+}
+
+struct JobRow {
+    label: String,
+    epoch: u64,
+    kind: BenchmarkKind,
+    qubits: usize,
+    device: String,
+    score: f64,
+    score_kind: ScoreKind,
+    candidates: usize,
+    dispatch_ms: f64,
+    /// Ground-truth fidelity under the drifted λ — `None` for jobs won
+    /// by a device above the evaluation ceiling.
+    simulated: Option<f64>,
+}
+
+fn job_json(row: &JobRow) -> String {
+    let mut out = String::new();
+    let (simulated, gap) = match row.simulated {
+        Some(s) => (format!("{s:.6}"), format!("{:.6}", (row.score - s).abs())),
+        None => ("null".into(), "null".into()),
+    };
+    let _ = write!(
+        out,
+        "{{\"label\": \"{}\", \"epoch\": {}, \"kind\": \"{}\", \"qubits\": {}, \
+         \"device\": \"{}\", \"score\": {:.6}, \"score_kind\": \"{:?}\", \
+         \"candidates\": {}, \"dispatch_ms\": {:.3}, \"simulated\": {}, \"gap\": {}}}",
+        row.label,
+        row.epoch,
+        row.kind,
+        row.qubits,
+        row.device,
+        row.score,
+        row.score_kind,
+        row.candidates,
+        row.dispatch_ms,
+        simulated,
+        gap,
+    );
+    out
+}
+
+fn main() {
+    // Low threshold + three epochs of an 8% drift walk: some epochs
+    // invalidate, some leave the fleet calibrated — both branches of
+    // `advance_epoch` run under the bench clock.
+    let config = FleetConfig {
+        seed: 0x5eed,
+        invalidation_threshold: 0.05,
+        threads_per_device: 1,
+        eval_seeds: vec![11, 23],
+        trajectories: 8,
+        ..FleetConfig::default()
+    };
+    let epochs = 3u64;
+    let mut fleet = Fleet::standard(config).expect("the standard fleet builds");
+
+    let mut jobs: Vec<JobRow> = Vec::new();
+    let mut epoch_rows: Vec<(u64, Vec<String>, f64)> = Vec::new();
+
+    for epoch in 0..=epochs {
+        if epoch > 0 {
+            let start = Instant::now();
+            let report = fleet.advance_epoch().expect("the epoch advances");
+            let advance_ms = start.elapsed().as_secs_f64() * 1e3;
+            let invalidated: Vec<String> = report
+                .invalidations
+                .iter()
+                .map(|i| i.device.clone())
+                .collect();
+            println!(
+                "[epoch {}] invalidated {:?} in {:.3}ms",
+                report.epoch, invalidated, advance_ms
+            );
+            epoch_rows.push((report.epoch, invalidated, advance_ms));
+        }
+        for (kind, qubits) in job_stream() {
+            let circuit = generate(kind, qubits, 5);
+            let start = Instant::now();
+            let dispatch = fleet
+                .submit(circuit.clone(), CompileOptions::default())
+                .unwrap_or_else(|e| panic!("{kind}/{qubits}q failed to dispatch: {e}"));
+            let dispatch_ms = start.elapsed().as_secs_f64() * 1e3;
+            let score_kind = dispatch
+                .candidates
+                .iter()
+                .find(|c| c.device == dispatch.device)
+                .expect("the winner is a candidate")
+                .kind;
+            // The gap is only measurable where simulation is: jobs won
+            // by a small device.
+            let simulated = match score_kind {
+                ScoreKind::Simulated => Some(
+                    fleet
+                        .ground_truth_fidelity(&dispatch.device, circuit, CompileOptions::default())
+                        .expect("the winning small device simulates"),
+                ),
+                ScoreKind::PlanMetrics => None,
+            };
+            let row = JobRow {
+                label: dispatch.label.clone(),
+                epoch: fleet.epoch(),
+                kind,
+                qubits,
+                device: dispatch.device.clone(),
+                score: dispatch.score,
+                score_kind,
+                candidates: dispatch.candidates.len(),
+                dispatch_ms,
+                simulated,
+            };
+            println!(
+                "[epoch {}] {:>12} {:>3}q -> {:>16} score {:.4} ({:?}, {} candidates) \
+                 in {:>8.3}ms{}",
+                row.epoch,
+                kind.to_string(),
+                qubits,
+                row.device,
+                row.score,
+                row.score_kind,
+                row.candidates,
+                row.dispatch_ms,
+                row.simulated
+                    .map(|s| format!(" | ground truth {s:.4}"))
+                    .unwrap_or_default(),
+            );
+            jobs.push(row);
+        }
+    }
+
+    let report = fleet.report();
+    println!("{report}");
+
+    // Acceptance gates: everything dispatched, both scoring paths ran,
+    // and the drift walk forced at least one re-characterization.
+    assert_eq!(
+        report.dispatches as usize,
+        jobs.len(),
+        "every job dispatched"
+    );
+    assert!(
+        jobs.iter().any(|j| j.score_kind == ScoreKind::Simulated),
+        "no job took the simulated scoring path"
+    );
+    assert!(
+        jobs.iter().any(|j| j.score_kind == ScoreKind::PlanMetrics),
+        "no job took the plan-metrics scoring path"
+    );
+    assert!(
+        report.invalidations >= 1,
+        "three drift epochs must invalidate at least one device"
+    );
+
+    let gaps: Vec<f64> = jobs
+        .iter()
+        .filter_map(|j| j.simulated.map(|s| (j.score - s).abs()))
+        .collect();
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let latencies: Vec<f64> = jobs.iter().map(|j| j.dispatch_ms).collect();
+
+    let mut json = String::from("{\n  \"schema\": 1,\n  \"jobs\": [\n");
+    for (i, row) in jobs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {}{}",
+            job_json(row),
+            if i + 1 == jobs.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"epochs\": [\n");
+    for (i, (epoch, invalidated, advance_ms)) in epoch_rows.iter().enumerate() {
+        let devices: Vec<String> = invalidated.iter().map(|d| format!("\"{d}\"")).collect();
+        let _ = writeln!(
+            json,
+            "    {{\"epoch\": {}, \"invalidated\": [{}], \"advance_ms\": {:.3}}}{}",
+            epoch,
+            devices.join(", "),
+            advance_ms,
+            if i + 1 == epoch_rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"devices\": [\n");
+    for (i, d) in report.devices.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"device\": \"{}\", \"qubits\": {}, \"jobs\": {}, \"invalidations\": {}, \
+             \"calibrated_epoch\": {}, \"mean_score\": {:.6}}}{}",
+            d.device,
+            d.qubits,
+            d.jobs,
+            d.invalidations,
+            d.calibrated_epoch,
+            d.mean_score,
+            if i + 1 == report.devices.len() {
+                ""
+            } else {
+                ","
+            }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"summary\": {{\"dispatches\": {}, \"invalidations\": {}, \
+         \"mean_dispatch_ms\": {:.3}, \"max_dispatch_ms\": {:.3}, \
+         \"mean_prediction_gap\": {:.6}, \"max_prediction_gap\": {:.6}}}",
+        report.dispatches,
+        report.invalidations,
+        mean(&latencies),
+        latencies.iter().cloned().fold(0.0, f64::max),
+        mean(&gaps),
+        gaps.iter().cloned().fold(0.0, f64::max),
+    );
+    json.push('}');
+    json.push('\n');
+
+    let out = std::env::var("BENCH_FLEET_OUT").unwrap_or_else(|_| "BENCH_fleet.json".into());
+    std::fs::write(&out, &json).expect("snapshot file writable");
+    println!("wrote {out}");
+}

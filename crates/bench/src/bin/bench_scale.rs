@@ -12,9 +12,12 @@
 //!
 //! Per device the probe reports route/schedule/total wall time, the
 //! cumulative peak RSS (`VmHWM` from `/proc/self/status`, where
-//! available), and the session's `route.graph_reuse` /
+//! available), the session's `route.graph_reuse` /
 //! `sched.distance_queries` counters — the observability trail of the
-//! CSR coupling-graph cache and the lazy distance oracle.
+//! CSR coupling-graph cache and the lazy distance oracle — and the
+//! [`ServiceReport::plan_metric_stats`](zz_service::ServiceReport::plan_metric_stats)
+//! residual-ZZ summary of the drained sweep, the same aggregation fleet
+//! dispatch scores large devices with.
 //!
 //! Results are written as `BENCH_scale.json` (override the path with
 //! the `BENCH_SCALE_OUT` environment variable) so the CI workflow can
@@ -102,6 +105,10 @@ struct DeviceCounters {
     device: String,
     graph_reuse: u64,
     distance_queries: u64,
+    /// Min/max/mean residual-ZZ weight over the device's scheduler
+    /// sweep, from the shared `ServiceReport::plan_metric_stats` path
+    /// (the same summary fleet dispatch scores large devices with).
+    plan_stats: zz_service::PlanMetricStats,
 }
 
 fn row_json(row: &Row) -> String {
@@ -150,19 +157,28 @@ fn main() {
         // exercises the memo's device-graph cache (`route.graph_reuse`).
         let session = Session::with_threads(target, 1);
 
-        for scheduler in [SchedulerKind::ParSched, SchedulerKind::ZzxSched] {
-            let request = CompileRequest::new(circuit.clone())
-                .with_options(CompileOptions::default().with_scheduler(scheduler))
-                .with_label(format!("{name}/{scheduler}"));
-            let response = session
-                .compile(&request)
+        // Submit the scheduler sweep as a batch and drain it through the
+        // session report: the per-device summary below comes from the
+        // same `plan_metric_stats` path fleet dispatch scores with.
+        const SCHEDULERS: [SchedulerKind; 2] = [SchedulerKind::ParSched, SchedulerKind::ZzxSched];
+        for scheduler in SCHEDULERS {
+            session.submit(
+                CompileRequest::new(circuit.clone())
+                    .with_options(CompileOptions::default().with_scheduler(scheduler))
+                    .with_label(format!("{name}/{scheduler}")),
+            );
+        }
+        let report = session.drain();
+        for (scheduler, outcome) in SCHEDULERS.iter().zip(report.outcomes.iter()) {
+            let response = outcome
+                .as_ref()
                 .unwrap_or_else(|e| panic!("{name}/{scheduler} failed to compile: {e}"));
             let trace = response.trace.as_ref().expect("tracing is on by default");
             let summary = response.plan_metrics();
             let row = Row {
                 device: name.clone(),
                 qubits,
-                scheduler,
+                scheduler: *scheduler,
                 gates,
                 route_ms: ms(trace.stage_wall(Stage::Route)),
                 schedule_ms: ms(trace.stage_wall(Stage::Schedule)),
@@ -188,6 +204,9 @@ fn main() {
             );
             rows.push(row);
         }
+        let plan_stats = report
+            .plan_metric_stats()
+            .unwrap_or_else(|| panic!("{name}: the scheduler sweep had successes"));
 
         // A second circuit shape on the same device: its route pass must
         // pull the cached CSR coupling graph instead of rebuilding it.
@@ -205,10 +224,17 @@ fn main() {
             device: name.clone(),
             graph_reuse: snapshot.counter("route.graph_reuse").unwrap_or(0),
             distance_queries: snapshot.counter("sched.distance_queries").unwrap_or(0),
+            plan_stats,
         };
         println!(
-            "[{:>14}] counters: route.graph_reuse {} sched.distance_queries {}",
-            device.device, device.graph_reuse, device.distance_queries,
+            "[{:>14}] counters: route.graph_reuse {} sched.distance_queries {} \
+             residual-ZZ min/mean/max {:.0}/{:.0}/{:.0}",
+            device.device,
+            device.graph_reuse,
+            device.distance_queries,
+            device.plan_stats.min_residual_zz_weight,
+            device.plan_stats.mean_residual_zz_weight,
+            device.plan_stats.max_residual_zz_weight,
         );
         assert!(
             device.graph_reuse >= 1,
@@ -244,10 +270,16 @@ fn main() {
     for (i, c) in counters.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"device\": \"{}\", \"route_graph_reuse\": {}, \"sched_distance_queries\": {}}}{}",
+            "    {{\"device\": \"{}\", \"route_graph_reuse\": {}, \"sched_distance_queries\": {}, \
+             \"plan_jobs\": {}, \"residual_zz_min\": {:.1}, \"residual_zz_mean\": {:.1}, \
+             \"residual_zz_max\": {:.1}}}{}",
             c.device,
             c.graph_reuse,
             c.distance_queries,
+            c.plan_stats.jobs,
+            c.plan_stats.min_residual_zz_weight,
+            c.plan_stats.mean_residual_zz_weight,
+            c.plan_stats.max_residual_zz_weight,
             if i + 1 == counters.len() { "" } else { "," }
         );
     }

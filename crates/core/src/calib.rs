@@ -27,15 +27,23 @@ pub fn calibration_lambda() -> f64 {
     khz(200.0)
 }
 
-/// Measures the full residual table of a method from scratch (pulse-level
-/// simulation; a few ms per call).
+/// Measures the full residual table of a method from scratch at the
+/// paper's calibration strength (pulse-level simulation; a few ms per
+/// call).
 ///
 /// Each entry is a conditional-phase residual normalized by `λ`: the
 /// fraction of crosstalk a neighbor still sees while the given pulse plays.
 /// DCG has no two-qubit sequence (paper Sec 7.2.2); its `ZX90` entries fall
 /// back to the Gaussian pulse's.
 pub fn measure_residuals(method: PulseMethod) -> ResidualTable {
-    let lambda = calibration_lambda();
+    measure_residuals_at(method, calibration_lambda())
+}
+
+/// Like [`measure_residuals`], at an explicit crosstalk strength — the
+/// fleet layer characterizes each backend at *its* currently-believed
+/// `λ`, so physically distinct devices (and drifted recalibrations of
+/// the same device) get genuinely different tables.
+pub fn measure_residuals_at(method: PulseMethod, lambda: f64) -> ResidualTable {
     let x90 = x90_drive(method);
     let id = id_drive(method);
     let rx = (residual_zz_rate(&x90.as_drive(), lambda) / lambda).min(1.0);
@@ -68,15 +76,87 @@ pub fn measure_residuals(method: PulseMethod) -> ResidualTable {
 pub struct CalibCache {
     slots: [OnceLock<ResidualTable>; PulseMethod::ALL.len()],
     runs: AtomicUsize,
+    /// Crosstalk strength the tables are measured at; `0.0` is the
+    /// sentinel for the paper's [`calibration_lambda`] (kept so
+    /// [`new`](Self::new) stays `const` for the process-wide static).
+    lambda: f64,
+    /// Calibration epoch, salted into every on-disk key when nonzero —
+    /// the invalidation hook the fleet layer uses: bumping the epoch
+    /// (with a fresh cache) makes every stale disk artifact unreachable
+    /// without touching the files of other devices in the same store.
+    epoch: u64,
 }
 
 impl CalibCache {
-    /// Creates an empty cache (nothing measured yet).
+    /// Creates an empty cache (nothing measured yet) at the paper's
+    /// calibration strength, epoch 0.
     pub const fn new() -> Self {
         CalibCache {
             slots: [const { OnceLock::new() }; PulseMethod::ALL.len()],
             runs: AtomicUsize::new(0),
+            lambda: 0.0,
+            epoch: 0,
         }
+    }
+
+    /// Creates an empty cache that characterizes at the given crosstalk
+    /// strength and calibration epoch. Epoch 0 with the paper's
+    /// [`calibration_lambda`] reproduces [`new`](Self::new) exactly
+    /// (same measurements, same disk keys); any other `(λ, epoch)` pair
+    /// measures at `λ` and keys its artifacts by both, so recalibrating
+    /// a drifted device can never serve — or be served — stale tables.
+    pub fn at(lambda: f64, epoch: u64) -> Self {
+        assert!(lambda > 0.0, "calibration strength must be positive");
+        CalibCache {
+            lambda,
+            epoch,
+            ..CalibCache::new()
+        }
+    }
+
+    /// The crosstalk strength this cache characterizes at.
+    pub fn lambda(&self) -> f64 {
+        if self.lambda == 0.0 {
+            calibration_lambda()
+        } else {
+            self.lambda
+        }
+    }
+
+    /// The calibration epoch salted into this cache's disk keys.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The on-disk key of `method`'s residual table *for this cache*:
+    /// the method label mixed with the exact measurement-strength bits
+    /// (a recalibrated `λ` can never serve stale tables), then salted
+    /// with the epoch when one is set.
+    pub fn residual_key(&self, method: PulseMethod) -> u64 {
+        epoch_salted(residual_artifact_key_at(method, self.lambda()), self.epoch)
+    }
+
+    /// The on-disk key of this cache's whole-snapshot artifact (same
+    /// `λ` + epoch keying as [`residual_key`](Self::residual_key)).
+    pub fn snapshot_key(&self) -> u64 {
+        let mut bytes = b"calib-snapshot".to_vec();
+        bytes.extend_from_slice(&self.lambda().to_bits().to_le_bytes());
+        epoch_salted(fnv1a(&bytes), self.epoch)
+    }
+
+    /// Salts a whole-`Compiled` artifact key with this cache's identity.
+    /// The default cache (paper `λ`, epoch 0) is the identity function,
+    /// keeping the legacy key space; any customized cache mixes its `λ`
+    /// bits and epoch in, because the compiled plan embeds the residual
+    /// table this cache measured.
+    pub fn salt_compiled_key(&self, key: u64) -> u64 {
+        if self.lambda == 0.0 && self.epoch == 0 {
+            return key;
+        }
+        epoch_salted(
+            zz_persist::fnv1a_mix(key, self.lambda().to_bits()),
+            self.epoch,
+        )
     }
 
     /// The process-wide shared instance.
@@ -85,11 +165,12 @@ impl CalibCache {
         &GLOBAL
     }
 
-    /// The cached residual table for `method`, measuring it on first use.
+    /// The cached residual table for `method`, measuring it (at this
+    /// cache's `λ`) on first use.
     pub fn residuals(&self, method: PulseMethod) -> ResidualTable {
         *self.slots[slot_index(method)].get_or_init(|| {
             self.runs.fetch_add(1, Ordering::Relaxed);
-            measure_residuals(method)
+            measure_residuals_at(method, self.lambda())
         })
     }
 
@@ -137,19 +218,11 @@ impl CalibCache {
     /// methods written; write failures degrade silently to 0.
     pub fn save_to(&self, store: &ArtifactStore) -> usize {
         let snapshot = self.snapshot();
-        store.put(
-            ArtifactKind::CalibSnapshot,
-            snapshot_artifact_key(),
-            &snapshot,
-        );
+        store.put(ArtifactKind::CalibSnapshot, self.snapshot_key(), &snapshot);
         snapshot
             .iter()
             .filter(|&&(method, ref table)| {
-                store.put(
-                    ArtifactKind::Calibration,
-                    residual_artifact_key(method),
-                    table,
-                )
+                store.put(ArtifactKind::Calibration, self.residual_key(method), table)
             })
             .count()
     }
@@ -160,7 +233,7 @@ impl CalibCache {
     pub fn load_from(&self, store: &ArtifactStore) -> usize {
         match store.get::<Vec<(PulseMethod, ResidualTable)>>(
             ArtifactKind::CalibSnapshot,
-            snapshot_artifact_key(),
+            self.snapshot_key(),
         ) {
             Some(snapshot) => self.import(&snapshot),
             None => 0,
@@ -205,20 +278,31 @@ impl CalibCache {
             let Some(store) = store else {
                 disposition = CacheDisposition::NotCached;
                 self.runs.fetch_add(1, Ordering::Relaxed);
-                return measure_residuals(method);
+                return measure_residuals_at(method, self.lambda());
             };
-            let key = residual_artifact_key(method);
+            let key = self.residual_key(method);
             if let Some(table) = store.get::<ResidualTable>(ArtifactKind::Calibration, key) {
                 disposition = CacheDisposition::DiskHit;
                 return table;
             }
             disposition = CacheDisposition::Miss;
             self.runs.fetch_add(1, Ordering::Relaxed);
-            let table = measure_residuals(method);
+            let table = measure_residuals_at(method, self.lambda());
             store.put(ArtifactKind::Calibration, key, &table);
             table
         });
         (table, disposition)
+    }
+}
+
+/// Mixes a calibration epoch into an on-disk key; epoch 0 leaves the key
+/// untouched so the legacy single-device key space (pinned by
+/// `tests/golden_keys.rs`) is unchanged.
+fn epoch_salted(key: u64, epoch: u64) -> u64 {
+    if epoch == 0 {
+        key
+    } else {
+        zz_persist::fnv1a_mix(key, epoch)
     }
 }
 
@@ -230,14 +314,22 @@ fn slot_index(method: PulseMethod) -> usize {
         .expect("all methods enumerated")
 }
 
-/// On-disk key of a method's residual table: the method label mixed with
-/// the exact calibration-strength bits, so a recalibrated device (different
-/// `λ`) can never serve stale tables.
+/// On-disk key of a method's residual table at the paper's calibration
+/// strength (epoch 0). Per-device caches key through
+/// [`CalibCache::residual_key`] instead, which folds in their `λ` and
+/// calibration epoch.
 pub fn residual_artifact_key(method: PulseMethod) -> u64 {
+    residual_artifact_key_at(method, calibration_lambda())
+}
+
+/// On-disk key of a method's residual table measured at `lambda`: the
+/// method label mixed with the exact measurement-strength bits, so a
+/// recalibrated device (different `λ`) can never serve stale tables.
+pub fn residual_artifact_key_at(method: PulseMethod, lambda: f64) -> u64 {
     // The Display name ("Gaussian", "Pert", …) is stable and part of the
     // on-disk format, like the golden-keyed digests.
     let mut bytes = method.to_string().into_bytes();
-    bytes.extend_from_slice(&calibration_lambda().to_bits().to_le_bytes());
+    bytes.extend_from_slice(&lambda.to_bits().to_le_bytes());
     fnv1a(&bytes)
 }
 
@@ -336,6 +428,52 @@ mod tests {
             pert <= dcg * 2.0,
             "Pert ({pert}) should be at least comparable to DCG ({dcg})"
         );
+    }
+
+    #[test]
+    fn default_cache_keys_match_the_legacy_key_space() {
+        // Epoch 0 at the paper strength must keep the golden-keyed disk
+        // layout bit-for-bit: warm stores from earlier releases stay warm.
+        let cache = CalibCache::at(calibration_lambda(), 0);
+        for m in PulseMethod::ALL {
+            assert_eq!(cache.residual_key(m), residual_artifact_key(m), "{m}");
+        }
+        assert_eq!(cache.snapshot_key(), snapshot_artifact_key());
+        assert_eq!(CalibCache::new().residual_key(PulseMethod::Pert), {
+            residual_artifact_key(PulseMethod::Pert)
+        });
+    }
+
+    #[test]
+    fn epoch_and_lambda_salt_every_disk_key() {
+        let base = CalibCache::new();
+        let bumped = CalibCache::at(calibration_lambda(), 1);
+        let drifted = CalibCache::at(calibration_lambda() * 1.25, 1);
+        for m in PulseMethod::ALL {
+            assert_ne!(base.residual_key(m), bumped.residual_key(m), "{m}");
+            assert_ne!(bumped.residual_key(m), drifted.residual_key(m), "{m}");
+        }
+        assert_ne!(base.snapshot_key(), bumped.snapshot_key());
+        assert_ne!(bumped.snapshot_key(), drifted.snapshot_key());
+        // Epochs are distinct from each other, not just from 0.
+        let later = CalibCache::at(calibration_lambda(), 2);
+        assert_ne!(bumped.snapshot_key(), later.snapshot_key());
+    }
+
+    #[test]
+    fn characterization_strength_changes_the_measured_tables() {
+        // Pert cancels the first order, so its fractional residual is
+        // nonlinear in λ: a 4× stronger device must measure differently.
+        let weak = measure_residuals_at(PulseMethod::Pert, calibration_lambda());
+        let strong = measure_residuals_at(PulseMethod::Pert, calibration_lambda() * 4.0);
+        assert_ne!(weak.x90.to_bits(), strong.x90.to_bits());
+        let cache = CalibCache::at(calibration_lambda() * 4.0, 3);
+        assert_eq!(
+            cache.residuals(PulseMethod::Pert).x90.to_bits(),
+            strong.x90.to_bits(),
+            "the cache must measure at its own λ"
+        );
+        assert_eq!(cache.calibration_runs(), 1);
     }
 
     #[test]

@@ -874,17 +874,21 @@ impl PassManager {
         )?;
 
         // Whole-plan cache point: a usable compiled artifact skips
-        // routing, scheduling and calibration outright.
+        // routing, scheduling and calibration outright. The key is
+        // salted by the calibration cache's identity (λ + epoch): the
+        // compiled plan embeds the residual table, so a recalibrated or
+        // drift-invalidated device must miss here and recompile — only
+        // the calibration-independent route/native artifacts stay warm.
         let mut compiled_key = 0;
         if let (Some(store), Some(spec)) = (self.store.as_deref(), &self.request) {
-            compiled_key = compiled_artifact_key(
+            compiled_key = self.calib().salt_compiled_key(compiled_artifact_key(
                 shape_key(&logical.circuit, &self.topology),
                 spec.method,
                 spec.scheduler,
                 spec.alpha,
                 spec.k,
                 spec.requirement,
-            );
+            ));
             if let Some(artifact) =
                 store.get::<CompiledArtifact>(ArtifactKind::Compiled, compiled_key)
             {

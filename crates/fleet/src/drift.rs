@@ -1,0 +1,155 @@
+//! [`DriftModel`]: deterministic, seedable calibration drift.
+//!
+//! Real devices' ZZ couplings wander between calibrations (two-level
+//! fluctuators, junction aging, thermal cycling), which is what makes
+//! fleet-level cache invalidation a real problem rather than a policy
+//! choice. The model here is a bounded multiplicative random walk on the
+//! mean coupling strength, computed *statelessly*: the drifted value at
+//! any epoch is a pure function of `(seed, device name, epoch)`, so two
+//! fleets with the same seed agree bit-for-bit whatever order devices
+//! were registered or queried in — the property the determinism tests
+//! pin.
+
+use zz_persist::{fnv1a, fnv1a_mix};
+
+/// A deterministic multiplicative random walk over calibration epochs.
+///
+/// At each epoch the mean coupling strength is multiplied by
+/// `1 + step · u` with `u` uniform in `[-1, 1)`, drawn from a hash of
+/// `(seed, device, epoch)` — no state, no call-order sensitivity.
+///
+/// # Example
+///
+/// ```
+/// use zz_fleet::DriftModel;
+///
+/// let drift = DriftModel::new(7).with_step(0.1);
+/// let base = 1.0e-3;
+/// // Stateless: the same query always answers the same value…
+/// assert_eq!(drift.lambda_at(base, "dev-a", 5), drift.lambda_at(base, "dev-a", 5));
+/// // …devices walk independently…
+/// assert_ne!(drift.lambda_at(base, "dev-a", 5), drift.lambda_at(base, "dev-b", 5));
+/// // …and every step is bounded by the step size.
+/// let drifted = drift.lambda_at(base, "dev-a", 1);
+/// assert!((drifted / base - 1.0).abs() <= 0.1);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct DriftModel {
+    seed: u64,
+    step: f64,
+}
+
+impl DriftModel {
+    /// A drift model with the default ±8% per-epoch step bound.
+    pub fn new(seed: u64) -> Self {
+        DriftModel { seed, step: 0.08 }
+    }
+
+    /// Replaces the per-epoch fractional step bound (`0 ≤ step < 1`;
+    /// `0.1` = each epoch rescales the mean by a factor in `[0.9, 1.1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `step` is outside `[0, 1)` — a full-strength step
+    /// could drive the coupling negative.
+    pub fn with_step(mut self, step: f64) -> Self {
+        assert!((0.0..1.0).contains(&step), "step must be in [0, 1)");
+        self.step = step;
+        self
+    }
+
+    /// The model's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-epoch fractional step bound.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// The drifted mean coupling strength of `device` at `epoch`, given
+    /// its nominal (epoch-0) value. Pure function of the inputs;
+    /// `epoch = 0` returns `base` exactly.
+    pub fn lambda_at(&self, base: f64, device: &str, epoch: u64) -> f64 {
+        let device_salt = fnv1a(device.as_bytes());
+        let mut lambda = base;
+        for k in 1..=epoch {
+            let h = splitmix64(fnv1a_mix(fnv1a_mix(self.seed, device_salt), k));
+            lambda *= 1.0 + self.step * unit(h);
+        }
+        lambda
+    }
+}
+
+/// SplitMix64 finalizer: one cheap, well-mixed u64 from a hash that FNV
+/// alone would leave with weak high bits.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to a uniform f64 in `[-1, 1)` using the top 53 bits.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_zero_is_the_nominal_value() {
+        let drift = DriftModel::new(1);
+        assert_eq!(drift.lambda_at(2.5, "dev", 0), 2.5);
+    }
+
+    #[test]
+    fn walks_are_deterministic_and_seed_sensitive() {
+        let a = DriftModel::new(1).with_step(0.05);
+        let b = DriftModel::new(2).with_step(0.05);
+        for epoch in 1..10 {
+            assert_eq!(
+                a.lambda_at(1.0, "dev", epoch).to_bits(),
+                a.lambda_at(1.0, "dev", epoch).to_bits()
+            );
+            assert_ne!(
+                a.lambda_at(1.0, "dev", epoch).to_bits(),
+                b.lambda_at(1.0, "dev", epoch).to_bits(),
+                "epoch {epoch}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_step_respects_the_bound() {
+        let drift = DriftModel::new(42).with_step(0.08);
+        for device in ["a", "b", "long-device-name"] {
+            let mut previous = 1.0;
+            for epoch in 1..50 {
+                let lambda = drift.lambda_at(1.0, device, epoch);
+                let ratio = lambda / previous;
+                assert!(
+                    (ratio - 1.0).abs() <= 0.08 + 1e-12,
+                    "{device} epoch {epoch}: step ratio {ratio}"
+                );
+                assert!(lambda > 0.0);
+                previous = lambda;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_step_never_drifts() {
+        let drift = DriftModel::new(9).with_step(0.0);
+        assert_eq!(drift.lambda_at(3.0, "dev", 100), 3.0);
+    }
+
+    #[test]
+    fn the_walk_actually_moves() {
+        let drift = DriftModel::new(0).with_step(0.08);
+        assert_ne!(drift.lambda_at(1.0, "dev", 1), 1.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! `zz_fleet` — a multi-backend fleet over [`zz_service`] sessions:
+//! heterogeneous device profiles, deterministic calibration drift,
+//! fidelity-predictive dispatch and per-device artifact shards.
+//!
+//! The paper's co-optimization always targets one static device; a
+//! deployment routes jobs across a *fleet* whose ZZ characterizations
+//! drift and must be re-calibrated. This crate models exactly that:
+//!
+//! * **[`DeviceProfile`]** — the static description of one backend
+//!   (topology family, ZZ strength distribution, `T1`/`T2`, gate
+//!   durations). Three shipped profiles span the literature's device
+//!   regimes: [`DeviceProfile::paper_grid`],
+//!   [`DeviceProfile::tunable_coupler`] (order-of-magnitude weaker
+//!   residual ZZ) and [`DeviceProfile::heavy_hex_static`] (strong
+//!   always-on ZZ, above the simulation ceiling).
+//! * **[`DriftModel`]** — a stateless, seedable multiplicative walk on
+//!   each device's mean coupling strength; the drifted value is a pure
+//!   function of `(seed, device, epoch)`, so fleets are reproducible
+//!   bit-for-bit.
+//! * **[`Fleet`]** — owns one [`zz_service::Session`] per backend.
+//!   [`Fleet::submit`] compiles on every eligible backend, scores each
+//!   by predicted fidelity (simulation at the calibrated noise for
+//!   devices within the evaluation ceiling, the residual-ZZ plan-metrics
+//!   proxy above it) and dispatches to the best;
+//!   [`Fleet::advance_epoch`] drifts ground truth and re-characterizes
+//!   any device past the invalidation threshold — swapping in a fresh
+//!   [`zz_core::calib::CalibCache`] whose epoch-salted keys can never
+//!   resurrect a stale disk artifact, while other devices' shards stay
+//!   warm.
+//!
+//! # Example
+//!
+//! ```
+//! use zz_circuit::bench::{generate, BenchmarkKind};
+//! use zz_fleet::{Fleet, FleetConfig};
+//! use zz_service::CompileOptions;
+//!
+//! let mut fleet = Fleet::standard(FleetConfig {
+//!     threads_per_device: 1,
+//!     ..FleetConfig::default()
+//! })?;
+//! let dispatch = fleet.submit(
+//!     generate(BenchmarkKind::Qft, 4, 7),
+//!     CompileOptions::default(),
+//! )?;
+//! // Three heterogeneous backends scored; the weak-ZZ tunable-coupler
+//! // device predicts the best fidelity for this small job.
+//! assert_eq!(dispatch.candidates.len(), 3);
+//! assert_eq!(dispatch.device, "tunable-coupler");
+//!
+//! let epoch = fleet.advance_epoch()?;
+//! assert_eq!(epoch.epoch, 1);
+//! println!("{}", fleet.report());
+//! # Ok::<(), zz_fleet::FleetError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod drift;
+mod fleet;
+mod profile;
+mod report;
+
+pub use drift::DriftModel;
+pub use fleet::{
+    CandidateScore, Dispatch, EpochReport, Fleet, FleetConfig, FleetError, Invalidation, ScoreKind,
+};
+pub use profile::{DeviceProfile, TopologyFamily};
+pub use report::{DeviceReport, FleetReport};

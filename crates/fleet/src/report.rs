@@ -1,0 +1,112 @@
+//! [`FleetReport`]: the aggregate view of a fleet's lifetime —
+//! per-device job counts, dispatch scores, drift/invalidation events and
+//! cache statistics — with the `Display` rendering the example binaries
+//! print.
+
+use zz_persist::StoreStats;
+
+/// One device's slice of a [`FleetReport`].
+#[derive(Clone, Debug)]
+pub struct DeviceReport {
+    /// The device name.
+    pub device: String,
+    /// Qubits on the device.
+    pub qubits: usize,
+    /// Jobs dispatched to this device.
+    pub jobs: usize,
+    /// Times drift invalidated this device's calibration.
+    pub invalidations: usize,
+    /// The epoch the current calibration was taken at.
+    pub calibrated_epoch: u64,
+    /// The mean λ the current calibration characterized (rad/ns).
+    pub calibrated_lambda: f64,
+    /// The ground-truth (drifted) mean λ right now (rad/ns).
+    pub true_lambda: f64,
+    /// Mean predicted-fidelity score over every dispatch this device
+    /// was a candidate in (`NaN` when never scored).
+    pub mean_score: f64,
+    /// The most recent candidate score (`NaN` when never scored).
+    pub last_score: f64,
+    /// Calibration measurements the current cache has run.
+    pub calibration_runs: usize,
+    /// The device shard's read/write counters, when the fleet persists.
+    pub store: Option<StoreStats>,
+}
+
+/// Aggregate outcome of a fleet's lifetime so far (see
+/// [`Fleet::report`](crate::Fleet::report)).
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// The fleet's current epoch.
+    pub epoch: u64,
+    /// Total jobs dispatched.
+    pub dispatches: u64,
+    /// Total calibrations invalidated by drift, across devices.
+    pub invalidations: u64,
+    /// Per-device breakdown, in registration order.
+    pub devices: Vec<DeviceReport>,
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fleet @ epoch {}: {} dispatch(es), {} invalidation(s)",
+            self.epoch, self.dispatches, self.invalidations
+        )?;
+        for d in &self.devices {
+            write!(
+                f,
+                "  {:<18} {:>4}q  {:>3} job(s)  {} invalidation(s)  calib@e{}  score last/mean {:.4}/{:.4}",
+                d.device,
+                d.qubits,
+                d.jobs,
+                d.invalidations,
+                d.calibrated_epoch,
+                d.last_score,
+                d.mean_score,
+            )?;
+            if let Some(s) = &d.store {
+                write!(f, "  disk {}h/{}m/{}w", s.hits, s.misses, s.writes)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_every_device() {
+        let report = FleetReport {
+            epoch: 2,
+            dispatches: 5,
+            invalidations: 1,
+            devices: vec![DeviceReport {
+                device: "paper-grid".into(),
+                qubits: 12,
+                jobs: 5,
+                invalidations: 1,
+                calibrated_epoch: 2,
+                calibrated_lambda: 1.0e-3,
+                true_lambda: 1.1e-3,
+                mean_score: 0.93,
+                last_score: 0.95,
+                calibration_runs: 1,
+                store: Some(StoreStats {
+                    hits: 3,
+                    misses: 2,
+                    writes: 2,
+                    write_errors: 0,
+                }),
+            }],
+        };
+        let text = report.to_string();
+        assert!(text.contains("epoch 2"), "{text}");
+        assert!(text.contains("paper-grid"), "{text}");
+        assert!(text.contains("disk 3h/2m/2w"), "{text}");
+    }
+}

@@ -1,7 +1,7 @@
 //! The blocking client: one TCP connection, one request/response pair
 //! per call.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 use zz_obs::MetricsSnapshot;
 use zz_persist::ArtifactKind;
@@ -71,9 +71,19 @@ impl From<std::io::Error> for ClientError {
 /// One request is in flight at a time per client; open more clients for
 /// concurrency (the server fans them into one shared session, and
 /// identical concurrent compiles coalesce onto one job server-side).
+///
+/// The client remembers the addresses it resolved at
+/// [`connect`](Client::connect) time, so a dropped connection is
+/// recoverable: [`ensure_connected`](Client::ensure_connected) re-dials
+/// on demand, and the idempotent calls ([`ping`](Client::ping),
+/// [`stats`](Client::stats)) transparently re-dial and retry once when
+/// the transport fails mid-call. Compiles are *not* auto-retried — a
+/// dropped connection cannot tell the caller whether the server already
+/// enqueued the job.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    addrs: Vec<SocketAddr>,
 }
 
 impl Client {
@@ -81,11 +91,35 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the connection cannot be established.
+    /// Returns the I/O error if the connection cannot be established (or
+    /// if `addr` resolves to no addresses).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = dial(&addrs)?;
+        Ok(Client { stream, addrs })
+    }
+
+    /// Replaces a dead connection with a fresh one to the same server,
+    /// verified by a ping. A healthy connection is left alone (the probe
+    /// ping is the only traffic), so calling this before every batch of
+    /// work is cheap.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClientError`] when the probe fails *and* re-dialing
+    /// (or the ping on the fresh connection) fails too.
+    pub fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping) {
+            Ok(Response::Pong) => Ok(()),
+            Ok(other) => Err(unexpected(other)),
+            Err(_) => {
+                self.stream = dial(&self.addrs)?;
+                match self.request(&Request::Ping)? {
+                    Response::Pong => Ok(()),
+                    other => Err(unexpected(other)),
+                }
+            }
+        }
     }
 
     /// Sends one request frame and reads one response frame.
@@ -99,14 +133,36 @@ impl Client {
         read_frame(&mut self.stream, ArtifactKind::NetResponse)
     }
 
-    /// Liveness probe.
+    /// [`request`](Client::request) for *idempotent* requests: a
+    /// transport failure (disconnect or I/O) re-dials the remembered
+    /// addresses and retries exactly once. Damaged-but-delivered
+    /// responses are not retried — the connection is alive, the bytes
+    /// were bad.
+    fn request_idempotent(&mut self, request: &Request) -> Result<Response, FrameError> {
+        match self.request(request) {
+            Ok(response) => Ok(response),
+            Err(first @ (FrameError::Disconnected | FrameError::Io(_))) => {
+                match dial(&self.addrs) {
+                    Ok(stream) => {
+                        self.stream = stream;
+                        self.request(request)
+                    }
+                    Err(_) => Err(first),
+                }
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Liveness probe. Idempotent: a dropped connection is re-dialed and
+    /// the ping retried once before the error surfaces.
     ///
     /// # Errors
     ///
     /// Returns a [`ClientError`] if the transport fails or the server
     /// answers with anything but a pong.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        match self.request(&Request::Ping)? {
+        match self.request_idempotent(&Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(unexpected(other)),
         }
@@ -134,14 +190,15 @@ impl Client {
     /// and coalescing counters, wire-level frame statistics — everything
     /// the server's session registry holds, as one consistent snapshot.
     /// Never subject to compile admission, so it works against a
-    /// saturated server.
+    /// saturated server. Idempotent: a dropped connection is re-dialed
+    /// and the scrape retried once before the error surfaces.
     ///
     /// # Errors
     ///
     /// Returns a [`ClientError`] if the transport fails or the server
     /// answers with anything but a stats snapshot.
     pub fn stats(&mut self) -> Result<MetricsSnapshot, ClientError> {
-        match self.request(&Request::Stats)? {
+        match self.request_idempotent(&Request::Stats)? {
             Response::Stats(snapshot) => Ok(snapshot),
             other => Err(unexpected(other)),
         }
@@ -159,6 +216,14 @@ impl Client {
             other => Err(unexpected(other)),
         }
     }
+}
+
+/// Dials the resolved address list with `TCP_NODELAY`, the way every
+/// connection (first or re-dial) is opened.
+fn dial(addrs: &[SocketAddr]) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addrs)?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
 }
 
 fn unexpected(response: Response) -> ClientError {

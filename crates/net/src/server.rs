@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use zz_obs::{Counter, Gauge, Histogram};
+use zz_obs::{Counter, Gauge, Histogram, Registry};
 use zz_persist::ArtifactKind;
 use zz_service::Session;
 
@@ -104,6 +104,10 @@ struct Shared {
     /// Published twins of the counters above (plus per-frame ones) in
     /// the session's registry, for the `Stats` endpoint.
     metrics: NetMetrics,
+    /// An additional registry layered into every `Stats` response — how
+    /// a fleet surfaces its dispatch/drift metrics through a device
+    /// server's wire endpoint. `None` for plain servers.
+    extra_stats: Option<Arc<Registry>>,
 }
 
 impl Shared {
@@ -207,6 +211,32 @@ impl Server {
         session: Arc<Session>,
         config: ServerConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, session, config, None)
+    }
+
+    /// Like [`bind_with`](Self::bind_with), additionally layering
+    /// `extra_stats` into every `Stats` response (session names win on
+    /// collision) — so a fleet's dispatch/drift registry is scrapeable
+    /// through the same wire endpoint as the device's own metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address cannot be bound.
+    pub fn bind_with_stats(
+        addr: impl ToSocketAddrs,
+        session: Arc<Session>,
+        config: ServerConfig,
+        extra_stats: Arc<Registry>,
+    ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, session, config, Some(extra_stats))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        session: Arc<Session>,
+        config: ServerConfig,
+        extra_stats: Option<Arc<Registry>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let metrics = NetMetrics::new(&session);
@@ -221,6 +251,7 @@ impl Server {
                 admitted: AtomicUsize::new(0),
                 busy: AtomicUsize::new(0),
                 metrics,
+                extra_stats,
             }),
         })
     }
@@ -341,6 +372,12 @@ fn respond(request: Request, session: &Session, shared: &Shared) -> Response {
         }
         // Monitoring is never subject to compile admission: a saturated
         // (or draining) server still answers its scrapes.
-        Request::Stats => Response::Stats(session.metrics().snapshot()),
+        Request::Stats => {
+            let mut snapshot = session.metrics().snapshot();
+            if let Some(extra) = &shared.extra_stats {
+                snapshot.merge_from(&extra.snapshot());
+            }
+            Response::Stats(snapshot)
+        }
     }
 }

@@ -414,6 +414,32 @@ impl MetricsSnapshot {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Folds another snapshot into this one, keeping every series sorted
+    /// by name so the binary-search accessors stay valid. On a name
+    /// collision this snapshot's entry wins and `other`'s is dropped —
+    /// the intended use is layering disjoint registries (a session's
+    /// metrics plus a fleet's) into one wire response, where collisions
+    /// only arise if two layers misuse one name.
+    pub fn merge_from(&mut self, other: &MetricsSnapshot) {
+        fn merge_sorted<T: Clone>(ours: &mut Vec<(String, T)>, theirs: &[(String, T)]) {
+            for (name, value) in theirs {
+                if let Err(at) = ours.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                    ours.insert(at, (name.clone(), value.clone()));
+                }
+            }
+        }
+        merge_sorted(&mut self.counters, &other.counters);
+        merge_sorted(&mut self.gauges, &other.gauges);
+        for hist in &other.histograms {
+            if let Err(at) = self
+                .histograms
+                .binary_search_by(|h| h.name.as_str().cmp(&hist.name))
+            {
+                self.histograms.insert(at, hist.clone());
+            }
+        }
+    }
+
     /// Prometheus-style text exposition: `# TYPE` lines, `zz_`-prefixed
     /// underscore names, histograms as cumulative `_bucket{le="…"}`
     /// series plus `_sum`/`_count`.
@@ -554,6 +580,26 @@ mod tests {
         assert_eq!(snap.histogram("m.wall").unwrap().count, 1);
         let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, ["a.one", "b.two", "c.three"], "sorted by name");
+    }
+
+    #[test]
+    fn merge_from_layers_disjoint_registries() {
+        let base = Registry::new();
+        base.counter("session.jobs").add(4);
+        base.gauge("session.depth").set(2);
+        let extra = Registry::new();
+        extra.counter("fleet.dispatch").add(9);
+        extra.counter("session.jobs").add(100); // collision: base wins
+        extra.histogram("fleet.score").observe(7);
+
+        let mut snap = base.snapshot();
+        snap.merge_from(&extra.snapshot());
+        assert_eq!(snap.counter("fleet.dispatch"), Some(9));
+        assert_eq!(snap.counter("session.jobs"), Some(4));
+        assert_eq!(snap.gauge("session.depth"), Some(2));
+        assert_eq!(snap.histogram("fleet.score").unwrap().count, 1);
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["fleet.dispatch", "session.jobs"], "still sorted");
     }
 
     #[test]

@@ -90,6 +90,30 @@ impl ArtifactStore {
         &self.root
     }
 
+    /// A per-device shard of this store, rooted at `<root>/<device>/`.
+    ///
+    /// Multi-backend deployments give each device its own shard so one
+    /// backend's churn (recalibration sweeping its keys, or a damaged
+    /// directory) never evicts another backend's warm artifacts. The
+    /// shard is an independent [`ArtifactStore`] with its own counters;
+    /// non-path-safe characters in `device` are mapped to `_` so any
+    /// device name yields a usable directory.
+    pub fn shard(&self, device: &str) -> ArtifactStore {
+        let safe: String = device
+            .chars()
+            .map(|c| match c {
+                'a'..='z' | 'A'..='Z' | '0'..='9' | '-' | '_' | '.' => c,
+                _ => '_',
+            })
+            .collect();
+        let safe = if safe.is_empty() {
+            "_".to_string()
+        } else {
+            safe
+        };
+        ArtifactStore::at(self.root.join(safe))
+    }
+
     /// The file an artifact lives at.
     pub fn path_of(&self, kind: ArtifactKind, key: u64) -> PathBuf {
         self.root
@@ -241,6 +265,26 @@ mod tests {
         assert!(!store.put(ArtifactKind::Compiled, 9, &1.0f64));
         assert_eq!(store.get::<f64>(ArtifactKind::Compiled, 9), None);
         assert_eq!(store.stats().write_errors, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shards_are_isolated_directories() {
+        let dir = scratch_dir("shard");
+        let store = ArtifactStore::at(&dir);
+        let a = store.shard("dev-a");
+        let b = store.shard("dev/b:0"); // sanitized to dev_b_0
+        a.put(ArtifactKind::Calibration, 1, &1.0f64);
+        b.put(ArtifactKind::Calibration, 1, &2.0f64);
+        assert_eq!(a.get::<f64>(ArtifactKind::Calibration, 1), Some(1.0));
+        assert_eq!(b.get::<f64>(ArtifactKind::Calibration, 1), Some(2.0));
+        assert!(a.root().starts_with(store.root()));
+        assert_ne!(a.root(), b.root());
+        assert_eq!(b.root(), store.root().join("dev_b_0"));
+        // Damaging shard A leaves shard B fully readable.
+        std::fs::remove_dir_all(a.root()).unwrap();
+        assert_eq!(a.get::<f64>(ArtifactKind::Calibration, 1), None);
+        assert_eq!(b.get::<f64>(ArtifactKind::Calibration, 1), Some(2.0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

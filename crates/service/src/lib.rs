@@ -67,7 +67,9 @@ mod session;
 mod target;
 
 pub use error::Error;
-pub use session::{CompileRequest, CompileResponse, EvalSpec, JobHandle, ServiceReport, Session};
+pub use session::{
+    CompileRequest, CompileResponse, EvalSpec, JobHandle, PlanMetricStats, ServiceReport, Session,
+};
 pub use target::{Target, TargetBuilder};
 
 // The request-configuration types a service caller needs, re-exported so

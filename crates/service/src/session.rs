@@ -389,6 +389,47 @@ impl ServiceReport {
             })
             .collect()
     }
+
+    /// Min/max/mean residual-ZZ weight ([`zz_sched::PlanSummary::
+    /// residual_zz_weight`]) across the batch's successful responses, or
+    /// `None` when nothing succeeded. This is the shared at-scale
+    /// fidelity-proxy summary: fleet dispatch scores large devices with
+    /// it and the scale bench reports it, through one code path.
+    pub fn plan_metric_stats(&self) -> Option<PlanMetricStats> {
+        let mut stats: Option<PlanMetricStats> = None;
+        let mut sum = 0.0;
+        for response in self.successes() {
+            let weight = response.plan_metrics().residual_zz_weight;
+            sum += weight;
+            let s = stats.get_or_insert(PlanMetricStats {
+                jobs: 0,
+                min_residual_zz_weight: weight,
+                max_residual_zz_weight: weight,
+                mean_residual_zz_weight: 0.0,
+            });
+            s.jobs += 1;
+            s.min_residual_zz_weight = s.min_residual_zz_weight.min(weight);
+            s.max_residual_zz_weight = s.max_residual_zz_weight.max(weight);
+        }
+        if let Some(s) = &mut stats {
+            s.mean_residual_zz_weight = sum / s.jobs as f64;
+        }
+        stats
+    }
+}
+
+/// Aggregate residual-ZZ statistics of one drained batch (see
+/// [`ServiceReport::plan_metric_stats`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanMetricStats {
+    /// Successful responses contributing to the statistics.
+    pub jobs: usize,
+    /// Smallest per-plan residual-ZZ weight in the batch.
+    pub min_residual_zz_weight: f64,
+    /// Largest per-plan residual-ZZ weight in the batch.
+    pub max_residual_zz_weight: f64,
+    /// Mean per-plan residual-ZZ weight across the batch.
+    pub mean_residual_zz_weight: f64,
 }
 
 /// One summary line (jobs, wall/cpu/queue time, cache hit rates,

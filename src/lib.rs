@@ -68,6 +68,7 @@
 
 pub use zz_circuit as circuit;
 pub use zz_core as framework;
+pub use zz_fleet as fleet;
 pub use zz_graph as graph;
 pub use zz_linalg as linalg;
 pub use zz_obs as obs;

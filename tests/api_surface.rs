@@ -4,9 +4,10 @@
 //!
 //! The test extracts every `pub` item declaration (functions with their
 //! signatures, structs, enums, traits, constants and re-exports) from
-//! `crates/service/src`, `crates/net/src` and `crates/obs/src` — the
-//! in-process front door, the wire protocol over it and the metrics
-//! surface both publish into — and compares the sorted list against
+//! `crates/service/src`, `crates/net/src`, `crates/obs/src` and
+//! `crates/fleet/src` — the in-process front door, the wire protocol
+//! over it, the metrics surface they publish into and the fleet layer
+//! above them — and compares the sorted list against
 //! the checked-in snapshot `tests/api_surface.snapshot`. An unreviewed
 //! addition, removal or signature change of either surface fails
 //! CI; an intentional one is recorded by regenerating the snapshot:
@@ -105,9 +106,9 @@ fn public_items(source: &str) -> Vec<String> {
 }
 
 /// The crates whose public surface the snapshot pins: the in-process
-/// service front door, the network layer over it, and the
-/// observability layer both of them publish into.
-const SNAPSHOT_CRATES: [&str; 3] = ["service", "net", "obs"];
+/// service front door, the network layer over it, the observability
+/// layer both of them publish into, and the fleet layer above them all.
+const SNAPSHOT_CRATES: [&str; 4] = ["service", "net", "obs", "fleet"];
 
 fn public_surface() -> String {
     let mut items = Vec::new();

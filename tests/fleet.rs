@@ -1,0 +1,287 @@
+//! Fleet-level integration tests: dispatch determinism across thread
+//! counts, drift-driven calibration invalidation (no stale disk
+//! artifact is ever reused), and per-device shard isolation.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use zz_circuit::bench::{generate, BenchmarkKind};
+use zz_core::batch::DiskStatus;
+use zz_fleet::{DeviceProfile, DriftModel, Fleet, FleetConfig};
+use zz_service::{CompileOptions, CompileRequest};
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "zz-fleet-{label}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A small config: single eval seed and few trajectories keep the
+/// simulation-scored candidates fast without touching determinism.
+fn fast_config(threads: usize) -> FleetConfig {
+    FleetConfig {
+        seed: 7,
+        threads_per_device: threads,
+        eval_seeds: vec![11],
+        trajectories: 4,
+        ..FleetConfig::default()
+    }
+}
+
+/// The mixed job stream every determinism assertion replays: two small
+/// jobs all three backends can hold, and one 16-qubit job only the
+/// 18-qubit heavy-hex device fits.
+fn job_stream() -> Vec<(BenchmarkKind, usize)> {
+    vec![
+        (BenchmarkKind::Qft, 4),
+        (BenchmarkKind::Qft, 16),
+        (BenchmarkKind::HiddenShift, 6),
+    ]
+}
+
+/// Runs the standard job stream (with one drift epoch in the middle)
+/// and records every decision bit-exactly.
+fn run_stream(threads: usize) -> Vec<String> {
+    let mut fleet = Fleet::standard(fast_config(threads)).expect("standard fleet builds");
+    let mut decisions = Vec::new();
+    for (round, (kind, n)) in job_stream().into_iter().enumerate() {
+        if round == 2 {
+            let epoch = fleet.advance_epoch().expect("epoch advances");
+            for inv in &epoch.invalidations {
+                decisions.push(format!(
+                    "invalidate {} {:016x}",
+                    inv.device,
+                    inv.new_lambda.to_bits()
+                ));
+            }
+        }
+        let dispatch = fleet
+            .submit(generate(kind, n, 5), CompileOptions::default())
+            .expect("dispatches");
+        for candidate in &dispatch.candidates {
+            decisions.push(format!(
+                "candidate {} {:016x}",
+                candidate.device,
+                candidate.score.to_bits()
+            ));
+        }
+        decisions.push(format!(
+            "dispatch {} -> {} {:016x}",
+            dispatch.label,
+            dispatch.device,
+            dispatch.score.to_bits()
+        ));
+    }
+    decisions
+}
+
+#[test]
+fn dispatch_decisions_are_bit_identical_at_any_thread_count() {
+    let single = run_stream(1);
+    let pooled = run_stream(4);
+    assert_eq!(single, pooled, "thread count changed a dispatch decision");
+    // The stream exercised both scoring paths and a real choice: the
+    // 20-qubit job had exactly one candidate, the small jobs three.
+    assert!(single.iter().any(|d| d.contains("heavy-hex-static")));
+    assert!(single.iter().filter(|d| d.starts_with("candidate")).count() >= 7);
+}
+
+#[test]
+fn same_seed_makes_identical_fleets_twice() {
+    assert_eq!(run_stream(2), run_stream(2));
+}
+
+/// A threshold strictly between the smallest and largest epoch-1
+/// deviations of the shipped profiles, so one `advance_epoch` provably
+/// invalidates *some but not all* devices — computed from the
+/// deterministic drift walk rather than hard-coded.
+fn partitioning_threshold(config: &FleetConfig) -> f64 {
+    let drift = DriftModel::new(config.seed).with_step(config.drift_step);
+    let deviations: Vec<f64> = DeviceProfile::standard_fleet()
+        .iter()
+        .map(|p| (drift.lambda_at(p.lambda_mean, &p.name, 1) - p.lambda_mean).abs() / p.lambda_mean)
+        .collect();
+    let lo = deviations.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = deviations.iter().cloned().fold(0.0, f64::max);
+    assert!(lo < hi, "deviations must differ to partition the fleet");
+    (lo + hi) / 2.0
+}
+
+#[test]
+fn drift_invalidates_exactly_the_drifted_devices_and_leaves_other_shards_warm() {
+    let dir = scratch_dir("drift");
+    let mut config = fast_config(1);
+    config.store_root = Some(dir.clone());
+    config.invalidation_threshold = partitioning_threshold(&config);
+    let drift = DriftModel::new(config.seed).with_step(config.drift_step);
+
+    let mut fleet = Fleet::standard(config.clone()).expect("standard fleet builds");
+    let circuit = || generate(BenchmarkKind::Qft, 4, 5);
+
+    // Warm every shard: the submit compiles on all three backends.
+    fleet
+        .submit(circuit(), CompileOptions::default())
+        .expect("warms the fleet");
+    let warm = fleet.report();
+
+    // Predict the partition from the pure drift function, then check
+    // the epoch agrees.
+    let expected: Vec<String> = DeviceProfile::standard_fleet()
+        .iter()
+        .filter(|p| {
+            let dev =
+                (drift.lambda_at(p.lambda_mean, &p.name, 1) - p.lambda_mean).abs() / p.lambda_mean;
+            dev > config.invalidation_threshold
+        })
+        .map(|p| p.name.clone())
+        .collect();
+    assert!(
+        !expected.is_empty(),
+        "seed must drift someone past threshold"
+    );
+    assert!(expected.len() < 3, "seed must leave someone calibrated");
+
+    let epoch = fleet.advance_epoch().expect("epoch advances");
+    let invalidated: Vec<String> = epoch
+        .invalidations
+        .iter()
+        .map(|i| i.device.clone())
+        .collect();
+    assert_eq!(
+        invalidated, expected,
+        "exactly the drifted devices recalibrate"
+    );
+
+    // Recompile the same circuit on every device it fits; the stale
+    // compiled artifact must never be served on an invalidated device.
+    for profile in DeviceProfile::standard_fleet() {
+        if profile.topology().qubit_count() < 4 {
+            continue;
+        }
+        let session = fleet.session(&profile.name).expect("registered");
+        let response = session
+            .compile(&CompileRequest::new(circuit()))
+            .expect("compiles");
+        if invalidated.contains(&profile.name) {
+            assert_eq!(
+                response.disk,
+                DiskStatus::Miss,
+                "{}: a post-drift compile reused a stale disk artifact",
+                profile.name
+            );
+        } else {
+            assert_eq!(
+                response.disk,
+                DiskStatus::Hit,
+                "{}: an undrifted device lost its warm artifact",
+                profile.name
+            );
+        }
+    }
+
+    // Invalidated devices re-characterized from scratch (one fresh
+    // calibration run on the new cache, zero disk hits for it); warm
+    // devices never re-ran calibration.
+    let after = fleet.report();
+    for (w, a) in warm.devices.iter().zip(&after.devices) {
+        assert_eq!(w.device, a.device);
+        if invalidated.contains(&a.device) {
+            assert_eq!(a.invalidations, 1, "{}", a.device);
+            assert_eq!(
+                a.calibration_runs, 1,
+                "{}: the fresh cache must measure, not load stale residuals",
+                a.device
+            );
+            assert_eq!(a.calibrated_epoch, 1, "{}", a.device);
+        } else {
+            assert_eq!(a.invalidations, 0, "{}", a.device);
+            assert_eq!(
+                a.calibration_runs, w.calibration_runs,
+                "{}: no recalibration without drift",
+                a.device
+            );
+            assert_eq!(a.calibrated_epoch, 0, "{}", a.device);
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damaging_one_shard_leaves_the_others_fully_warm() {
+    let dir = scratch_dir("shards");
+    let mut config = fast_config(1);
+    config.store_root = Some(dir.clone());
+
+    // Warm every device's shard, then tear the fleet down.
+    {
+        let mut fleet = Fleet::standard(config.clone()).expect("builds");
+        fleet
+            .submit(
+                generate(BenchmarkKind::Qft, 4, 5),
+                CompileOptions::default(),
+            )
+            .expect("warms the fleet");
+        let report = fleet.report();
+        for device in &report.devices {
+            let stats = device.store.expect("store configured");
+            assert!(stats.writes > 0, "{}: shard never written", device.device);
+        }
+    }
+
+    // Destroy the paper-grid shard only.
+    std::fs::remove_dir_all(dir.join("paper-grid")).expect("shard dir exists");
+
+    // A fresh fleet over the same root: the damaged device recompiles
+    // from scratch, every other device is served from its warm shard.
+    let fleet = Fleet::standard(config).expect("builds");
+    for profile in DeviceProfile::standard_fleet() {
+        let session = fleet.session(&profile.name).expect("registered");
+        let response = session
+            .compile(&CompileRequest::new(generate(BenchmarkKind::Qft, 4, 5)))
+            .expect("compiles");
+        if profile.name == "paper-grid" {
+            assert_eq!(response.disk, DiskStatus::Miss, "damaged shard must miss");
+        } else {
+            assert_eq!(
+                response.disk,
+                DiskStatus::Hit,
+                "{}: another device's damage evicted this warm shard",
+                profile.name
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_metrics_track_dispatch_and_invalidation() {
+    let mut fleet = Fleet::standard(fast_config(1)).expect("builds");
+    fleet
+        .submit(
+            generate(BenchmarkKind::Qft, 4, 5),
+            CompileOptions::default(),
+        )
+        .expect("dispatches");
+    let mut config = fast_config(1);
+    config.invalidation_threshold = 0.0; // any drift recalibrates
+    let mut drifty = Fleet::standard(config).expect("builds");
+    drifty.advance_epoch().expect("advances");
+
+    let snap = fleet.registry().snapshot();
+    assert_eq!(snap.counter("fleet.dispatch"), Some(1));
+    let winner = fleet
+        .report()
+        .devices
+        .iter()
+        .any(|d| snap.counter(&format!("fleet.device.{}.jobs", d.device)) == Some(1));
+    assert!(winner, "the winning device's job counter ticked");
+
+    let snap = drifty.registry().snapshot();
+    assert_eq!(snap.counter("fleet.drift.invalidations"), Some(3));
+    assert_eq!(snap.gauge("fleet.epoch"), Some(1));
+}

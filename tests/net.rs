@@ -502,3 +502,114 @@ fn compiles_after_shutdown_are_answered_shutting_down() {
         .expect("acceptor does not panic")
         .expect("serve exits cleanly");
 }
+
+// ------------------------------------------------------------ reconnect
+
+/// Restarts a server on a specific (just-vacated) address — the second
+/// half of every reconnect scenario.
+fn restart_at(addr: SocketAddr) -> (ServerControl, JoinHandle<std::io::Result<()>>) {
+    let target = Target::builder()
+        .topology(Topology::grid(2, 2))
+        .calib_cache(Arc::new(CalibCache::new()))
+        .build()
+        .expect("no store configured");
+    let session = Arc::new(Session::with_threads(target, 2));
+    let server = Server::bind_with(addr, session, fast_config())
+        .expect("the vacated port rebinds (SO_REUSEADDR)");
+    let control = server.control();
+    let serving = std::thread::spawn(move || server.serve());
+    (control, serving)
+}
+
+#[test]
+fn idempotent_requests_survive_a_server_restart() {
+    let fixture = Fixture::start(fast_config());
+    let addr = fixture.addr;
+    let mut client = Client::connect(addr).expect("connects");
+    client.ping().expect("pong");
+
+    // Kill the server mid-session: the client's connection is now dead.
+    fixture.stop();
+    // With nothing listening, even the one re-dial retry must fail —
+    // visibly, not by hanging.
+    assert!(client.ping().is_err(), "no server to reconnect to");
+
+    // Restart on the same port; the stale client transparently re-dials
+    // and retries its idempotent calls.
+    let (control, serving) = restart_at(addr);
+    client.ping().expect("re-dials and pongs");
+    let stats = client.stats().expect("stats over the fresh connection");
+    assert!(
+        stats.counter("net.connections").unwrap_or(0) >= 1,
+        "the scrape reflects the fresh server"
+    );
+
+    control.shutdown();
+    serving
+        .join()
+        .expect("acceptor does not panic")
+        .expect("serve exits cleanly");
+}
+
+#[test]
+fn ensure_connected_revives_a_dead_connection() {
+    let fixture = Fixture::start(fast_config());
+    let addr = fixture.addr;
+    let mut client = Client::connect(addr).expect("connects");
+    client.ensure_connected().expect("healthy from the start");
+
+    fixture.stop();
+    let (control, serving) = restart_at(addr);
+
+    // The old stream is dead; ensure_connected replaces it, and the
+    // *non*-idempotent compile path then works without its own retry.
+    client
+        .ensure_connected()
+        .expect("re-dials the restarted server");
+    let compiled = client
+        .compile(CompileEnvelope::new(bell()).with_label("post-restart"))
+        .expect("compiles over the fresh connection");
+    assert_eq!(compiled.label, "post-restart");
+
+    control.shutdown();
+    serving
+        .join()
+        .expect("acceptor does not panic")
+        .expect("serve exits cleanly");
+}
+
+#[test]
+fn stats_responses_merge_an_extra_registry() {
+    let target = Target::builder()
+        .topology(Topology::grid(2, 2))
+        .calib_cache(Arc::new(CalibCache::new()))
+        .build()
+        .expect("no store configured");
+    let session = Arc::new(Session::with_threads(target, 2));
+    let fleet_registry = Arc::new(zz_service::Registry::new());
+    fleet_registry.counter("fleet.dispatch").add(5);
+    fleet_registry.gauge("fleet.epoch").set(2);
+    let server = Server::bind_with_stats(
+        "127.0.0.1:0",
+        Arc::clone(&session),
+        fast_config(),
+        Arc::clone(&fleet_registry),
+    )
+    .expect("ephemeral port");
+    let addr = server.local_addr().expect("bound");
+    let control = server.control();
+    let serving = std::thread::spawn(move || server.serve());
+
+    let mut client = Client::connect(addr).expect("connects");
+    let stats = client.stats().expect("scrapes");
+    assert_eq!(stats.counter("fleet.dispatch"), Some(5));
+    assert_eq!(stats.gauge("fleet.epoch"), Some(2));
+    // The session's own series are still present alongside the extras.
+    assert!(stats.counter("net.frames").is_some());
+
+    control.shutdown();
+    serving
+        .join()
+        .expect("acceptor does not panic")
+        .expect("serve exits cleanly");
+}
